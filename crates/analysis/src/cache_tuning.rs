@@ -1,0 +1,116 @@
+//! Automatic cache sizing from stack-distance profiles.
+//!
+//! The paper's §8 points out that its temporal-locality analysis "could be
+//! used to provide automatic cache size tuning in state stores": an LRU
+//! cache of capacity `c` misses exactly the accesses whose stack distance
+//! is `>= c` (plus cold misses), so the stack-distance histogram *is* the
+//! miss-ratio curve. This module materializes that curve and recommends
+//! the smallest capacity meeting a target hit rate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stack_distance::StackDistanceSummary;
+
+/// One point of the miss-ratio curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissRatioPoint {
+    /// Cache capacity in keys.
+    pub capacity: u64,
+    /// Fraction of accesses that miss an LRU cache of that capacity.
+    pub miss_ratio: f64,
+}
+
+/// The miss-ratio curve of a trace, evaluated at the given capacities.
+pub fn miss_ratio_curve(summary: &StackDistanceSummary, capacities: &[u64]) -> Vec<MissRatioPoint> {
+    capacities
+        .iter()
+        .map(|&capacity| MissRatioPoint {
+            capacity,
+            miss_ratio: summary.miss_ratio(capacity),
+        })
+        .collect()
+}
+
+/// Recommends the smallest LRU capacity (in keys) whose hit rate reaches
+/// `target_hit_rate`, or `None` if even a cache holding every re-accessed
+/// key cannot reach it (cold misses put a floor under the miss ratio).
+pub fn recommend_capacity(summary: &StackDistanceSummary, target_hit_rate: f64) -> Option<u64> {
+    let target_miss = 1.0 - target_hit_rate;
+    // The best any capacity can do is the cold-miss floor.
+    let max_capacity = summary.distances.iter().max().copied().unwrap_or(0) + 1;
+    if summary.miss_ratio(max_capacity) > target_miss {
+        return None;
+    }
+    // Binary search the smallest adequate capacity: miss_ratio is
+    // non-increasing in capacity.
+    let (mut lo, mut hi) = (0u64, max_capacity);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if summary.miss_ratio(mid) <= target_miss {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack_distance::stack_distances;
+
+    fn looping_trace(n_keys: u128, repeats: usize) -> Vec<u128> {
+        (0..n_keys as usize * repeats)
+            .map(|i| (i as u128) % n_keys)
+            .collect()
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let keys = looping_trace(100, 20);
+        let summary = stack_distances(&keys, None);
+        let caps: Vec<u64> = (0..=120).step_by(10).collect();
+        let curve = miss_ratio_curve(&summary, &caps);
+        for w in curve.windows(2) {
+            assert!(w[0].miss_ratio >= w[1].miss_ratio);
+        }
+    }
+
+    #[test]
+    fn recommendation_matches_loop_size() {
+        // A strict loop over 100 keys needs a 100-key cache to hit at all.
+        let keys = looping_trace(100, 50);
+        let summary = stack_distances(&keys, None);
+        let cap = recommend_capacity(&summary, 0.9).expect("reachable");
+        assert_eq!(cap, 100);
+        // The recommended capacity actually meets the target.
+        assert!(1.0 - summary.miss_ratio(cap) >= 0.9);
+        // One key less does not.
+        assert!(1.0 - summary.miss_ratio(cap - 1) < 0.9);
+    }
+
+    #[test]
+    fn hot_set_needs_small_cache() {
+        // 90% of accesses loop over 8 hot keys; rest scan a long tail.
+        let mut keys = Vec::new();
+        for i in 0..10_000usize {
+            if i % 10 == 9 {
+                keys.push(1_000 + i as u128); // Cold tail key.
+            } else {
+                keys.push((i % 8) as u128);
+            }
+        }
+        let summary = stack_distances(&keys, None);
+        let cap = recommend_capacity(&summary, 0.85).expect("reachable");
+        assert!(cap <= 16, "hot set mis-sized: {cap}");
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        // Every access is cold: no cache helps.
+        let keys: Vec<u128> = (0..1_000).collect();
+        let summary = stack_distances(&keys, None);
+        assert_eq!(recommend_capacity(&summary, 0.5), None);
+    }
+}

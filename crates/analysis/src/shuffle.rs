@@ -1,0 +1,46 @@
+//! The shuffled-trace baseline.
+//!
+//! A random permutation of a trace preserves every key's popularity but
+//! destroys ordering, so comparing a locality metric between a trace and
+//! its shuffle isolates the contribution of *ordering* (paper Figs. 5, 7,
+//! 10 plot both).
+
+use rand::seq::SliceRandom;
+
+use gadget_distrib::seeded_rng;
+
+/// Returns a seeded random permutation of `keys`.
+pub fn shuffled_keys(keys: &[u128], seed: u64) -> Vec<u128> {
+    let mut out = keys.to_vec();
+    let mut rng = seeded_rng(seed);
+    out.shuffle(&mut rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_multiset() {
+        let keys: Vec<u128> = (0..1_000).map(|i| (i % 37) as u128).collect();
+        let mut a = keys.clone();
+        let mut b = shuffled_keys(&keys, 5);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn actually_permutes() {
+        let keys: Vec<u128> = (0..1_000).collect();
+        assert_ne!(shuffled_keys(&keys, 5), keys);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let keys: Vec<u128> = (0..100).collect();
+        assert_eq!(shuffled_keys(&keys, 9), shuffled_keys(&keys, 9));
+        assert_ne!(shuffled_keys(&keys, 9), shuffled_keys(&keys, 10));
+    }
+}

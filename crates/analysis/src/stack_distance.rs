@@ -1,0 +1,204 @@
+//! Temporal locality: LRU stack distances.
+//!
+//! The stack distance of an access is the number of *unique* keys touched
+//! since the previous access to the same key (paper §3.2.3, the classic
+//! Mattson metric). Small distances mean the workload re-touches recent
+//! keys, so even a small cache absorbs it; the distance histogram directly
+//! yields the miss ratio of an LRU cache of any size.
+//!
+//! Implementation: Olken's algorithm. A Fenwick (binary indexed) tree over
+//! access positions holds a `1` at each key's most recent position;
+//! the distance of a re-access is the count of ones strictly after the
+//! key's previous position.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Fenwick tree over `n` positions.
+struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum over positions `0..=i`.
+    fn prefix(&self, mut i: usize) -> i64 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Stack-distance analysis result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StackDistanceSummary {
+    /// One distance per re-access (first accesses are cold and excluded).
+    pub distances: Vec<u64>,
+    /// Number of cold (first-time) accesses.
+    pub cold_accesses: u64,
+    /// Mean distance over re-accesses (0 if none).
+    pub mean: f64,
+}
+
+impl StackDistanceSummary {
+    /// Histogram of distances with the given bucket width.
+    pub fn histogram(&self, bucket: u64) -> Vec<(u64, u64)> {
+        let bucket = bucket.max(1);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for &d in &self.distances {
+            *counts.entry(d / bucket * bucket).or_insert(0) += 1;
+        }
+        let mut out: Vec<(u64, u64)> = counts.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Estimated LRU miss ratio for a cache holding `capacity` keys: the
+    /// fraction of accesses (cold included) with distance >= capacity.
+    pub fn miss_ratio(&self, capacity: u64) -> f64 {
+        let total = self.distances.len() as u64 + self.cold_accesses;
+        if total == 0 {
+            return 0.0;
+        }
+        let misses =
+            self.distances.iter().filter(|&&d| d >= capacity).count() as u64 + self.cold_accesses;
+        misses as f64 / total as f64
+    }
+}
+
+/// Computes LRU stack distances for a key sequence.
+///
+/// `sample` optionally restricts the reported distances to re-accesses of
+/// the given keys (the paper's Fig. 7 uses 1K random keys); pass `None`
+/// for all keys. All keys still participate in the LRU stack either way.
+pub fn stack_distances(keys: &[u128], sample: Option<&[u128]>) -> StackDistanceSummary {
+    let sample_set: Option<std::collections::HashSet<u128>> =
+        sample.map(|s| s.iter().copied().collect());
+    let mut fenwick = Fenwick::new(keys.len());
+    let mut last_pos: HashMap<u128, usize> = HashMap::new();
+    let mut distances = Vec::new();
+    let mut cold = 0u64;
+
+    for (pos, &key) in keys.iter().enumerate() {
+        let in_sample = sample_set.as_ref().is_none_or(|s| s.contains(&key));
+        match last_pos.get(&key).copied() {
+            Some(prev) => {
+                // Unique keys accessed strictly between prev and pos.
+                let d = fenwick.prefix(pos) - fenwick.prefix(prev);
+                if in_sample {
+                    distances.push(d as u64);
+                }
+                fenwick.add(prev, -1);
+            }
+            None => {
+                if in_sample {
+                    cold += 1;
+                }
+            }
+        }
+        fenwick.add(pos, 1);
+        last_pos.insert(key, pos);
+    }
+
+    let mean = if distances.is_empty() {
+        0.0
+    } else {
+        distances.iter().sum::<u64>() as f64 / distances.len() as f64
+    };
+    StackDistanceSummary {
+        distances,
+        cold_accesses: cold,
+        mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dists(keys: &[u128]) -> Vec<u64> {
+        stack_distances(keys, None).distances
+    }
+
+    #[test]
+    fn immediate_reaccess_has_distance_zero() {
+        assert_eq!(dists(&[1, 1, 1]), vec![0, 0]);
+    }
+
+    #[test]
+    fn classic_example() {
+        // a b c a : distance of the second 'a' is 2 (b and c in between).
+        assert_eq!(dists(&[1, 2, 3, 1]), vec![2]);
+        // a b b a : b=0, a=1 (only b in between).
+        assert_eq!(dists(&[1, 2, 2, 1]), vec![0, 1]);
+    }
+
+    #[test]
+    fn repeated_intermediate_keys_count_once() {
+        // a b b b a : unique keys between the two a's = {b} = 1.
+        assert_eq!(dists(&[1, 2, 2, 2, 1]), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn cold_accesses_counted() {
+        let s = stack_distances(&[1, 2, 3], None);
+        assert_eq!(s.cold_accesses, 3);
+        assert!(s.distances.is_empty());
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn sampling_restricts_reporting_not_the_stack() {
+        let keys = [1u128, 2, 3, 1, 2];
+        let s = stack_distances(&keys, Some(&[2]));
+        // Only key 2's re-access (distance 2: keys 3 and 1 in between).
+        assert_eq!(s.distances, vec![2]);
+        assert_eq!(s.cold_accesses, 1); // Key 2's first access.
+    }
+
+    #[test]
+    fn miss_ratio_monotone_in_capacity() {
+        let keys: Vec<u128> = (0..1_000u128).map(|i| i % 50).collect();
+        let s = stack_distances(&keys, None);
+        let m1 = s.miss_ratio(10);
+        let m2 = s.miss_ratio(50);
+        let m3 = s.miss_ratio(100);
+        assert!(m1 >= m2 && m2 >= m3);
+        // A cache holding all 50 keys only misses the 50 cold accesses.
+        assert!((s.miss_ratio(51) - 50.0 / 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_scan_has_max_distances() {
+        // Cycling over n keys gives every re-access distance n-1.
+        let keys: Vec<u128> = (0..300u128).map(|i| i % 100).collect();
+        let s = stack_distances(&keys, None);
+        assert!(s.distances.iter().all(|&d| d == 99));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let keys: Vec<u128> = (0..300u128).map(|i| i % 100).collect();
+        let s = stack_distances(&keys, None);
+        let h = s.histogram(10);
+        assert_eq!(h, vec![(90, 200)]);
+    }
+}

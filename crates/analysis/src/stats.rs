@@ -1,0 +1,175 @@
+//! Statistical distance measures between key distributions.
+//!
+//! The paper uses the two-sample Kolmogorov–Smirnov test (Table 2, §4) to
+//! check whether a state stream preserves the input key distribution, and
+//! the Wasserstein-1 metric to quantify how far apart two empirical key
+//! distributions are.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F1 - F2|`.
+    pub d: f64,
+    /// Asymptotic two-sided p-value.
+    pub p_value: f64,
+    /// First sample size.
+    pub n: usize,
+    /// Second sample size.
+    pub m: usize,
+}
+
+impl KsResult {
+    /// Whether the null hypothesis (same distribution) is rejected at
+    /// significance level `alpha`.
+    pub fn rejects(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sample KS test over real-valued samples.
+///
+/// Uses the asymptotic Kolmogorov distribution for the p-value, which is
+/// accurate for the trace-scale sample sizes used here.
+pub fn ks_test(sample1: &[f64], sample2: &[f64]) -> KsResult {
+    let (n, m) = (sample1.len(), sample2.len());
+    if n == 0 || m == 0 {
+        return KsResult {
+            d: 0.0,
+            p_value: 1.0,
+            n,
+            m,
+        };
+    }
+    let mut a = sample1.to_vec();
+    let mut b = sample2.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("no NaN in samples"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("no NaN in samples"));
+
+    let mut d: f64 = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        let x = a[i].min(b[j]);
+        while i < n && a[i] <= x {
+            i += 1;
+        }
+        while j < m && b[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n as f64;
+        let f2 = j as f64 / m as f64;
+        d = d.max((f1 - f2).abs());
+    }
+
+    let ne = (n as f64 * m as f64) / (n as f64 + m as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    let p_value = kolmogorov_q(lambda);
+    KsResult { d, p_value, n, m }
+}
+
+/// The Kolmogorov survival function `Q(λ) = 2 Σ (-1)^{j-1} e^{-2 j² λ²}`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda < 1e-10 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Wasserstein-1 (earth mover's) distance between two empirical
+/// distributions over the reals.
+pub fn wasserstein_distance(sample1: &[f64], sample2: &[f64]) -> f64 {
+    if sample1.is_empty() || sample2.is_empty() {
+        return 0.0;
+    }
+    let mut a = sample1.to_vec();
+    let mut b = sample2.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("no NaN in samples"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("no NaN in samples"));
+
+    // Integrate |F1(x) - F2(x)| dx over the merged support.
+    let mut points: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    points.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    points.dedup();
+
+    let mut dist = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    for w in points.windows(2) {
+        while i < a.len() && a[i] <= w[0] {
+            i += 1;
+        }
+        while j < b.len() && b[j] <= w[0] {
+            j += 1;
+        }
+        let f1 = i as f64 / a.len() as f64;
+        let f2 = j as f64 / b.len() as f64;
+        dist += (f1 - f2).abs() * (w[1] - w[0]);
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn identical_samples_pass() {
+        let s: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
+        let r = ks_test(&s, &s);
+        assert!(r.d < 1e-12);
+        assert!(r.p_value > 0.999);
+        assert!(!r.rejects(0.001));
+    }
+
+    #[test]
+    fn disjoint_samples_reject() {
+        let a: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..1_000).map(|i| (i + 10_000) as f64).collect();
+        let r = ks_test(&a, &b);
+        assert!((r.d - 1.0).abs() < 1e-12);
+        assert!(r.rejects(0.001));
+    }
+
+    #[test]
+    fn same_distribution_different_draws_pass() {
+        let mut rng = gadget_distrib::seeded_rng(3);
+        let a: Vec<f64> = (0..5_000).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..5_000).map(|_| rng.gen::<f64>()).collect();
+        let r = ks_test(&a, &b);
+        assert!(!r.rejects(0.001), "d={} p={}", r.d, r.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_rejects() {
+        let mut rng = gadget_distrib::seeded_rng(4);
+        let a: Vec<f64> = (0..5_000).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..5_000).map(|_| rng.gen::<f64>() + 0.2).collect();
+        assert!(ks_test(&a, &b).rejects(0.001));
+    }
+
+    #[test]
+    fn wasserstein_of_shift_equals_shift() {
+        let a: Vec<f64> = (0..1_000).map(|i| i as f64 / 1_000.0).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 5.0).collect();
+        let w = wasserstein_distance(&a, &b);
+        assert!((w - 5.0).abs() < 0.01, "w={w}");
+        assert!(wasserstein_distance(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn empty_samples_are_neutral() {
+        assert_eq!(ks_test(&[], &[1.0]).p_value, 1.0);
+        assert_eq!(wasserstein_distance(&[], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Key time-to-live (TTL) distributions.
+//!
+//! The paper defines TTL as the number of time units (steps) between the
+//! first and the last access of a key in the state access stream
+//! (§3.2.3). Short TTLs mean ephemeral state; Table 3 compares TTL
+//! percentiles between real and YCSB traces.
+
+use serde::{Deserialize, Serialize};
+
+/// TTL distribution summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TtlSummary {
+    /// TTLs (in operation steps), sorted ascending; one per distinct key.
+    pub ttls: Vec<u64>,
+    /// Number of keys accessed exactly once (TTL 0).
+    pub accessed_once: u64,
+}
+
+impl TtlSummary {
+    /// Percentile in `[0, 100]` by nearest-rank.
+    pub fn percentile(&self, p: f64) -> u64 {
+        percentile(&self.ttls, p)
+    }
+
+    /// Maximum TTL.
+    pub fn max(&self) -> u64 {
+        self.ttls.last().copied().unwrap_or(0)
+    }
+
+    /// Fraction of keys accessed exactly once.
+    pub fn accessed_once_fraction(&self) -> f64 {
+        if self.ttls.is_empty() {
+            return 0.0;
+        }
+        self.accessed_once as f64 / self.ttls.len() as f64
+    }
+}
+
+/// Nearest-rank percentile of a sorted slice.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Computes TTLs (in steps) for all keys, or only for `sample` if given
+/// (the paper's Table 3 samples 1K random keys).
+pub fn ttl_distribution(keys: &[u128], sample: Option<&[u128]>) -> TtlSummary {
+    let sample_set: Option<std::collections::HashSet<u128>> =
+        sample.map(|s| s.iter().copied().collect());
+    let mut first = std::collections::HashMap::new();
+    let mut last = std::collections::HashMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        if sample_set.as_ref().is_some_and(|s| !s.contains(&k)) {
+            continue;
+        }
+        first.entry(k).or_insert(i as u64);
+        last.insert(k, i as u64);
+    }
+    let mut ttls: Vec<u64> = first.iter().map(|(k, &f)| last[k] - f).collect();
+    ttls.sort_unstable();
+    let accessed_once = ttls.iter().filter(|&&t| t == 0).count() as u64;
+    TtlSummary {
+        ttls,
+        accessed_once,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_access_keys_have_zero_ttl() {
+        let s = ttl_distribution(&[1, 2, 3], None);
+        assert_eq!(s.ttls, vec![0, 0, 0]);
+        assert_eq!(s.accessed_once, 3);
+        assert_eq!(s.accessed_once_fraction(), 1.0);
+    }
+
+    #[test]
+    fn ttl_spans_first_to_last() {
+        // Key 1 at steps 0 and 4 → TTL 4; key 2 at steps 1..3 → TTL 2.
+        let s = ttl_distribution(&[1, 2, 2, 2, 1], None);
+        assert_eq!(s.ttls, vec![2, 4]);
+        assert_eq!(s.max(), 4);
+        assert_eq!(s.accessed_once, 0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile(&sorted, 50.0), 5);
+        assert_eq!(percentile(&sorted, 90.0), 9);
+        assert_eq!(percentile(&sorted, 99.9), 10);
+        assert_eq!(percentile(&sorted, 0.1), 1);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn sampling_restricts_keys() {
+        let s = ttl_distribution(&[1, 2, 1, 2, 3], Some(&[2]));
+        assert_eq!(s.ttls, vec![2]);
+    }
+
+    #[test]
+    fn ephemeral_vs_longlived() {
+        // Bursty keys die fast; one key spans the whole trace.
+        let mut keys: Vec<u128> = (0..1_000).map(|i| 1 + (i / 10) as u128).collect();
+        keys.insert(0, 0);
+        keys.push(0);
+        let s = ttl_distribution(&keys, None);
+        assert_eq!(s.percentile(50.0), 9);
+        assert_eq!(s.max(), keys.len() as u64 - 1);
+    }
+}

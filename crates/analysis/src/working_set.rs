@@ -1,0 +1,104 @@
+//! Working-set-size evolution.
+//!
+//! The paper defines the *working key set* at a point in time as the set
+//! of keys that can still be accessed in the future (§3.2.3): a key is
+//! active from its first to its last access. The series below samples the
+//! active-key count every `step` operations, which is how Figs. 5 (bottom)
+//! and 6 are drawn.
+
+use serde::{Deserialize, Serialize};
+
+/// One sample of the working-set series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkingSetPoint {
+    /// Operation index of the sample.
+    pub op_index: u64,
+    /// Number of active keys at that point.
+    pub size: u64,
+}
+
+/// Computes the working-set-size series, sampled every `step` operations
+/// (the paper samples every 100).
+pub fn working_set_series(keys: &[u128], step: usize) -> Vec<WorkingSetPoint> {
+    let step = step.max(1);
+    let mut first = std::collections::HashMap::new();
+    let mut last = std::collections::HashMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        first.entry(k).or_insert(i);
+        last.insert(k, i);
+    }
+    // Delta array: +1 when a key becomes active, -1 right after it dies.
+    let mut delta = vec![0i64; keys.len() + 1];
+    for (&k, &f) in &first {
+        delta[f] += 1;
+        delta[last[&k] + 1] -= 1;
+    }
+    let mut out = Vec::with_capacity(keys.len() / step + 1);
+    let mut active = 0i64;
+    for (i, d) in delta.iter().enumerate().take(keys.len()) {
+        active += d;
+        if i % step == 0 {
+            out.push(WorkingSetPoint {
+                op_index: i as u64,
+                size: active as u64,
+            });
+        }
+    }
+    out
+}
+
+/// Maximum working-set size over the series.
+pub fn peak(series: &[WorkingSetPoint]) -> u64 {
+    series.iter().map(|p| p.size).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_key_has_working_set_one() {
+        let keys = vec![5u128; 500];
+        let series = working_set_series(&keys, 100);
+        assert!(series.iter().all(|p| p.size == 1));
+    }
+
+    #[test]
+    fn growing_then_dying_keyspace() {
+        // Keys 0..500 accessed in order, then again in order: the working
+        // set grows through the first half (keys stay active awaiting
+        // their second access) and shrinks through the second half as
+        // keys see their final access.
+        let mut keys: Vec<u128> = (0..500).collect();
+        keys.extend(0..500);
+        let series = working_set_series(&keys, 100);
+        for w in series[..5].windows(2) {
+            assert!(w[0].size <= w[1].size, "first half must grow");
+        }
+        for w in series[5..].windows(2) {
+            assert!(w[0].size >= w[1].size, "second half must shrink");
+        }
+        assert_eq!(peak(&series), 500);
+    }
+
+    #[test]
+    fn ephemeral_keys_keep_working_set_small() {
+        // Each key is accessed in a burst of 10 then never again.
+        let keys: Vec<u128> = (0..10_000).map(|i| (i / 10) as u128).collect();
+        let series = working_set_series(&keys, 100);
+        assert!(peak(&series) <= 2, "peak {}", peak(&series));
+    }
+
+    #[test]
+    fn sampling_step_controls_resolution() {
+        let keys: Vec<u128> = (0..1_000).collect();
+        assert_eq!(working_set_series(&keys, 100).len(), 10);
+        assert_eq!(working_set_series(&keys, 250).len(), 4);
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert!(working_set_series(&[], 100).is_empty());
+        assert_eq!(peak(&[]), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests: analysis metrics vs naive oracles.
+
+use proptest::prelude::*;
+
+use gadget_analysis::{
+    ks_test, rank_normalize, shuffled_keys, stack_distances, ttl_distribution, unique_sequences,
+    wasserstein_distance, working_set_series,
+};
+
+/// Naive O(n²) stack-distance oracle.
+fn naive_stack_distances(keys: &[u128]) -> (Vec<u64>, u64) {
+    let mut out = Vec::new();
+    let mut cold = 0;
+    for (i, &k) in keys.iter().enumerate() {
+        match keys[..i].iter().rposition(|&p| p == k) {
+            Some(prev) => {
+                let mut unique = std::collections::HashSet::new();
+                for &mid in &keys[prev + 1..i] {
+                    unique.insert(mid);
+                }
+                out.push(unique.len() as u64);
+            }
+            None => cold += 1,
+        }
+    }
+    (out, cold)
+}
+
+/// Naive working-set oracle: at step i, count keys whose first access is
+/// <= i and last access is >= i.
+fn naive_working_set(keys: &[u128], at: usize) -> u64 {
+    let mut active = std::collections::HashSet::new();
+    for (i, &k) in keys.iter().enumerate() {
+        let first = keys.iter().position(|&p| p == k).unwrap();
+        let last = keys.iter().rposition(|&p| p == k).unwrap();
+        if first <= at && last >= at {
+            active.insert(k);
+        }
+        let _ = i;
+    }
+    active.len() as u64
+}
+
+fn small_keys() -> impl Strategy<Value = Vec<u128>> {
+    proptest::collection::vec(0u128..12, 1..120)
+}
+
+proptest! {
+    #[test]
+    fn stack_distance_matches_naive_oracle(keys in small_keys()) {
+        let fast = stack_distances(&keys, None);
+        let (naive, cold) = naive_stack_distances(&keys);
+        prop_assert_eq!(fast.distances, naive);
+        prop_assert_eq!(fast.cold_accesses, cold);
+    }
+
+    #[test]
+    fn working_set_matches_naive_oracle(keys in small_keys()) {
+        let series = working_set_series(&keys, 10);
+        for point in series {
+            prop_assert_eq!(
+                point.size,
+                naive_working_set(&keys, point.op_index as usize),
+                "at op {}", point.op_index
+            );
+        }
+    }
+
+    #[test]
+    fn ttl_bounds(keys in small_keys()) {
+        let summary = ttl_distribution(&keys, None);
+        // One TTL per distinct key; each TTL is bounded by trace length.
+        let distinct: std::collections::HashSet<_> = keys.iter().collect();
+        prop_assert_eq!(summary.ttls.len(), distinct.len());
+        for &t in &summary.ttls {
+            prop_assert!(t < keys.len() as u64);
+        }
+        prop_assert!(summary.percentile(100.0) == summary.max());
+    }
+
+    #[test]
+    fn sequence_counts_are_sane(keys in small_keys()) {
+        let counts = unique_sequences(&keys, 4);
+        for (l, &c) in counts.counts.iter().enumerate() {
+            let windows = keys.len().saturating_sub(l) as u64;
+            prop_assert!(c <= windows, "len {} count {c} > windows {windows}", l + 1);
+            if windows > 0 {
+                prop_assert!(c >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_popularity(keys in small_keys(), seed in any::<u64>()) {
+        let shuffled = shuffled_keys(&keys, seed);
+        let mut a = keys.clone();
+        let mut b = shuffled;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ks_statistic_is_bounded(
+        a in proptest::collection::vec(-1000.0f64..1000.0, 1..100),
+        b in proptest::collection::vec(-1000.0f64..1000.0, 1..100),
+    ) {
+        let r = ks_test(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r.d));
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        // Self-comparison never rejects.
+        let same = ks_test(&a, &a);
+        prop_assert!(same.d < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_is_symmetric_and_nonnegative(
+        a in proptest::collection::vec(-100.0f64..100.0, 1..60),
+        b in proptest::collection::vec(-100.0f64..100.0, 1..60),
+    ) {
+        let ab = wasserstein_distance(&a, &b);
+        let ba = wasserstein_distance(&b, &a);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(wasserstein_distance(&a, &a) < 1e-9);
+    }
+
+    #[test]
+    fn rank_normalize_outputs_valid_ranks(keys in small_keys()) {
+        let ranks = rank_normalize(&keys);
+        prop_assert_eq!(ranks.len(), keys.len());
+        for &r in &ranks {
+            prop_assert!((0.0..1.0).contains(&r));
+        }
+        // Order-preserving on key values.
+        for (i, &ka) in keys.iter().enumerate() {
+            for (j, &kb) in keys.iter().enumerate() {
+                if ka < kb {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+            }
+        }
+    }
+}

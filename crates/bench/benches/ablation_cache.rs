@@ -1,0 +1,73 @@
+//! Ablation: LSM block-cache size vs read latency under a zipfian
+//! workload — the knob the paper's temporal-locality analysis (§8) says
+//! could be auto-tuned from stack-distance profiles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gadget_distrib::{seeded_rng, KeyDistribution, ZipfianKeys};
+use gadget_kv::StateStore;
+use gadget_lsm::{LsmConfig, LsmStore};
+
+fn with_cache(cache_bytes: usize) -> (LsmStore, tempdir::TempDirGuard) {
+    let dir = tempdir::fresh();
+    let cfg = LsmConfig {
+        memtable_bytes: 64 << 10,
+        block_cache_bytes: cache_bytes,
+        l1_target_bytes: 256 << 10,
+        target_file_bytes: 64 << 10,
+        ..LsmConfig::small()
+    };
+    let store = LsmStore::open(&dir.0, cfg).expect("open lsm");
+    // Seed 50K keys so the tree has several levels.
+    for k in 0..50_000u64 {
+        store.put(&k.to_be_bytes(), &[3u8; 128]).expect("seed");
+    }
+    store.compact_and_wait().expect("quiesce");
+    (store, dir)
+}
+
+/// Minimal temp-dir guard (no external dependency).
+mod tempdir {
+    use std::path::PathBuf;
+
+    pub struct TempDirGuard(pub PathBuf);
+
+    impl Drop for TempDirGuard {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    pub fn fresh() -> TempDirGuard {
+        let dir = std::env::temp_dir().join(format!(
+            "gadget-ablation-cache-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock before epoch")
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        TempDirGuard(dir)
+    }
+}
+
+fn cache_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsm_zipf_get_by_cache");
+    group.sample_size(20);
+    for (label, bytes) in [("64KiB", 64 << 10), ("1MiB", 1 << 20), ("16MiB", 16 << 20)] {
+        let (store, _guard) = with_cache(bytes);
+        let mut zipf = ZipfianKeys::new(50_000, 0.99);
+        let mut rng = seeded_rng(7);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let k = zipf.next_key(&mut rng);
+                store.get(&k.to_be_bytes()).expect("get");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cache_sweep);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks: raw point-operation cost per store class.
+//!
+//! These isolate the §6.5 discussion: hash/B+Tree stores win point ops;
+//! the LSM pays for its ordered structure but amortizes writes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use gadget_bench::{all_stores, build_store};
+
+fn bench_puts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("put_256B");
+    for inst in all_stores(256) {
+        let mut i = 0u64;
+        group.bench_function(inst.label, |b| {
+            b.iter(|| {
+                i += 1;
+                inst.store
+                    .put(&(i % 100_000).to_be_bytes(), &[7u8; 256])
+                    .expect("put");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("get_hot_1k");
+    for inst in all_stores(256) {
+        for k in 0..1_000u64 {
+            inst.store.put(&k.to_be_bytes(), &[1u8; 256]).expect("seed");
+        }
+        let mut i = 0u64;
+        group.bench_function(inst.label, |b| {
+            b.iter(|| {
+                i += 1;
+                inst.store.get(&(i % 1_000).to_be_bytes()).expect("get");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_growth(c: &mut Criterion) {
+    // The holistic-window hot path: repeated merges on one growing bucket.
+    let mut group = c.benchmark_group("merge_append_64B");
+    group.sample_size(20);
+    for label in gadget_bench::STORE_LABELS {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || build_store(label, 256),
+                |inst| {
+                    for _ in 0..1_000 {
+                        inst.store.merge(b"bucket", &[9u8; 64]).expect("merge");
+                    }
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_puts, bench_gets, bench_merge_growth);
+criterion_main!(benches);

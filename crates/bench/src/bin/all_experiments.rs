@@ -1,0 +1,36 @@
+//! Runs the whole evaluation suite — every table and figure — in order,
+//! the equivalent of the paper artifact's `runAllExprs.sh`.
+
+use gadget_bench::experiments;
+use gadget_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("running the full Gadget evaluation suite");
+    println!(
+        "scale: {} events / {} ops (use --events/--ops/--full to change)\n",
+        scale.events, scale.ops
+    );
+
+    let t0 = std::time::Instant::now();
+    experiments::table1::run(&scale);
+    experiments::fig2::run(&scale);
+    experiments::fig3::run(&scale);
+    experiments::fig4::run(&scale);
+    experiments::table2::run(&scale);
+    experiments::fig5::run(&scale);
+    experiments::fig6::run(&scale);
+    experiments::table3::run(&scale);
+    experiments::fig7::run(&scale);
+    experiments::fig10::run(&scale);
+    experiments::fig11::run(&scale);
+    experiments::fig12::run(&scale);
+    experiments::fig13::run(&scale);
+    experiments::fig14::run(&scale);
+    experiments::ext_external::run(&scale);
+    experiments::ext_cache_tuning::run(&scale);
+    println!(
+        "\nfull suite completed in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+}

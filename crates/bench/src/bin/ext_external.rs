@@ -1,0 +1,7 @@
+//! Extension experiment beyond the paper's evaluation (its §8 future
+//! work); see the module docs of `gadget_bench::experiments::ext_external`.
+
+fn main() {
+    let scale = gadget_bench::Scale::from_args();
+    gadget_bench::experiments::ext_external::run(&scale);
+}

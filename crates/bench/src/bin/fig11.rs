@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig11 (see DESIGN.md for the experiment index).
+
+fn main() {
+    let scale = gadget_bench::Scale::from_args();
+    gadget_bench::experiments::fig11::run(&scale);
+}

@@ -1,0 +1,95 @@
+//! Figure 11: are Gadget workloads valuable in practice? Replays real
+//! (reference-execution), Gadget, and tuned-YCSB traces of the three
+//! representative operators against all four stores, comparing throughput
+//! and p99.9 latency. Gadget results must track the real-trace results;
+//! tuned YCSB may diverge wildly.
+
+use gadget_core::{Driver, GadgetConfig};
+use gadget_datasets::DatasetSpec;
+use gadget_flinksim::run_reference;
+use gadget_kv::MemStore;
+use gadget_replay::{ReplayOptions, TraceReplayer};
+use serde::Serialize;
+
+use crate::{all_stores, dump_json, kops, print_table, us, Scale};
+
+/// One (operator, trace-source, store) measurement.
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// Operator name.
+    pub operator: String,
+    /// Trace source: `real`, `gadget`, or `ycsb`.
+    pub source: String,
+    /// Store label.
+    pub store: String,
+    /// Throughput in ops/s.
+    pub throughput: f64,
+    /// p99.9 latency in ns.
+    pub p999_ns: u64,
+}
+
+/// Runs the full matrix.
+pub fn compute(scale: &Scale) -> Vec<Row> {
+    let spec = DatasetSpec {
+        events: scale.events,
+        seed: scale.seed,
+    };
+    let options = ReplayOptions {
+        max_ops: Some(scale.ops),
+        ..ReplayOptions::default()
+    };
+    let mut rows = Vec::new();
+
+    for kind in super::REPRESENTATIVE {
+        let cfg = GadgetConfig::dataset(kind, "borg", spec);
+        let stream = cfg.build_stream();
+        let params = cfg.operator_params();
+
+        let real = run_reference(kind, &params, stream.clone().into_iter(), MemStore::new())
+            .expect("reference run");
+        let mut driver = Driver::new(kind.build(&params));
+        let gadget = driver.run(stream.into_iter());
+        let ycsb = super::tuned_ycsb(&gadget, super::closest_ycsb_distribution(kind), scale.seed)
+            .generate();
+
+        for (source, trace) in [("real", &real), ("gadget", &gadget), ("ycsb", &ycsb)] {
+            for inst in all_stores(64) {
+                let replayer = TraceReplayer::new(options.clone());
+                let report = replayer
+                    .replay(trace, inst.store.as_ref(), kind.name())
+                    .expect("replay");
+                rows.push(Row {
+                    operator: kind.name().to_string(),
+                    source: source.to_string(),
+                    store: inst.label.to_string(),
+                    throughput: report.throughput,
+                    p999_ns: report.latency.p999_ns,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) {
+    let rows = compute(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.operator.clone(),
+                r.source.clone(),
+                r.store.clone(),
+                kops(r.throughput),
+                us(r.p999_ns),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 11: throughput & p99.9 with real vs Gadget vs YCSB traces",
+        &["operator", "trace", "store", "Kops/s", "p99.9 us"],
+        &table,
+    );
+    dump_json("fig11", &rows);
+}

@@ -1,0 +1,74 @@
+//! Figure 12: the YCSB baseline — core workloads A (update heavy),
+//! D (read latest), and F (read-modify-write) on all four stores with
+//! 1K keys and zipfian requests.
+
+use gadget_replay::{ReplayOptions, TraceReplayer};
+use gadget_ycsb::{CoreWorkload, YcsbConfig};
+use serde::Serialize;
+
+use crate::{all_stores, dump_json, kops, print_table, us, Scale};
+
+/// One (workload, store) measurement.
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// YCSB workload name (`A`, `D`, `F`).
+    pub workload: String,
+    /// Store label.
+    pub store: String,
+    /// Throughput in ops/s.
+    pub throughput: f64,
+    /// p99.9 latency in ns.
+    pub p999_ns: u64,
+}
+
+/// Runs the matrix.
+pub fn compute(scale: &Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (name, workload) in [
+        ("A", CoreWorkload::A),
+        ("D", CoreWorkload::D),
+        ("F", CoreWorkload::F),
+    ] {
+        // Paper §6.3: 1K keys, 2M operations, 8-byte keys, 256-byte values.
+        let cfg = YcsbConfig::core(workload, 1_000, scale.ops);
+        let trace = cfg.generate();
+        for inst in all_stores(64) {
+            let replayer = TraceReplayer::new(ReplayOptions::default());
+            replayer
+                .preload(inst.store.as_ref(), cfg.preload_keys(), cfg.value_size)
+                .expect("preload");
+            let report = replayer
+                .replay(&trace, inst.store.as_ref(), name)
+                .expect("replay");
+            rows.push(Row {
+                workload: name.to_string(),
+                store: inst.label.to_string(),
+                throughput: report.throughput,
+                p999_ns: report.latency.p999_ns,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) {
+    let rows = compute(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.store.clone(),
+                kops(r.throughput),
+                us(r.p999_ns),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 12: YCSB core workloads A/D/F on all stores",
+        &["workload", "store", "Kops/s", "p99.9 us"],
+        &table,
+    );
+    dump_json("fig12", &rows);
+}

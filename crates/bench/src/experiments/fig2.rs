@@ -1,0 +1,85 @@
+//! Figure 2: effect of window length and session gap on the workload
+//! composition (Taxi). Smaller windows / gaps produce a higher proportion
+//! of delete operations.
+
+use gadget_core::{GadgetConfig, OperatorKind};
+use gadget_datasets::DatasetSpec;
+use gadget_types::OpType;
+use serde::Serialize;
+
+use crate::{dump_json, fr, print_table, Scale};
+
+/// One configuration point.
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// `tumbling` or `session`.
+    pub operator: String,
+    /// The swept parameter value, in seconds.
+    pub param_secs: u64,
+    /// Fraction of `get`s.
+    pub get: f64,
+    /// Fraction of `put`s (incl. merges).
+    pub write: f64,
+    /// Fraction of `delete`s.
+    pub delete: f64,
+}
+
+/// Computes the sweep.
+pub fn compute(scale: &Scale) -> Vec<Row> {
+    let spec = DatasetSpec {
+        events: scale.events,
+        seed: scale.seed,
+    };
+    let mut rows = Vec::new();
+
+    // Tumbling window length sweep (paper: 1s .. 60s).
+    for secs in [1u64, 5, 30, 60] {
+        let mut cfg = GadgetConfig::dataset(OperatorKind::TumblingIncr, "taxi", spec);
+        cfg.window_length = secs * 1_000;
+        let stats = cfg.run().stats();
+        rows.push(Row {
+            operator: "tumbling".to_string(),
+            param_secs: secs,
+            get: stats.ratio(OpType::Get),
+            write: stats.ratio(OpType::Put) + stats.ratio(OpType::Merge),
+            delete: stats.ratio(OpType::Delete),
+        });
+    }
+    // Session gap sweep (paper: 1min .. 10min).
+    for mins in [1u64, 2, 5, 10] {
+        let mut cfg = GadgetConfig::dataset(OperatorKind::SessionIncr, "taxi", spec);
+        cfg.session_gap = mins * 60_000;
+        let stats = cfg.run().stats();
+        rows.push(Row {
+            operator: "session".to_string(),
+            param_secs: mins * 60,
+            get: stats.ratio(OpType::Get),
+            write: stats.ratio(OpType::Put) + stats.ratio(OpType::Merge),
+            delete: stats.ratio(OpType::Delete),
+        });
+    }
+    rows
+}
+
+/// Runs the experiment and prints the series.
+pub fn run(scale: &Scale) {
+    let rows = compute(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.operator.clone(),
+                format!("{}s", r.param_secs),
+                fr(r.get),
+                fr(r.write),
+                fr(r.delete),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 2: window length / session gap vs composition (Taxi)",
+        &["operator", "length/gap", "GET", "PUT+MERGE", "DELETE"],
+        &table,
+    );
+    dump_json("fig2", &rows);
+}

@@ -1,0 +1,55 @@
+//! Figure 3: event and keyspace amplification per operator (Borg).
+//! The state store accepts a much higher load than the stream arrival
+//! rate; all operators amplify the keyspace except continuous aggregation.
+
+use gadget_core::OperatorKind;
+use serde::Serialize;
+
+use crate::{dump_json, print_table, Scale};
+
+/// One bar pair of Figure 3.
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// Operator name.
+    pub operator: String,
+    /// State requests per input event.
+    pub event_amplification: f64,
+    /// Distinct state keys over distinct input keys.
+    pub key_amplification: f64,
+}
+
+/// Computes amplification for the nine Table-1 operators.
+pub fn compute(scale: &Scale) -> Vec<Row> {
+    OperatorKind::TABLE1
+        .into_iter()
+        .map(|kind| {
+            let stats = super::dataset_trace(kind, "borg", scale).stats();
+            Row {
+                operator: kind.name().to_string(),
+                event_amplification: stats.event_amplification().unwrap_or(0.0),
+                key_amplification: stats.key_amplification().unwrap_or(0.0),
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) {
+    let rows = compute(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.operator.clone(),
+                format!("{:.2}", r.event_amplification),
+                format!("{:.2}", r.key_amplification),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 3: event and keyspace amplification (Borg)",
+        &["operator", "event amp", "keyspace amp"],
+        &table,
+    );
+    dump_json("fig3", &rows);
+}

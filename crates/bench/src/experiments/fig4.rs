@@ -1,0 +1,68 @@
+//! Figure 4: effect of the slide of a 10-minute window on event and
+//! keyspace amplification (Taxi). Amplification is proportional to
+//! `length / slide`.
+
+use gadget_core::{GadgetConfig, OperatorKind};
+use gadget_datasets::DatasetSpec;
+use serde::Serialize;
+
+use crate::{dump_json, print_table, Scale};
+
+/// One slide point.
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// Slide in minutes.
+    pub slide_mins: u64,
+    /// `length / slide` (the predicted amplification factor).
+    pub length_over_slide: f64,
+    /// Measured event amplification.
+    pub event_amplification: f64,
+    /// Measured keyspace amplification.
+    pub key_amplification: f64,
+}
+
+/// Computes the slide sweep.
+pub fn compute(scale: &Scale) -> Vec<Row> {
+    let spec = DatasetSpec {
+        events: scale.events,
+        seed: scale.seed,
+    };
+    let length_mins = 10u64;
+    [1u64, 2, 5, 10]
+        .into_iter()
+        .map(|slide_mins| {
+            let mut cfg = GadgetConfig::dataset(OperatorKind::SlidingIncr, "taxi", spec);
+            cfg.window_length = length_mins * 60_000;
+            cfg.window_slide = slide_mins * 60_000;
+            let stats = cfg.run().stats();
+            Row {
+                slide_mins,
+                length_over_slide: length_mins as f64 / slide_mins as f64,
+                event_amplification: stats.event_amplification().unwrap_or(0.0),
+                key_amplification: stats.key_amplification().unwrap_or(0.0),
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) {
+    let rows = compute(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}min", r.slide_mins),
+                format!("{:.1}", r.length_over_slide),
+                format!("{:.2}", r.event_amplification),
+                format!("{:.2}", r.key_amplification),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 4: slide of a 10-min window vs amplification (Taxi)",
+        &["slide", "len/slide", "event amp", "keyspace amp"],
+        &table,
+    );
+    dump_json("fig4", &rows);
+}

@@ -1,0 +1,90 @@
+//! Figure 5: locality and ephemerality of streaming state workloads
+//! (Borg): stack distances, unique key sequences, and working-set size
+//! for the three representative operators, each against its shuffled
+//! baseline.
+
+use gadget_analysis::{
+    key_sequence, shuffled_keys, stack_distances, unique_sequences, working_set_series,
+};
+use serde::Serialize;
+
+use crate::{dump_json, print_table, Scale};
+
+/// Locality summary for one operator.
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// Operator name.
+    pub operator: String,
+    /// Mean stack distance in the real trace.
+    pub mean_stack_distance: f64,
+    /// Mean stack distance in the shuffled trace.
+    pub shuffled_mean_stack_distance: f64,
+    /// Unique sequences (lengths 1..=10) in the real trace.
+    pub unique_sequences: u64,
+    /// Unique sequences in the shuffled trace.
+    pub shuffled_unique_sequences: u64,
+    /// Peak working-set size (sampled every 100 ops).
+    pub peak_working_set: u64,
+    /// Working-set size at the end of the trace.
+    pub final_working_set: u64,
+}
+
+/// Computes Figure 5's three panels for the representative operators.
+pub fn compute(scale: &Scale) -> Vec<Row> {
+    super::REPRESENTATIVE
+        .into_iter()
+        .map(|kind| {
+            let trace = super::dataset_trace(kind, "borg", scale);
+            let keys = key_sequence(&trace);
+            let shuffled = shuffled_keys(&keys, scale.seed);
+
+            let sd = stack_distances(&keys, None);
+            let sd_shuffled = stack_distances(&shuffled, None);
+            let seqs = unique_sequences(&keys, 10);
+            let seqs_shuffled = unique_sequences(&shuffled, 10);
+            let ws = working_set_series(&keys, 100);
+            Row {
+                operator: kind.name().to_string(),
+                mean_stack_distance: sd.mean,
+                shuffled_mean_stack_distance: sd_shuffled.mean,
+                unique_sequences: seqs.total(),
+                shuffled_unique_sequences: seqs_shuffled.total(),
+                peak_working_set: gadget_analysis::working_set::peak(&ws),
+                final_working_set: ws.last().map(|p| p.size).unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) {
+    let rows = compute(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.operator.clone(),
+                format!("{:.1}", r.mean_stack_distance),
+                format!("{:.1}", r.shuffled_mean_stack_distance),
+                r.unique_sequences.to_string(),
+                r.shuffled_unique_sequences.to_string(),
+                r.peak_working_set.to_string(),
+                r.final_working_set.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 5: locality & ephemerality (Borg) — real vs shuffled",
+        &[
+            "operator",
+            "mean SD",
+            "mean SD (shuf)",
+            "uniq seqs",
+            "uniq seqs (shuf)",
+            "peak WS",
+            "final WS",
+        ],
+        &table,
+    );
+    dump_json("fig5", &rows);
+}

@@ -1,0 +1,105 @@
+//! Figure 7: stack distances (1K random keys) and unique sequences in
+//! real traces vs tuned YCSB traces with temporal (YCSB-L, latest) and
+//! spatial (YCSB-S, sequential) locality. Neither YCSB variant matches
+//! the real traces on both metrics at once.
+
+use gadget_analysis::{key_sequence, shuffled_keys, stack_distances, unique_sequences};
+use gadget_ycsb::RequestDistribution;
+use rand::seq::SliceRandom;
+use serde::Serialize;
+
+use crate::{dump_json, print_table, Scale};
+
+/// Locality of one trace variant.
+#[derive(Debug, Serialize)]
+pub struct Variant {
+    /// Variant name (`real`, `ycsb-latest`, `ycsb-sequential`, `shuffled`).
+    pub name: String,
+    /// Mean stack distance over 1K sampled keys.
+    pub mean_stack_distance: f64,
+    /// Median stack distance.
+    pub p50_stack_distance: u64,
+    /// Unique sequences, lengths 1..=10.
+    pub unique_sequences: u64,
+}
+
+/// One operator's panel.
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// Operator name.
+    pub operator: String,
+    /// The variants, in presentation order.
+    pub variants: Vec<Variant>,
+}
+
+fn analyze(name: &str, keys: &[u128], seed: u64) -> Variant {
+    let mut distinct: Vec<u128> = {
+        let mut v = keys.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut rng = gadget_distrib::seeded_rng(seed);
+    distinct.shuffle(&mut rng);
+    distinct.truncate(1_000);
+    let sd = stack_distances(keys, Some(&distinct));
+    let mut sorted = sd.distances.clone();
+    sorted.sort_unstable();
+    let p50 = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+    Variant {
+        name: name.to_string(),
+        mean_stack_distance: sd.mean,
+        p50_stack_distance: p50,
+        unique_sequences: unique_sequences(keys, 10).total(),
+    }
+}
+
+/// Computes Figure 7's panels.
+pub fn compute(scale: &Scale) -> Vec<Row> {
+    super::REPRESENTATIVE
+        .into_iter()
+        .map(|kind| {
+            let trace = super::dataset_trace(kind, "borg", scale);
+            let real = key_sequence(&trace);
+            let ycsb_l = key_sequence(
+                &super::tuned_ycsb(&trace, RequestDistribution::Latest, scale.seed).generate(),
+            );
+            let ycsb_s = key_sequence(
+                &super::tuned_ycsb(&trace, RequestDistribution::Sequential, scale.seed).generate(),
+            );
+            let shuffled = shuffled_keys(&real, scale.seed);
+            Row {
+                operator: kind.name().to_string(),
+                variants: vec![
+                    analyze("real", &real, scale.seed),
+                    analyze("ycsb-latest", &ycsb_l, scale.seed),
+                    analyze("ycsb-sequential", &ycsb_s, scale.seed),
+                    analyze("shuffled", &shuffled, scale.seed),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) {
+    let rows = compute(scale);
+    let mut table = Vec::new();
+    for row in &rows {
+        for v in &row.variants {
+            table.push(vec![
+                row.operator.clone(),
+                v.name.clone(),
+                format!("{:.1}", v.mean_stack_distance),
+                v.p50_stack_distance.to_string(),
+                v.unique_sequences.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 7: locality, real vs YCSB-L vs YCSB-S (Borg)",
+        &["operator", "trace", "mean SD", "p50 SD", "uniq seqs"],
+        &table,
+    );
+    dump_json("fig7", &rows);
+}

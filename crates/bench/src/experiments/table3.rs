@@ -1,0 +1,111 @@
+//! Table 3: TTL percentiles (in thousands of timesteps) of 1K random keys
+//! in real traces vs the closest tuned YCSB traces. Real workloads have
+//! dramatically shorter TTLs.
+
+use gadget_analysis::{key_sequence, ttl_distribution};
+use rand::seq::SliceRandom;
+use serde::Serialize;
+
+use crate::{dump_json, print_table, Scale};
+
+/// TTL percentiles (steps) of one trace.
+#[derive(Debug, Serialize)]
+pub struct TtlRow {
+    /// Median TTL.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Fraction of sampled keys accessed exactly once.
+    pub accessed_once_fraction: f64,
+}
+
+/// One operator row: real vs closest YCSB.
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// Operator name.
+    pub operator: String,
+    /// TTLs of the real Gadget trace.
+    pub real: TtlRow,
+    /// TTLs of the tuned YCSB trace.
+    pub ycsb: TtlRow,
+}
+
+fn summarize(keys: &[u128], sample: &[u128]) -> TtlRow {
+    let s = ttl_distribution(keys, Some(sample));
+    TtlRow {
+        p50: s.percentile(50.0),
+        p90: s.percentile(90.0),
+        p999: s.percentile(99.9),
+        max: s.max(),
+        accessed_once_fraction: s.accessed_once_fraction(),
+    }
+}
+
+fn sample_keys(keys: &[u128], n: usize, seed: u64) -> Vec<u128> {
+    let mut distinct: Vec<u128> = {
+        let mut v = keys.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut rng = gadget_distrib::seeded_rng(seed);
+    distinct.shuffle(&mut rng);
+    distinct.truncate(n);
+    distinct
+}
+
+/// Computes the table.
+pub fn compute(scale: &Scale) -> Vec<Row> {
+    super::REPRESENTATIVE
+        .into_iter()
+        .map(|kind| {
+            let trace = super::dataset_trace(kind, "borg", scale);
+            let real_keys = key_sequence(&trace);
+            let real_sample = sample_keys(&real_keys, 1_000, scale.seed);
+
+            let ycsb =
+                super::tuned_ycsb(&trace, super::closest_ycsb_distribution(kind), scale.seed)
+                    .generate();
+            let ycsb_keys = key_sequence(&ycsb);
+            let ycsb_sample = sample_keys(&ycsb_keys, 1_000, scale.seed);
+
+            Row {
+                operator: kind.name().to_string(),
+                real: summarize(&real_keys, &real_sample),
+                ycsb: summarize(&ycsb_keys, &ycsb_sample),
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) {
+    let rows = compute(scale);
+    let k = |v: u64| format!("{:.1}", v as f64 / 1_000.0);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.operator.clone(),
+                format!("{} ({})", k(r.real.p50), k(r.ycsb.p50)),
+                format!("{} ({})", k(r.real.p90), k(r.ycsb.p90)),
+                format!("{} ({})", k(r.real.p999), k(r.ycsb.p999)),
+                format!("{} ({})", k(r.real.max), k(r.ycsb.max)),
+                format!(
+                    "{:.2} ({:.2})",
+                    r.real.accessed_once_fraction, r.ycsb.accessed_once_fraction
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3: TTL in K steps, real vs closest YCSB (in parens), 1K random keys",
+        &["operator", "p50", "p90", "p99.9", "max", "once-frac"],
+        &table,
+    );
+    dump_json("table3", &rows);
+}

@@ -1,0 +1,9 @@
+//! The `gadget` binary: see [`gadget_cli::usage`] or run `gadget help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = gadget_cli::dispatch(&args) {
+        eprintln!("{message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,639 @@
+//! The `gadget` command-line harness.
+//!
+//! Mirrors the paper artifact's user interface: JSON config files describe
+//! a workload (source + operator, §A.4.1); subcommands generate traces
+//! offline, replay them against a chosen store, run online, analyze trace
+//! characteristics, and produce YCSB baselines.
+//!
+//! ```text
+//! gadget generate --config cfg.json --out trace.gdt
+//! gadget replay   --trace trace.gdt --store rocksdb-class [--rate R] [--ops N]
+//! gadget online   --config cfg.json --store faster-class
+//! gadget analyze  --trace trace.gdt
+//! gadget ycsb     --workload A --records 1000 --ops 100000 --out trace.gdt
+//! gadget stores
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use gadget_analysis::{
+    key_sequence, stack_distances, ttl_distribution, unique_sequences, working_set,
+    working_set_series,
+};
+use gadget_core::GadgetConfig;
+use gadget_replay::{run_online, ReplayOptions, TraceReplayer};
+use gadget_types::{OpType, Trace};
+use gadget_ycsb::{CoreWorkload, YcsbConfig};
+
+/// Parsed command-line flags: `--key value` pairs after the subcommand.
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses flags from an argument list.
+    pub fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let Some(key) = args[i].strip_prefix("--") else {
+                return Err(format!("expected a --flag, found {}", args[i]));
+            };
+            if i + 1 >= args.len() {
+                return Err(format!("--{key} requires a value"));
+            }
+            values.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        }
+        Ok(Flags { values })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// An optional parsed flag.
+    pub fn optional_parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key} got an unparsable value {v}")),
+        }
+    }
+}
+
+/// Top-level dispatch. Returns an error message for the user on failure.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "replay" => cmd_replay(&flags),
+        "online" => cmd_online(&flags),
+        "analyze" => cmd_analyze(&flags),
+        "compare" => cmd_compare(&flags),
+        "concurrent" => cmd_concurrent(&flags),
+        "tune-cache" => cmd_tune_cache(&flags),
+        "dataset" => cmd_dataset(&flags),
+        "ycsb" => cmd_ycsb(&flags),
+        "stores" => cmd_stores(),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other}\n{}", usage())),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "usage: gadget <subcommand> [--flag value]...\n\
+     subcommands:\n\
+     \x20 generate --config <json> --out <trace>         generate a state-access trace (offline mode)\n\
+     \x20 replay   --trace <trace> --store <label>       replay a trace against a store\n\
+     \x20          [--dir <path>] [--rate <ops/s>] [--ops <n>]\n\
+     \x20 online   --config <json> --store <label>       generate and issue requests on the fly\n\
+     \x20 analyze  --trace <trace>                       characterize a trace (composition, locality, TTL)\n\
+     \x20 compare  --a <trace> --b <trace>                side-by-side fidelity report (paper 6.1)\n\
+     \x20 concurrent --traces <a.gdt,b.gdt> --store <label>  co-located operators (paper 6.4)\n\
+     \x20 tune-cache --trace <trace> --hit-rate <0..1>   recommend an LRU capacity (paper 8)\n\
+     \x20 dataset  --name <borg|taxi|azure> --events <n> --out <events.csv>\n\
+     \x20 ycsb     --workload <A|B|C|D|F> --records <n> --ops <n> --out <trace>\n\
+     \x20 stores                                         list available store labels"
+        .to_string()
+}
+
+fn load_config(flags: &Flags) -> Result<GadgetConfig, String> {
+    let path = flags.required("config")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("invalid config {path}: {e}"))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let config = load_config(flags)?;
+    let out = flags.required("out")?;
+    let trace = config.run();
+    let stats = trace.stats();
+    trace
+        .save(out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {} accesses ({} input events, {} distinct state keys) to {out}",
+        stats.total, stats.input_events, stats.distinct_keys
+    );
+    Ok(())
+}
+
+/// Builds a store by bench-zoo label in `dir` (or a temp dir).
+fn open_store(
+    label: &str,
+    dir: Option<&str>,
+) -> Result<std::sync::Arc<dyn gadget_kv::StateStore>, String> {
+    let dir: PathBuf = match dir {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("gadget-cli-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let store: std::sync::Arc<dyn gadget_kv::StateStore> = match label {
+        "rocksdb-class" => std::sync::Arc::new(
+            gadget_lsm::LsmStore::open(&dir, gadget_lsm::LsmConfig::paper_rocksdb())
+                .map_err(|e| e.to_string())?,
+        ),
+        "lethe-class" => std::sync::Arc::new(
+            gadget_lsm::LsmStore::open(&dir, gadget_lsm::LsmConfig::paper_lethe())
+                .map_err(|e| e.to_string())?,
+        ),
+        "faster-class" => std::sync::Arc::new(gadget_hashlog::HashLogStore::new(
+            gadget_hashlog::HashLogConfig::default(),
+        )),
+        "berkeleydb-class" => std::sync::Arc::new(
+            gadget_btree::BTreeStore::open(
+                dir.join("data.db"),
+                gadget_btree::BTreeConfig::default(),
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        "mem" => std::sync::Arc::new(gadget_kv::MemStore::new()),
+        other => {
+            // `remote-<label>` wraps any embedded store behind a synthetic
+            // datacenter network (paper §8, external state management).
+            if let Some(inner_label) = other.strip_prefix("remote-") {
+                let inner = open_store(inner_label, dir.to_str())?;
+                return Ok(std::sync::Arc::new(gadget_kv::RemoteStore::new(
+                    ArcStore(inner),
+                    gadget_kv::NetworkProfile::datacenter(),
+                )));
+            }
+            return Err(format!(
+                "unknown store {other}; run `gadget stores` for the list"
+            ));
+        }
+    };
+    Ok(store)
+}
+
+/// Adapter: lets an `Arc<dyn StateStore>` be wrapped by decorators that
+/// take ownership of a concrete store.
+struct ArcStore(std::sync::Arc<dyn gadget_kv::StateStore>);
+
+impl gadget_kv::StateStore for ArcStore {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn get(&self, key: &[u8]) -> Result<Option<bytes::Bytes>, gadget_kv::StoreError> {
+        self.0.get(key)
+    }
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), gadget_kv::StoreError> {
+        self.0.put(key, value)
+    }
+    fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), gadget_kv::StoreError> {
+        self.0.merge(key, operand)
+    }
+    fn delete(&self, key: &[u8]) -> Result<(), gadget_kv::StoreError> {
+        self.0.delete(key)
+    }
+    fn scan(
+        &self,
+        lo: &[u8],
+        hi: &[u8],
+    ) -> Result<Vec<(Vec<u8>, bytes::Bytes)>, gadget_kv::StoreError> {
+        self.0.scan(lo, hi)
+    }
+    fn supports_scan(&self) -> bool {
+        self.0.supports_scan()
+    }
+    fn supports_merge(&self) -> bool {
+        self.0.supports_merge()
+    }
+    fn flush(&self) -> Result<(), gadget_kv::StoreError> {
+        self.0.flush()
+    }
+    fn internal_counters(&self) -> Vec<(String, u64)> {
+        self.0.internal_counters()
+    }
+}
+
+fn print_report(report: &gadget_replay::RunReport) {
+    println!(
+        "store={} workload={} ops={} seconds={:.3}",
+        report.store, report.workload, report.operations, report.seconds
+    );
+    println!("throughput: {:.0} ops/s", report.throughput);
+    println!(
+        "latency ns: mean={:.0} p50={} p99={} p99.9={} max={}",
+        report.latency.mean_ns,
+        report.latency.p50_ns,
+        report.latency.p99_ns,
+        report.latency.p999_ns,
+        report.latency.max_ns
+    );
+    println!("gets: {} hits, {} misses", report.hits, report.misses);
+    for (op, lat) in &report.per_op {
+        println!(
+            "  {op:>6}: mean={:.0}ns p50={} p99.9={}",
+            lat.mean_ns, lat.p50_ns, lat.p999_ns
+        );
+    }
+}
+
+fn cmd_replay(flags: &Flags) -> Result<(), String> {
+    let trace_path = flags.required("trace")?;
+    let label = flags.required("store")?;
+    let trace = Trace::load(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let store = open_store(label, flags.optional("dir"))?;
+    let options = ReplayOptions {
+        service_rate: flags.optional_parse("rate")?,
+        max_ops: flags.optional_parse("ops")?,
+    };
+    let report = TraceReplayer::new(options)
+        .replay(&trace, store.as_ref(), trace_path)
+        .map_err(|e| e.to_string())?;
+    print_report(&report);
+    Ok(())
+}
+
+fn cmd_online(flags: &Flags) -> Result<(), String> {
+    let config = load_config(flags)?;
+    let label = flags.required("store")?;
+    let store = open_store(label, flags.optional("dir"))?;
+    let report =
+        run_online(&config, store.as_ref(), &config.operator).map_err(|e| e.to_string())?;
+    print_report(&report);
+    Ok(())
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+    let trace_path = flags.required("trace")?;
+    let trace = Trace::load(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let stats = trace.stats();
+    println!("accesses: {}", stats.total);
+    println!(
+        "composition: get={:.3} put={:.3} merge={:.3} delete={:.3}",
+        stats.ratio(OpType::Get),
+        stats.ratio(OpType::Put),
+        stats.ratio(OpType::Merge),
+        stats.ratio(OpType::Delete)
+    );
+    println!("distinct state keys: {}", stats.distinct_keys);
+    if let Some(amp) = stats.event_amplification() {
+        println!("event amplification: {amp:.2}");
+    }
+    if let Some(amp) = stats.key_amplification() {
+        println!("keyspace amplification: {amp:.2}");
+    }
+
+    let keys = key_sequence(&trace);
+    let sd = stack_distances(&keys, None);
+    println!(
+        "temporal locality: mean stack distance {:.1} ({} cold accesses)",
+        sd.mean, sd.cold_accesses
+    );
+    let seqs = unique_sequences(&keys, 10);
+    println!(
+        "spatial locality: {} unique sequences (len 1..=10)",
+        seqs.total()
+    );
+    let ws = working_set_series(&keys, 100);
+    println!(
+        "working set: peak {} keys, final {}",
+        working_set::peak(&ws),
+        ws.last().map(|p| p.size).unwrap_or(0)
+    );
+    let ttl = ttl_distribution(&keys, None);
+    println!(
+        "TTL steps: p50={} p90={} p99.9={} max={} (accessed-once fraction {:.2})",
+        ttl.percentile(50.0),
+        ttl.percentile(90.0),
+        ttl.percentile(99.9),
+        ttl.max(),
+        ttl.accessed_once_fraction()
+    );
+    Ok(())
+}
+
+fn cmd_compare(flags: &Flags) -> Result<(), String> {
+    use gadget_analysis::{ks_test, rank_normalize, wasserstein_distance};
+    let load = |key: &str| -> Result<Trace, String> {
+        let path = flags.required(key)?;
+        Trace::load(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let (a, b) = (load("a")?, load("b")?);
+    let (ka, kb) = (key_sequence(&a), key_sequence(&b));
+
+    println!("{:>24} | {:>12} | {:>12}", "metric", "trace A", "trace B");
+    println!("{}", "-".repeat(56));
+    let row = |name: &str, va: String, vb: String| {
+        println!("{name:>24} | {va:>12} | {vb:>12}");
+    };
+    row("accesses", a.len().to_string(), b.len().to_string());
+    row(
+        "get ratio",
+        format!("{:.3}", a.stats().ratio(OpType::Get)),
+        format!("{:.3}", b.stats().ratio(OpType::Get)),
+    );
+    row(
+        "delete ratio",
+        format!("{:.3}", a.stats().ratio(OpType::Delete)),
+        format!("{:.3}", b.stats().ratio(OpType::Delete)),
+    );
+    let (sa, sb) = (stack_distances(&ka, None), stack_distances(&kb, None));
+    row(
+        "mean stack distance",
+        format!("{:.1}", sa.mean),
+        format!("{:.1}", sb.mean),
+    );
+    row(
+        "unique seqs (<=10)",
+        unique_sequences(&ka, 10).total().to_string(),
+        unique_sequences(&kb, 10).total().to_string(),
+    );
+    let (ta, tb) = (ttl_distribution(&ka, None), ttl_distribution(&kb, None));
+    row(
+        "p50 TTL steps",
+        ta.percentile(50.0).to_string(),
+        tb.percentile(50.0).to_string(),
+    );
+
+    let (ra, rb) = (rank_normalize(&ka), rank_normalize(&kb));
+    let ks = ks_test(&ra, &rb);
+    println!();
+    println!(
+        "key distributions: KS D = {:.4}, p = {:.4} ({}), Wasserstein = {:.5}",
+        ks.d,
+        ks.p_value,
+        if ks.rejects(0.001) {
+            "different"
+        } else {
+            "compatible"
+        },
+        wasserstein_distance(&ra, &rb)
+    );
+    Ok(())
+}
+
+fn cmd_concurrent(flags: &Flags) -> Result<(), String> {
+    let traces_arg = flags.required("traces")?;
+    let label = flags.required("store")?;
+    let mut traces = Vec::new();
+    for path in traces_arg.split(',') {
+        let trace = Trace::load(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        traces.push((path.to_string(), trace));
+    }
+    if traces.is_empty() {
+        return Err("--traces requires at least one path".to_string());
+    }
+    let store = open_store(label, flags.optional("dir"))?;
+    let reports = gadget_replay::run_concurrent(
+        traces,
+        store,
+        ReplayOptions {
+            service_rate: flags.optional_parse("rate")?,
+            max_ops: flags.optional_parse("ops")?,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    for report in &reports {
+        print_report(report);
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_tune_cache(flags: &Flags) -> Result<(), String> {
+    let trace_path = flags.required("trace")?;
+    let target: f64 = flags.optional_parse("hit-rate")?.unwrap_or(0.9);
+    if !(0.0..1.0).contains(&target) {
+        return Err("--hit-rate must be in [0, 1)".to_string());
+    }
+    let trace = Trace::load(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let keys = key_sequence(&trace);
+    let summary = stack_distances(&keys, None);
+    match gadget_analysis::recommend_capacity(&summary, target) {
+        Some(capacity) => println!(
+            "smallest LRU capacity for a {:.0}% hit rate: {capacity} keys              (miss ratio there: {:.4})",
+            target * 100.0,
+            summary.miss_ratio(capacity)
+        ),
+        None => println!(
+            "unreachable: cold misses alone exceed {:.0}% of accesses",
+            (1.0 - target) * 100.0
+        ),
+    }
+    for capacity in [16u64, 256, 4_096, 65_536] {
+        println!(
+            "  miss ratio @ {capacity:>6} keys: {:.4}",
+            summary.miss_ratio(capacity)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_ycsb(flags: &Flags) -> Result<(), String> {
+    let workload = match flags.required("workload")? {
+        "A" | "a" => CoreWorkload::A,
+        "B" | "b" => CoreWorkload::B,
+        "C" | "c" => CoreWorkload::C,
+        "D" | "d" => CoreWorkload::D,
+        "F" | "f" => CoreWorkload::F,
+        other => return Err(format!("unknown YCSB workload {other} (A, B, C, D, F)")),
+    };
+    let records: u64 = flags.optional_parse("records")?.unwrap_or(1_000);
+    let ops: u64 = flags.optional_parse("ops")?.unwrap_or(100_000);
+    let out = flags.required("out")?;
+    let trace = YcsbConfig::core(workload, records, ops).generate();
+    trace
+        .save(out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {} YCSB accesses to {out}", trace.len());
+    Ok(())
+}
+
+fn cmd_dataset(flags: &Flags) -> Result<(), String> {
+    let name = flags.required("name")?;
+    let events: u64 = flags.optional_parse("events")?.unwrap_or(100_000);
+    let seed: u64 = flags.optional_parse("seed")?.unwrap_or(42);
+    let out = flags.required("out")?;
+    let spec = gadget_datasets::DatasetSpec { events, seed };
+    let dataset = gadget_datasets::by_name(name, spec)
+        .ok_or_else(|| format!("unknown dataset {name} (borg, taxi, azure)"))?;
+    gadget_datasets::save_events_csv(&dataset, out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {} {} events ({} distinct keys, {:.1} ev/s) to {out}",
+        dataset.events.len(),
+        dataset.name,
+        dataset.distinct_keys,
+        dataset.arrival_rate()
+    );
+    Ok(())
+}
+
+fn cmd_stores() -> Result<(), String> {
+    println!("available store labels:");
+    println!("  rocksdb-class     LSM tree with lazy merge operator (gadget-lsm)");
+    println!("  lethe-class       LSM tree with delete-aware compaction (gadget-lsm)");
+    println!("  faster-class      hash index over a record log (gadget-hashlog)");
+    println!("  berkeleydb-class  page-cached B+Tree (gadget-btree)");
+    println!("  mem               reference in-memory hash map (gadget-kv)");
+    println!("  remote-<label>    any of the above behind a synthetic datacenter network");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs() {
+        let f = Flags::parse(&strs(&["--a", "1", "--b", "x"])).unwrap();
+        assert_eq!(f.required("a").unwrap(), "1");
+        assert_eq!(f.optional("b"), Some("x"));
+        assert_eq!(f.optional("c"), None);
+        assert_eq!(f.optional_parse::<u64>("a").unwrap(), Some(1));
+        assert!(f.required("zz").is_err());
+        assert!(f.optional_parse::<u64>("b").is_err());
+    }
+
+    #[test]
+    fn flags_reject_bad_shapes() {
+        assert!(Flags::parse(&strs(&["positional"])).is_err());
+        assert!(Flags::parse(&strs(&["--dangling"])).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown() {
+        assert!(dispatch(&strs(&["frobnicate"])).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_analyze_replay() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("cfg.json");
+        let trace_path = dir.join("trace.gdt");
+        let cfg = gadget_core::GadgetConfig::synthetic(
+            gadget_core::OperatorKind::TumblingIncr,
+            gadget_core::GeneratorConfig {
+                events: 2_000,
+                ..gadget_core::GeneratorConfig::default()
+            },
+        );
+        std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
+
+        dispatch(&strs(&[
+            "generate",
+            "--config",
+            cfg_path.to_str().unwrap(),
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&strs(&["analyze", "--trace", trace_path.to_str().unwrap()])).unwrap();
+        dispatch(&strs(&[
+            "replay",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--store",
+            "mem",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_subcommand_runs() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-cmp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pa = dir.join("a.gdt");
+        let pb = dir.join("b.gdt");
+        let cfg = gadget_core::GadgetConfig::synthetic(
+            gadget_core::OperatorKind::Aggregation,
+            gadget_core::GeneratorConfig {
+                events: 500,
+                ..gadget_core::GeneratorConfig::default()
+            },
+        );
+        cfg.run().save(&pa).unwrap();
+        gadget_ycsb::YcsbConfig::core(gadget_ycsb::CoreWorkload::A, 100, 1_000)
+            .generate()
+            .save(&pb)
+            .unwrap();
+        dispatch(&strs(&[
+            "compare",
+            "--a",
+            pa.to_str().unwrap(),
+            "--b",
+            pb.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_and_tune_cache_subcommands() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-cc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("w.gdt");
+        let cfg = gadget_core::GadgetConfig::synthetic(
+            gadget_core::OperatorKind::SlidingIncr,
+            gadget_core::GeneratorConfig {
+                events: 1_000,
+                ..gadget_core::GeneratorConfig::default()
+            },
+        );
+        cfg.run().save(&trace_path).unwrap();
+        let tp = trace_path.to_str().unwrap().to_string();
+        dispatch(&strs(&[
+            "concurrent",
+            "--traces",
+            &format!("{tp},{tp}"),
+            "--store",
+            "mem",
+        ]))
+        .unwrap();
+        dispatch(&strs(&["tune-cache", "--trace", &tp, "--hit-rate", "0.9"])).unwrap();
+        assert!(dispatch(&strs(&["tune-cache", "--trace", &tp, "--hit-rate", "2.0"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ycsb_subcommand_writes_trace() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-ycsb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("ycsb.gdt");
+        dispatch(&strs(&[
+            "ycsb",
+            "--workload",
+            "A",
+            "--records",
+            "100",
+            "--ops",
+            "1000",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let trace = Trace::load(&out).unwrap();
+        assert_eq!(trace.stats().total, 1_000);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

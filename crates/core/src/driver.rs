@@ -1,0 +1,155 @@
+//! The driver: Algorithm 1 of the paper.
+//!
+//! The driver pulls stream elements, routes data events to the operator's
+//! state machines, tracks the watermark, discards events later than the
+//! allowed lateness, and assembles the resulting state-access [`Trace`].
+
+use std::collections::HashSet;
+
+use gadget_types::{StateAccess, StreamElement, Timestamp, Trace};
+
+use crate::operator::Operator;
+
+/// Drives one operator over a stream of elements, producing its
+/// state-access stream.
+pub struct Driver {
+    operator: Box<dyn Operator>,
+    /// Allowed lateness: events with `ts <= watermark - allowed_lateness`
+    /// are discarded (paper §2.1).
+    allowed_lateness: Timestamp,
+    watermark: Timestamp,
+    dropped_late: u64,
+}
+
+impl Driver {
+    /// Creates a driver with zero allowed lateness.
+    pub fn new(operator: Box<dyn Operator>) -> Self {
+        Driver {
+            operator,
+            allowed_lateness: 0,
+            watermark: 0,
+            dropped_late: 0,
+        }
+    }
+
+    /// Sets the allowed lateness period.
+    pub fn with_allowed_lateness(mut self, lateness: Timestamp) -> Self {
+        self.allowed_lateness = lateness;
+        self
+    }
+
+    /// Number of late events discarded so far.
+    pub fn dropped_late(&self) -> u64 {
+        self.dropped_late
+    }
+
+    /// The operator's workload name.
+    pub fn operator_name(&self) -> &'static str {
+        self.operator.name()
+    }
+
+    /// Runs the full stream through the operator and returns the trace.
+    ///
+    /// At end-of-stream the operator flushes all remaining state (as if a
+    /// final watermark arrived), so traces are self-contained.
+    pub fn run<I>(&mut self, stream: I) -> Trace
+    where
+        I: Iterator<Item = StreamElement>,
+    {
+        let mut accesses: Vec<StateAccess> = Vec::new();
+        let mut input_events = 0u64;
+        let mut input_keys: HashSet<u64> = HashSet::new();
+
+        for element in stream {
+            match element {
+                StreamElement::Event(event) => {
+                    if self.watermark > 0
+                        && event.timestamp + self.allowed_lateness <= self.watermark
+                    {
+                        self.dropped_late += 1;
+                        continue;
+                    }
+                    input_events += 1;
+                    input_keys.insert(event.key);
+                    self.operator.on_event(&event, &mut accesses);
+                }
+                StreamElement::Watermark(ts) => {
+                    if ts > self.watermark {
+                        self.watermark = ts;
+                        self.operator.on_watermark(ts, &mut accesses);
+                    }
+                }
+            }
+        }
+        self.operator.on_end(&mut accesses);
+
+        Trace {
+            accesses,
+            input_events,
+            input_distinct_keys: input_keys.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{OperatorKind, OperatorParams};
+    use gadget_types::{Event, OpType};
+
+    fn stream(events: Vec<StreamElement>) -> impl Iterator<Item = StreamElement> {
+        events.into_iter()
+    }
+
+    #[test]
+    fn drops_late_events_beyond_lateness() {
+        let op = OperatorKind::Aggregation.build(&OperatorParams::default());
+        let mut driver = Driver::new(op).with_allowed_lateness(1_000);
+        let trace = driver.run(stream(vec![
+            StreamElement::Event(Event::new(1, 10_000, 10)),
+            StreamElement::Watermark(10_000),
+            StreamElement::Event(Event::new(1, 9_500, 10)), // Late, allowed.
+            StreamElement::Event(Event::new(1, 8_000, 10)), // Too late.
+        ]));
+        assert_eq!(driver.dropped_late(), 1);
+        assert_eq!(trace.input_events, 2);
+        assert_eq!(trace.len(), 4); // Two processed events × (get + put).
+    }
+
+    #[test]
+    fn watermarks_never_regress() {
+        let op = OperatorKind::TumblingIncr.build(&OperatorParams::default());
+        let mut driver = Driver::new(op);
+        let trace = driver.run(stream(vec![
+            StreamElement::Event(Event::new(1, 1_000, 10)),
+            StreamElement::Watermark(6_000), // Fires window [0, 5000).
+            StreamElement::Watermark(3_000), // Regression: ignored.
+            StreamElement::Event(Event::new(1, 7_000, 10)),
+        ]));
+        let deletes = trace.iter().filter(|a| a.op == OpType::Delete).count();
+        assert_eq!(deletes, 2); // [0,5s) at the watermark + [5s,10s) at end.
+    }
+
+    #[test]
+    fn trace_metadata_counts_inputs() {
+        let op = OperatorKind::Aggregation.build(&OperatorParams::default());
+        let mut driver = Driver::new(op);
+        let trace = driver.run(stream(vec![
+            StreamElement::Event(Event::new(1, 1, 10)),
+            StreamElement::Event(Event::new(2, 2, 10)),
+            StreamElement::Event(Event::new(1, 3, 10)),
+        ]));
+        assert_eq!(trace.input_events, 3);
+        assert_eq!(trace.input_distinct_keys, 2);
+        assert_eq!(trace.stats().event_amplification(), Some(2.0));
+    }
+
+    #[test]
+    fn end_of_stream_flushes_windows() {
+        let op = OperatorKind::TumblingHol.build(&OperatorParams::default());
+        let mut driver = Driver::new(op);
+        let trace = driver.run(stream(vec![StreamElement::Event(Event::new(1, 1_000, 10))]));
+        let kinds: Vec<OpType> = trace.iter().map(|a| a.op).collect();
+        assert_eq!(kinds, vec![OpType::Merge, OpType::Get, OpType::Delete]);
+    }
+}

@@ -1,0 +1,361 @@
+//! The event generator and input replayer (paper §5.1).
+//!
+//! The generator synthesizes event streams with configurable arrival
+//! rates, key/value distributions, watermark frequency, and an
+//! out-of-order model: a fraction of events is delivered late, delayed by
+//! a uniformly distributed amount up to the maximum lateness, while their
+//! event timestamps stay untouched. Watermarks are punctuated: one every
+//! `watermark_every` delivered events, carrying the maximum event time
+//! seen so far.
+//!
+//! The *input replayer* ([`replay_dataset`]) feeds an existing
+//! [`Dataset`]'s events through the same watermarking and lateness
+//! machinery, which is how the characterization experiments (§3) run.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gadget_datasets::Dataset;
+use gadget_distrib::{
+    seeded_rng, ArrivalProcess, ConstantArrivals, ConstantSize, KeyDistributionConfig,
+    PoissonArrivals, UniformSize, ValueSizeDistribution,
+};
+use gadget_types::{Event, StreamElement, StreamId, Timestamp};
+
+/// Arrival process configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ArrivalConfig {
+    /// Poisson process with the given mean rate (events/second).
+    Poisson {
+        /// Mean events per second.
+        rate_per_sec: f64,
+    },
+    /// Fixed inter-arrival gap.
+    Constant {
+        /// Gap between events in milliseconds.
+        gap_ms: Timestamp,
+    },
+}
+
+impl ArrivalConfig {
+    fn build(&self) -> Box<dyn ArrivalProcess> {
+        match *self {
+            ArrivalConfig::Poisson { rate_per_sec } => Box::new(PoissonArrivals::new(rate_per_sec)),
+            ArrivalConfig::Constant { gap_ms } => Box::new(ConstantArrivals::new(gap_ms)),
+        }
+    }
+}
+
+/// Value-size configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ValueSizeConfig {
+    /// Every value has the same size.
+    Constant {
+        /// Size in bytes.
+        bytes: u32,
+    },
+    /// Uniform over `[min, max]`.
+    Uniform {
+        /// Minimum size in bytes.
+        min: u32,
+        /// Maximum size in bytes.
+        max: u32,
+    },
+}
+
+impl ValueSizeConfig {
+    fn build(&self) -> Box<dyn ValueSizeDistribution> {
+        match *self {
+            ValueSizeConfig::Constant { bytes } => Box::new(ConstantSize::new(bytes)),
+            ValueSizeConfig::Uniform { min, max } => Box::new(UniformSize::new(min, max)),
+        }
+    }
+}
+
+/// Full event-generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of data events to generate.
+    pub events: u64,
+    /// Arrival process.
+    pub arrivals: ArrivalConfig,
+    /// Event-key distribution.
+    pub keys: KeyDistributionConfig,
+    /// Value-size distribution.
+    pub value_sizes: ValueSizeConfig,
+    /// Punctuated watermark frequency, in events (paper default: 100).
+    pub watermark_every: u64,
+    /// Fraction of events delivered out of order, in `[0, 1]`.
+    pub out_of_order_fraction: f64,
+    /// Maximum delivery delay of an out-of-order event, in ms.
+    pub max_lateness: Timestamp,
+    /// Fraction of events tagged onto the RIGHT stream (for joins); 0
+    /// keeps the stream single-input.
+    pub right_stream_fraction: f64,
+    /// Fraction of events that close their key's validity (drives the
+    /// continuous join's deletes; 0 disables closing events).
+    #[serde(default)]
+    pub closing_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            events: 100_000,
+            arrivals: ArrivalConfig::Poisson {
+                rate_per_sec: 1_000.0,
+            },
+            keys: KeyDistributionConfig::Zipfian {
+                n: 1_000,
+                theta: 0.99,
+            },
+            value_sizes: ValueSizeConfig::Constant { bytes: 256 },
+            watermark_every: 100,
+            out_of_order_fraction: 0.0,
+            max_lateness: 3_000,
+            right_stream_fraction: 0.0,
+            closing_fraction: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates synthetic event streams according to a [`GeneratorConfig`].
+pub struct EventGenerator {
+    config: GeneratorConfig,
+}
+
+impl EventGenerator {
+    /// Creates a generator.
+    pub fn new(config: GeneratorConfig) -> Self {
+        EventGenerator { config }
+    }
+
+    /// Produces the full stream: events (possibly out of order) punctuated
+    /// with watermarks.
+    pub fn generate(&self) -> Vec<StreamElement> {
+        let cfg = &self.config;
+        let mut rng = seeded_rng(cfg.seed);
+        let mut arrivals = cfg.arrivals.build();
+        let mut keys = cfg.keys.build();
+        let mut sizes = cfg.value_sizes.build();
+
+        // Phase 1: generate events in event-time order with a delivery time.
+        let mut timeline: Vec<(Timestamp, Event)> = Vec::with_capacity(cfg.events as usize);
+        let mut now: Timestamp = 0;
+        for _ in 0..cfg.events {
+            now += arrivals.next_gap(&mut rng);
+            let mut event = Event::new(keys.next_key(&mut rng), now, sizes.next_size(&mut rng));
+            if cfg.right_stream_fraction > 0.0 && rng.gen::<f64>() < cfg.right_stream_fraction {
+                event = event.on_stream(StreamId::RIGHT);
+            }
+            if cfg.closing_fraction > 0.0 && rng.gen::<f64>() < cfg.closing_fraction {
+                event = event.closing().with_expiry(now);
+            }
+            let delivery = if cfg.out_of_order_fraction > 0.0
+                && rng.gen::<f64>() < cfg.out_of_order_fraction
+            {
+                now + rng.gen_range(1..=cfg.max_lateness.max(1))
+            } else {
+                now
+            };
+            timeline.push((delivery, event));
+        }
+
+        // Phase 2: order by delivery time (stable, so in-order ties keep
+        // their generation order).
+        timeline.sort_by_key(|(d, _)| *d);
+
+        // Phase 3: interleave punctuated watermarks.
+        let mut out = Vec::with_capacity(
+            timeline.len() + timeline.len() / cfg.watermark_every.max(1) as usize + 1,
+        );
+        let mut max_ts = 0;
+        for (i, (_, event)) in timeline.into_iter().enumerate() {
+            max_ts = max_ts.max(event.timestamp);
+            out.push(StreamElement::Event(event));
+            if cfg.watermark_every > 0 && (i as u64 + 1).is_multiple_of(cfg.watermark_every) {
+                out.push(StreamElement::Watermark(max_ts));
+            }
+        }
+        out
+    }
+}
+
+/// The input replayer: converts a recorded [`Dataset`] into a stream with
+/// punctuated watermarks every `watermark_every` events.
+pub fn replay_dataset(dataset: &Dataset, watermark_every: u64) -> Vec<StreamElement> {
+    replay_dataset_with_disorder(dataset, watermark_every, 0.0, 0, 0)
+}
+
+/// The input replayer with an out-of-order delivery model: a fraction of
+/// events is delayed by up to `max_lateness` ms of delivery time while
+/// keeping its event timestamp — the same disorder model the synthetic
+/// generator uses. `fraction = 0` reduces to in-order replay.
+pub fn replay_dataset_with_disorder(
+    dataset: &Dataset,
+    watermark_every: u64,
+    fraction: f64,
+    max_lateness: Timestamp,
+    seed: u64,
+) -> Vec<StreamElement> {
+    let mut events: Vec<(Timestamp, Event)> =
+        dataset.events.iter().map(|e| (e.timestamp, *e)).collect();
+    if fraction > 0.0 && max_lateness > 0 {
+        let mut rng = seeded_rng(seed ^ 0x00D3);
+        for (delivery, event) in &mut events {
+            if rng.gen::<f64>() < fraction {
+                *delivery = event.timestamp + rng.gen_range(1..=max_lateness);
+            }
+        }
+        events.sort_by_key(|(d, _)| *d);
+    }
+    let mut out =
+        Vec::with_capacity(events.len() + events.len() / watermark_every.max(1) as usize + 1);
+    let mut max_ts = 0;
+    for (i, (_, event)) in events.into_iter().enumerate() {
+        max_ts = max_ts.max(event.timestamp);
+        out.push(StreamElement::Event(event));
+        if watermark_every > 0 && (i as u64 + 1).is_multiple_of(watermark_every) {
+            out.push(StreamElement::Watermark(max_ts));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_event_count() {
+        let g = EventGenerator::new(GeneratorConfig {
+            events: 1_000,
+            ..GeneratorConfig::default()
+        });
+        let stream = g.generate();
+        let events = stream.iter().filter(|e| !e.is_watermark()).count();
+        let wms = stream.iter().filter(|e| e.is_watermark()).count();
+        assert_eq!(events, 1_000);
+        assert_eq!(wms, 10);
+    }
+
+    #[test]
+    fn watermarks_carry_max_event_time() {
+        let g = EventGenerator::new(GeneratorConfig {
+            events: 500,
+            out_of_order_fraction: 0.3,
+            ..GeneratorConfig::default()
+        });
+        let mut max_seen = 0;
+        for el in g.generate() {
+            match el {
+                StreamElement::Event(e) => max_seen = max_seen.max(e.timestamp),
+                StreamElement::Watermark(w) => assert_eq!(w, max_seen),
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_fraction_delays_events() {
+        let cfg = GeneratorConfig {
+            events: 10_000,
+            out_of_order_fraction: 0.2,
+            max_lateness: 5_000,
+            ..GeneratorConfig::default()
+        };
+        let stream = EventGenerator::new(cfg).generate();
+        // Count inversions: events whose timestamp is below the running max.
+        let mut max_ts = 0;
+        let mut inversions = 0;
+        for el in &stream {
+            if let StreamElement::Event(e) = el {
+                if e.timestamp < max_ts {
+                    inversions += 1;
+                }
+                max_ts = max_ts.max(e.timestamp);
+            }
+        }
+        let frac = inversions as f64 / 10_000.0;
+        assert!(frac > 0.05 && frac < 0.35, "inversion fraction {frac}");
+    }
+
+    #[test]
+    fn zero_ooo_is_fully_ordered() {
+        let stream = EventGenerator::new(GeneratorConfig {
+            events: 2_000,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let mut prev = 0;
+        for el in stream {
+            assert!(el.timestamp() >= prev || el.is_watermark());
+            if let StreamElement::Event(e) = el {
+                prev = e.timestamp;
+            }
+        }
+    }
+
+    #[test]
+    fn right_stream_fraction_tags_events() {
+        let stream = EventGenerator::new(GeneratorConfig {
+            events: 5_000,
+            right_stream_fraction: 0.5,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let right = stream
+            .iter()
+            .filter_map(|e| e.as_event())
+            .filter(|e| e.stream == StreamId::RIGHT)
+            .count();
+        assert!((2_000..3_000).contains(&right), "right-side count {right}");
+    }
+
+    #[test]
+    fn closing_fraction_produces_closing_events() {
+        let stream = EventGenerator::new(GeneratorConfig {
+            events: 5_000,
+            closing_fraction: 0.1,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let closing = stream
+            .iter()
+            .filter_map(|e| e.as_event())
+            .filter(|e| e.closes_key)
+            .count();
+        assert!((300..800).contains(&closing), "closing count {closing}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig::default();
+        let a = EventGenerator::new(cfg.clone()).generate();
+        let b = EventGenerator::new(cfg).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replayer_preserves_dataset_order() {
+        let d = gadget_datasets::borg(gadget_datasets::DatasetSpec::small());
+        let stream = replay_dataset(&d, 100);
+        let events: Vec<_> = stream.iter().filter_map(|e| e.as_event()).collect();
+        assert_eq!(events.len(), d.events.len());
+        assert_eq!(*events[0], d.events[0]);
+        let wms = stream.iter().filter(|e| e.is_watermark()).count();
+        assert_eq!(wms, d.events.len() / 100);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let cfg = GeneratorConfig::default();
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        let back: GeneratorConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

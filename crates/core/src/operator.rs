@@ -1,0 +1,278 @@
+//! The operator abstraction and the catalogue of predefined workloads.
+
+use gadget_types::{Event, StateAccess, Timestamp};
+
+use crate::operators::{
+    aggregation::Aggregation,
+    join::{ContinuousJoin, IntervalJoin, WindowJoin},
+    session::SessionWindow,
+    window::SlidingWindow,
+};
+
+/// A simulated streaming operator.
+///
+/// Implementations model operator logic as finite state machines (paper
+/// §5.3): for every input event and watermark they emit the state-store
+/// requests a real stream processor would issue, without materializing any
+/// state values. Adding a new operator means implementing this trait —
+/// the Rust analogue of the paper's `assignStateMachines` / `run` /
+/// `terminate` extension API (§5.4).
+pub trait Operator: Send {
+    /// Short workload name used in reports (e.g. `"tumbling-incr"`).
+    fn name(&self) -> &'static str;
+
+    /// Processes one data event, appending generated requests to `out`.
+    fn on_event(&mut self, event: &Event, out: &mut Vec<StateAccess>);
+
+    /// Reacts to the watermark advancing to `wm`: fires expired windows,
+    /// cleans up state, and appends the final get/delete requests to `out`.
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut Vec<StateAccess>);
+
+    /// Flushes any state that would fire at end-of-stream.
+    fn on_end(&mut self, out: &mut Vec<StateAccess>) {
+        self.on_watermark(Timestamp::MAX, out);
+    }
+}
+
+/// Aggregation mode of a window operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowMode {
+    /// Distributive/algebraic aggregate (sum, min, average): the window
+    /// keeps one fixed-size accumulator, updated with get+put pairs.
+    Incremental,
+    /// Holistic aggregate (median, rank): the window collects its events
+    /// in a bucket, appended to with lazy `merge` requests.
+    Holistic,
+}
+
+/// Parameters shared by the predefined operators, with the paper's §3.1.2
+/// defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatorParams {
+    /// Window length in ms (default 5s).
+    pub window_length: Timestamp,
+    /// Window slide in ms (default 1s).
+    pub window_slide: Timestamp,
+    /// Session gap in ms (default 2min).
+    pub session_gap: Timestamp,
+    /// Interval join lower bound in ms (default 2min).
+    pub interval_lower: Timestamp,
+    /// Interval join upper bound in ms (default 3min).
+    pub interval_upper: Timestamp,
+    /// Size in bytes of an incremental accumulator value.
+    pub accumulator_size: u32,
+    /// Allowed lateness in ms (windows retain fired panes this long).
+    pub allowed_lateness: Timestamp,
+}
+
+impl Default for OperatorParams {
+    fn default() -> Self {
+        OperatorParams {
+            window_length: 5_000,
+            window_slide: 1_000,
+            session_gap: 2 * 60_000,
+            interval_lower: 2 * 60_000,
+            interval_upper: 3 * 60_000,
+            accumulator_size: 8,
+            allowed_lateness: 0,
+        }
+    }
+}
+
+/// The eleven predefined workloads (paper §6.1 / Figure 13): six windows,
+/// four joins, and the rolling aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorKind {
+    /// Tumbling window, incremental aggregate.
+    TumblingIncr,
+    /// Tumbling window, holistic aggregate.
+    TumblingHol,
+    /// Sliding window, incremental aggregate.
+    SlidingIncr,
+    /// Sliding window, holistic aggregate.
+    SlidingHol,
+    /// Session window, incremental aggregate.
+    SessionIncr,
+    /// Session window, holistic aggregate.
+    SessionHol,
+    /// Two-input tumbling window join.
+    TumblingJoin,
+    /// Two-input sliding window join.
+    SlidingJoin,
+    /// Two-input interval join.
+    IntervalJoin,
+    /// Two-input continuous join over event validity intervals.
+    ContinuousJoin,
+    /// Per-key rolling aggregation.
+    Aggregation,
+}
+
+impl OperatorKind {
+    /// All predefined workloads in report order.
+    pub const ALL: [OperatorKind; 11] = [
+        OperatorKind::TumblingIncr,
+        OperatorKind::TumblingHol,
+        OperatorKind::SlidingIncr,
+        OperatorKind::SlidingHol,
+        OperatorKind::SessionIncr,
+        OperatorKind::SessionHol,
+        OperatorKind::TumblingJoin,
+        OperatorKind::SlidingJoin,
+        OperatorKind::IntervalJoin,
+        OperatorKind::ContinuousJoin,
+        OperatorKind::Aggregation,
+    ];
+
+    /// The nine single-table operators of the characterization study
+    /// (Table 1), excluding the window joins.
+    pub const TABLE1: [OperatorKind; 9] = [
+        OperatorKind::TumblingIncr,
+        OperatorKind::SlidingIncr,
+        OperatorKind::SessionIncr,
+        OperatorKind::TumblingHol,
+        OperatorKind::SlidingHol,
+        OperatorKind::SessionHol,
+        OperatorKind::ContinuousJoin,
+        OperatorKind::IntervalJoin,
+        OperatorKind::Aggregation,
+    ];
+
+    /// Stable workload name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OperatorKind::TumblingIncr => "tumbling-incr",
+            OperatorKind::TumblingHol => "tumbling-hol",
+            OperatorKind::SlidingIncr => "sliding-incr",
+            OperatorKind::SlidingHol => "sliding-hol",
+            OperatorKind::SessionIncr => "session-incr",
+            OperatorKind::SessionHol => "session-hol",
+            OperatorKind::TumblingJoin => "tumbling-join",
+            OperatorKind::SlidingJoin => "sliding-join",
+            OperatorKind::IntervalJoin => "interval-join",
+            OperatorKind::ContinuousJoin => "continuous-join",
+            OperatorKind::Aggregation => "aggregation",
+        }
+    }
+
+    /// Parses a workload name (the inverse of [`OperatorKind::name`]).
+    pub fn parse(name: &str) -> Option<Self> {
+        OperatorKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Whether the workload consumes two input streams.
+    pub fn is_two_input(self) -> bool {
+        matches!(
+            self,
+            OperatorKind::TumblingJoin
+                | OperatorKind::SlidingJoin
+                | OperatorKind::IntervalJoin
+                | OperatorKind::ContinuousJoin
+        )
+    }
+
+    /// Instantiates the operator's state machine.
+    pub fn build(self, params: &OperatorParams) -> Box<dyn Operator> {
+        match self {
+            OperatorKind::TumblingIncr => Box::new(
+                SlidingWindow::new(
+                    "tumbling-incr",
+                    params.window_length,
+                    params.window_length,
+                    WindowMode::Incremental,
+                    params.accumulator_size,
+                )
+                .with_allowed_lateness(params.allowed_lateness),
+            ),
+            OperatorKind::TumblingHol => Box::new(
+                SlidingWindow::new(
+                    "tumbling-hol",
+                    params.window_length,
+                    params.window_length,
+                    WindowMode::Holistic,
+                    params.accumulator_size,
+                )
+                .with_allowed_lateness(params.allowed_lateness),
+            ),
+            OperatorKind::SlidingIncr => Box::new(
+                SlidingWindow::new(
+                    "sliding-incr",
+                    params.window_length,
+                    params.window_slide,
+                    WindowMode::Incremental,
+                    params.accumulator_size,
+                )
+                .with_allowed_lateness(params.allowed_lateness),
+            ),
+            OperatorKind::SlidingHol => Box::new(
+                SlidingWindow::new(
+                    "sliding-hol",
+                    params.window_length,
+                    params.window_slide,
+                    WindowMode::Holistic,
+                    params.accumulator_size,
+                )
+                .with_allowed_lateness(params.allowed_lateness),
+            ),
+            OperatorKind::SessionIncr => Box::new(SessionWindow::new(
+                "session-incr",
+                params.session_gap,
+                WindowMode::Incremental,
+                params.accumulator_size,
+            )),
+            OperatorKind::SessionHol => Box::new(SessionWindow::new(
+                "session-hol",
+                params.session_gap,
+                WindowMode::Holistic,
+                params.accumulator_size,
+            )),
+            OperatorKind::TumblingJoin => Box::new(WindowJoin::new(
+                "tumbling-join",
+                params.window_length,
+                params.window_length,
+            )),
+            OperatorKind::SlidingJoin => Box::new(WindowJoin::new(
+                "sliding-join",
+                params.window_length,
+                params.window_slide,
+            )),
+            OperatorKind::IntervalJoin => Box::new(IntervalJoin::new(
+                params.interval_lower,
+                params.interval_upper,
+            )),
+            OperatorKind::ContinuousJoin => Box::new(ContinuousJoin::new()),
+            OperatorKind::Aggregation => Box::new(Aggregation::new(params.accumulator_size)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in OperatorKind::ALL {
+            assert_eq!(OperatorKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(OperatorKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn there_are_eleven_workloads() {
+        assert_eq!(OperatorKind::ALL.len(), 11);
+        let joins = OperatorKind::ALL
+            .iter()
+            .filter(|k| k.is_two_input())
+            .count();
+        assert_eq!(joins, 4);
+    }
+
+    #[test]
+    fn every_kind_builds() {
+        let params = OperatorParams::default();
+        for kind in OperatorKind::ALL {
+            let op = kind.build(&params);
+            assert_eq!(op.name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Continuous (rolling) per-key aggregation.
+//!
+//! The only operator that preserves the input stream's key distribution
+//! (paper Table 2): every event triggers exactly one `get` and one `put`
+//! on the state key derived directly from the event key. State grows with
+//! the keyspace and is never deleted.
+
+use gadget_types::{Event, StateAccess, StateKey, Timestamp};
+
+use crate::operator::Operator;
+
+/// Per-key rolling aggregate (sum, count, min, max, …).
+pub struct Aggregation {
+    accumulator_size: u32,
+}
+
+impl Aggregation {
+    /// Creates a rolling aggregation with the given accumulator size.
+    pub fn new(accumulator_size: u32) -> Self {
+        Aggregation { accumulator_size }
+    }
+}
+
+impl Operator for Aggregation {
+    fn name(&self) -> &'static str {
+        "aggregation"
+    }
+
+    fn on_event(&mut self, event: &Event, out: &mut Vec<StateAccess>) {
+        let key = StateKey::plain(event.key);
+        out.push(StateAccess::get(key, event.timestamp));
+        out.push(StateAccess::put(
+            key,
+            self.accumulator_size,
+            event.timestamp,
+        ));
+    }
+
+    fn on_watermark(&mut self, _wm: Timestamp, _out: &mut Vec<StateAccess>) {
+        // Rolling aggregates hold state forever: nothing fires or expires.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gadget_types::OpType;
+
+    #[test]
+    fn one_get_one_put_per_event() {
+        let mut a = Aggregation::new(8);
+        let mut out = Vec::new();
+        a.on_event(&Event::new(42, 10, 100), &mut out);
+        a.on_event(&Event::new(42, 20, 100), &mut out);
+        a.on_event(&Event::new(7, 30, 100), &mut out);
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[0].op, OpType::Get);
+        assert_eq!(out[1].op, OpType::Put);
+        assert_eq!(out[0].key, StateKey::plain(42));
+        assert_eq!(out[4].key, StateKey::plain(7));
+    }
+
+    #[test]
+    fn watermarks_are_ignored() {
+        let mut a = Aggregation::new(8);
+        let mut out = Vec::new();
+        a.on_watermark(1_000_000, &mut out);
+        a.on_end(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn key_distribution_is_preserved() {
+        // The sequence of accessed key groups equals the event key sequence.
+        let mut a = Aggregation::new(8);
+        let mut out = Vec::new();
+        let keys = [5u64, 1, 5, 9, 1];
+        for (i, &k) in keys.iter().enumerate() {
+            a.on_event(&Event::new(k, i as u64, 10), &mut out);
+        }
+        let accessed: Vec<u64> = out.iter().step_by(2).map(|acc| acc.key.group).collect();
+        assert_eq!(accessed, keys);
+    }
+}

@@ -1,0 +1,9 @@
+//! Built-in operator state machines.
+//!
+//! Each submodule documents the exact request sequence its operator emits
+//! per event and per watermark, and which Flink mechanism it models.
+
+pub mod aggregation;
+pub mod join;
+pub mod session;
+pub mod window;

@@ -1,0 +1,147 @@
+//! Property-based invariants of the operator state machines.
+//!
+//! For arbitrary (possibly out-of-order) event sequences, the windowed
+//! operators must uphold the lifecycle invariants that make their traces
+//! replayable: every pane that is opened is eventually read back (FGet)
+//! and deleted exactly once, deletes never precede the pane's first
+//! write, and end-of-stream leaves no active state.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use gadget_core::{Driver, OperatorKind, OperatorParams};
+use gadget_types::{Event, OpType, StateAccess, StreamElement};
+
+/// Builds a stream of events with bounded keys/timestamps plus periodic
+/// watermarks carrying the running max timestamp.
+fn stream_strategy() -> impl Strategy<Value = Vec<StreamElement>> {
+    proptest::collection::vec((0u64..8, 0u64..60_000, 1u32..64), 1..250).prop_map(|raw| {
+        let mut out = Vec::with_capacity(raw.len() + raw.len() / 10);
+        let mut max_ts = 0;
+        for (i, (key, ts, size)) in raw.into_iter().enumerate() {
+            max_ts = max_ts.max(ts);
+            out.push(StreamElement::Event(Event::new(key, ts, size)));
+            if (i + 1) % 10 == 0 {
+                out.push(StreamElement::Watermark(max_ts));
+            }
+        }
+        out
+    })
+}
+
+/// Checks pane-lifecycle invariants on a windowed operator's trace.
+fn check_window_invariants(kind: OperatorKind, accesses: &[StateAccess]) -> Result<(), String> {
+    let mut opened: HashSet<u128> = HashSet::new();
+    let mut deleted: HashMap<u128, u32> = HashMap::new();
+    for (i, a) in accesses.iter().enumerate() {
+        let k = a.key.as_u128();
+        match a.op {
+            OpType::Put | OpType::Merge => {
+                opened.insert(k);
+            }
+            OpType::Delete => {
+                if !opened.contains(&k) {
+                    return Err(format!(
+                        "{}: delete of never-written pane at #{i}",
+                        kind.name()
+                    ));
+                }
+                *deleted.entry(k).or_insert(0) += 1;
+                // A read of the pane must shortly precede the delete: the
+                // FGet on firing, or the migration read (get(old),
+                // merge(surviving), delete(old)) on session merging.
+                let recently_read = (1..=2).any(|back| {
+                    i >= back
+                        && accesses[i - back].op == OpType::Get
+                        && accesses[i - back].key == a.key
+                });
+                if !recently_read {
+                    return Err(format!(
+                        "{}: delete at #{i} not preceded by a read of the pane",
+                        kind.name()
+                    ));
+                }
+            }
+            OpType::Get => {}
+        }
+    }
+    // Every opened pane is deleted exactly once (panes never re-open after
+    // deletion in an ordered stream with monotone watermarks + on_end).
+    for &pane in &opened {
+        match deleted.get(&pane) {
+            Some(1) => {}
+            Some(n) => return Err(format!("{}: pane deleted {n} times", kind.name())),
+            None => return Err(format!("{}: pane never deleted", kind.name())),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn window_panes_have_exact_lifecycles(
+        stream in stream_strategy(),
+        kind_idx in 0usize..6,
+    ) {
+        let kind = [
+            OperatorKind::TumblingIncr,
+            OperatorKind::TumblingHol,
+            OperatorKind::SlidingIncr,
+            OperatorKind::SlidingHol,
+            OperatorKind::SessionIncr,
+            OperatorKind::SessionHol,
+        ][kind_idx];
+        let params = OperatorParams {
+            window_length: 5_000,
+            window_slide: 1_000,
+            session_gap: 2_000,
+            ..OperatorParams::default()
+        };
+        let mut driver = Driver::new(kind.build(&params));
+        let trace = driver.run(stream.into_iter());
+        if let Err(msg) = check_window_invariants(kind, &trace.accesses) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    #[test]
+    fn aggregation_never_deletes_and_alternates(stream in stream_strategy()) {
+        let mut driver = Driver::new(
+            OperatorKind::Aggregation.build(&OperatorParams::default()),
+        );
+        let trace = driver.run(stream.into_iter());
+        prop_assert_eq!(trace.stats().deletes, 0);
+        // Strict get/put alternation on the same key.
+        for pair in trace.accesses.chunks(2) {
+            prop_assert_eq!(pair[0].op, OpType::Get);
+            prop_assert_eq!(pair[1].op, OpType::Put);
+            prop_assert_eq!(pair[0].key, pair[1].key);
+        }
+    }
+
+    #[test]
+    fn event_amplification_at_least_two_for_incremental_windows(
+        stream in stream_strategy(),
+    ) {
+        let mut driver = Driver::new(
+            OperatorKind::TumblingIncr.build(&OperatorParams::default()),
+        );
+        let trace = driver.run(stream.into_iter());
+        if trace.input_events > 0 {
+            // get+put per event plus firing traffic.
+            prop_assert!(trace.len() as u64 >= 2 * trace.input_events);
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic(stream in stream_strategy()) {
+        let params = OperatorParams::default();
+        let run = |s: Vec<StreamElement>| {
+            Driver::new(OperatorKind::SlidingIncr.build(&params)).run(s.into_iter())
+        };
+        prop_assert_eq!(run(stream.clone()), run(stream));
+    }
+}

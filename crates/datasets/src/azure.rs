@@ -1,0 +1,84 @@
+//! Synthetic Azure VM-creation stream.
+
+use rand::Rng;
+
+use gadget_distrib::seeded_rng;
+use gadget_distrib::{KeyDistribution, ScrambledZipfian};
+use gadget_types::Event;
+
+use crate::{finish, Dataset, DatasetSpec};
+
+/// Events per subscription on average (4M events / ~6K subscriptions).
+const EVENTS_PER_SUBSCRIPTION: u64 = 667;
+
+/// Target mean arrival rate (4M events over ~30 days ≈ 1.5/s).
+const EVENTS_PER_SEC: f64 = 1.5;
+
+/// Generates the Azure-like stream: VM-creation events keyed by
+/// `subscriptionID` with heavy-tailed subscription popularity and
+/// deployment bursts (auto-scaling groups create several VMs together).
+/// There are no key-closing events: subscriptions live forever, which is
+/// why continuous aggregation state grows without bound on this stream.
+pub fn azure(spec: DatasetSpec) -> Dataset {
+    let mut rng = seeded_rng(spec.seed ^ 0xA2);
+    let num_subs = (spec.events / EVENTS_PER_SUBSCRIPTION).max(32);
+    let duration_ms = (spec.events as f64 / EVENTS_PER_SEC * 1_000.0) as u64;
+    let mut subs = ScrambledZipfian::new(num_subs, 0.9);
+    let mut events = Vec::with_capacity(spec.events as usize);
+
+    let mut produced = 0u64;
+    let mut t = 0u64;
+    while produced < spec.events {
+        // Deployment burst: one subscription creates several VMs at once.
+        let key = 9_000_000 + subs.next_key(&mut rng);
+        let burst = rng.gen_range(1..=8).min(spec.events - produced);
+        for _ in 0..burst {
+            t += rng.gen_range(10..400);
+            events.push(Event::new(key, t, rng.gen_range(64..160)));
+            produced += 1;
+        }
+        // Gap to the next deployment, tuned to hit the target rate.
+        let mean_gap = (duration_ms as f64 / spec.events as f64 * 4.5) as u64;
+        t += rng.gen_range(mean_gap / 2..mean_gap * 2 + 2);
+    }
+
+    finish("azure", events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_closing_events() {
+        let d = azure(DatasetSpec::small());
+        assert!(d.events.iter().all(|e| !e.closes_key && e.expiry.is_none()));
+    }
+
+    #[test]
+    fn subscription_popularity_is_heavy_tailed() {
+        let d = azure(DatasetSpec::small());
+        let mut counts = std::collections::HashMap::new();
+        for e in &d.events {
+            *counts.entry(e.key).or_insert(0u64) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = freqs.iter().sum();
+        let top10: u64 = freqs.iter().take(freqs.len() / 10 + 1).sum();
+        assert!(
+            top10 as f64 > 0.4 * total as f64,
+            "top 10% of subscriptions hold only {top10}/{total} events"
+        );
+    }
+
+    #[test]
+    fn arrival_rate_near_target() {
+        let d = azure(DatasetSpec::benchmark());
+        let rate = d.arrival_rate();
+        assert!(
+            (0.5..6.0).contains(&rate),
+            "azure arrival rate {rate} ev/s far from ~1.5"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Synthetic Google-cluster ("Borg") stream.
+
+use rand::Rng;
+
+use gadget_distrib::seeded_rng;
+use gadget_types::{Event, StreamId};
+
+use crate::{finish, Dataset, DatasetSpec};
+
+/// Average task events emitted per job (2.5M events / 26K jobs ≈ 96).
+const EVENTS_PER_JOB: u64 = 96;
+
+/// Target mean arrival rate in events per second of event time.
+///
+/// The real trace averages ~1 event/s over 29 days but is strongly bursty;
+/// we keep the average and the burstiness.
+const EVENTS_PER_SEC: f64 = 1.4;
+
+/// Generates the Borg-like stream: jobs keyed by `jobID`, each emitting a
+/// heavy-tailed number of task status events in bursts, ending with a
+/// closing job-finished event.
+///
+/// The stream is naturally two-input, mirroring the trace's task-event and
+/// job-event tables: task status events arrive on [`StreamId::LEFT`] and
+/// job lifecycle events (submit, finish) on [`StreamId::RIGHT`]. Joins use
+/// both sides; single-input operators simply consume the merged stream.
+pub fn borg(spec: DatasetSpec) -> Dataset {
+    let mut rng = seeded_rng(spec.seed ^ 0xB0B6);
+    let num_jobs = (spec.events / EVENTS_PER_JOB).max(8);
+    let duration_ms = (spec.events as f64 / EVENTS_PER_SEC * 1_000.0) as u64;
+    let mut events = Vec::with_capacity(spec.events as usize + 64);
+
+    for job in 0..num_jobs {
+        let key = 1_000_000 + job; // jobID space.
+        let arrival = rng.gen_range(0..duration_ms.max(1));
+        // Job submitted: a lifecycle event on the right stream.
+        events.push(Event::new(key, arrival, 96).on_stream(StreamId::RIGHT));
+        // Heavy-tailed event count per job (log-normal around the mean).
+        let n_events =
+            lognormal(&mut rng, (EVENTS_PER_JOB as f64 * 0.6).ln(), 0.9).clamp(4.0, 2_000.0) as u64;
+
+        // Split the job's activity into bursts of ~8-16 events. Bursts are
+        // what give Borg its high per-key-per-window multiplicity.
+        let mut remaining = n_events;
+        let mut t = arrival;
+        while remaining > 0 {
+            let burst = rng.gen_range(6..=16).min(remaining);
+            for _ in 0..burst {
+                // Task events inside a burst land within a few seconds.
+                t += rng.gen_range(100..800);
+                let size = rng.gen_range(80..320);
+                events.push(Event::new(key, t, size));
+                remaining -= 1;
+            }
+            // Minutes of inactivity between bursts.
+            t += rng.gen_range(30_000..600_000);
+        }
+        // Closing job-finished lifecycle event with the job's validity
+        // bound, also on the right stream.
+        t += rng.gen_range(1_000..10_000);
+        events.push(
+            Event::new(key, t, 64)
+                .on_stream(StreamId::RIGHT)
+                .closing()
+                .with_expiry(t),
+        );
+    }
+
+    finish("borg", events)
+}
+
+/// Draws exp(N(mu, sigma)).
+fn lognormal(rng: &mut rand::rngs::StdRng, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_job_has_a_closing_event() {
+        let d = borg(DatasetSpec::small());
+        let mut closed = std::collections::HashSet::new();
+        for e in &d.events {
+            if e.closes_key {
+                assert!(closed.insert(e.key), "job {} closed twice", e.key);
+                assert_eq!(e.expiry, Some(e.timestamp));
+            }
+        }
+        assert_eq!(closed.len() as u64, d.distinct_keys);
+    }
+
+    #[test]
+    fn jobs_are_bursty() {
+        // Count events per (key, 5s window): the median active window must
+        // hold several events, matching the paper's Borg delete ratios.
+        let d = borg(DatasetSpec::small());
+        let mut per_window = std::collections::HashMap::new();
+        for e in &d.events {
+            *per_window
+                .entry((e.key, e.timestamp / 5_000))
+                .or_insert(0u64) += 1;
+        }
+        let mut counts: Vec<u64> = per_window.values().copied().collect();
+        counts.sort_unstable();
+        let median = counts[counts.len() / 2];
+        assert!(median >= 3, "median events per key-window {median} < 3");
+    }
+
+    #[test]
+    fn job_lifecycle_events_ride_the_right_stream() {
+        let d = borg(DatasetSpec::small());
+        let right: Vec<_> = d.side(StreamId::RIGHT).collect();
+        // Two lifecycle events per job.
+        assert_eq!(right.len() as u64, 2 * d.distinct_keys);
+        assert!(right.iter().filter(|e| e.closes_key).count() as u64 == d.distinct_keys);
+        // Task events stay on the left.
+        assert!(d.side(StreamId::LEFT).all(|e| !e.closes_key));
+    }
+
+    #[test]
+    fn event_count_tracks_spec() {
+        let d = borg(DatasetSpec::small().with_events(50_000));
+        let n = d.events.len() as u64;
+        assert!((40_000..65_000).contains(&n), "generated {n}");
+    }
+}

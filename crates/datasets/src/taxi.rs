@@ -1,0 +1,153 @@
+//! Synthetic NYC TLC ("Taxi") streams.
+
+use rand::Rng;
+
+use gadget_distrib::seeded_rng;
+use gadget_types::{Event, StreamId};
+
+use crate::{finish, Dataset, DatasetSpec};
+
+/// Trips per medallion over the stream (1M trip events ≈ 38 trips × 2
+/// events × 13K medallions).
+const TRIPS_PER_MEDALLION: u64 = 38;
+
+/// Generates the Taxi stream: 1M-trip-scale pickup and drop-off events
+/// plus the corresponding fare events, all keyed by `medallionID` — the
+/// paper's stream is "1M taxi trips (pickup and drop-off events) and 500K
+/// corresponding taxi fare events" (§3.1.1).
+///
+/// Trip events ride [`StreamId::LEFT`]; fare events ride
+/// [`StreamId::RIGHT`] so joins see two inputs, while single-input
+/// operators simply consume the merged stream. Fares for a (shared) ride
+/// are reported shortly before the drop-off that bounds their validity,
+/// matching the paper's continuous-join example.
+pub fn taxi(spec: DatasetSpec) -> Dataset {
+    finish("taxi", generate(spec))
+}
+
+/// Alias of [`taxi`]: the stream is inherently two-input.
+pub fn taxi_with_fares(spec: DatasetSpec) -> Dataset {
+    taxi(spec)
+}
+
+fn generate(spec: DatasetSpec) -> Vec<Event> {
+    let mut rng = seeded_rng(spec.seed ^ 0x7A71);
+    // Budget: each trip contributes 2 trip events and ~1.5 fare events.
+    let num_medallions = (spec.events * 2 / (TRIPS_PER_MEDALLION * 7)).max(16);
+    let mut events = Vec::with_capacity(spec.events as usize + 64);
+
+    for m in 0..num_medallions {
+        let key = 5_000_000 + m; // medallionID space.
+                                 // Shifts start at staggered times.
+        let mut t = rng.gen_range(0..30 * 60_000u64);
+        for _ in 0..TRIPS_PER_MEDALLION {
+            // Idle gap between trips: quick turnarounds in busy periods,
+            // longer cruises otherwise.
+            t += rng.gen_range(30_000..8 * 60_000);
+            let pickup = t;
+            // Ride duration: log-normal around ~13 minutes.
+            let duration = lognormal(&mut rng, (13.0f64 * 60_000.0).ln(), 0.6)
+                .clamp(60_000.0, 2.0 * 3_600_000.0) as u64;
+            let dropoff = pickup + duration;
+            events.push(Event::new(key, pickup, rng.gen_range(120..200)));
+            events.push(
+                Event::new(key, dropoff, rng.gen_range(120..200))
+                    .closing()
+                    .with_expiry(dropoff),
+            );
+            // Shared-ride fares are reported at the end of the ride,
+            // shortly before the drop-off that bounds their validity.
+            let num_fares = rng.gen_range(1..=2u32);
+            for _ in 0..num_fares {
+                let fare_ts = dropoff.saturating_sub(rng.gen_range(1..5_000)).max(pickup);
+                events.push(
+                    Event::new(key, fare_ts, rng.gen_range(60..120))
+                        .on_stream(StreamId::RIGHT)
+                        .with_expiry(dropoff),
+                );
+            }
+            t = dropoff;
+        }
+    }
+    events
+}
+
+/// Draws exp(N(mu, sigma)).
+fn lognormal(rng: &mut rand::rngs::StdRng, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pickups_and_dropoffs_pair_up() {
+        let d = taxi(DatasetSpec::small());
+        let closing = d.side(StreamId::LEFT).filter(|e| e.closes_key).count();
+        let opening = d.side(StreamId::LEFT).filter(|e| !e.closes_key).count();
+        assert_eq!(closing, opening, "every pickup needs a drop-off");
+    }
+
+    #[test]
+    fn rides_last_minutes_not_seconds() {
+        // The paper notes the default 2min session gap is "too small" for
+        // taxi rides: per-key gaps between consecutive events must
+        // regularly exceed it (pickup to end-of-ride fare burst).
+        let d = taxi(DatasetSpec::small());
+        let mut last_per_key = std::collections::HashMap::new();
+        let mut long_gaps = 0u64;
+        let mut gaps = 0u64;
+        for e in &d.events {
+            if let Some(prev) = last_per_key.insert(e.key, e.timestamp) {
+                gaps += 1;
+                if e.timestamp - prev > 2 * 60_000 {
+                    long_gaps += 1;
+                }
+            }
+        }
+        assert!(
+            long_gaps as f64 > 0.3 * gaps as f64,
+            "only {long_gaps}/{gaps} per-key gaps exceed the 2min session gap"
+        );
+    }
+
+    #[test]
+    fn fares_arrive_on_the_right_stream_during_rides() {
+        let d = taxi(DatasetSpec::small());
+        let fares: Vec<_> = d.side(StreamId::RIGHT).collect();
+        assert!(!fares.is_empty());
+        // One to two fares per trip.
+        let trips = d.side(StreamId::LEFT).count() / 2;
+        assert!(fares.len() >= trips && fares.len() <= 2 * trips);
+        // Fares precede their validity bound (the drop-off).
+        assert!(fares.iter().all(|f| f.timestamp <= f.expiry.unwrap()));
+    }
+
+    #[test]
+    fn window_multiplicity_grows_with_window_length() {
+        // Fig. 2's cause: larger windows capture the drop-off + fare burst
+        // together, so mean events per (key, window) must grow with the
+        // window length.
+        let d = taxi(DatasetSpec::small());
+        let mean_for = |len_ms: u64| {
+            let mut per_window = std::collections::HashMap::new();
+            for e in &d.events {
+                *per_window
+                    .entry((e.key, e.timestamp / len_ms))
+                    .or_insert(0u64) += 1;
+            }
+            d.events.len() as f64 / per_window.len() as f64
+        };
+        let m1 = mean_for(1_000);
+        let m60 = mean_for(60_000);
+        assert!(
+            m60 > m1 * 1.15,
+            "window multiplicity flat: 1s {m1:.2} vs 60s {m60:.2}"
+        );
+        assert!(m1 < 1.6, "1s windows too dense: {m1:.2}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Arrival processes: how event timestamps advance.
+//!
+//! Gadget assigns 64-bit event-time timestamps to generated events
+//! (paper §5.1). The arrival process determines the inter-arrival gaps. In
+//! the paper's running example, "event timestamps follow a Poisson process
+//! (exponential)".
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use gadget_types::Timestamp;
+
+/// A process producing inter-arrival times, in milliseconds of event time.
+pub trait ArrivalProcess: Send {
+    /// Draws the gap between the previous event and the next one.
+    fn next_gap(&mut self, rng: &mut StdRng) -> Timestamp;
+}
+
+/// A Poisson process: exponentially distributed inter-arrival gaps.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    /// Mean events per second.
+    rate_per_sec: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a Poisson process with the given mean arrival rate
+    /// (events per second of event time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not strictly positive.
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+        PoissonArrivals { rate_per_sec }
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next_gap(&mut self, rng: &mut StdRng) -> Timestamp {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap_ms = -u.ln() / self.rate_per_sec * 1_000.0;
+        gap_ms.round() as Timestamp
+    }
+}
+
+/// A constant-rate process: every gap is identical.
+#[derive(Debug, Clone)]
+pub struct ConstantArrivals {
+    gap_ms: Timestamp,
+}
+
+impl ConstantArrivals {
+    /// Creates a constant process with the given gap in milliseconds.
+    pub fn new(gap_ms: Timestamp) -> Self {
+        ConstantArrivals { gap_ms }
+    }
+
+    /// Creates a constant process from an events-per-second rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not strictly positive.
+    pub fn from_rate(rate_per_sec: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+        ConstantArrivals {
+            gap_ms: (1_000.0 / rate_per_sec).round().max(0.0) as Timestamp,
+        }
+    }
+}
+
+impl ArrivalProcess for ConstantArrivals {
+    fn next_gap(&mut self, _rng: &mut StdRng) -> Timestamp {
+        self.gap_ms
+    }
+}
+
+/// A two-state on/off bursty process.
+///
+/// Alternates between a *burst* phase with high rate and an *idle* phase
+/// with low rate; phase lengths are geometric in the number of events. This
+/// models diurnal or batch-triggered streams such as cluster schedulers.
+#[derive(Debug, Clone)]
+pub struct BurstyArrivals {
+    burst: PoissonArrivals,
+    idle: PoissonArrivals,
+    /// Probability of leaving the current phase after each event.
+    switch_prob: f64,
+    in_burst: bool,
+}
+
+impl BurstyArrivals {
+    /// Creates a bursty process.
+    ///
+    /// `burst_rate` and `idle_rate` are events/second in the respective
+    /// phases; `switch_prob` is the per-event probability of toggling
+    /// phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is non-positive or `switch_prob` is outside
+    /// `[0, 1]`.
+    pub fn new(burst_rate: f64, idle_rate: f64, switch_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&switch_prob));
+        BurstyArrivals {
+            burst: PoissonArrivals::new(burst_rate),
+            idle: PoissonArrivals::new(idle_rate),
+            switch_prob,
+            in_burst: true,
+        }
+    }
+}
+
+impl ArrivalProcess for BurstyArrivals {
+    fn next_gap(&mut self, rng: &mut StdRng) -> Timestamp {
+        if rng.gen::<f64>() < self.switch_prob {
+            self.in_burst = !self.in_burst;
+        }
+        if self.in_burst {
+            self.burst.next_gap(rng)
+        } else {
+            self.idle.next_gap(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::seeded_rng;
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut p = PoissonArrivals::new(100.0); // 100 ev/s => mean gap 10ms.
+        let mut rng = seeded_rng(1);
+        let total: u64 = (0..100_000).map(|_| p.next_gap(&mut rng)).sum();
+        let mean = total as f64 / 100_000.0;
+        assert!((mean - 10.0).abs() < 0.5, "mean gap {mean}");
+    }
+
+    #[test]
+    fn constant_gap_is_constant() {
+        let mut c = ConstantArrivals::from_rate(50.0);
+        let mut rng = seeded_rng(2);
+        for _ in 0..10 {
+            assert_eq!(c.next_gap(&mut rng), 20);
+        }
+    }
+
+    #[test]
+    fn bursty_mixes_two_rates() {
+        let mut b = BurstyArrivals::new(1_000.0, 1.0, 0.01);
+        let mut rng = seeded_rng(3);
+        let gaps: Vec<u64> = (0..50_000).map(|_| b.next_gap(&mut rng)).collect();
+        let small = gaps.iter().filter(|&&g| g < 10).count();
+        let large = gaps.iter().filter(|&&g| g > 100).count();
+        assert!(small > 1_000, "no burst phase observed");
+        assert!(large > 1_000, "no idle phase observed");
+    }
+}

@@ -1,0 +1,159 @@
+//! Value-size distributions.
+//!
+//! The event generator lets users configure the distribution of event value
+//! sizes (paper §5.1; in the paper's example the value size is constant at
+//! 10 bytes).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A source of value sizes, in bytes.
+pub trait ValueSizeDistribution: Send {
+    /// Draws the next value size.
+    fn next_size(&mut self, rng: &mut StdRng) -> u32;
+
+    /// Mean size, used for capacity planning in reports.
+    fn mean(&self) -> f64;
+}
+
+/// Every value has the same size.
+#[derive(Debug, Clone)]
+pub struct ConstantSize {
+    size: u32,
+}
+
+impl ConstantSize {
+    /// Creates a constant size distribution.
+    pub fn new(size: u32) -> Self {
+        ConstantSize { size }
+    }
+}
+
+impl ValueSizeDistribution for ConstantSize {
+    fn next_size(&mut self, _rng: &mut StdRng) -> u32 {
+        self.size
+    }
+
+    fn mean(&self) -> f64 {
+        self.size as f64
+    }
+}
+
+/// Sizes uniformly distributed over `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct UniformSize {
+    min: u32,
+    max: u32,
+}
+
+impl UniformSize {
+    /// Creates a uniform size distribution over `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: u32, max: u32) -> Self {
+        assert!(min <= max, "min must not exceed max");
+        UniformSize { min, max }
+    }
+}
+
+impl ValueSizeDistribution for UniformSize {
+    fn next_size(&mut self, rng: &mut StdRng) -> u32 {
+        rng.gen_range(self.min..=self.max)
+    }
+
+    fn mean(&self) -> f64 {
+        (self.min as f64 + self.max as f64) / 2.0
+    }
+}
+
+/// Log-normally distributed sizes, clamped to `[1, cap]`.
+///
+/// Real KV workloads show heavy-tailed value sizes (e.g. the Facebook
+/// RocksDB study); a log-normal is the customary model.
+#[derive(Debug, Clone)]
+pub struct LogNormalSize {
+    mu: f64,
+    sigma: f64,
+    cap: u32,
+}
+
+impl LogNormalSize {
+    /// Creates a log-normal size distribution with median `median` bytes,
+    /// shape `sigma`, clamped to at most `cap` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median` is zero, `sigma` is negative, or `cap` is zero.
+    pub fn new(median: u32, sigma: f64, cap: u32) -> Self {
+        assert!(median > 0 && cap > 0, "sizes must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormalSize {
+            mu: (median as f64).ln(),
+            sigma,
+            cap,
+        }
+    }
+
+    /// Draws a standard normal variate via the Box–Muller transform.
+    fn std_normal(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl ValueSizeDistribution for LogNormalSize {
+    fn next_size(&mut self, rng: &mut StdRng) -> u32 {
+        let z = Self::std_normal(rng);
+        let v = (self.mu + self.sigma * z).exp();
+        (v.round() as u64).clamp(1, self.cap as u64) as u32
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::seeded_rng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut d = ConstantSize::new(10);
+        let mut rng = seeded_rng(1);
+        for _ in 0..5 {
+            assert_eq!(d.next_size(&mut rng), 10);
+        }
+        assert_eq!(d.mean(), 10.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut d = UniformSize::new(8, 64);
+        let mut rng = seeded_rng(2);
+        for _ in 0..10_000 {
+            let s = d.next_size(&mut rng);
+            assert!((8..=64).contains(&s));
+        }
+        assert_eq!(d.mean(), 36.0);
+    }
+
+    #[test]
+    fn lognormal_median_approximately_correct() {
+        let mut d = LogNormalSize::new(100, 0.5, 10_000);
+        let mut rng = seeded_rng(3);
+        let mut samples: Vec<u32> = (0..10_001).map(|_| d.next_size(&mut rng)).collect();
+        samples.sort_unstable();
+        let median = samples[5_000];
+        assert!(
+            (80..=120).contains(&median),
+            "median {median} far from configured 100"
+        );
+        assert!(*samples.last().unwrap() <= 10_000);
+        assert!(*samples.first().unwrap() >= 1);
+    }
+}

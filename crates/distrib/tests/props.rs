@@ -1,0 +1,110 @@
+//! Property-based tests for the distribution generators.
+
+use proptest::prelude::*;
+
+use gadget_distrib::{
+    seeded_rng, ArrivalProcess, ConstantArrivals, Ecdf, ExponentialKeys, HotspotKeys,
+    KeyDistribution, LatestKeys, PoissonArrivals, ScrambledZipfian, SequentialKeys, UniformKeys,
+    ZipfianKeys,
+};
+
+proptest! {
+    /// Every distribution stays within its keyspace for arbitrary sizes,
+    /// skews, and seeds.
+    #[test]
+    fn all_key_distributions_stay_in_range(
+        n in 1u64..5_000,
+        theta in 0.01f64..0.999,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = seeded_rng(seed);
+        let mut dists: Vec<Box<dyn KeyDistribution>> = vec![
+            Box::new(UniformKeys::new(n)),
+            Box::new(ZipfianKeys::new(n, theta)),
+            Box::new(ScrambledZipfian::new(n, theta)),
+            Box::new(HotspotKeys::new(n, 0.2, 0.8)),
+            Box::new(SequentialKeys::new(n)),
+            Box::new(ExponentialKeys::new(n, 0.8571, 95.0)),
+            Box::new(LatestKeys::new(n, theta)),
+        ];
+        for d in &mut dists {
+            for _ in 0..64 {
+                let k = d.next_key(&mut rng);
+                prop_assert!(k < n, "{k} >= {n}");
+            }
+            prop_assert!(d.keyspace() >= n);
+        }
+    }
+
+    /// Growing the keyspace keeps `latest` within the new bound and keeps
+    /// producing the newest key most often.
+    #[test]
+    fn latest_tracks_inserts(n in 2u64..500, grow_to in 501u64..2_000, seed in any::<u64>()) {
+        let mut d = LatestKeys::new(n, 0.99);
+        d.record_insert(grow_to);
+        let mut rng = seeded_rng(seed);
+        let mut newest_hits = 0;
+        for _ in 0..200 {
+            let k = d.next_key(&mut rng);
+            prop_assert!(k < grow_to);
+            if k == grow_to - 1 {
+                newest_hits += 1;
+            }
+        }
+        prop_assert!(newest_hits > 0, "newest key never drawn");
+    }
+
+    /// Arrival processes produce non-negative gaps and Poisson's mean is
+    /// within 3x of its configured rate (loose statistical bound).
+    #[test]
+    fn arrival_gaps_are_sane(rate in 1.0f64..10_000.0, seed in any::<u64>()) {
+        let mut rng = seeded_rng(seed);
+        let mut poisson = PoissonArrivals::new(rate);
+        let total: u64 = (0..2_000).map(|_| poisson.next_gap(&mut rng)).sum();
+        let mean_ms = total as f64 / 2_000.0;
+        let expected_ms = 1_000.0 / rate;
+        prop_assert!(
+            mean_ms < expected_ms * 3.0 + 2.0,
+            "mean {mean_ms} vs expected {expected_ms}"
+        );
+        let mut constant = ConstantArrivals::from_rate(rate);
+        let g1 = constant.next_gap(&mut rng);
+        let g2 = constant.next_gap(&mut rng);
+        prop_assert_eq!(g1, g2);
+    }
+
+    /// An ECDF never produces keys outside its support and respects
+    /// zero-weight exclusion.
+    #[test]
+    fn ecdf_stays_on_support(
+        pairs in proptest::collection::vec((any::<u64>(), 0.0f64..10.0), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let support: std::collections::HashSet<u64> = pairs
+            .iter()
+            .filter(|(_, w)| *w > 0.0)
+            .map(|(k, _)| *k)
+            .collect();
+        match Ecdf::from_weights(&pairs) {
+            Some(mut d) => {
+                let mut rng = seeded_rng(seed);
+                for _ in 0..100 {
+                    prop_assert!(support.contains(&d.next_key(&mut rng)));
+                }
+            }
+            None => prop_assert!(support.is_empty()),
+        }
+    }
+
+    /// Sequential cycles exactly.
+    #[test]
+    fn sequential_is_a_cycle(n in 1u64..200, seed in any::<u64>()) {
+        let mut d = SequentialKeys::new(n);
+        let mut rng = seeded_rng(seed);
+        for round in 0..2 {
+            for expect in 0..n {
+                prop_assert_eq!(d.next_key(&mut rng), expect, "round {}", round);
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Store error type.
+
+use std::fmt;
+use std::io;
+
+/// Errors returned by [`StateStore`](crate::StateStore) operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// On-disk or in-memory data failed an integrity check.
+    Corruption(String),
+    /// The store has been closed and can no longer serve requests.
+    Closed,
+    /// A request was malformed (e.g. an empty key).
+    InvalidArgument(String),
+    /// The store does not implement the requested operation (e.g. range
+    /// scans on a hash-indexed store).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corruption(msg) => write!(f, "corruption: {msg}"),
+            StoreError::Closed => write!(f, "store is closed"),
+            StoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            StoreError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let io_err = StoreError::from(io::Error::other("boom"));
+        assert!(io_err.to_string().contains("boom"));
+        assert!(StoreError::Corruption("bad block".into())
+            .to_string()
+            .contains("bad block"));
+        assert_eq!(StoreError::Closed.to_string(), "store is closed");
+        assert!(StoreError::InvalidArgument("empty key".into())
+            .to_string()
+            .contains("empty key"));
+        assert!(StoreError::Unsupported("scan").to_string().contains("scan"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e = StoreError::from(io::Error::other("inner"));
+        assert!(e.source().is_some());
+        assert!(StoreError::Closed.source().is_none());
+    }
+}

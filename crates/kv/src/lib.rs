@@ -1,0 +1,29 @@
+//! The store abstraction layer: the [`StateStore`] trait and adapters.
+//!
+//! Gadget's performance evaluator talks to every KV store through one
+//! interface with the four operations of the paper's state-access model
+//! (§2.3, §5.5): `get`, `put`, `merge`, and `delete`. Stores that do not
+//! support lazy merges (the paper's FASTER and BerkeleyDB) advertise
+//! [`StateStore::supports_merge`] `== false` and receive a read-modify-write
+//! translation instead, exactly as the paper's connector layer does.
+//!
+//! The crate also provides:
+//!
+//! * [`MemStore`] — a trivial in-memory hash-map store used as a reference
+//!   implementation in tests and as an upper-bound baseline.
+//! * [`InstrumentedStore`] — a wrapper that records every access into a
+//!   [`Trace`](gadget_types::Trace); this is the Rust analogue of the
+//!   paper's instrumented Flink state backend (§3.1) and is how the
+//!   reference stream processor produces "real" traces.
+
+pub mod error;
+pub mod instrument;
+pub mod mem;
+pub mod remote;
+pub mod store;
+
+pub use error::StoreError;
+pub use instrument::InstrumentedStore;
+pub use mem::MemStore;
+pub use remote::{NetworkProfile, RemoteStore};
+pub use store::{StateStore, StoreCounters};

@@ -1,0 +1,168 @@
+//! A reference in-memory store.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::error::StoreError;
+use crate::store::{StateStore, StoreCounters};
+
+/// A trivial in-memory hash-map store.
+///
+/// `MemStore` exists as (i) the semantic reference implementation against
+/// which the real substrates are differentially tested, and (ii) an
+/// upper-bound "infinitely fast store" baseline in reports. It supports
+/// native merges by direct concatenation.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: RwLock<HashMap<Vec<u8>, Bytes>>,
+    counters: StoreCounters,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Returns true if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+impl StateStore for MemStore {
+    fn name(&self) -> &'static str {
+        "mem"
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StoreError> {
+        self.counters.record_get();
+        Ok(self.map.read().get(key).cloned())
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.counters.record_put();
+        self.map
+            .write()
+            .insert(key.to_vec(), Bytes::copy_from_slice(value));
+        Ok(())
+    }
+
+    fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), StoreError> {
+        self.counters.record_merge();
+        let mut map = self.map.write();
+        match map.get_mut(key) {
+            Some(existing) => {
+                let mut v = Vec::with_capacity(existing.len() + operand.len());
+                v.extend_from_slice(existing);
+                v.extend_from_slice(operand);
+                *existing = Bytes::from(v);
+            }
+            None => {
+                map.insert(key.to_vec(), Bytes::copy_from_slice(operand));
+            }
+        }
+        Ok(())
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+        self.counters.record_delete();
+        self.map.write().remove(key);
+        Ok(())
+    }
+
+    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
+        let map = self.map.read();
+        let mut out: Vec<(Vec<u8>, Bytes)> = map
+            .iter()
+            .filter(|(k, _)| k.as_slice() >= lo && k.as_slice() <= hi)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    fn supports_scan(&self) -> bool {
+        true
+    }
+
+    fn supports_merge(&self) -> bool {
+        true
+    }
+
+    fn internal_counters(&self) -> Vec<(String, u64)> {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = MemStore::new();
+        s.put(b"k", b"v").unwrap();
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        assert_eq!(s.get(b"missing").unwrap(), None);
+    }
+
+    #[test]
+    fn merge_appends() {
+        let s = MemStore::new();
+        s.merge(b"k", b"ab").unwrap();
+        s.merge(b"k", b"cd").unwrap();
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"abcd"[..]));
+    }
+
+    #[test]
+    fn delete_removes_and_is_idempotent() {
+        let s = MemStore::new();
+        s.put(b"k", b"v").unwrap();
+        s.delete(b"k").unwrap();
+        s.delete(b"k").unwrap();
+        assert_eq!(s.get(b"k").unwrap(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn put_overwrites_merge_history() {
+        let s = MemStore::new();
+        s.merge(b"k", b"xx").unwrap();
+        s.put(b"k", b"y").unwrap();
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"y"[..]));
+    }
+
+    #[test]
+    fn scan_returns_sorted_range() {
+        let s = MemStore::new();
+        for k in [5u8, 1, 9, 3, 7] {
+            s.put(&[k], &[k + 100]).unwrap();
+        }
+        let hits = s.scan(&[3], &[7]).unwrap();
+        let keys: Vec<u8> = hits.iter().map(|(k, _)| k[0]).collect();
+        assert_eq!(keys, vec![3, 5, 7]);
+        assert!(s.supports_scan());
+    }
+
+    #[test]
+    fn counters_reflect_usage() {
+        let s = MemStore::new();
+        s.put(b"a", b"1").unwrap();
+        s.get(b"a").unwrap();
+        s.merge(b"a", b"2").unwrap();
+        s.delete(b"a").unwrap();
+        let counters = s.internal_counters();
+        assert!(counters.contains(&("gets".to_string(), 1)));
+        assert!(counters.contains(&("puts".to_string(), 1)));
+        assert!(counters.contains(&("merges".to_string(), 1)));
+        assert!(counters.contains(&("deletes".to_string(), 1)));
+    }
+}

@@ -1,0 +1,178 @@
+//! External state management: a remote-store wrapper.
+//!
+//! The paper considers embedded stores only but notes (§8) that Gadget
+//! "can be easily extended to support evaluation of external state
+//! management approaches … by implementing the respective KV store
+//! wrappers". [`RemoteStore`] is that wrapper: it decorates any embedded
+//! store with a deterministic synthetic network round-trip per operation,
+//! modelling a disaggregated deployment where compute and state are
+//! decoupled (MillWheel/Pravega-style). Latency is busy-waited rather than
+//! slept so sub-millisecond RTTs remain accurate.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use crate::error::StoreError;
+use crate::store::StateStore;
+
+/// Synthetic network profile for a remote store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkProfile {
+    /// Round-trip time added to every operation.
+    pub rtt: Duration,
+    /// Additional transfer time per kilobyte of payload.
+    pub per_kb: Duration,
+}
+
+impl NetworkProfile {
+    /// A same-rack datacenter network (~100us RTT, ~10us/KB).
+    pub fn datacenter() -> Self {
+        NetworkProfile {
+            rtt: Duration::from_micros(100),
+            per_kb: Duration::from_micros(10),
+        }
+    }
+
+    /// A same-host loopback deployment (~10us RTT).
+    pub fn loopback() -> Self {
+        NetworkProfile {
+            rtt: Duration::from_micros(10),
+            per_kb: Duration::from_micros(1),
+        }
+    }
+
+    fn delay_for(&self, payload_bytes: usize) -> Duration {
+        self.rtt + self.per_kb * (payload_bytes as u32).div_ceil(1024)
+    }
+}
+
+/// An embedded store made "remote" by a synthetic network.
+pub struct RemoteStore<S> {
+    inner: S,
+    profile: NetworkProfile,
+}
+
+impl<S: StateStore> RemoteStore<S> {
+    /// Wraps `inner` behind the given network profile.
+    pub fn new(inner: S, profile: NetworkProfile) -> Self {
+        RemoteStore { inner, profile }
+    }
+
+    /// Access to the wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn simulate_network(&self, payload_bytes: usize) {
+        let deadline = Instant::now() + self.profile.delay_for(payload_bytes);
+        // Busy-wait: sleep() cannot resolve sub-millisecond delays.
+        while Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl<S: StateStore> StateStore for RemoteStore<S> {
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StoreError> {
+        let result = self.inner.get(key)?;
+        self.simulate_network(key.len() + result.as_ref().map_or(0, |v| v.len()));
+        Ok(result)
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.simulate_network(key.len() + value.len());
+        self.inner.put(key, value)
+    }
+
+    fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), StoreError> {
+        self.simulate_network(key.len() + operand.len());
+        self.inner.merge(key, operand)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+        self.simulate_network(key.len());
+        self.inner.delete(key)
+    }
+
+    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
+        let result = self.inner.scan(lo, hi)?;
+        let bytes: usize = result.iter().map(|(k, v)| k.len() + v.len()).sum();
+        self.simulate_network(bytes);
+        Ok(result)
+    }
+
+    fn supports_scan(&self) -> bool {
+        self.inner.supports_scan()
+    }
+
+    fn supports_merge(&self) -> bool {
+        self.inner.supports_merge()
+    }
+
+    fn flush(&self) -> Result<(), StoreError> {
+        self.inner.flush()
+    }
+
+    fn internal_counters(&self) -> Vec<(String, u64)> {
+        self.inner.internal_counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemStore;
+
+    #[test]
+    fn semantics_pass_through() {
+        let s = RemoteStore::new(MemStore::new(), NetworkProfile::loopback());
+        s.put(b"k", b"v").unwrap();
+        s.merge(b"k", b"+").unwrap();
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"v+"[..]));
+        s.delete(b"k").unwrap();
+        assert_eq!(s.get(b"k").unwrap(), None);
+        assert!(s.supports_merge());
+        assert!(s.supports_scan());
+        assert_eq!(s.name(), "remote");
+    }
+
+    #[test]
+    fn network_latency_is_injected() {
+        let local = MemStore::new();
+        let remote = RemoteStore::new(
+            MemStore::new(),
+            NetworkProfile {
+                rtt: Duration::from_micros(200),
+                per_kb: Duration::ZERO,
+            },
+        );
+        let time_ops = |store: &dyn StateStore| {
+            let started = Instant::now();
+            for i in 0..100u64 {
+                store.put(&i.to_be_bytes(), b"v").unwrap();
+            }
+            started.elapsed()
+        };
+        let local_time = time_ops(&local);
+        let remote_time = time_ops(&remote);
+        // 100 ops × 200us = 20ms minimum for the remote store.
+        assert!(remote_time >= Duration::from_millis(18), "{remote_time:?}");
+        assert!(remote_time > 4 * local_time);
+    }
+
+    #[test]
+    fn payload_size_scales_delay() {
+        let p = NetworkProfile {
+            rtt: Duration::from_micros(50),
+            per_kb: Duration::from_micros(100),
+        };
+        assert_eq!(p.delay_for(0), Duration::from_micros(50));
+        assert_eq!(p.delay_for(1), Duration::from_micros(150));
+        assert_eq!(p.delay_for(4096), Duration::from_micros(450));
+    }
+}

@@ -1,0 +1,160 @@
+//! The [`StateStore`] trait.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+
+use crate::error::StoreError;
+
+/// A key-value state store, as seen by a streaming operator task.
+///
+/// Methods take `&self`: every implementation synchronizes internally so
+/// that multiple operator tasks may share one store instance, matching the
+/// paper's concurrent-operators experiment (§6.4). The dataflow model still
+/// guarantees a single *writer* per key, but the store must not assume a
+/// single client.
+///
+/// # Merge semantics
+///
+/// `merge(key, operand)` is a lazy read-modify-write that *appends*
+/// `operand` to the existing value (the list-append merge operator that
+/// stream processors use for window buckets). Stores with native merge
+/// support (the LSM substrates) buffer operands and fold them on read or
+/// compaction; stores without it (`supports_merge() == false`) may emulate
+/// it as `get` + concatenate + `put`, which is exactly the "reading and
+/// copying a growing vector" cost the paper attributes to FASTER and
+/// BerkeleyDB on holistic operators (§6.5).
+pub trait StateStore: Send + Sync {
+    /// A short human-readable store name for reports (e.g. `"lsm"`).
+    fn name(&self) -> &'static str;
+
+    /// Returns the value stored under `key`, or `None`.
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StoreError>;
+
+    /// Stores `value` under `key`, overwriting any previous value.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError>;
+
+    /// Appends `operand` to the value stored under `key`.
+    ///
+    /// If the key does not exist, the operand becomes the initial value.
+    fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), StoreError>;
+
+    /// Removes `key` from the store. Deleting a missing key is not an error.
+    fn delete(&self, key: &[u8]) -> Result<(), StoreError>;
+
+    /// Returns every live `(key, value)` pair with `lo <= key <= hi`, in
+    /// ascending key order.
+    ///
+    /// Ordered stores (LSM, B+Tree) support this natively; hash-indexed
+    /// stores return [`StoreError::Unsupported`], mirroring the real
+    /// systems they model (FASTER has no range scans). Check
+    /// [`StateStore::supports_scan`] first.
+    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
+        let _ = (lo, hi);
+        Err(StoreError::Unsupported("range scan"))
+    }
+
+    /// Whether [`StateStore::scan`] is implemented.
+    fn supports_scan(&self) -> bool {
+        false
+    }
+
+    /// Whether the store supports lazy merges natively.
+    ///
+    /// When `false`, the performance evaluator translates `merge` requests
+    /// into read-modify-write sequences before timing them.
+    fn supports_merge(&self) -> bool {
+        false
+    }
+
+    /// Flushes buffered writes to durable storage (no-op by default).
+    fn flush(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    /// Implementation-specific counters (compactions, cache hits, …) for
+    /// reports and ablation studies. Empty by default.
+    fn internal_counters(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+}
+
+/// Cheap atomic operation counters shared by store implementations.
+///
+/// Stores embed one of these and bump it per public operation so reports
+/// can show per-store request mixes without external instrumentation.
+#[derive(Debug, Default)]
+pub struct StoreCounters {
+    /// Number of `get` calls.
+    pub gets: AtomicU64,
+    /// Number of `put` calls.
+    pub puts: AtomicU64,
+    /// Number of `merge` calls.
+    pub merges: AtomicU64,
+    /// Number of `delete` calls.
+    pub deletes: AtomicU64,
+}
+
+impl StoreCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        StoreCounters::default()
+    }
+
+    /// Records one `get`.
+    pub fn record_get(&self) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one `put`.
+    pub fn record_put(&self) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one `merge`.
+    pub fn record_merge(&self) {
+        self.merges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one `delete`.
+    pub fn record_delete(&self) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all counters as (name, value) pairs.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        vec![
+            ("gets".to_string(), self.gets.load(Ordering::Relaxed)),
+            ("puts".to_string(), self.puts.load(Ordering::Relaxed)),
+            ("merges".to_string(), self.merges.load(Ordering::Relaxed)),
+            ("deletes".to_string(), self.deletes.load(Ordering::Relaxed)),
+        ]
+    }
+
+    /// Total operations recorded.
+    pub fn total(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+            + self.puts.load(Ordering::Relaxed)
+            + self.merges.load(Ordering::Relaxed)
+            + self.deletes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = StoreCounters::new();
+        c.record_get();
+        c.record_get();
+        c.record_put();
+        c.record_merge();
+        c.record_delete();
+        assert_eq!(c.total(), 5);
+        let snap = c.snapshot();
+        assert!(snap.contains(&("gets".to_string(), 2)));
+        assert!(snap.contains(&("puts".to_string(), 1)));
+    }
+}

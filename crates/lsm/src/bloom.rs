@@ -1,0 +1,152 @@
+//! Bloom filters for SSTables.
+//!
+//! Standard Kirsch–Mitzenmacher double hashing: `k` probe positions are
+//! derived from two 64-bit hashes, giving false-positive rates close to the
+//! theoretical optimum of `0.6185^(bits/key)`.
+
+/// A fixed-size Bloom filter built once per SSTable.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_probes: u32,
+}
+
+impl BloomFilter {
+    /// Builds a filter sized for `num_keys` keys at `bits_per_key` bits
+    /// each, then inserts nothing. Returns `None` if `bits_per_key` is 0.
+    pub fn new(num_keys: usize, bits_per_key: u32) -> Option<Self> {
+        if bits_per_key == 0 {
+            return None;
+        }
+        let num_bits = (num_keys.max(1) as u64 * bits_per_key as u64).max(64);
+        // k = bits_per_key * ln2, clamped to a sane range.
+        let num_probes = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        Some(BloomFilter {
+            bits: vec![0u64; num_bits.div_ceil(64) as usize],
+            num_bits,
+            num_probes,
+        })
+    }
+
+    /// Reconstructs a filter from its serialized form.
+    ///
+    /// Returns `None` on a malformed payload.
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        if data.len() < 12 {
+            return None;
+        }
+        let num_bits = u64::from_le_bytes(data[0..8].try_into().ok()?);
+        let num_probes = u32::from_le_bytes(data[8..12].try_into().ok()?);
+        let words = &data[12..];
+        if !words.len().is_multiple_of(8) || (words.len() as u64 / 8) < num_bits.div_ceil(64) {
+            return None;
+        }
+        let bits = words
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Some(BloomFilter {
+            bits,
+            num_bits,
+            num_probes,
+        })
+    }
+
+    /// Serializes the filter.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.bits.len() * 8);
+        out.extend_from_slice(&self.num_bits.to_le_bytes());
+        out.extend_from_slice(&self.num_probes.to_le_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = double_hash(key);
+        let mut h = h1;
+        for _ in 0..self.num_probes {
+            let bit = h % self.num_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+            h = h.wrapping_add(h2);
+        }
+    }
+
+    /// Tests membership. False positives are possible; false negatives are
+    /// not.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = double_hash(key);
+        let mut h = h1;
+        for _ in 0..self.num_probes {
+            let bit = h % self.num_bits;
+            if self.bits[(bit / 64) as usize] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+            h = h.wrapping_add(h2);
+        }
+        true
+    }
+}
+
+/// Two independent 64-bit hashes of `key` (FNV-1a with different offsets).
+fn double_hash(key: &[u8]) -> (u64, u64) {
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h2: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &b in key {
+        h1 = (h1 ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        h2 = (h2 ^ b as u64)
+            .wrapping_mul(0x0100_0000_01b5)
+            .rotate_left(17);
+    }
+    (h1, h2 | 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1_000, 10).unwrap();
+        for i in 0..1_000u64 {
+            f.insert(&i.to_be_bytes());
+        }
+        for i in 0..1_000u64 {
+            assert!(f.may_contain(&i.to_be_bytes()));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::new(10_000, 10).unwrap();
+        for i in 0..10_000u64 {
+            f.insert(&i.to_be_bytes());
+        }
+        let fp = (10_000..110_000u64)
+            .filter(|i| f.may_contain(&i.to_be_bytes()))
+            .count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.03, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn zero_bits_disables_filter() {
+        assert!(BloomFilter::new(100, 0).is_none());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut f = BloomFilter::new(100, 10).unwrap();
+        for i in 0..100u64 {
+            f.insert(&i.to_be_bytes());
+        }
+        let g = BloomFilter::from_bytes(&f.to_bytes()).unwrap();
+        for i in 0..100u64 {
+            assert!(g.may_contain(&i.to_be_bytes()));
+        }
+        assert!(BloomFilter::from_bytes(&[1, 2, 3]).is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! LSM store configuration.
+
+/// Delete-aware compaction policy (the Lethe substrate).
+///
+/// Lethe's FADE component bounds how long a tombstone may linger before the
+/// file containing it is compacted, trading write amplification for prompt
+/// space reclamation and faster scans over deleted ranges. We model the
+/// threshold in *operations*: a tombstone written at operation `n` must be
+/// compacted away by operation `n + delete_persistence_ops`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LethePolicy {
+    /// Maximum number of subsequent write operations a tombstone may
+    /// survive before its file becomes a priority compaction candidate.
+    pub delete_persistence_ops: u64,
+}
+
+impl Default for LethePolicy {
+    fn default() -> Self {
+        // Roughly the paper's 10s threshold at its replay rates.
+        LethePolicy {
+            delete_persistence_ops: 100_000,
+        }
+    }
+}
+
+/// Configuration for [`LsmStore`](crate::LsmStore).
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Bytes of key+value data buffered in the active memtable before it is
+    /// rotated out for flushing. Paper setup: two 128 MiB write buffers.
+    pub memtable_bytes: usize,
+    /// Maximum number of immutable memtables awaiting flush before writers
+    /// stall.
+    pub max_immutable_memtables: usize,
+    /// Target uncompressed size of one SSTable data block.
+    pub block_bytes: usize,
+    /// Capacity of the block cache in bytes. Paper setup: 64 MiB.
+    pub block_cache_bytes: usize,
+    /// Bloom filter bits per key (0 disables filters).
+    pub bloom_bits_per_key: u32,
+    /// Number of L0 files that triggers an L0→L1 compaction.
+    pub l0_compaction_trigger: usize,
+    /// Target size of L1 in bytes; level `i+1` targets `level_multiplier`
+    /// times level `i`.
+    pub l1_target_bytes: u64,
+    /// Size ratio between adjacent levels.
+    pub level_multiplier: u64,
+    /// Number of levels (including L0).
+    pub num_levels: usize,
+    /// Target size of one SSTable produced by compaction.
+    pub target_file_bytes: usize,
+    /// Whether to write (and replay) a write-ahead log.
+    pub wal: bool,
+    /// Whether to fsync WAL appends. Off by default: the paper benchmarks
+    /// stores with default durability settings, not synchronous commits.
+    pub wal_sync: bool,
+    /// Delete-aware compaction (Lethe). `None` means vanilla RocksDB-style
+    /// behaviour.
+    pub lethe: Option<LethePolicy>,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            memtable_bytes: 128 << 20,
+            max_immutable_memtables: 2,
+            block_bytes: 4 << 10,
+            block_cache_bytes: 64 << 20,
+            bloom_bits_per_key: 10,
+            l0_compaction_trigger: 4,
+            l1_target_bytes: 256 << 20,
+            level_multiplier: 10,
+            num_levels: 7,
+            target_file_bytes: 64 << 20,
+            wal: true,
+            wal_sync: false,
+            lethe: None,
+        }
+    }
+}
+
+impl LsmConfig {
+    /// The paper's RocksDB configuration: two 128 MiB write buffers and a
+    /// 64 MiB block cache (§6, experimental setup).
+    pub fn paper_rocksdb() -> Self {
+        LsmConfig::default()
+    }
+
+    /// The paper's Lethe configuration: RocksDB settings plus a delete
+    /// persistence threshold.
+    pub fn paper_lethe() -> Self {
+        LsmConfig {
+            lethe: Some(LethePolicy::default()),
+            ..LsmConfig::default()
+        }
+    }
+
+    /// A small configuration for unit tests: tiny memtables and cache so
+    /// flushes and compactions happen after a few hundred writes.
+    pub fn small() -> Self {
+        LsmConfig {
+            memtable_bytes: 16 << 10,
+            max_immutable_memtables: 2,
+            block_bytes: 1 << 10,
+            block_cache_bytes: 64 << 10,
+            bloom_bits_per_key: 10,
+            l0_compaction_trigger: 4,
+            l1_target_bytes: 64 << 10,
+            level_multiplier: 10,
+            num_levels: 5,
+            target_file_bytes: 16 << 10,
+            wal: true,
+            wal_sync: false,
+            lethe: None,
+        }
+    }
+
+    /// [`LsmConfig::small`] with Lethe's delete-aware compaction enabled
+    /// and an aggressive (test-friendly) persistence threshold.
+    pub fn small_lethe() -> Self {
+        LsmConfig {
+            lethe: Some(LethePolicy {
+                delete_persistence_ops: 500,
+            }),
+            ..LsmConfig::small()
+        }
+    }
+
+    /// Target size in bytes for level `level` (1-based below L0).
+    pub fn level_target_bytes(&self, level: usize) -> u64 {
+        debug_assert!(level >= 1);
+        self.l1_target_bytes
+            .saturating_mul(self.level_multiplier.saturating_pow(level as u32 - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_targets_grow_by_multiplier() {
+        let cfg = LsmConfig::default();
+        assert_eq!(cfg.level_target_bytes(1), 256 << 20);
+        assert_eq!(cfg.level_target_bytes(2), (256 << 20) * 10);
+        assert_eq!(cfg.level_target_bytes(3), (256 << 20) * 100);
+    }
+
+    #[test]
+    fn presets_differ_only_where_expected() {
+        let rocks = LsmConfig::paper_rocksdb();
+        let lethe = LsmConfig::paper_lethe();
+        assert!(rocks.lethe.is_none());
+        assert!(lethe.lethe.is_some());
+        assert_eq!(rocks.memtable_bytes, lethe.memtable_bytes);
+    }
+}

@@ -1,0 +1,57 @@
+//! CRC-32C (Castagnoli) checksums for WAL records and SSTable footers.
+//!
+//! Implemented in-repo to keep the dependency surface minimal; the
+//! table-driven algorithm is the classic byte-at-a-time variant.
+
+/// Polynomial for CRC-32C, reflected.
+const POLY: u32 = 0x82F6_3B78;
+
+/// Lazily built lookup table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32C test vector.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let a = crc32c(b"hello world");
+        let b = crc32c(b"hello worle");
+        assert_ne!(a, b);
+    }
+}

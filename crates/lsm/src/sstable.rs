@@ -1,0 +1,660 @@
+//! SSTable files: the on-disk sorted runs of the LSM tree.
+//!
+//! # File layout
+//!
+//! ```text
+//! [data block]*            records, ~block_bytes each
+//! [bloom filter block]     serialized BloomFilter (may be empty)
+//! [index block]            (first_key, offset, len) per data block
+//! [footer]                 fixed 56 bytes: offsets, counts, crc, magic
+//! ```
+//!
+//! Each record is `[tag u8][klen u16][vlen u32][key][value]` where tag is
+//! put/delete/merge. Merge records hold a length-prefixed operand list so
+//! unresolved merges survive flushes without being folded.
+//!
+//! Readers keep the index and Bloom filter resident and fetch data blocks
+//! through the shared [`BlockCache`].
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::bloom::BloomFilter;
+use crate::cache::{Block, BlockCache};
+use crate::crc::crc32c;
+use crate::memtable::{fold_merge, FlushEntry, Lookup};
+
+const MAGIC: u64 = 0x6761_6467_6574_5353; // "gadgetSS"
+const FOOTER_LEN: usize = 56;
+
+const TAG_PUT: u8 = 0;
+const TAG_DELETE: u8 = 1;
+const TAG_MERGE: u8 = 2;
+
+/// Serializes one record into `out`.
+fn encode_record(out: &mut Vec<u8>, key: &[u8], entry: &FlushEntry) {
+    let (tag, value) = match entry {
+        FlushEntry::Put(v) => (TAG_PUT, v.to_vec()),
+        FlushEntry::Delete => (TAG_DELETE, Vec::new()),
+        FlushEntry::Merge(ops) => {
+            let mut v = Vec::with_capacity(4 + ops.iter().map(|o| o.len() + 4).sum::<usize>());
+            v.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+            for op in ops {
+                v.extend_from_slice(&(op.len() as u32).to_le_bytes());
+                v.extend_from_slice(op);
+            }
+            (TAG_MERGE, v)
+        }
+    };
+    out.push(tag);
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(&value);
+}
+
+/// Decodes the record starting at `pos`; returns `(key, entry, next_pos)`.
+fn decode_record(block: &[u8], pos: usize) -> io::Result<(&[u8], FlushEntry, usize)> {
+    let fail = || io::Error::new(io::ErrorKind::InvalidData, "truncated sstable record");
+    if pos + 7 > block.len() {
+        return Err(fail());
+    }
+    let tag = block[pos];
+    let klen = u16::from_le_bytes(block[pos + 1..pos + 3].try_into().unwrap()) as usize;
+    let vlen = u32::from_le_bytes(block[pos + 3..pos + 7].try_into().unwrap()) as usize;
+    let kstart = pos + 7;
+    let vstart = kstart + klen;
+    let end = vstart + vlen;
+    if end > block.len() {
+        return Err(fail());
+    }
+    let key = &block[kstart..vstart];
+    let value = &block[vstart..end];
+    let entry = match tag {
+        TAG_PUT => FlushEntry::Put(Bytes::copy_from_slice(value)),
+        TAG_DELETE => FlushEntry::Delete,
+        TAG_MERGE => {
+            if value.len() < 4 {
+                return Err(fail());
+            }
+            let count = u32::from_le_bytes(value[0..4].try_into().unwrap()) as usize;
+            let mut ops = Vec::with_capacity(count);
+            let mut p = 4;
+            for _ in 0..count {
+                if p + 4 > value.len() {
+                    return Err(fail());
+                }
+                let len = u32::from_le_bytes(value[p..p + 4].try_into().unwrap()) as usize;
+                p += 4;
+                if p + len > value.len() {
+                    return Err(fail());
+                }
+                ops.push(Bytes::copy_from_slice(&value[p..p + len]));
+                p += len;
+            }
+            FlushEntry::Merge(ops)
+        }
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad record tag")),
+    };
+    Ok((key, entry, end))
+}
+
+/// One index entry: the first key of a data block and its extent.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    first_key: Vec<u8>,
+    offset: u64,
+    len: u32,
+}
+
+/// Writes a sorted stream of records into an SSTable file.
+pub struct TableWriter {
+    file: File,
+    path: PathBuf,
+    block_bytes: usize,
+    buf: Vec<u8>,
+    offset: u64,
+    index: Vec<IndexEntry>,
+    block_first_key: Option<Vec<u8>>,
+    bloom: Option<BloomFilter>,
+    smallest: Option<Vec<u8>>,
+    largest: Option<Vec<u8>>,
+    num_entries: u64,
+    tombstones: u64,
+}
+
+impl TableWriter {
+    /// Creates a writer. `expected_keys` sizes the Bloom filter.
+    pub fn create(
+        path: &Path,
+        block_bytes: usize,
+        bloom_bits_per_key: u32,
+        expected_keys: usize,
+    ) -> io::Result<Self> {
+        Ok(TableWriter {
+            file: File::create(path)?,
+            path: path.to_path_buf(),
+            block_bytes: block_bytes.max(64),
+            buf: Vec::with_capacity(block_bytes * 2),
+            offset: 0,
+            index: Vec::new(),
+            block_first_key: None,
+            bloom: BloomFilter::new(expected_keys, bloom_bits_per_key),
+            smallest: None,
+            largest: None,
+            num_entries: 0,
+            tombstones: 0,
+        })
+    }
+
+    /// Appends one record. Keys must arrive in strictly increasing order.
+    pub fn add(&mut self, key: &[u8], entry: &FlushEntry) -> io::Result<()> {
+        debug_assert!(
+            self.largest.as_deref().is_none_or(|l| l < key),
+            "keys must be added in strictly increasing order"
+        );
+        if self.smallest.is_none() {
+            self.smallest = Some(key.to_vec());
+        }
+        self.largest = Some(key.to_vec());
+        if self.block_first_key.is_none() {
+            self.block_first_key = Some(key.to_vec());
+        }
+        if let Some(bloom) = &mut self.bloom {
+            bloom.insert(key);
+        }
+        if matches!(entry, FlushEntry::Delete) {
+            self.tombstones += 1;
+        }
+        self.num_entries += 1;
+        encode_record(&mut self.buf, key, entry);
+        if self.buf.len() >= self.block_bytes {
+            self.finish_block()?;
+        }
+        Ok(())
+    }
+
+    fn finish_block(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let first_key = self
+            .block_first_key
+            .take()
+            .expect("non-empty block has a first key");
+        self.index.push(IndexEntry {
+            first_key,
+            offset: self.offset,
+            len: self.buf.len() as u32,
+        });
+        self.file.write_all(&self.buf)?;
+        self.offset += self.buf.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Finalizes the file and returns its metadata handle.
+    pub fn finish(mut self, file_no: u64) -> io::Result<TableHandle> {
+        self.finish_block()?;
+        let bloom_bytes = self
+            .bloom
+            .as_ref()
+            .map(|b| b.to_bytes())
+            .unwrap_or_default();
+        let bloom_offset = self.offset;
+        self.file.write_all(&bloom_bytes)?;
+        self.offset += bloom_bytes.len() as u64;
+
+        let mut index_bytes = Vec::new();
+        for e in &self.index {
+            index_bytes.extend_from_slice(&(e.first_key.len() as u16).to_le_bytes());
+            index_bytes.extend_from_slice(&e.first_key);
+            index_bytes.extend_from_slice(&e.offset.to_le_bytes());
+            index_bytes.extend_from_slice(&e.len.to_le_bytes());
+        }
+        let index_offset = self.offset;
+        self.file.write_all(&index_bytes)?;
+        self.offset += index_bytes.len() as u64;
+
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        footer.extend_from_slice(&index_offset.to_le_bytes());
+        footer.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&bloom_offset.to_le_bytes());
+        footer.extend_from_slice(&(bloom_bytes.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&self.num_entries.to_le_bytes());
+        footer.extend_from_slice(&self.tombstones.to_le_bytes());
+        let crc = crc32c(&footer);
+        footer.extend_from_slice(&crc.to_le_bytes());
+        footer.extend_from_slice(&MAGIC.to_le_bytes()[..4]);
+        debug_assert_eq!(footer.len(), FOOTER_LEN);
+        self.file.write_all(&footer)?;
+        self.file.sync_data()?;
+        let size = self.offset + FOOTER_LEN as u64;
+        let read_handle = File::open(&self.path)?;
+
+        Ok(TableHandle {
+            file_no,
+            path: self.path,
+            size,
+            smallest: self.smallest.unwrap_or_default(),
+            largest: self.largest.unwrap_or_default(),
+            num_entries: self.num_entries,
+            tombstones: self.tombstones,
+            index: Arc::new(self.index),
+            bloom: Arc::new(if bloom_bytes.is_empty() {
+                None
+            } else {
+                BloomFilter::from_bytes(&bloom_bytes)
+            }),
+            file: Arc::new(read_handle),
+            creation_seq: 0,
+        })
+    }
+}
+
+/// An open SSTable: resident metadata plus a shared read-only file handle.
+#[derive(Clone)]
+pub struct TableHandle {
+    /// Monotone file number (newer files have larger numbers).
+    pub file_no: u64,
+    /// Path on disk.
+    pub path: PathBuf,
+    /// Total file size in bytes.
+    pub size: u64,
+    /// Smallest key in the file.
+    pub smallest: Vec<u8>,
+    /// Largest key in the file.
+    pub largest: Vec<u8>,
+    /// Number of records.
+    pub num_entries: u64,
+    /// Number of tombstone records (drives Lethe's compaction priority).
+    pub tombstones: u64,
+    index: Arc<Vec<IndexEntry>>,
+    bloom: Arc<Option<BloomFilter>>,
+    file: Arc<File>,
+    /// Global operation sequence at creation time (set by the store; used
+    /// to age tombstones for the Lethe policy).
+    pub creation_seq: u64,
+}
+
+impl std::fmt::Debug for TableHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableHandle")
+            .field("file_no", &self.file_no)
+            .field("size", &self.size)
+            .field("entries", &self.num_entries)
+            .field("tombstones", &self.tombstones)
+            .finish()
+    }
+}
+
+impl TableHandle {
+    /// Opens an existing SSTable file, reading its footer, index, and
+    /// Bloom filter.
+    pub fn open(path: &Path, file_no: u64) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let size = file.metadata()?.len();
+        if size < FOOTER_LEN as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "sstable too small",
+            ));
+        }
+        let mut footer = [0u8; FOOTER_LEN];
+        file.read_exact_at(&mut footer, size - FOOTER_LEN as u64)?;
+        if footer[52..56] != MAGIC.to_le_bytes()[..4] {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad sstable magic",
+            ));
+        }
+        let crc_stored = u32::from_le_bytes(footer[48..52].try_into().unwrap());
+        if crc32c(&footer[..48]) != crc_stored {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "sstable footer crc mismatch",
+            ));
+        }
+        let index_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+        let index_len = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+        let bloom_offset = u64::from_le_bytes(footer[16..24].try_into().unwrap());
+        let bloom_len = u64::from_le_bytes(footer[24..32].try_into().unwrap());
+        let num_entries = u64::from_le_bytes(footer[32..40].try_into().unwrap());
+        let tombstones = u64::from_le_bytes(footer[40..48].try_into().unwrap());
+
+        let mut index_bytes = vec![0u8; index_len as usize];
+        file.read_exact_at(&mut index_bytes, index_offset)?;
+        let mut index = Vec::new();
+        let mut p = 0usize;
+        while p < index_bytes.len() {
+            if p + 2 > index_bytes.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "truncated index",
+                ));
+            }
+            let klen = u16::from_le_bytes(index_bytes[p..p + 2].try_into().unwrap()) as usize;
+            p += 2;
+            if p + klen + 12 > index_bytes.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "truncated index",
+                ));
+            }
+            let first_key = index_bytes[p..p + klen].to_vec();
+            p += klen;
+            let offset = u64::from_le_bytes(index_bytes[p..p + 8].try_into().unwrap());
+            p += 8;
+            let len = u32::from_le_bytes(index_bytes[p..p + 4].try_into().unwrap());
+            p += 4;
+            index.push(IndexEntry {
+                first_key,
+                offset,
+                len,
+            });
+        }
+
+        let bloom = if bloom_len > 0 {
+            let mut bloom_bytes = vec![0u8; bloom_len as usize];
+            file.read_exact_at(&mut bloom_bytes, bloom_offset)?;
+            BloomFilter::from_bytes(&bloom_bytes)
+        } else {
+            None
+        };
+
+        let (smallest, largest) = if index.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            // Largest key requires scanning the last block.
+            let smallest = index[0].first_key.clone();
+            let last = index.last().unwrap();
+            let mut block = vec![0u8; last.len as usize];
+            file.read_exact_at(&mut block, last.offset)?;
+            let mut pos = 0;
+            let mut largest = Vec::new();
+            while pos < block.len() {
+                let (k, _, next) = decode_record(&block, pos)?;
+                largest = k.to_vec();
+                pos = next;
+            }
+            (smallest, largest)
+        };
+
+        // Reopen read-only for shared pread access.
+        let file = File::open(path)?;
+        Ok(TableHandle {
+            file_no,
+            path: path.to_path_buf(),
+            size,
+            smallest,
+            largest,
+            num_entries,
+            tombstones,
+            index: Arc::new(index),
+            bloom: Arc::new(bloom),
+            file: Arc::new(file),
+            creation_seq: 0,
+        })
+    }
+
+    /// Whether `key` could fall inside this table's key range.
+    pub fn key_in_range(&self, key: &[u8]) -> bool {
+        !self.index.is_empty() && key >= self.smallest.as_slice() && key <= self.largest.as_slice()
+    }
+
+    /// Whether this table's range overlaps `[lo, hi]`.
+    pub fn overlaps(&self, lo: &[u8], hi: &[u8]) -> bool {
+        !self.index.is_empty() && self.smallest.as_slice() <= hi && self.largest.as_slice() >= lo
+    }
+
+    fn read_block(&self, idx: usize, cache: &BlockCache) -> io::Result<Block> {
+        let e = &self.index[idx];
+        let cache_key = (self.file_no, e.offset);
+        if let Some(block) = cache.get(&cache_key) {
+            return Ok(block);
+        }
+        let mut buf = vec![0u8; e.len as usize];
+        self.file.read_exact_at(&mut buf, e.offset)?;
+        let block: Block = Arc::new(buf);
+        cache.insert(cache_key, block.clone());
+        Ok(block)
+    }
+
+    /// Point lookup within this table.
+    pub fn get(&self, key: &[u8], cache: &BlockCache) -> io::Result<Lookup> {
+        if !self.key_in_range(key) {
+            return Ok(Lookup::NotFound);
+        }
+        if let Some(bloom) = self.bloom.as_ref() {
+            if !bloom.may_contain(key) {
+                return Ok(Lookup::NotFound);
+            }
+        }
+        // Find the last block whose first key is <= key.
+        let idx = match self
+            .index
+            .partition_point(|e| e.first_key.as_slice() <= key)
+        {
+            0 => return Ok(Lookup::NotFound),
+            n => n - 1,
+        };
+        let block = self.read_block(idx, cache)?;
+        let mut pos = 0;
+        while pos < block.len() {
+            let (k, entry, next) = decode_record(&block, pos)?;
+            match k.cmp(key) {
+                std::cmp::Ordering::Less => pos = next,
+                std::cmp::Ordering::Equal => {
+                    return Ok(match entry {
+                        FlushEntry::Put(v) => Lookup::Value(v),
+                        FlushEntry::Delete => Lookup::Deleted,
+                        FlushEntry::Merge(ops) => Lookup::Operands(ops),
+                    })
+                }
+                std::cmp::Ordering::Greater => return Ok(Lookup::NotFound),
+            }
+        }
+        Ok(Lookup::NotFound)
+    }
+
+    /// Sequentially iterates every record (used by compaction).
+    pub fn iter<'a>(&'a self, cache: &'a BlockCache) -> TableIterator<'a> {
+        TableIterator {
+            table: self,
+            cache,
+            block_idx: 0,
+            block: None,
+            pos: 0,
+        }
+    }
+}
+
+/// Sequential iterator over all records of a table, in key order.
+pub struct TableIterator<'a> {
+    table: &'a TableHandle,
+    cache: &'a BlockCache,
+    block_idx: usize,
+    block: Option<Block>,
+    pos: usize,
+}
+
+impl TableIterator<'_> {
+    /// Returns the next `(key, entry)` pair, or `Ok(None)` at the end.
+    #[allow(clippy::should_implement_trait)] // Fallible iterator.
+    pub fn next(&mut self) -> io::Result<Option<(Vec<u8>, FlushEntry)>> {
+        loop {
+            if self.block.is_none() {
+                if self.block_idx >= self.table.index.len() {
+                    return Ok(None);
+                }
+                self.block = Some(self.table.read_block(self.block_idx, self.cache)?);
+                self.pos = 0;
+            }
+            let block = self.block.as_ref().expect("block loaded above").clone();
+            if self.pos >= block.len() {
+                self.block = None;
+                self.block_idx += 1;
+                continue;
+            }
+            let (k, entry, next) = decode_record(&block, self.pos)?;
+            self.pos = next;
+            return Ok(Some((k.to_vec(), entry)));
+        }
+    }
+}
+
+/// Folds a [`Lookup`] chain result with deeper data, used by multi-level
+/// read paths: `acc` holds operands collected so far (newest levels first
+/// in *application order*, i.e. oldest-first within each level and levels
+/// prepended).
+pub fn resolve_with(acc: &mut Vec<Bytes>, deeper: Lookup) -> Option<Option<Bytes>> {
+    match deeper {
+        Lookup::Value(v) => Some(Some(fold_merge(Some(&v), acc))),
+        Lookup::Deleted => Some(Some(fold_merge(None, acc))),
+        Lookup::NotFound => None,
+        Lookup::Operands(mut ops) => {
+            ops.append(acc);
+            *acc = ops;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gadget-sst-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn build_table(path: &Path, n: u64) -> TableHandle {
+        let mut w = TableWriter::create(path, 256, 10, n as usize).unwrap();
+        for i in 0..n {
+            let key = i.to_be_bytes();
+            let entry = match i % 3 {
+                0 => FlushEntry::Put(Bytes::from(format!("value-{i}"))),
+                1 => FlushEntry::Delete,
+                _ => FlushEntry::Merge(vec![Bytes::from(format!("op-{i}"))]),
+            };
+            w.add(&key, &entry).unwrap();
+        }
+        w.finish(1).unwrap()
+    }
+
+    #[test]
+    fn write_read_all_tags() {
+        let dir = tmpdir("rw");
+        let path = dir.join("t1.sst");
+        let t = build_table(&path, 300);
+        let cache = BlockCache::new(1 << 20);
+        assert_eq!(t.num_entries, 300);
+        assert_eq!(t.tombstones, 100);
+        for i in 0..300u64 {
+            let got = t.get(&i.to_be_bytes(), &cache).unwrap();
+            match i % 3 {
+                0 => assert_eq!(got, Lookup::Value(Bytes::from(format!("value-{i}")))),
+                1 => assert_eq!(got, Lookup::Deleted),
+                _ => assert_eq!(got, Lookup::Operands(vec![Bytes::from(format!("op-{i}"))])),
+            }
+        }
+        assert_eq!(
+            t.get(&1_000u64.to_be_bytes(), &cache).unwrap(),
+            Lookup::NotFound
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn reopen_matches_written_state() {
+        let dir = tmpdir("reopen");
+        let path = dir.join("t2.sst");
+        let orig = build_table(&path, 100);
+        let reopened = TableHandle::open(&path, 1).unwrap();
+        assert_eq!(reopened.num_entries, orig.num_entries);
+        assert_eq!(reopened.tombstones, orig.tombstones);
+        assert_eq!(reopened.smallest, orig.smallest);
+        assert_eq!(reopened.largest, orig.largest);
+        let cache = BlockCache::new(1 << 20);
+        assert_eq!(
+            reopened.get(&0u64.to_be_bytes(), &cache).unwrap(),
+            Lookup::Value(Bytes::from_static(b"value-0"))
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn iterator_visits_all_in_order() {
+        let dir = tmpdir("iter");
+        let path = dir.join("t3.sst");
+        let t = build_table(&path, 250);
+        let cache = BlockCache::new(1 << 20);
+        let mut it = t.iter(&cache);
+        let mut prev: Option<Vec<u8>> = None;
+        let mut count = 0;
+        while let Some((k, _)) = it.next().unwrap() {
+            if let Some(p) = &prev {
+                assert!(*p < k, "iterator out of order");
+            }
+            prev = Some(k);
+            count += 1;
+        }
+        assert_eq!(count, 250);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupted_footer_is_rejected() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("t4.sst");
+        build_table(&path, 50);
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 10] ^= 0xFF; // Flip a bit inside the footer.
+        std::fs::write(&path, &data).unwrap();
+        assert!(TableHandle::open(&path, 1).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn range_checks() {
+        let dir = tmpdir("range");
+        let path = dir.join("t5.sst");
+        let t = build_table(&path, 10);
+        assert!(t.key_in_range(&5u64.to_be_bytes()));
+        assert!(!t.key_in_range(&100u64.to_be_bytes()));
+        assert!(t.overlaps(&3u64.to_be_bytes(), &20u64.to_be_bytes()));
+        assert!(!t.overlaps(&20u64.to_be_bytes(), &30u64.to_be_bytes()));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn resolve_with_folds_chains() {
+        let mut acc = vec![Bytes::from_static(b"c")];
+        // Deeper level contributes older operands.
+        assert_eq!(
+            resolve_with(&mut acc, Lookup::Operands(vec![Bytes::from_static(b"b")])),
+            None
+        );
+        assert_eq!(
+            acc,
+            vec![Bytes::from_static(b"b"), Bytes::from_static(b"c")]
+        );
+        let out = resolve_with(&mut acc, Lookup::Value(Bytes::from_static(b"a")));
+        assert_eq!(out, Some(Some(Bytes::from_static(b"abc"))));
+        let mut acc2 = vec![Bytes::from_static(b"x")];
+        assert_eq!(
+            resolve_with(&mut acc2, Lookup::Deleted),
+            Some(Some(Bytes::from_static(b"x")))
+        );
+        let mut acc3 = vec![Bytes::from_static(b"y")];
+        assert_eq!(resolve_with(&mut acc3, Lookup::NotFound), None);
+    }
+}

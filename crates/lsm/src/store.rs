@@ -1,0 +1,937 @@
+//! The public LSM store.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use gadget_kv::{StateStore, StoreCounters, StoreError};
+
+use crate::cache::BlockCache;
+use crate::compaction::{pick_compaction, run_compaction, CompactionReason};
+use crate::config::LsmConfig;
+use crate::memtable::{Lookup, MemTable};
+use crate::sstable::TableWriter;
+use crate::version::{recover_version, table_path, Version};
+use crate::wal::{Wal, WalOp};
+
+/// Mutable write-side state, guarded by one mutex.
+struct WriteState {
+    mem: MemTable,
+    mem_gen: u64,
+    immutables: VecDeque<(u64, Arc<MemTable>)>,
+    wal: Option<Wal>,
+    closed: bool,
+}
+
+struct Inner {
+    dir: PathBuf,
+    config: LsmConfig,
+    cache: BlockCache,
+    state: Mutex<WriteState>,
+    version: RwLock<Arc<Version>>,
+    /// Wakes the background worker when there is work.
+    work_cv: Condvar,
+    /// Wakes stalled writers when an immutable memtable drains.
+    stall_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Global operation sequence; ages tombstones for the Lethe policy.
+    seq: AtomicU64,
+    next_file_no: AtomicU64,
+    counters: StoreCounters,
+    flushes: AtomicU64,
+    compactions_l0: AtomicU64,
+    compactions_size: AtomicU64,
+    compactions_lethe: AtomicU64,
+    tombstones_dropped: AtomicU64,
+    compaction_bytes_read: AtomicU64,
+    compaction_bytes_written: AtomicU64,
+    write_stalls: AtomicU64,
+}
+
+/// An embedded LSM-tree key-value store (see the crate docs for the
+/// architecture).
+///
+/// Cloning is cheap and shares the underlying store; the background worker
+/// shuts down when the last clone is dropped.
+pub struct LsmStore {
+    inner: Arc<Inner>,
+    worker: Option<Arc<WorkerGuard>>,
+}
+
+struct WorkerGuard {
+    inner: Arc<Inner>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.work_cv.notify_all();
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Clone for LsmStore {
+    fn clone(&self) -> Self {
+        LsmStore {
+            inner: self.inner.clone(),
+            worker: self.worker.clone(),
+        }
+    }
+}
+
+fn wal_file_name(gen: u64) -> String {
+    format!("wal_{gen}.log")
+}
+
+impl LsmStore {
+    /// Opens (or creates) a store in `dir`.
+    ///
+    /// Recovery reopens every SSTable found in the directory and replays
+    /// any write-ahead logs into the fresh memtable.
+    pub fn open<P: AsRef<Path>>(dir: P, config: LsmConfig) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let (version, max_file_no) = recover_version(&dir, config.num_levels)?;
+
+        // Replay WALs in generation order.
+        let mut wal_gens: Vec<u64> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_str()?;
+                name.strip_prefix("wal_")?
+                    .strip_suffix(".log")?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .collect();
+        wal_gens.sort_unstable();
+        let mut mem = MemTable::new();
+        for gen in &wal_gens {
+            for op in Wal::replay(&dir.join(wal_file_name(*gen)))? {
+                match op {
+                    WalOp::Put(k, v) => mem.put(&k, &v),
+                    WalOp::Delete(k) => mem.delete(&k),
+                    WalOp::Merge(k, v) => mem.merge(&k, &v),
+                }
+            }
+        }
+        let mem_gen = wal_gens.last().copied().unwrap_or(0) + 1;
+        // Old WAL contents now live in the fresh memtable; retire the files
+        // once the new generation's WAL exists.
+        // Recovered entries are re-logged under the new generation so the
+        // old WAL files can be retired immediately.
+        let mut wal = if config.wal {
+            Some(Wal::create(
+                &dir.join(wal_file_name(mem_gen)),
+                config.wal_sync,
+            )?)
+        } else {
+            None
+        };
+        if let Some(w) = wal.as_mut() {
+            for (k, e) in mem.flush_iter() {
+                match e {
+                    crate::memtable::FlushEntry::Put(v) => {
+                        w.append(&WalOp::Put(k.to_vec(), v.to_vec()))?
+                    }
+                    crate::memtable::FlushEntry::Delete => w.append(&WalOp::Delete(k.to_vec()))?,
+                    crate::memtable::FlushEntry::Merge(ops) => {
+                        for op in ops {
+                            w.append(&WalOp::Merge(k.to_vec(), op.to_vec()))?;
+                        }
+                    }
+                }
+            }
+            w.flush()?;
+        }
+        for gen in &wal_gens {
+            let _ = std::fs::remove_file(dir.join(wal_file_name(*gen)));
+        }
+
+        let inner = Arc::new(Inner {
+            cache: BlockCache::new(config.block_cache_bytes),
+            state: Mutex::new(WriteState {
+                mem,
+                mem_gen,
+                immutables: VecDeque::new(),
+                wal,
+                closed: false,
+            }),
+            version: RwLock::new(Arc::new(version)),
+            work_cv: Condvar::new(),
+            stall_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            next_file_no: AtomicU64::new(max_file_no),
+            counters: StoreCounters::new(),
+            flushes: AtomicU64::new(0),
+            compactions_l0: AtomicU64::new(0),
+            compactions_size: AtomicU64::new(0),
+            compactions_lethe: AtomicU64::new(0),
+            tombstones_dropped: AtomicU64::new(0),
+            compaction_bytes_read: AtomicU64::new(0),
+            compaction_bytes_written: AtomicU64::new(0),
+            write_stalls: AtomicU64::new(0),
+            dir,
+            config,
+        });
+
+        let worker_inner = inner.clone();
+        let handle = std::thread::Builder::new()
+            .name("lsm-worker".to_string())
+            .spawn(move || worker_loop(worker_inner))
+            .map_err(StoreError::Io)?;
+
+        Ok(LsmStore {
+            worker: Some(Arc::new(WorkerGuard {
+                inner: inner.clone(),
+                handle: Mutex::new(Some(handle)),
+            })),
+            inner,
+        })
+    }
+
+    /// Blocks until every buffered write has been flushed to SSTables and
+    /// no compaction is pending. Primarily for tests and benchmarks that
+    /// need a quiesced tree.
+    pub fn compact_and_wait(&self) -> Result<(), StoreError> {
+        // Rotate the current memtable out, then wait for the queue to drain
+        // and for the picker to report no pending work.
+        {
+            let mut state = self.inner.state.lock();
+            if !state.mem.is_empty() {
+                rotate_memtable(&self.inner, &mut state)?;
+            }
+        }
+        loop {
+            {
+                let mut state = self.inner.state.lock();
+                if !state.immutables.is_empty() {
+                    self.inner.work_cv.notify_all();
+                    self.inner
+                        .stall_cv
+                        .wait_for(&mut state, std::time::Duration::from_millis(10));
+                    continue;
+                }
+            }
+            let version = self.inner.version.read().clone();
+            let seq = self.inner.seq.load(Ordering::Relaxed);
+            if pick_compaction(&version, &self.inner.config, seq).is_none() {
+                return Ok(());
+            }
+            self.inner.work_cv.notify_all();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+
+    /// Merging range scan across memtables and all levels.
+    fn scan_impl(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
+        use std::collections::btree_map::Entry;
+        use std::collections::BTreeMap;
+
+        enum Partial {
+            Final(Option<Bytes>),
+            Pending(Vec<Bytes>),
+        }
+
+        fn absorb(
+            acc: &mut BTreeMap<Vec<u8>, Partial>,
+            key: &[u8],
+            entry: crate::memtable::FlushEntry,
+        ) {
+            use crate::memtable::{fold_merge, FlushEntry};
+            match acc.entry(key.to_vec()) {
+                Entry::Vacant(slot) => {
+                    slot.insert(match entry {
+                        FlushEntry::Put(v) => Partial::Final(Some(v)),
+                        FlushEntry::Delete => Partial::Final(None),
+                        FlushEntry::Merge(ops) => Partial::Pending(ops),
+                    });
+                }
+                Entry::Occupied(mut slot) => match slot.get_mut() {
+                    Partial::Final(_) => {} // Newer data shadows this entry.
+                    Partial::Pending(pending) => {
+                        // `entry` is older than the pending operands.
+                        let resolved = match entry {
+                            FlushEntry::Put(v) => Some(fold_merge(Some(&v), pending)),
+                            FlushEntry::Delete => Some(fold_merge(None, pending)),
+                            FlushEntry::Merge(mut ops) => {
+                                ops.append(pending);
+                                *pending = ops;
+                                return;
+                            }
+                        };
+                        *slot.get_mut() = Partial::Final(resolved);
+                    }
+                },
+            }
+        }
+
+        let mut acc: BTreeMap<Vec<u8>, Partial> = BTreeMap::new();
+        // Snapshot sources under the state lock for consistency with gets.
+        let (mem_entries, imm_tables, version) = {
+            let state = self.inner.state.lock();
+            if state.closed {
+                return Err(StoreError::Closed);
+            }
+            let mem_entries: Vec<(Vec<u8>, crate::memtable::FlushEntry)> = state
+                .mem
+                .flush_iter()
+                .filter(|(k, _)| *k >= lo && *k <= hi)
+                .map(|(k, e)| (k.to_vec(), e))
+                .collect();
+            let imm: Vec<std::sync::Arc<crate::memtable::MemTable>> =
+                state.immutables.iter().map(|(_, m)| m.clone()).collect();
+            (mem_entries, imm, self.inner.version.read().clone())
+        };
+        for (k, e) in mem_entries {
+            absorb(&mut acc, &k, e);
+        }
+        // Immutable memtables, newest first.
+        for imm in imm_tables.iter().rev() {
+            for (k, e) in imm.flush_iter() {
+                if k >= lo && k <= hi {
+                    absorb(&mut acc, k, e);
+                }
+            }
+        }
+        // L0 newest-first, then deeper levels.
+        for level in &version.levels {
+            for table in level {
+                if !table.overlaps(lo, hi) {
+                    continue;
+                }
+                let mut it = table.iter(&self.inner.cache);
+                while let Some((k, e)) = it.next()? {
+                    if k.as_slice() > hi {
+                        break;
+                    }
+                    if k.as_slice() >= lo {
+                        absorb(&mut acc, &k, e);
+                    }
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(acc.len());
+        for (k, partial) in acc {
+            match partial {
+                Partial::Final(Some(v)) => out.push((k, v)),
+                Partial::Final(None) => {}
+                Partial::Pending(ops) => out.push((k, crate::memtable::fold_merge(None, &ops))),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of files on each level (diagnostics and tests).
+    pub fn level_file_counts(&self) -> Vec<usize> {
+        let v = self.inner.version.read().clone();
+        (0..self.inner.config.num_levels)
+            .map(|l| v.level_files(l))
+            .collect()
+    }
+
+    fn write_op(&self, op: WalOp) -> Result<(), StoreError> {
+        self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let inner = &self.inner;
+        let mut state = inner.state.lock();
+        if state.closed {
+            return Err(StoreError::Closed);
+        }
+        if let Some(wal) = state.wal.as_mut() {
+            wal.append(&op)?;
+        }
+        match &op {
+            WalOp::Put(k, v) => state.mem.put(k, v),
+            WalOp::Delete(k) => state.mem.delete(k),
+            WalOp::Merge(k, v) => state.mem.merge(k, v),
+        }
+        if state.mem.approximate_bytes() >= inner.config.memtable_bytes {
+            rotate_memtable(inner, &mut state)?;
+        }
+        Ok(())
+    }
+}
+
+/// Rotates the active memtable into the immutable queue, stalling if the
+/// queue is full. Caller holds the state lock.
+fn rotate_memtable(
+    inner: &Inner,
+    state: &mut parking_lot::MutexGuard<'_, WriteState>,
+) -> Result<(), StoreError> {
+    while state.immutables.len() >= inner.config.max_immutable_memtables {
+        inner.write_stalls.fetch_add(1, Ordering::Relaxed);
+        inner.work_cv.notify_all();
+        inner
+            .stall_cv
+            .wait_for(state, std::time::Duration::from_millis(100));
+    }
+    let mem = std::mem::take(&mut state.mem);
+    let gen = state.mem_gen;
+    state.mem_gen += 1;
+    if inner.config.wal {
+        if let Some(w) = state.wal.as_mut() {
+            w.flush()?;
+        }
+        state.wal = Some(Wal::create(
+            &inner.dir.join(wal_file_name(state.mem_gen)),
+            inner.config.wal_sync,
+        )?);
+    }
+    state.immutables.push_back((gen, Arc::new(mem)));
+    inner.work_cv.notify_all();
+    Ok(())
+}
+
+/// The background worker: flushes immutable memtables and runs compactions.
+fn worker_loop(inner: Arc<Inner>) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            // Final drain: flush remaining immutables so close loses nothing
+            // beyond the WAL-protected active memtable.
+            while flush_one(&inner).unwrap_or(false) {}
+            return;
+        }
+        match flush_one(&inner) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(_) => continue, // Transient I/O errors retry on next pass.
+        }
+        let version = inner.version.read().clone();
+        let seq = inner.seq.load(Ordering::Relaxed);
+        if let Some(job) = pick_compaction(&version, &inner.config, seq) {
+            let mut next_no = inner.next_file_no.load(Ordering::Relaxed);
+            match run_compaction(
+                &job,
+                &inner.dir,
+                &inner.config,
+                &inner.cache,
+                &mut next_no,
+                seq,
+            ) {
+                Ok(out) => {
+                    inner.next_file_no.store(next_no, Ordering::Relaxed);
+                    match job.reason {
+                        CompactionReason::L0FileCount => {
+                            inner.compactions_l0.fetch_add(1, Ordering::Relaxed)
+                        }
+                        CompactionReason::DeletePersistence => {
+                            inner.compactions_lethe.fetch_add(1, Ordering::Relaxed)
+                        }
+                        CompactionReason::LevelSize => {
+                            inner.compactions_size.fetch_add(1, Ordering::Relaxed)
+                        }
+                    };
+                    inner
+                        .tombstones_dropped
+                        .fetch_add(out.tombstones_dropped, Ordering::Relaxed);
+                    inner
+                        .compaction_bytes_read
+                        .fetch_add(out.bytes_read, Ordering::Relaxed);
+                    inner
+                        .compaction_bytes_written
+                        .fetch_add(out.bytes_written, Ordering::Relaxed);
+                    let deleted: Vec<(usize, u64)> = job
+                        .inputs
+                        .iter()
+                        .map(|t| {
+                            // Input tables live on job.level or output_level.
+                            let lvl = if version.levels[job.level]
+                                .iter()
+                                .any(|x| x.file_no == t.file_no)
+                            {
+                                job.level
+                            } else {
+                                job.output_level
+                            };
+                            (lvl, t.file_no)
+                        })
+                        .collect();
+                    let added: Vec<(usize, Arc<crate::sstable::TableHandle>)> = out
+                        .new_tables
+                        .iter()
+                        .map(|t| (job.output_level, t.clone()))
+                        .collect();
+                    {
+                        let mut vguard = inner.version.write();
+                        let new_version = vguard.apply(&deleted, &added);
+                        *vguard = Arc::new(new_version);
+                    }
+                    for t in &job.inputs {
+                        inner.cache.evict_file(t.file_no);
+                        let _ = std::fs::remove_file(&t.path);
+                    }
+                }
+                Err(_) => {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+            continue;
+        }
+        // Nothing to do: sleep until signalled.
+        let mut state = inner.state.lock();
+        if state.immutables.is_empty() && !inner.shutdown.load(Ordering::SeqCst) {
+            inner
+                .work_cv
+                .wait_for(&mut state, std::time::Duration::from_millis(50));
+        }
+    }
+}
+
+/// Flushes the oldest immutable memtable, if any. Returns whether one was
+/// flushed.
+fn flush_one(inner: &Inner) -> Result<bool, StoreError> {
+    let (gen, mem) = {
+        let state = inner.state.lock();
+        match state.immutables.front() {
+            Some((gen, mem)) => (*gen, mem.clone()),
+            None => return Ok(false),
+        }
+    };
+    if mem.is_empty() {
+        let mut state = inner.state.lock();
+        state.immutables.pop_front();
+        let _ = std::fs::remove_file(inner.dir.join(wal_file_name(gen)));
+        inner.stall_cv.notify_all();
+        return Ok(true);
+    }
+    let file_no = inner.next_file_no.fetch_add(1, Ordering::Relaxed) + 1;
+    let path = table_path(&inner.dir, 0, file_no);
+    let mut writer = TableWriter::create(
+        &path,
+        inner.config.block_bytes,
+        inner.config.bloom_bits_per_key,
+        mem.len(),
+    )?;
+    for (k, e) in mem.flush_iter() {
+        writer.add(k, &e)?;
+    }
+    let mut handle = writer.finish(file_no)?;
+    handle.creation_seq = inner.seq.load(Ordering::Relaxed);
+    {
+        // Install the new table and retire the memtable atomically w.r.t.
+        // readers, so no key is visible twice or not at all.
+        let mut state = inner.state.lock();
+        {
+            let mut vguard = inner.version.write();
+            let new_version = vguard.apply(&[], &[(0, Arc::new(handle))]);
+            *vguard = Arc::new(new_version);
+        }
+        state.immutables.pop_front();
+        inner.stall_cv.notify_all();
+    }
+    let _ = std::fs::remove_file(inner.dir.join(wal_file_name(gen)));
+    inner.flushes.fetch_add(1, Ordering::Relaxed);
+    Ok(true)
+}
+
+impl StateStore for LsmStore {
+    fn name(&self) -> &'static str {
+        if self.inner.config.lethe.is_some() {
+            "lethe"
+        } else {
+            "lsm"
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StoreError> {
+        self.inner.counters.record_get();
+        let mut pending: Vec<Bytes> = Vec::new();
+        let version = {
+            let state = self.inner.state.lock();
+            if state.closed {
+                return Err(StoreError::Closed);
+            }
+            match state.mem.get(key) {
+                Lookup::Value(v) => return Ok(Some(v)),
+                Lookup::Deleted => return Ok(None),
+                Lookup::Operands(ops) => pending = ops,
+                Lookup::NotFound => {}
+            }
+            let mut resolved: Option<Option<Bytes>> = None;
+            for (_, imm) in state.immutables.iter().rev() {
+                let lookup = imm.get(key);
+                if let Some(r) = crate::sstable::resolve_with(&mut pending, lookup) {
+                    resolved = Some(r);
+                    break;
+                }
+            }
+            if let Some(r) = resolved {
+                return Ok(r);
+            }
+            // Snapshot the version under the same lock so a concurrent
+            // flush cannot duplicate or hide data between the two probes.
+            self.inner.version.read().clone()
+        };
+        Ok(version.get(key, &self.inner.cache, pending)?)
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.inner.counters.record_put();
+        self.write_op(WalOp::Put(key.to_vec(), value.to_vec()))
+    }
+
+    fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), StoreError> {
+        self.inner.counters.record_merge();
+        self.write_op(WalOp::Merge(key.to_vec(), operand.to_vec()))
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+        self.inner.counters.record_delete();
+        self.write_op(WalOp::Delete(key.to_vec()))
+    }
+
+    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
+        self.scan_impl(lo, hi)
+    }
+
+    fn supports_scan(&self) -> bool {
+        true
+    }
+
+    fn supports_merge(&self) -> bool {
+        true
+    }
+
+    fn flush(&self) -> Result<(), StoreError> {
+        let mut state = self.inner.state.lock();
+        if let Some(wal) = state.wal.as_mut() {
+            wal.flush()?;
+        }
+        Ok(())
+    }
+
+    fn internal_counters(&self) -> Vec<(String, u64)> {
+        let mut out = self.inner.counters.snapshot();
+        let (hits, misses) = self.inner.cache.stats();
+        out.extend([
+            (
+                "flushes".to_string(),
+                self.inner.flushes.load(Ordering::Relaxed),
+            ),
+            (
+                "compactions_l0".to_string(),
+                self.inner.compactions_l0.load(Ordering::Relaxed),
+            ),
+            (
+                "compactions_size".to_string(),
+                self.inner.compactions_size.load(Ordering::Relaxed),
+            ),
+            (
+                "compactions_lethe".to_string(),
+                self.inner.compactions_lethe.load(Ordering::Relaxed),
+            ),
+            (
+                "tombstones_dropped".to_string(),
+                self.inner.tombstones_dropped.load(Ordering::Relaxed),
+            ),
+            (
+                "compaction_bytes_read".to_string(),
+                self.inner.compaction_bytes_read.load(Ordering::Relaxed),
+            ),
+            (
+                "compaction_bytes_written".to_string(),
+                self.inner.compaction_bytes_written.load(Ordering::Relaxed),
+            ),
+            ("block_cache_hits".to_string(), hits),
+            ("block_cache_misses".to_string(), misses),
+            (
+                "write_stalls".to_string(),
+                self.inner.write_stalls.load(Ordering::Relaxed),
+            ),
+        ]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gadget-lsm-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn basic_crud() {
+        let dir = tmpdir("crud");
+        let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+        s.put(b"a", b"1").unwrap();
+        assert_eq!(s.get(b"a").unwrap().as_deref(), Some(&b"1"[..]));
+        s.delete(b"a").unwrap();
+        assert_eq!(s.get(b"a").unwrap(), None);
+        s.merge(b"m", b"x").unwrap();
+        s.merge(b"m", b"y").unwrap();
+        assert_eq!(s.get(b"m").unwrap().as_deref(), Some(&b"xy"[..]));
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn survives_flushes_and_compactions() {
+        let dir = tmpdir("churn");
+        let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+        let n = 5_000u64;
+        for i in 0..n {
+            s.put(&i.to_be_bytes(), format!("value-{i}").as_bytes())
+                .unwrap();
+        }
+        s.compact_and_wait().unwrap();
+        for i in (0..n).step_by(97) {
+            assert_eq!(
+                s.get(&i.to_be_bytes()).unwrap().as_deref(),
+                Some(format!("value-{i}").as_bytes()),
+                "key {i}"
+            );
+        }
+        let counters = s.internal_counters();
+        let flushes = counters.iter().find(|(k, _)| k == "flushes").unwrap().1;
+        assert!(flushes > 0, "expected at least one flush");
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deletes_survive_compaction() {
+        let dir = tmpdir("deletes");
+        let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+        for i in 0..2_000u64 {
+            s.put(&i.to_be_bytes(), b"v").unwrap();
+        }
+        for i in 0..2_000u64 {
+            if i % 2 == 0 {
+                s.delete(&i.to_be_bytes()).unwrap();
+            }
+        }
+        s.compact_and_wait().unwrap();
+        for i in (0..2_000u64).step_by(101) {
+            let expected = if i % 2 == 0 { None } else { Some(&b"v"[..]) };
+            assert_eq!(
+                s.get(&i.to_be_bytes()).unwrap().as_deref(),
+                expected,
+                "key {i}"
+            );
+        }
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merges_survive_flush_boundaries() {
+        let dir = tmpdir("merge-flush");
+        let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+        // Interleave merges with filler so operands end up in different
+        // SSTables.
+        for round in 0..20u64 {
+            s.merge(b"acc", format!("[{round}]").as_bytes()).unwrap();
+            for i in 0..300u64 {
+                s.put(&(round * 1_000 + i).to_be_bytes(), b"filler-filler")
+                    .unwrap();
+            }
+        }
+        s.compact_and_wait().unwrap();
+        let v = s.get(b"acc").unwrap().unwrap();
+        let text = String::from_utf8(v.to_vec()).unwrap();
+        let expected: String = (0..20).map(|r| format!("[{r}]")).collect();
+        assert_eq!(text, expected);
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_replays_wal() {
+        let dir = tmpdir("recovery");
+        {
+            let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+            s.put(b"persisted", b"yes").unwrap();
+            s.merge(b"ops", b"a").unwrap();
+            s.merge(b"ops", b"b").unwrap();
+            s.delete(b"persisted").unwrap();
+            s.put(b"alive", b"1").unwrap();
+            s.flush().unwrap();
+            // Drop without compacting: data only in WAL + maybe memtable.
+        }
+        let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+        assert_eq!(s.get(b"alive").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(s.get(b"persisted").unwrap(), None);
+        assert_eq!(s.get(b"ops").unwrap().as_deref(), Some(&b"ab"[..]));
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_reopens_sstables() {
+        let dir = tmpdir("reopen-sst");
+        {
+            let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+            for i in 0..3_000u64 {
+                s.put(&i.to_be_bytes(), format!("v{i}").as_bytes()).unwrap();
+            }
+            s.compact_and_wait().unwrap();
+        }
+        let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+        for i in (0..3_000u64).step_by(331) {
+            assert_eq!(
+                s.get(&i.to_be_bytes()).unwrap().as_deref(),
+                Some(format!("v{i}").as_bytes())
+            );
+        }
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lethe_purges_tombstones_faster() {
+        let dir_l = tmpdir("lethe");
+        let s = LsmStore::open(&dir_l, LsmConfig::small_lethe()).unwrap();
+        for i in 0..2_000u64 {
+            s.put(&i.to_be_bytes(), b"some-value-bytes").unwrap();
+        }
+        for i in 0..2_000u64 {
+            s.delete(&i.to_be_bytes()).unwrap();
+        }
+        // Push enough subsequent traffic to age the tombstones past the
+        // 500-op threshold.
+        for i in 10_000..14_000u64 {
+            s.put(&i.to_be_bytes(), b"more").unwrap();
+        }
+        s.compact_and_wait().unwrap();
+        let counters = s.internal_counters();
+        let get = |name: &str| counters.iter().find(|(k, _)| k == name).unwrap().1;
+        assert!(get("tombstones_dropped") > 0, "no tombstones purged");
+        assert_eq!(s.name(), "lethe");
+        drop(s);
+        std::fs::remove_dir_all(&dir_l).ok();
+    }
+
+    #[test]
+    fn scan_merges_all_sources() {
+        let dir = tmpdir("scan");
+        let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+        // Older data pushed into SSTables.
+        for i in 0..2_000u64 {
+            s.put(&i.to_be_bytes(), b"old").unwrap();
+        }
+        s.compact_and_wait().unwrap();
+        // Fresh overwrites, merges, and deletes still in the memtable.
+        s.put(&10u64.to_be_bytes(), b"new").unwrap();
+        s.merge(&11u64.to_be_bytes(), b"+tail").unwrap();
+        s.delete(&12u64.to_be_bytes()).unwrap();
+        let hits = s.scan(&10u64.to_be_bytes(), &14u64.to_be_bytes()).unwrap();
+        let by_key: std::collections::HashMap<u64, &[u8]> = hits
+            .iter()
+            .map(|(k, v)| (u64::from_be_bytes(k[..8].try_into().unwrap()), v.as_ref()))
+            .collect();
+        assert_eq!(by_key[&10], b"new");
+        assert_eq!(by_key[&11], b"old+tail");
+        assert!(!by_key.contains_key(&12), "deleted key visible in scan");
+        assert_eq!(by_key[&13], b"old");
+        assert_eq!(by_key[&14], b"old");
+        // Sorted output.
+        for w in hits.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_empty_range() {
+        let dir = tmpdir("scan-empty");
+        let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+        s.put(b"a", b"1").unwrap();
+        assert!(s.scan(b"x", b"z").unwrap().is_empty());
+        assert!(s.supports_scan());
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scans_stay_consistent_under_concurrent_writes() {
+        // A scan racing flushes/compactions must never see phantom or
+        // missing keys from the immutable prefix of the keyspace.
+        let dir = tmpdir("scan-race");
+        let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+        // Immutable prefix written up front.
+        for i in 0..500u64 {
+            s.put(&i.to_be_bytes(), b"stable").unwrap();
+        }
+        let writer = {
+            let s = s.clone();
+            std::thread::spawn(move || {
+                for i in 10_000..14_000u64 {
+                    s.put(&i.to_be_bytes(), b"churn").unwrap();
+                    if i % 5 == 0 {
+                        s.delete(&(i - 2_000).to_be_bytes()).unwrap();
+                    }
+                }
+            })
+        };
+        for _ in 0..30 {
+            let hits = s.scan(&0u64.to_be_bytes(), &499u64.to_be_bytes()).unwrap();
+            assert_eq!(hits.len(), 500, "stable prefix corrupted by race");
+            assert!(hits.iter().all(|(_, v)| v.as_ref() == b"stable"));
+        }
+        writer.join().unwrap();
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_clients_are_consistent() {
+        let dir = tmpdir("concurrent");
+        let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let key = (t << 32 | i).to_be_bytes();
+                    s.put(&key, &i.to_le_bytes()).unwrap();
+                    if i % 3 == 0 {
+                        let got = s.get(&key).unwrap().unwrap();
+                        assert_eq!(got.as_ref(), &i.to_le_bytes());
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let dir = tmpdir("overwrite");
+        let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+        for round in 0..10u64 {
+            for i in 0..500u64 {
+                s.put(&i.to_be_bytes(), format!("r{round}").as_bytes())
+                    .unwrap();
+            }
+        }
+        s.compact_and_wait().unwrap();
+        for i in (0..500u64).step_by(37) {
+            assert_eq!(
+                s.get(&i.to_be_bytes()).unwrap().as_deref(),
+                Some(&b"r9"[..])
+            );
+        }
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

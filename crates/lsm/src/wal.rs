@@ -1,0 +1,219 @@
+//! Write-ahead log.
+//!
+//! Each record is `[len u32][crc u32][payload]` where the payload encodes
+//! one logical operation. On open, the log is replayed into the fresh
+//! memtable; a torn tail (partial final record or CRC mismatch) is treated
+//! as the end of the log, as in RocksDB's default recovery mode.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::crc::crc32c;
+
+const OP_PUT: u8 = 0;
+const OP_DELETE: u8 = 1;
+const OP_MERGE: u8 = 2;
+
+/// One logical operation recorded in the WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Full-value write.
+    Put(Vec<u8>, Vec<u8>),
+    /// Tombstone.
+    Delete(Vec<u8>),
+    /// Merge operand.
+    Merge(Vec<u8>, Vec<u8>),
+}
+
+/// An append-only write-ahead log.
+pub struct Wal {
+    writer: BufWriter<File>,
+    sync: bool,
+}
+
+impl Wal {
+    /// Creates (truncates) a WAL at `path`.
+    pub fn create(path: &Path, sync: bool) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Wal {
+            writer: BufWriter::new(file),
+            sync,
+        })
+    }
+
+    /// Appends one operation.
+    pub fn append(&mut self, op: &WalOp) -> io::Result<()> {
+        let mut payload = Vec::new();
+        match op {
+            WalOp::Put(k, v) => {
+                payload.push(OP_PUT);
+                payload.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                payload.extend_from_slice(k);
+                payload.extend_from_slice(v);
+            }
+            WalOp::Delete(k) => {
+                payload.push(OP_DELETE);
+                payload.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                payload.extend_from_slice(k);
+            }
+            WalOp::Merge(k, v) => {
+                payload.push(OP_MERGE);
+                payload.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                payload.extend_from_slice(k);
+                payload.extend_from_slice(v);
+            }
+        }
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&crc32c(&payload).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        if self.sync {
+            self.writer.flush()?;
+            self.writer.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered appends to the OS.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Replays a WAL file, stopping cleanly at a torn tail.
+    ///
+    /// Returns the decoded operations in append order. A missing file
+    /// yields an empty log.
+    pub fn replay(path: &Path) -> io::Result<Vec<WalOp>> {
+        let mut data = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        }
+        let mut ops = Vec::new();
+        let mut pos = 0usize;
+        while pos + 8 <= data.len() {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+            let start = pos + 8;
+            let end = start + len;
+            if end > data.len() {
+                break; // Torn tail.
+            }
+            let payload = &data[start..end];
+            if crc32c(payload) != crc {
+                break; // Torn or corrupt tail.
+            }
+            if let Some(op) = decode_payload(payload) {
+                ops.push(op);
+            } else {
+                break;
+            }
+            pos = end;
+        }
+        Ok(ops)
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalOp> {
+    if payload.len() < 5 {
+        return None;
+    }
+    let tag = payload[0];
+    let klen = u32::from_le_bytes(payload[1..5].try_into().ok()?) as usize;
+    if 5 + klen > payload.len() {
+        return None;
+    }
+    let key = payload[5..5 + klen].to_vec();
+    let rest = payload[5 + klen..].to_vec();
+    match tag {
+        OP_PUT => Some(WalOp::Put(key, rest)),
+        OP_DELETE if rest.is_empty() => Some(WalOp::Delete(key)),
+        OP_MERGE => Some(WalOp::Merge(key, rest)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gadget-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let path = tmp("roundtrip.wal");
+        let ops = vec![
+            WalOp::Put(b"k1".to_vec(), b"v1".to_vec()),
+            WalOp::Merge(b"k1".to_vec(), b"+x".to_vec()),
+            WalOp::Delete(b"k1".to_vec()),
+        ];
+        {
+            let mut wal = Wal::create(&path, false).unwrap();
+            for op in &ops {
+                wal.append(op).unwrap();
+            }
+            wal.flush().unwrap();
+        }
+        assert_eq!(Wal::replay(&path).unwrap(), ops);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let path = tmp("torn.wal");
+        {
+            let mut wal = Wal::create(&path, false).unwrap();
+            wal.append(&WalOp::Put(b"a".to_vec(), b"1".to_vec()))
+                .unwrap();
+            wal.append(&WalOp::Put(b"b".to_vec(), b"2".to_vec()))
+                .unwrap();
+            wal.flush().unwrap();
+        }
+        // Truncate mid-record.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let ops = Wal::replay(&path).unwrap();
+        assert_eq!(ops, vec![WalOp::Put(b"a".to_vec(), b"1".to_vec())]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let path = tmp("crc.wal");
+        {
+            let mut wal = Wal::create(&path, false).unwrap();
+            wal.append(&WalOp::Put(b"a".to_vec(), b"1".to_vec()))
+                .unwrap();
+            wal.append(&WalOp::Put(b"b".to_vec(), b"2".to_vec()))
+                .unwrap();
+            wal.flush().unwrap();
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xFF; // Corrupt last record's payload.
+        std::fs::write(&path, &data).unwrap();
+        let ops = Wal::replay(&path).unwrap();
+        assert_eq!(ops.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty_log() {
+        let path = tmp("never-created.wal");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(Wal::replay(&path).unwrap(), Vec::new());
+    }
+}

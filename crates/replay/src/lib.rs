@@ -1,0 +1,21 @@
+//! The performance evaluator (paper §5.5): replays state-access streams
+//! against KV stores and measures throughput and latency.
+//!
+//! * [`LatencyHistogram`] — a log-bucketed histogram (HDR-style, ~3%
+//!   relative error) for nanosecond latencies.
+//! * [`TraceReplayer`] — Gadget's *offline* mode: replays a recorded
+//!   [`Trace`](gadget_types::Trace) against any
+//!   [`StateStore`](gadget_kv::StateStore), optionally throttled to a
+//!   *service rate*, translating `merge` to read-modify-write for stores
+//!   without a native merge operator.
+//! * [`run_online`] — Gadget's *online* mode: generates and issues
+//!   requests on the fly from a [`GadgetConfig`](gadget_core::GadgetConfig).
+//! * [`run_concurrent`] — the concurrent-operators experiment (§6.4):
+//!   several workloads hammer one shared store instance from separate
+//!   threads.
+
+pub mod histogram;
+pub mod replayer;
+
+pub use histogram::LatencyHistogram;
+pub use replayer::{run_concurrent, run_online, ReplayOptions, RunReport, TraceReplayer};

@@ -1,0 +1,434 @@
+//! Trace replay, online execution, and concurrent-operator runs.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use gadget_core::GadgetConfig;
+use gadget_kv::{StateStore, StoreError};
+use gadget_types::{OpType, StateAccess, Trace};
+
+use crate::histogram::LatencyHistogram;
+
+/// Options controlling a replay run.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayOptions {
+    /// Target service rate in operations/second; `None` replays at full
+    /// speed. The paper's replayer "can be configured with a service rate
+    /// to speed up or slow down the trace arbitrarily" (§5.5).
+    pub service_rate: Option<f64>,
+    /// Cap on the number of operations replayed (`None` = whole trace).
+    pub max_ops: Option<u64>,
+}
+
+/// Measurements from one replay run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Store the run executed against.
+    pub store: String,
+    /// Workload label.
+    pub workload: String,
+    /// Operations executed.
+    pub operations: u64,
+    /// Wall-clock duration in seconds.
+    pub seconds: f64,
+    /// Throughput in operations per second.
+    pub throughput: f64,
+    /// Overall latency profile.
+    pub latency: LatencySummary,
+    /// Per-operation-type latency profiles, keyed by op name.
+    pub per_op: Vec<(String, LatencySummary)>,
+    /// `get`s that found a value.
+    pub hits: u64,
+    /// `get`s that found nothing.
+    pub misses: u64,
+}
+
+/// Percentile summary extracted from a histogram.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Mean latency in nanoseconds.
+    pub mean_ns: f64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile (the paper's tail metric).
+    pub p999_ns: u64,
+    /// Maximum.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Builds a summary from a histogram.
+    pub fn from_histogram(h: &LatencyHistogram) -> Self {
+        LatencySummary {
+            mean_ns: h.mean(),
+            p50_ns: h.percentile(50.0),
+            p99_ns: h.percentile(99.0),
+            p999_ns: h.percentile(99.9),
+            max_ns: h.max(),
+        }
+    }
+}
+
+/// Replays traces against stores, measuring latency and throughput.
+pub struct TraceReplayer {
+    options: ReplayOptions,
+    /// Reusable payload buffer (deterministic filler bytes).
+    payload: Vec<u8>,
+}
+
+impl Default for TraceReplayer {
+    fn default() -> Self {
+        TraceReplayer::new(ReplayOptions::default())
+    }
+}
+
+impl TraceReplayer {
+    /// Creates a replayer.
+    pub fn new(options: ReplayOptions) -> Self {
+        let payload: Vec<u8> = (0..1 << 20).map(|i| (i * 31 + 7) as u8).collect();
+        TraceReplayer { options, payload }
+    }
+
+    fn payload_of(&self, size: u32) -> &[u8] {
+        &self.payload[..(size as usize).min(self.payload.len())]
+    }
+
+    /// Applies one access to a store, timing it.
+    fn apply(
+        &self,
+        store: &dyn StateStore,
+        access: &StateAccess,
+        hits: &mut u64,
+        misses: &mut u64,
+    ) -> Result<u64, StoreError> {
+        let key = access.key.encode();
+        let started = Instant::now();
+        match access.op {
+            OpType::Get => {
+                if store.get(&key)?.is_some() {
+                    *hits += 1;
+                } else {
+                    *misses += 1;
+                }
+            }
+            OpType::Put => store.put(&key, self.payload_of(access.value_size))?,
+            OpType::Merge => store.merge(&key, self.payload_of(access.value_size))?,
+            OpType::Delete => store.delete(&key)?,
+        }
+        Ok(started.elapsed().as_nanos() as u64)
+    }
+
+    /// Replays `trace` against `store` and reports measurements.
+    pub fn replay(
+        &self,
+        trace: &Trace,
+        store: &dyn StateStore,
+        workload: &str,
+    ) -> Result<RunReport, StoreError> {
+        let mut overall = LatencyHistogram::new();
+        let mut per_op = [
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        ];
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let limit = self.options.max_ops.unwrap_or(u64::MAX);
+        let pace = self
+            .options
+            .service_rate
+            .map(|rate| Duration::from_nanos((1e9 / rate) as u64));
+
+        let started = Instant::now();
+        let mut executed = 0u64;
+        for access in trace.iter() {
+            if executed >= limit {
+                break;
+            }
+            if let Some(gap) = pace {
+                // Simple closed-loop pacing: sleep off any time we are
+                // ahead of the target schedule.
+                let target = gap * executed as u32;
+                let elapsed = started.elapsed();
+                if elapsed < target {
+                    std::thread::sleep(target - elapsed);
+                }
+            }
+            let ns = self.apply(store, access, &mut hits, &mut misses)?;
+            overall.record(ns);
+            let idx = match access.op {
+                OpType::Get => 0,
+                OpType::Put => 1,
+                OpType::Merge => 2,
+                OpType::Delete => 3,
+            };
+            per_op[idx].record(ns);
+            executed += 1;
+        }
+        let seconds = started.elapsed().as_secs_f64();
+
+        Ok(RunReport {
+            store: store.name().to_string(),
+            workload: workload.to_string(),
+            operations: executed,
+            seconds,
+            throughput: if seconds > 0.0 {
+                executed as f64 / seconds
+            } else {
+                0.0
+            },
+            latency: LatencySummary::from_histogram(&overall),
+            per_op: OpType::ALL
+                .iter()
+                .zip(per_op.iter())
+                .filter(|(_, h)| h.count() > 0)
+                .map(|(op, h)| (op.name().to_string(), LatencySummary::from_histogram(h)))
+                .collect(),
+            hits,
+            misses,
+        })
+    }
+
+    /// Preloads `keys` with `value_size`-byte values (YCSB-style load
+    /// phase; not timed).
+    pub fn preload<I>(
+        &self,
+        store: &dyn StateStore,
+        keys: I,
+        value_size: u32,
+    ) -> Result<u64, StoreError>
+    where
+        I: IntoIterator<Item = gadget_types::StateKey>,
+    {
+        let mut n = 0;
+        for key in keys {
+            store.put(&key.encode(), self.payload_of(value_size))?;
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+/// Online mode: generate the workload and issue it to the store on the
+/// fly, without materializing the trace first.
+pub fn run_online(
+    config: &GadgetConfig,
+    store: &dyn StateStore,
+    workload: &str,
+) -> Result<RunReport, StoreError> {
+    let kind = config.operator_kind().ok_or_else(|| {
+        StoreError::InvalidArgument(format!("unknown operator {}", config.operator))
+    })?;
+    let stream = config.build_stream();
+    let mut operator = kind.build(&config.operator_params());
+    let replayer = TraceReplayer::default();
+
+    let mut overall = LatencyHistogram::new();
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut buf: Vec<StateAccess> = Vec::with_capacity(64);
+    let mut executed = 0u64;
+    let mut watermark = 0;
+    let started = Instant::now();
+    for element in stream {
+        buf.clear();
+        match element {
+            gadget_types::StreamElement::Event(e) => {
+                if watermark > 0 && e.timestamp + config.allowed_lateness <= watermark {
+                    continue;
+                }
+                operator.on_event(&e, &mut buf);
+            }
+            gadget_types::StreamElement::Watermark(ts) => {
+                if ts > watermark {
+                    watermark = ts;
+                    operator.on_watermark(ts, &mut buf);
+                }
+            }
+        }
+        for access in &buf {
+            let ns = replayer.apply(store, access, &mut hits, &mut misses)?;
+            overall.record(ns);
+            executed += 1;
+        }
+    }
+    buf.clear();
+    operator.on_end(&mut buf);
+    for access in &buf {
+        let ns = replayer.apply(store, access, &mut hits, &mut misses)?;
+        overall.record(ns);
+        executed += 1;
+    }
+    let seconds = started.elapsed().as_secs_f64();
+
+    Ok(RunReport {
+        store: store.name().to_string(),
+        workload: workload.to_string(),
+        operations: executed,
+        seconds,
+        throughput: if seconds > 0.0 {
+            executed as f64 / seconds
+        } else {
+            0.0
+        },
+        latency: LatencySummary::from_histogram(&overall),
+        per_op: Vec::new(),
+        hits,
+        misses,
+    })
+}
+
+/// Concurrent-operators mode (§6.4): each trace replays on its own thread
+/// against the *same* store instance. Returns one report per trace, in
+/// input order.
+pub fn run_concurrent(
+    traces: Vec<(String, Trace)>,
+    store: Arc<dyn StateStore>,
+    options: ReplayOptions,
+) -> Result<Vec<RunReport>, StoreError> {
+    let mut handles = Vec::new();
+    for (label, trace) in traces {
+        let store = store.clone();
+        let options = options.clone();
+        handles.push(std::thread::spawn(move || {
+            let replayer = TraceReplayer::new(options);
+            replayer.replay(&trace, store.as_ref(), &label)
+        }));
+    }
+    let mut reports = Vec::new();
+    for h in handles {
+        reports.push(h.join().expect("replay thread panicked")?);
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gadget_core::{GeneratorConfig, OperatorKind};
+    use gadget_kv::MemStore;
+    use gadget_types::StateKey;
+
+    fn small_trace(kind: OperatorKind) -> Trace {
+        let cfg = GadgetConfig::synthetic(
+            kind,
+            GeneratorConfig {
+                events: 2_000,
+                ..GeneratorConfig::default()
+            },
+        );
+        cfg.run()
+    }
+
+    #[test]
+    fn replay_executes_every_operation() {
+        let trace = small_trace(OperatorKind::TumblingIncr);
+        let store = MemStore::new();
+        let report = TraceReplayer::default()
+            .replay(&trace, &store, "t")
+            .unwrap();
+        assert_eq!(report.operations, trace.len() as u64);
+        assert!(report.throughput > 0.0);
+        assert!(report.latency.p999_ns >= report.latency.p50_ns);
+        assert!(!report.per_op.is_empty());
+    }
+
+    #[test]
+    fn replay_semantics_window_state_cleared() {
+        // After a full tumbling-window replay the store must be empty:
+        // every pane is deleted when it fires.
+        let trace = small_trace(OperatorKind::TumblingIncr);
+        let store = MemStore::new();
+        TraceReplayer::default()
+            .replay(&trace, &store, "t")
+            .unwrap();
+        assert!(store.is_empty(), "{} panes leaked", store.len());
+    }
+
+    #[test]
+    fn gets_mostly_hit_for_incremental_windows() {
+        // All gets except each pane's first probe and FGets-after-put find
+        // a value, so the hit rate must be substantial.
+        let trace = small_trace(OperatorKind::TumblingIncr);
+        let store = MemStore::new();
+        let report = TraceReplayer::default()
+            .replay(&trace, &store, "t")
+            .unwrap();
+        assert!(report.hits > 0);
+        let hit_rate = report.hits as f64 / (report.hits + report.misses) as f64;
+        assert!(hit_rate > 0.5, "hit rate {hit_rate}");
+    }
+
+    #[test]
+    fn max_ops_limits_replay() {
+        let trace = small_trace(OperatorKind::Aggregation);
+        let store = MemStore::new();
+        let replayer = TraceReplayer::new(ReplayOptions {
+            max_ops: Some(100),
+            ..ReplayOptions::default()
+        });
+        let report = replayer.replay(&trace, &store, "t").unwrap();
+        assert_eq!(report.operations, 100);
+    }
+
+    #[test]
+    fn service_rate_throttles() {
+        let mut trace = Trace::new();
+        for i in 0..50 {
+            trace.push(gadget_types::StateAccess::put(StateKey::plain(i), 8, i));
+        }
+        let store = MemStore::new();
+        let replayer = TraceReplayer::new(ReplayOptions {
+            service_rate: Some(1_000.0), // 50 ops at 1k/s ≈ 50ms.
+            ..ReplayOptions::default()
+        });
+        let report = replayer.replay(&trace, &store, "t").unwrap();
+        assert!(report.seconds >= 0.04, "ran too fast: {}s", report.seconds);
+        assert!(report.throughput <= 1_500.0);
+    }
+
+    #[test]
+    fn online_mode_matches_offline_counts() {
+        let cfg = GadgetConfig::synthetic(
+            OperatorKind::Aggregation,
+            GeneratorConfig {
+                events: 1_000,
+                ..GeneratorConfig::default()
+            },
+        );
+        let offline = cfg.run();
+        let store = MemStore::new();
+        let online = run_online(&cfg, &store, "agg").unwrap();
+        assert_eq!(online.operations, offline.len() as u64);
+    }
+
+    #[test]
+    fn concurrent_runs_share_a_store() {
+        let t1 = small_trace(OperatorKind::SlidingIncr);
+        let t2 = small_trace(OperatorKind::SlidingHol);
+        let store: Arc<dyn StateStore> = Arc::new(MemStore::new());
+        let reports = run_concurrent(
+            vec![("incr".into(), t1), ("hol".into(), t2)],
+            store,
+            ReplayOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.operations > 0));
+        assert_eq!(reports[0].workload, "incr");
+    }
+
+    #[test]
+    fn preload_writes_all_keys() {
+        let store = MemStore::new();
+        let replayer = TraceReplayer::default();
+        let n = replayer
+            .preload(&store, (0..500).map(StateKey::plain), 64)
+            .unwrap();
+        assert_eq!(n, 500);
+        assert_eq!(store.len(), 500);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests: the log-bucketed histogram vs an exact oracle.
+
+use proptest::prelude::*;
+
+use gadget_replay::LatencyHistogram;
+
+/// Exact nearest-rank percentile oracle.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    /// Reported percentiles are within the histogram's documented ~4%
+    /// relative error of the exact values (and never above them by more
+    /// than one bucket).
+    #[test]
+    fn percentiles_track_exact_values(
+        mut values in proptest::collection::vec(0u64..10_000_000_000, 1..500),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0, 99.9] {
+            let exact = exact_percentile(&values, p);
+            let approx = h.percentile(p);
+            prop_assert!(approx <= exact, "p{p}: approx {approx} > exact {exact}");
+            let error = (exact - approx) as f64 / exact.max(1) as f64;
+            prop_assert!(error <= 0.04, "p{p}: error {error} (approx {approx}, exact {exact})");
+        }
+        prop_assert_eq!(h.percentile(100.0), *values.last().unwrap());
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max(), *values.last().unwrap());
+        let exact_mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - exact_mean).abs() < 1e-6);
+    }
+
+    /// Merging histograms equals recording the union.
+    #[test]
+    fn merge_equals_union(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hu = LatencyHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.max(), hu.max());
+        for p in [50.0, 99.0, 100.0] {
+            prop_assert_eq!(ha.percentile(p), hu.percentile(p));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Input-stream elements.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Timestamp;
+
+/// Identifies which input of a multi-input operator an event belongs to.
+///
+/// Single-input operators only ever see [`StreamId::LEFT`]. Two-input
+/// operators (joins) receive events tagged with [`StreamId::LEFT`] or
+/// [`StreamId::RIGHT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StreamId(pub u8);
+
+impl StreamId {
+    /// The first (or only) input of an operator.
+    pub const LEFT: StreamId = StreamId(0);
+    /// The second input of a two-input operator.
+    pub const RIGHT: StreamId = StreamId(1);
+}
+
+/// One data event of an input stream.
+///
+/// Events follow the key-value schema assumed by most stream processors
+/// (paper §2.3): state is always associated with a key derived from the
+/// event. Gadget never materializes event payloads; it tracks only the
+/// payload *size* so generated state accesses can carry realistic value
+/// sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// The event key (e.g. jobID for Borg, medallionID for Taxi).
+    pub key: u64,
+    /// Event time in milliseconds.
+    pub timestamp: Timestamp,
+    /// Size of the event payload in bytes.
+    pub value_size: u32,
+    /// Which operator input this event arrives on.
+    pub stream: StreamId,
+    /// Optional validity bound carried by the event itself.
+    ///
+    /// Continuous joins (paper §2.2) match events "before the drop-off
+    /// timestamp": the stream encodes an expiration time per event. `None`
+    /// for streams without validity semantics.
+    pub expiry: Option<Timestamp>,
+    /// Marks an event that *closes* the lifetime of its key.
+    ///
+    /// Dataset generators use this for Borg job-finished and Taxi drop-off
+    /// events; the continuous join deletes state when it sees one.
+    pub closes_key: bool,
+}
+
+impl Event {
+    /// Creates a plain data event on the left stream with no expiry.
+    pub fn new(key: u64, timestamp: Timestamp, value_size: u32) -> Self {
+        Event {
+            key,
+            timestamp,
+            value_size,
+            stream: StreamId::LEFT,
+            expiry: None,
+            closes_key: false,
+        }
+    }
+
+    /// Returns a copy of this event tagged with the given stream id.
+    pub fn on_stream(mut self, stream: StreamId) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Returns a copy of this event carrying the given expiration timestamp.
+    pub fn with_expiry(mut self, expiry: Timestamp) -> Self {
+        self.expiry = Some(expiry);
+        self
+    }
+
+    /// Returns a copy of this event marked as closing its key.
+    pub fn closing(mut self) -> Self {
+        self.closes_key = true;
+        self
+    }
+}
+
+/// An element of a physical data stream: either a data event or a watermark.
+///
+/// A watermark with event time `t` promises that no further event with
+/// timestamp `<= t` will arrive (late events excepted, see the event
+/// generator's lateness model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamElement {
+    /// A data event.
+    Event(Event),
+    /// A low-watermark carrying the stream's event-time progress.
+    Watermark(Timestamp),
+}
+
+impl StreamElement {
+    /// Returns the contained event, if this element is one.
+    pub fn as_event(&self) -> Option<&Event> {
+        match self {
+            StreamElement::Event(e) => Some(e),
+            StreamElement::Watermark(_) => None,
+        }
+    }
+
+    /// Returns the event-time timestamp of this element.
+    pub fn timestamp(&self) -> Timestamp {
+        match self {
+            StreamElement::Event(e) => e.timestamp,
+            StreamElement::Watermark(t) => *t,
+        }
+    }
+
+    /// Returns true if this element is a watermark.
+    pub fn is_watermark(&self) -> bool {
+        matches!(self, StreamElement::Watermark(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let e = Event::new(7, 1_000, 64)
+            .on_stream(StreamId::RIGHT)
+            .with_expiry(9_000)
+            .closing();
+        assert_eq!(e.key, 7);
+        assert_eq!(e.stream, StreamId::RIGHT);
+        assert_eq!(e.expiry, Some(9_000));
+        assert!(e.closes_key);
+    }
+
+    #[test]
+    fn stream_element_accessors() {
+        let e = StreamElement::Event(Event::new(1, 42, 8));
+        let w = StreamElement::Watermark(100);
+        assert_eq!(e.timestamp(), 42);
+        assert_eq!(w.timestamp(), 100);
+        assert!(!e.is_watermark());
+        assert!(w.is_watermark());
+        assert!(e.as_event().is_some());
+        assert!(w.as_event().is_none());
+    }
+}

@@ -1,0 +1,215 @@
+//! State-access requests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Timestamp;
+
+/// The operation type of a state access.
+///
+/// These are the four operations supported by RocksDB (paper §5.5); stores
+/// without native `merge` support translate it to a read-modify-write at the
+/// connector layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpType {
+    /// Point lookup.
+    Get,
+    /// Blind write (insert or overwrite).
+    Put,
+    /// Lazy read-modify-write: append a delta that is folded into the value
+    /// on the next read or during compaction.
+    Merge,
+    /// Point delete.
+    Delete,
+}
+
+impl OpType {
+    /// All operation types, in a stable order used by reports.
+    pub const ALL: [OpType; 4] = [OpType::Get, OpType::Put, OpType::Merge, OpType::Delete];
+
+    /// Short lowercase name used in reports and config files.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpType::Get => "get",
+            OpType::Put => "put",
+            OpType::Merge => "merge",
+            OpType::Delete => "delete",
+        }
+    }
+
+    /// Returns true for operations that write to the store (`put`, `merge`,
+    /// `delete`).
+    pub fn is_write(self) -> bool {
+        !matches!(self, OpType::Get)
+    }
+}
+
+/// A state key: the key under which operator state is stored.
+///
+/// Streaming operators map event keys to state keys in operator-specific
+/// ways (paper §5.2). Windowed operators use the W-ID strategy where each
+/// window pane is a KV pair keyed by `(event key, window start)`; rolling
+/// aggregations use the event key directly. We model this as a pair of a
+/// `group` (derived from the event key, or a stream side for joins) and a
+/// `ns` namespace (the window identifier, or an event sequence number for
+/// join buffers; zero when unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StateKey {
+    /// Key-group component (event key or join-side tag).
+    pub group: u64,
+    /// Namespace component (window start timestamp, buffer slot, …).
+    pub ns: u64,
+}
+
+impl StateKey {
+    /// A state key with no namespace component.
+    pub fn plain(group: u64) -> Self {
+        StateKey { group, ns: 0 }
+    }
+
+    /// A state key scoped to a namespace (e.g. a window start timestamp).
+    pub fn windowed(group: u64, ns: u64) -> Self {
+        StateKey { group, ns }
+    }
+
+    /// Encodes the key as 16 big-endian bytes.
+    ///
+    /// Big-endian encoding makes the byte order match the numeric order of
+    /// `(group, ns)`, so ordered stores (LSM, B+Tree) see meaningful key
+    /// locality: all windows of one group are adjacent, ordered by window
+    /// start.
+    pub fn encode(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.group.to_be_bytes());
+        out[8..].copy_from_slice(&self.ns.to_be_bytes());
+        out
+    }
+
+    /// Decodes a key previously produced by [`StateKey::encode`].
+    ///
+    /// Returns `None` if `bytes` is not exactly 16 bytes long.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 16 {
+            return None;
+        }
+        let mut g = [0u8; 8];
+        let mut n = [0u8; 8];
+        g.copy_from_slice(&bytes[..8]);
+        n.copy_from_slice(&bytes[8..]);
+        Some(StateKey {
+            group: u64::from_be_bytes(g),
+            ns: u64::from_be_bytes(n),
+        })
+    }
+
+    /// Packs the key into a single `u128` for use in hash sets and maps.
+    pub fn as_u128(&self) -> u128 {
+        ((self.group as u128) << 64) | self.ns as u128
+    }
+}
+
+/// One state access: the tuple `a = (p, k, v, t)` of the paper (§2.3).
+///
+/// Traces store the value *size* rather than the value bytes; the
+/// performance evaluator synthesizes payloads of the recorded size when the
+/// trace is replayed against a real store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateAccess {
+    /// The operation.
+    pub op: OpType,
+    /// The state key being accessed.
+    pub key: StateKey,
+    /// Payload size in bytes (zero for `get` and `delete`).
+    pub value_size: u32,
+    /// Event time at which the operation was issued.
+    pub ts: Timestamp,
+}
+
+impl StateAccess {
+    /// Creates a `get` access.
+    pub fn get(key: StateKey, ts: Timestamp) -> Self {
+        StateAccess {
+            op: OpType::Get,
+            key,
+            value_size: 0,
+            ts,
+        }
+    }
+
+    /// Creates a `put` access carrying `value_size` bytes.
+    pub fn put(key: StateKey, value_size: u32, ts: Timestamp) -> Self {
+        StateAccess {
+            op: OpType::Put,
+            key,
+            value_size,
+            ts,
+        }
+    }
+
+    /// Creates a `merge` access carrying `value_size` bytes.
+    pub fn merge(key: StateKey, value_size: u32, ts: Timestamp) -> Self {
+        StateAccess {
+            op: OpType::Merge,
+            key,
+            value_size,
+            ts,
+        }
+    }
+
+    /// Creates a `delete` access.
+    pub fn delete(key: StateKey, ts: Timestamp) -> Self {
+        StateAccess {
+            op: OpType::Delete,
+            key,
+            value_size: 0,
+            ts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let k = StateKey::windowed(0xDEAD_BEEF, 42);
+        assert_eq!(StateKey::decode(&k.encode()), Some(k));
+        assert_eq!(StateKey::decode(&[0u8; 15]), None);
+    }
+
+    #[test]
+    fn encoding_preserves_order() {
+        let a = StateKey::windowed(1, 500).encode();
+        let b = StateKey::windowed(1, 1_000).encode();
+        let c = StateKey::windowed(2, 0).encode();
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(!OpType::Get.is_write());
+        assert!(OpType::Put.is_write());
+        assert!(OpType::Merge.is_write());
+        assert!(OpType::Delete.is_write());
+    }
+
+    #[test]
+    fn constructors_set_fields() {
+        let k = StateKey::plain(9);
+        assert_eq!(StateAccess::get(k, 5).op, OpType::Get);
+        assert_eq!(StateAccess::put(k, 10, 5).value_size, 10);
+        assert_eq!(StateAccess::merge(k, 10, 5).op, OpType::Merge);
+        assert_eq!(StateAccess::delete(k, 5).value_size, 0);
+    }
+
+    #[test]
+    fn as_u128_is_injective_on_samples() {
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..20u64 {
+            for n in 0..20u64 {
+                assert!(seen.insert(StateKey::windowed(g, n).as_u128()));
+            }
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Recorded state-access streams.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::{OpType, StateAccess, StateKey};
+
+/// A state-access stream: the totally ordered sequence of requests a task
+/// sends to its embedded store while processing its input (paper §2.3).
+///
+/// Traces support Gadget's *offline* mode: the workload generator writes a
+/// trace once and the built-in replayer replays it on demand, possibly at a
+/// different service rate or against a different store.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The accesses, in issue order.
+    pub accesses: Vec<StateAccess>,
+    /// Number of input events that produced this trace (0 if unknown).
+    ///
+    /// Needed to compute event amplification without re-deriving the input.
+    pub input_events: u64,
+    /// Number of distinct keys in the input stream (0 if unknown).
+    ///
+    /// Needed to compute keyspace amplification.
+    pub input_distinct_keys: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Number of accesses in the trace.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Returns true if the trace contains no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Appends an access.
+    pub fn push(&mut self, access: StateAccess) {
+        self.accesses.push(access);
+    }
+
+    /// Iterates over the accesses in issue order.
+    pub fn iter(&self) -> std::slice::Iter<'_, StateAccess> {
+        self.accesses.iter()
+    }
+
+    /// Returns the sequence of accessed keys, in issue order.
+    pub fn key_sequence(&self) -> Vec<StateKey> {
+        self.accesses.iter().map(|a| a.key).collect()
+    }
+
+    /// Computes summary statistics of the trace.
+    pub fn stats(&self) -> TraceStats {
+        let mut counts = [0u64; 4];
+        let mut distinct = std::collections::HashSet::new();
+        for a in &self.accesses {
+            let idx = match a.op {
+                OpType::Get => 0,
+                OpType::Put => 1,
+                OpType::Merge => 2,
+                OpType::Delete => 3,
+            };
+            counts[idx] += 1;
+            distinct.insert(a.key.as_u128());
+        }
+        TraceStats {
+            total: self.accesses.len() as u64,
+            gets: counts[0],
+            puts: counts[1],
+            merges: counts[2],
+            deletes: counts[3],
+            distinct_keys: distinct.len() as u64,
+            input_events: self.input_events,
+            input_distinct_keys: self.input_distinct_keys,
+        }
+    }
+
+    /// Writes the trace to `path` in Gadget's compact binary format.
+    ///
+    /// The format is a fixed 32-byte header (magic, version, counts)
+    /// followed by one 40-byte little-endian record per access. It exists so
+    /// the offline mode can persist multi-million-access traces without a
+    /// serialization dependency.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(b"GDGT")?;
+        w.write_all(&1u32.to_le_bytes())?;
+        w.write_all(&(self.accesses.len() as u64).to_le_bytes())?;
+        w.write_all(&self.input_events.to_le_bytes())?;
+        w.write_all(&self.input_distinct_keys.to_le_bytes())?;
+        for a in &self.accesses {
+            let op: u8 = match a.op {
+                OpType::Get => 0,
+                OpType::Put => 1,
+                OpType::Merge => 2,
+                OpType::Delete => 3,
+            };
+            w.write_all(&[op, 0, 0, 0])?;
+            w.write_all(&a.value_size.to_le_bytes())?;
+            w.write_all(&a.key.group.to_le_bytes())?;
+            w.write_all(&a.key.ns.to_le_bytes())?;
+            w.write_all(&a.ts.to_le_bytes())?;
+            w.write_all(&[0u8; 8])?;
+        }
+        w.flush()
+    }
+
+    /// Reads a trace previously written by [`Trace::save`].
+    ///
+    /// Returns an [`io::Error`] of kind `InvalidData` if the file is not a
+    /// Gadget trace or uses an unsupported version.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut header = [0u8; 32];
+        r.read_exact(&mut header)?;
+        if &header[0..4] != b"GDGT" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a Gadget trace",
+            ));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if version != 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {version}"),
+            ));
+        }
+        let count = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+        let input_events = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        let input_distinct_keys = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        let mut accesses = Vec::with_capacity(count);
+        let mut rec = [0u8; 40];
+        for _ in 0..count {
+            r.read_exact(&mut rec)?;
+            let op = match rec[0] {
+                0 => OpType::Get,
+                1 => OpType::Put,
+                2 => OpType::Merge,
+                3 => OpType::Delete,
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("invalid op tag {other}"),
+                    ))
+                }
+            };
+            accesses.push(StateAccess {
+                op,
+                value_size: u32::from_le_bytes(rec[4..8].try_into().unwrap()),
+                key: StateKey {
+                    group: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
+                    ns: u64::from_le_bytes(rec[16..24].try_into().unwrap()),
+                },
+                ts: u64::from_le_bytes(rec[24..32].try_into().unwrap()),
+            });
+        }
+        Ok(Trace {
+            accesses,
+            input_events,
+            input_distinct_keys,
+        })
+    }
+}
+
+impl Trace {
+    /// Writes the trace as CSV (`op,group,ns,value_size,ts` with a header
+    /// row), for interoperability with external tooling and the original
+    /// Gadget artifact's text traces.
+    pub fn save_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        writeln!(w, "op,group,ns,value_size,ts")?;
+        for a in &self.accesses {
+            writeln!(
+                w,
+                "{},{},{},{},{}",
+                a.op.name(),
+                a.key.group,
+                a.key.ns,
+                a.value_size,
+                a.ts
+            )?;
+        }
+        w.flush()
+    }
+
+    /// Reads a trace previously written by [`Trace::save_csv`] (or any CSV
+    /// with the same five columns).
+    ///
+    /// Returns `InvalidData` on malformed rows or unknown operation names.
+    pub fn load_csv<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        use std::io::BufRead;
+        let r = BufReader::new(File::open(path)?);
+        let bad = |line: usize, what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("csv line {line}: {what}"),
+            )
+        };
+        let mut accesses = Vec::new();
+        for (i, line) in r.lines().enumerate() {
+            let line = line?;
+            if i == 0 && line.starts_with("op,") {
+                continue; // Header.
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut cols = line.split(',');
+            let op = match cols.next().ok_or_else(|| bad(i, "missing op"))? {
+                "get" => OpType::Get,
+                "put" => OpType::Put,
+                "merge" => OpType::Merge,
+                "delete" => OpType::Delete,
+                other => return Err(bad(i, &format!("unknown op {other}"))),
+            };
+            let mut num = |name: &str| -> io::Result<u64> {
+                cols.next()
+                    .ok_or_else(|| bad(i, &format!("missing {name}")))?
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(i, &format!("bad {name}")))
+            };
+            let group = num("group")?;
+            let ns = num("ns")?;
+            let value_size = num("value_size")? as u32;
+            let ts = num("ts")?;
+            accesses.push(StateAccess {
+                op,
+                key: StateKey { group, ns },
+                value_size,
+                ts,
+            });
+        }
+        Ok(Trace {
+            accesses,
+            input_events: 0,
+            input_distinct_keys: 0,
+        })
+    }
+}
+
+impl FromIterator<StateAccess> for Trace {
+    fn from_iter<I: IntoIterator<Item = StateAccess>>(iter: I) -> Self {
+        Trace {
+            accesses: iter.into_iter().collect(),
+            input_events: 0,
+            input_distinct_keys: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a StateAccess;
+    type IntoIter = std::slice::Iter<'a, StateAccess>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.iter()
+    }
+}
+
+/// Summary statistics of a [`Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total number of accesses.
+    pub total: u64,
+    /// Number of `get` operations.
+    pub gets: u64,
+    /// Number of `put` operations.
+    pub puts: u64,
+    /// Number of `merge` operations.
+    pub merges: u64,
+    /// Number of `delete` operations.
+    pub deletes: u64,
+    /// Number of distinct state keys touched.
+    pub distinct_keys: u64,
+    /// Number of input events (0 if unknown).
+    pub input_events: u64,
+    /// Number of distinct input keys (0 if unknown).
+    pub input_distinct_keys: u64,
+}
+
+impl TraceStats {
+    /// Fraction of operations of the given type, in `[0, 1]`.
+    pub fn ratio(&self, op: OpType) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = match op {
+            OpType::Get => self.gets,
+            OpType::Put => self.puts,
+            OpType::Merge => self.merges,
+            OpType::Delete => self.deletes,
+        };
+        n as f64 / self.total as f64
+    }
+
+    /// Event amplification: state requests per input event (paper §3.2.2).
+    ///
+    /// Returns `None` when the number of input events is unknown.
+    pub fn event_amplification(&self) -> Option<f64> {
+        (self.input_events > 0).then(|| self.total as f64 / self.input_events as f64)
+    }
+
+    /// Keyspace amplification: distinct state keys over distinct input keys
+    /// (paper §3.2.2).
+    ///
+    /// Returns `None` when the number of distinct input keys is unknown.
+    pub fn key_amplification(&self) -> Option<f64> {
+        (self.input_distinct_keys > 0)
+            .then(|| self.distinct_keys as f64 / self.input_distinct_keys as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(StateAccess::get(StateKey::plain(1), 10));
+        t.push(StateAccess::put(StateKey::plain(1), 64, 11));
+        t.push(StateAccess::merge(StateKey::windowed(2, 5_000), 8, 12));
+        t.push(StateAccess::delete(StateKey::windowed(2, 5_000), 13));
+        t.input_events = 2;
+        t.input_distinct_keys = 2;
+        t
+    }
+
+    #[test]
+    fn stats_counts_ops_and_keys() {
+        let s = sample_trace().stats();
+        assert_eq!(s.total, 4);
+        assert_eq!(s.gets, 1);
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.merges, 1);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.distinct_keys, 2);
+        assert_eq!(s.event_amplification(), Some(2.0));
+        assert_eq!(s.key_amplification(), Some(1.0));
+    }
+
+    #[test]
+    fn ratios_sum_to_one() {
+        let s = sample_trace().stats();
+        let sum: f64 = OpType::ALL.iter().map(|&op| s.ratio(op)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = Trace::new().stats();
+        assert_eq!(s.total, 0);
+        assert_eq!(s.ratio(OpType::Get), 0.0);
+        assert_eq!(s.event_amplification(), None);
+        assert_eq!(s.key_amplification(), None);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("gadget-types-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.trace");
+        let t = sample_trace();
+        t.save(&path).unwrap();
+        let loaded = Trace::load(&path).unwrap();
+        assert_eq!(t, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("gadget-types-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        let t = sample_trace();
+        t.save_csv(&path).unwrap();
+        let loaded = Trace::load_csv(&path).unwrap();
+        assert_eq!(t.accesses, loaded.accesses);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        let dir = std::env::temp_dir().join("gadget-types-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "op,group,ns,value_size,ts\nfrobnicate,1,2,3,4\n").unwrap();
+        assert!(Trace::load_csv(&path).is_err());
+        std::fs::write(&path, "op,group,ns,value_size,ts\nget,1,notanumber,3,4\n").unwrap();
+        assert!(Trace::load_csv(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("gadget-types-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.trace");
+        std::fs::write(&path, b"definitely not a trace header....").unwrap();
+        assert!(Trace::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,324 @@
+//! A YCSB-compatible workload generator.
+//!
+//! The paper's baseline (§4, §6.2, §6.3) tunes YCSB to approximate
+//! streaming state workloads and shows where it falls short. This crate
+//! reimplements YCSB's workload model:
+//!
+//! * `recordcount` keys are assumed preloaded; `operationcount` requests
+//!   are drawn with configurable proportions of reads, updates, inserts,
+//!   and read-modify-writes;
+//! * request distributions: uniform, zipfian (scrambled over the
+//!   keyspace), hotspot, sequential, exponential, and latest;
+//! * inserts extend the keyspace but — exactly as the paper observes —
+//!   newly inserted keys are *not* used by subsequent operations unless
+//!   the distribution is `latest`;
+//! * there are no deletes (YCSB does not support them), which is why YCSB
+//!   working sets never shrink (§4, "Ephemerality").
+//!
+//! Output is a [`Trace`] in Gadget's native format, so the same analyses
+//! and the same replayer run on YCSB and Gadget workloads
+//! interchangeably.
+//!
+//! # Examples
+//!
+//! ```
+//! use gadget_ycsb::{CoreWorkload, YcsbConfig};
+//!
+//! let trace = YcsbConfig::core(CoreWorkload::A, 1_000, 10_000).generate();
+//! assert_eq!(trace.stats().total, 10_000);
+//! assert_eq!(trace.stats().deletes, 0); // YCSB has no deletes.
+//! ```
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gadget_distrib::{seeded_rng, KeyDistributionConfig};
+use gadget_types::{StateAccess, StateKey, Trace};
+
+/// YCSB request distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RequestDistribution {
+    /// Uniform over the keyspace.
+    Uniform,
+    /// Zipfian popularity scattered over the keyspace (YCSB default).
+    Zipfian,
+    /// A hot set takes most operations.
+    Hotspot,
+    /// Round-robin key order.
+    Sequential,
+    /// Exponentially decaying popularity.
+    Exponential,
+    /// Skewed towards recently inserted keys.
+    Latest,
+}
+
+impl RequestDistribution {
+    /// All distributions, for sweep experiments.
+    pub const ALL: [RequestDistribution; 6] = [
+        RequestDistribution::Uniform,
+        RequestDistribution::Zipfian,
+        RequestDistribution::Hotspot,
+        RequestDistribution::Sequential,
+        RequestDistribution::Exponential,
+        RequestDistribution::Latest,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestDistribution::Uniform => "uniform",
+            RequestDistribution::Zipfian => "zipfian",
+            RequestDistribution::Hotspot => "hotspot",
+            RequestDistribution::Sequential => "sequential",
+            RequestDistribution::Exponential => "exponential",
+            RequestDistribution::Latest => "latest",
+        }
+    }
+
+    fn config(self, n: u64) -> KeyDistributionConfig {
+        match self {
+            RequestDistribution::Uniform => KeyDistributionConfig::Uniform { n },
+            RequestDistribution::Zipfian => {
+                KeyDistributionConfig::ScrambledZipfian { n, theta: 0.99 }
+            }
+            RequestDistribution::Hotspot => KeyDistributionConfig::Hotspot {
+                n,
+                hot_set_fraction: 0.2,
+                hot_op_fraction: 0.8,
+            },
+            RequestDistribution::Sequential => KeyDistributionConfig::Sequential { n },
+            RequestDistribution::Exponential => KeyDistributionConfig::Exponential {
+                n,
+                frac: 0.8571,
+                percentile: 95.0,
+            },
+            RequestDistribution::Latest => KeyDistributionConfig::Latest { n, theta: 0.99 },
+        }
+    }
+}
+
+/// YCSB's built-in core workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreWorkload {
+    /// 50% reads, 50% updates, zipfian ("update heavy").
+    A,
+    /// 95% reads, 5% updates, zipfian ("read mostly").
+    B,
+    /// 100% reads, zipfian ("read only").
+    C,
+    /// 95% reads, 5% inserts, latest ("read latest").
+    D,
+    /// 50% reads, 50% read-modify-writes, zipfian.
+    F,
+}
+
+/// Operation mix and distribution of a YCSB run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YcsbConfig {
+    /// Number of preloaded records.
+    pub record_count: u64,
+    /// Number of operations to generate.
+    pub operation_count: u64,
+    /// Proportion of reads, in `[0, 1]`.
+    pub read_proportion: f64,
+    /// Proportion of updates (blind writes).
+    pub update_proportion: f64,
+    /// Proportion of inserts (new keys).
+    pub insert_proportion: f64,
+    /// Proportion of read-modify-writes.
+    pub rmw_proportion: f64,
+    /// Request distribution.
+    pub distribution: RequestDistribution,
+    /// Value size in bytes (YCSB default: 10 fields × 100 bytes; the paper
+    /// uses 256-byte values in §6.3).
+    pub value_size: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl YcsbConfig {
+    /// A core-workload preset with the paper's §6.3 sizing defaults.
+    pub fn core(workload: CoreWorkload, record_count: u64, operation_count: u64) -> Self {
+        let base = YcsbConfig {
+            record_count,
+            operation_count,
+            read_proportion: 0.0,
+            update_proportion: 0.0,
+            insert_proportion: 0.0,
+            rmw_proportion: 0.0,
+            distribution: RequestDistribution::Zipfian,
+            value_size: 256,
+            seed: 42,
+        };
+        match workload {
+            CoreWorkload::A => YcsbConfig {
+                read_proportion: 0.5,
+                update_proportion: 0.5,
+                ..base
+            },
+            CoreWorkload::B => YcsbConfig {
+                read_proportion: 0.95,
+                update_proportion: 0.05,
+                ..base
+            },
+            CoreWorkload::C => YcsbConfig {
+                read_proportion: 1.0,
+                ..base
+            },
+            CoreWorkload::D => YcsbConfig {
+                read_proportion: 0.95,
+                insert_proportion: 0.05,
+                distribution: RequestDistribution::Latest,
+                ..base
+            },
+            CoreWorkload::F => YcsbConfig {
+                read_proportion: 0.5,
+                rmw_proportion: 0.5,
+                ..base
+            },
+        }
+    }
+
+    /// Generates the request trace.
+    ///
+    /// Timestamps are synthetic (one per operation) since YCSB has no
+    /// event-time notion. Read-modify-writes expand to a `get` followed by
+    /// a `put` on the same key, as YCSB executes them.
+    pub fn generate(&self) -> Trace {
+        let mut rng = seeded_rng(self.seed);
+        let mut dist = self.distribution.config(self.record_count.max(1)).build();
+        let mut next_insert_key = self.record_count;
+        let mut trace = Trace::new();
+        let total = self.read_proportion
+            + self.update_proportion
+            + self.insert_proportion
+            + self.rmw_proportion;
+        assert!(total > 0.0, "operation proportions must not all be zero");
+
+        for i in 0..self.operation_count {
+            let ts = i;
+            let r: f64 = rng.gen::<f64>() * total;
+            if r < self.read_proportion {
+                let k = StateKey::plain(dist.next_key(&mut rng));
+                trace.push(StateAccess::get(k, ts));
+            } else if r < self.read_proportion + self.update_proportion {
+                let k = StateKey::plain(dist.next_key(&mut rng));
+                trace.push(StateAccess::put(k, self.value_size, ts));
+            } else if r < self.read_proportion + self.update_proportion + self.insert_proportion {
+                let k = StateKey::plain(next_insert_key);
+                next_insert_key += 1;
+                dist.record_insert(next_insert_key);
+                trace.push(StateAccess::put(k, self.value_size, ts));
+            } else {
+                let k = StateKey::plain(dist.next_key(&mut rng));
+                trace.push(StateAccess::get(k, ts));
+                trace.push(StateAccess::put(k, self.value_size, ts));
+            }
+        }
+        trace.input_events = self.operation_count;
+        trace.input_distinct_keys = next_insert_key;
+        trace
+    }
+
+    /// The keys that must be preloaded before replaying this trace.
+    pub fn preload_keys(&self) -> impl Iterator<Item = StateKey> {
+        (0..self.record_count).map(StateKey::plain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gadget_types::OpType;
+
+    #[test]
+    fn workload_a_is_half_reads() {
+        let t = YcsbConfig::core(CoreWorkload::A, 1_000, 20_000).generate();
+        let s = t.stats();
+        assert_eq!(s.total, 20_000);
+        assert!((s.ratio(OpType::Get) - 0.5).abs() < 0.02);
+        assert!((s.ratio(OpType::Put) - 0.5).abs() < 0.02);
+        assert_eq!(s.deletes, 0, "YCSB never deletes");
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let t = YcsbConfig::core(CoreWorkload::C, 1_000, 5_000).generate();
+        assert_eq!(t.stats().gets, 5_000);
+    }
+
+    #[test]
+    fn workload_f_expands_rmw() {
+        let t = YcsbConfig::core(CoreWorkload::F, 1_000, 10_000).generate();
+        let s = t.stats();
+        // rmw ops add one extra access each: total in (10k, 15k).
+        assert!(s.total > 10_000 && s.total < 15_500);
+        assert!(s.gets > s.puts, "every rmw get is paired with a put");
+        // Consecutive get/put pairs hit the same key for rmw.
+        let mut pairs = 0;
+        for w in t.accesses.windows(2) {
+            if w[0].op == OpType::Get && w[1].op == OpType::Put && w[0].key == w[1].key {
+                pairs += 1;
+            }
+        }
+        assert!(pairs as u64 >= s.puts / 2);
+    }
+
+    #[test]
+    fn workload_d_uses_inserted_keys() {
+        let t = YcsbConfig::core(CoreWorkload::D, 1_000, 50_000).generate();
+        // With `latest`, reads skew to recently inserted keys: some reads
+        // must hit keys beyond the original recordcount.
+        let new_key_reads = t
+            .iter()
+            .filter(|a| a.op == OpType::Get && a.key.group >= 1_000)
+            .count();
+        assert!(new_key_reads > 0, "latest must read inserted keys");
+    }
+
+    #[test]
+    fn non_latest_never_touches_inserted_keys() {
+        let mut cfg = YcsbConfig::core(CoreWorkload::A, 1_000, 20_000);
+        cfg.insert_proportion = 0.1;
+        let t = cfg.generate();
+        // Reads/updates stay within the preloaded keyspace (the YCSB
+        // behaviour the paper § 4 calls out).
+        for a in t.iter() {
+            if a.key.group >= 1_000 {
+                assert_eq!(a.op, OpType::Put, "inserted key used by a non-insert op");
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_never_shrinks() {
+        let t = YcsbConfig::core(CoreWorkload::A, 200, 20_000).generate();
+        let keys: Vec<u128> = t.iter().map(|a| a.key.as_u128()).collect();
+        let series = gadget_analysis::working_set_series(&keys, 1_000);
+        // Zipfian touches nearly all keys early and never releases them;
+        // apart from tail effects the series must not decrease.
+        let peak = series.iter().map(|p| p.size).max().unwrap();
+        let early_peak_idx = series.iter().position(|p| p.size == peak).unwrap();
+        assert!(early_peak_idx < series.len() / 2, "keys must stay active");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = YcsbConfig::core(CoreWorkload::A, 100, 1_000).generate();
+        let b = YcsbConfig::core(CoreWorkload::A, 100, 1_000).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_distributions_generate() {
+        for dist in RequestDistribution::ALL {
+            let cfg = YcsbConfig {
+                distribution: dist,
+                ..YcsbConfig::core(CoreWorkload::A, 500, 2_000)
+            };
+            let t = cfg.generate();
+            assert_eq!(t.stats().total, 2_000, "{}", dist.name());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Why YCSB is not enough: tune YCSB as close as possible to a streaming
+//! workload and watch both the locality metrics and the measured store
+//! performance diverge (the paper's §4 and §6.2 in one sitting).
+//!
+//! Run with: `cargo run --release --example ycsb_comparison`
+
+use gadget::analysis::{key_sequence, stack_distances, ttl_distribution, unique_sequences};
+use gadget::core::{GadgetConfig, OperatorKind};
+use gadget::datasets::DatasetSpec;
+use gadget::kv::MemStore;
+use gadget::replay::TraceReplayer;
+use gadget::types::OpType;
+use gadget::ycsb::{RequestDistribution, YcsbConfig};
+
+fn main() {
+    // The real streaming workload: tumbling window over Borg.
+    let spec = DatasetSpec::benchmark().with_events(60_000);
+    let real = GadgetConfig::dataset(OperatorKind::TumblingIncr, "borg", spec).run();
+    let stats = real.stats();
+
+    // Tune YCSB "as close as possible": same op count, same keyspace,
+    // same read/update ratio (the paper's §4 methodology).
+    let tuned = |distribution| {
+        YcsbConfig {
+            record_count: stats.distinct_keys,
+            operation_count: stats.total,
+            read_proportion: stats.ratio(OpType::Get),
+            update_proportion: 1.0 - stats.ratio(OpType::Get),
+            insert_proportion: 0.0,
+            rmw_proportion: 0.0,
+            distribution,
+            value_size: 256,
+            seed: 42,
+        }
+        .generate()
+    };
+    let ycsb_latest = tuned(RequestDistribution::Latest);
+    let ycsb_sequential = tuned(RequestDistribution::Sequential);
+
+    println!(
+        "{:>16} | {:>9} | {:>10} | {:>9} | {:>9}",
+        "trace", "mean SD", "uniq seqs", "p50 TTL", "once-frac"
+    );
+    println!("{}", "-".repeat(66));
+    for (name, trace) in [
+        ("real", &real),
+        ("ycsb-latest", &ycsb_latest),
+        ("ycsb-sequential", &ycsb_sequential),
+    ] {
+        let keys = key_sequence(trace);
+        let sd = stack_distances(&keys, None);
+        let seqs = unique_sequences(&keys, 10);
+        let ttl = ttl_distribution(&keys, None);
+        println!(
+            "{:>16} | {:>9.1} | {:>10} | {:>9} | {:>9.2}",
+            name,
+            sd.mean,
+            seqs.total(),
+            ttl.percentile(50.0),
+            ttl.accessed_once_fraction()
+        );
+    }
+
+    // And the performance consequence: even on a neutral store the hit
+    // profile differs completely (real traces delete their keys; YCSB
+    // keeps touching everything forever).
+    println!();
+    for (name, trace) in [("real", &real), ("ycsb-latest", &ycsb_latest)] {
+        let store = MemStore::new();
+        let report = TraceReplayer::default()
+            .replay(trace, &store, name)
+            .expect("replay");
+        println!(
+            "{name}: leftover keys in store after replay = {} (real workloads clean up)",
+            store.len()
+        );
+        let _ = report;
+    }
+}

@@ -1,0 +1,36 @@
+//! Gadget: a benchmark harness for systematic and robust evaluation of
+//! streaming state stores.
+//!
+//! This is the facade crate of the workspace: it re-exports every subsystem
+//! under a stable, discoverable module tree. See the README for a tour and
+//! `examples/quickstart.rs` for a five-minute introduction.
+//!
+//! # Crate map
+//!
+//! * [`types`] — events, watermarks, state accesses, traces.
+//! * [`distrib`] — key/value/arrival distributions.
+//! * [`kv`] — the [`StateStore`](kv::StateStore) trait and adapters.
+//! * [`lsm`], [`hashlog`], [`btree`] — the three store substrates
+//!   (RocksDB/Lethe-class, FASTER-class, and BerkeleyDB-class).
+//! * [`datasets`] — synthetic Borg / Taxi / Azure event streams.
+//! * [`core`] — event generator, driver, operator state machines, and the
+//!   workload generator.
+//! * [`replay`] — the performance evaluator (trace replayer, online mode).
+//! * [`ycsb`] — a YCSB-compatible workload generator used as baseline.
+//! * [`flinksim`] — an instrumented reference stream processor that produces
+//!   "real" traces for validating Gadget's simulation.
+//! * [`analysis`] — trace characterization (locality, amplification, TTL,
+//!   statistical tests).
+
+pub use gadget_analysis as analysis;
+pub use gadget_btree as btree;
+pub use gadget_core as core;
+pub use gadget_datasets as datasets;
+pub use gadget_distrib as distrib;
+pub use gadget_flinksim as flinksim;
+pub use gadget_hashlog as hashlog;
+pub use gadget_kv as kv;
+pub use gadget_lsm as lsm;
+pub use gadget_replay as replay;
+pub use gadget_types as types;
+pub use gadget_ycsb as ycsb;

@@ -1,0 +1,32 @@
+//! Every shipped example config must parse and run.
+
+use gadget::core::GadgetConfig;
+
+#[test]
+fn configs_are_valid() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("configs");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("configs dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().map(|e| e != "json").unwrap_or(true) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable config");
+        let mut config: GadgetConfig =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        assert!(
+            config.operator_kind().is_some(),
+            "{path:?}: unknown operator {}",
+            config.operator
+        );
+        // Run a scaled-down version of each config end to end.
+        match &mut config.source {
+            gadget::core::SourceConfig::Synthetic(g) => g.events = 2_000,
+            gadget::core::SourceConfig::Dataset { events, .. } => *events = 2_000,
+        }
+        let trace = config.run();
+        assert!(!trace.is_empty(), "{path:?} produced an empty trace");
+        checked += 1;
+    }
+    assert!(checked >= 5, "only {checked} configs found");
+}

@@ -1,0 +1,196 @@
+//! Differential store testing: every substrate must agree with the
+//! in-memory reference store on arbitrary operation sequences, including
+//! property-based random sequences.
+
+use proptest::prelude::*;
+
+use gadget::btree::{BTreeConfig, BTreeStore};
+use gadget::hashlog::{HashLogConfig, HashLogStore};
+use gadget::kv::{MemStore, StateStore};
+use gadget::lsm::{LsmConfig, LsmStore};
+
+/// One logical operation in a generated sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, Vec<u8>),
+    Merge(u16, Vec<u8>),
+    Delete(u16),
+    Get(u16),
+    Scan(u16, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(k, v)| Op::Put(k % 64, v)),
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 1..32))
+            .prop_map(|(k, v)| Op::Merge(k % 64, v)),
+        any::<u16>().prop_map(|k| Op::Delete(k % 64)),
+        any::<u16>().prop_map(|k| Op::Get(k % 64)),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Scan(a % 64, b % 64)),
+    ]
+}
+
+fn key_bytes(k: u16) -> [u8; 8] {
+    (k as u64).to_be_bytes()
+}
+
+/// Applies the sequence to both stores, asserting every get agrees, and
+/// then asserts the full final keyspace agrees.
+fn run_differential(ops: &[Op], store: &dyn StateStore, label: &str) {
+    let oracle = MemStore::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Put(k, v) => {
+                store.put(&key_bytes(*k), v).unwrap();
+                oracle.put(&key_bytes(*k), v).unwrap();
+            }
+            Op::Merge(k, v) => {
+                store.merge(&key_bytes(*k), v).unwrap();
+                oracle.merge(&key_bytes(*k), v).unwrap();
+            }
+            Op::Delete(k) => {
+                store.delete(&key_bytes(*k)).unwrap();
+                oracle.delete(&key_bytes(*k)).unwrap();
+            }
+            Op::Get(k) => {
+                let got = store.get(&key_bytes(*k)).unwrap();
+                let expected = oracle.get(&key_bytes(*k)).unwrap();
+                assert_eq!(got, expected, "{label}: get diverged at op {i} for key {k}");
+            }
+            Op::Scan(a, b) => {
+                if !store.supports_scan() {
+                    continue;
+                }
+                let (lo, hi) = (key_bytes((*a).min(*b)), key_bytes((*a).max(*b)));
+                let got = store.scan(&lo, &hi).unwrap();
+                let expected = oracle.scan(&lo, &hi).unwrap();
+                assert_eq!(got, expected, "{label}: scan diverged at op {i}");
+            }
+        }
+    }
+    if store.supports_scan() {
+        let full_got = store.scan(&key_bytes(0), &key_bytes(u16::MAX)).unwrap();
+        let full_expected = oracle.scan(&key_bytes(0), &key_bytes(u16::MAX)).unwrap();
+        assert_eq!(full_got, full_expected, "{label}: final full scan diverged");
+    }
+    for k in 0..64u16 {
+        let got = store.get(&key_bytes(k)).unwrap();
+        let expected = oracle.get(&key_bytes(k)).unwrap();
+        assert_eq!(got, expected, "{label}: final state diverged for key {k}");
+    }
+}
+
+fn fresh_lsm(name: &str) -> (LsmStore, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "gadget-difftest-{name}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    (LsmStore::open(&dir, LsmConfig::small()).unwrap(), dir)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lsm_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let (store, dir) = fresh_lsm("lsm");
+        run_differential(&ops, &store, "lsm");
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lethe_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let dir = std::env::temp_dir().join(format!(
+            "gadget-difftest-lethe-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = LsmStore::open(&dir, LsmConfig::small_lethe()).unwrap();
+        run_differential(&ops, &store, "lethe");
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hashlog_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let store = HashLogStore::new(HashLogConfig::small());
+        run_differential(&ops, &store, "hashlog");
+    }
+
+    #[test]
+    fn btree_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let path = std::env::temp_dir().join(format!(
+            "gadget-difftest-btree-{}-{}.db",
+            std::process::id(),
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let store = BTreeStore::open(&path, BTreeConfig::small()).unwrap();
+        run_differential(&ops, &store, "btree");
+        drop(store);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// A deterministic torture sequence that forces flushes and compactions in
+/// the LSM while staying oracle-checked.
+#[test]
+fn lsm_differential_through_compactions() {
+    let (store, dir) = fresh_lsm("torture");
+    let oracle = MemStore::new();
+    let mut x = 7u64;
+    for i in 0..30_000u64 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let k = key_bytes((x % 512) as u16);
+        match x % 10 {
+            0..=4 => {
+                let v = vec![(i % 251) as u8; (x % 200) as usize + 1];
+                store.put(&k, &v).unwrap();
+                oracle.put(&k, &v).unwrap();
+            }
+            5..=7 => {
+                let v = vec![(i % 13) as u8; (x % 24) as usize + 1];
+                store.merge(&k, &v).unwrap();
+                oracle.merge(&k, &v).unwrap();
+            }
+            8 => {
+                store.delete(&k).unwrap();
+                oracle.delete(&k).unwrap();
+            }
+            _ => {
+                assert_eq!(
+                    store.get(&k).unwrap(),
+                    oracle.get(&k).unwrap(),
+                    "diverged at op {i}"
+                );
+            }
+        }
+    }
+    store.compact_and_wait().unwrap();
+    for k in 0..512u16 {
+        assert_eq!(
+            store.get(&key_bytes(k)).unwrap(),
+            oracle.get(&key_bytes(k)).unwrap(),
+            "post-compaction divergence at key {k}"
+        );
+    }
+    let compactions: u64 = store
+        .internal_counters()
+        .iter()
+        .filter(|(name, _)| name.starts_with("compactions"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert!(compactions > 0, "torture test never compacted");
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+}
