@@ -3,9 +3,12 @@
 //! These isolate the §6.5 discussion: hash/B+Tree stores win point ops;
 //! the LSM pays for its ordered structure but amortizes writes.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 
 use gadget_bench::{all_stores, build_store};
+use gadget_kv::{MemStore, ObservedStore, StateStore};
 
 fn bench_puts(c: &mut Criterion) {
     let mut group = c.benchmark_group("put_256B");
@@ -60,5 +63,88 @@ fn bench_merge_growth(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_puts, bench_gets, bench_merge_growth);
+/// Times one run of `ops` operations of `f`, in nanoseconds per op.
+fn ns_per_op(ops: u64, mut f: impl FnMut(u64)) -> f64 {
+    let started = Instant::now();
+    for i in 0..ops {
+        f(i);
+    }
+    started.elapsed().as_nanos() as f64 / ops as f64
+}
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    // The gadget-obs acceptance check: wrapping a store in ObservedStore
+    // (per-op counters + 1-in-64 sampled latency timing) must cost <5% on
+    // the hot path. MemStore is the worst case — the cheapest inner store
+    // puts the instrumentation at its largest relative share.
+    let bare = MemStore::new();
+    let observed = ObservedStore::new(MemStore::new());
+    for k in 0..1_000u64 {
+        bare.put(&k.to_be_bytes(), &[1u8; 64]).expect("seed");
+        observed.put(&k.to_be_bytes(), &[1u8; 64]).expect("seed");
+    }
+
+    let mut group = c.benchmark_group("metrics_overhead");
+    let mut i = 0u64;
+    group.bench_function("mem_bare_get", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(bare.get(&(i % 1_000).to_be_bytes()).expect("get"));
+        })
+    });
+    let mut i = 0u64;
+    group.bench_function("mem_observed_get", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(observed.get(&(i % 1_000).to_be_bytes()).expect("get"));
+        })
+    });
+    let mut i = 0u64;
+    group.bench_function("mem_bare_put", |b| {
+        b.iter(|| {
+            i += 1;
+            bare.put(&(i % 1_000).to_be_bytes(), &[2u8; 64])
+                .expect("put");
+        })
+    });
+    let mut i = 0u64;
+    group.bench_function("mem_observed_put", |b| {
+        b.iter(|| {
+            i += 1;
+            observed
+                .put(&(i % 1_000).to_be_bytes(), &[2u8; 64])
+                .expect("put");
+        })
+    });
+    group.finish();
+
+    // Paired measurement with the verdict printed directly: same op
+    // sequence, same working set, rounds interleaved A/B so a frequency
+    // or scheduler shift mid-bench cannot bias one side, min per side.
+    const OPS: u64 = 1_000_000;
+    const ROUNDS: usize = 6;
+    let mut bare_ns = f64::INFINITY;
+    let mut observed_ns = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        bare_ns = bare_ns.min(ns_per_op(OPS, |i| {
+            black_box(bare.get(&(i % 1_000).to_be_bytes()).expect("get"));
+        }));
+        observed_ns = observed_ns.min(ns_per_op(OPS, |i| {
+            black_box(observed.get(&(i % 1_000).to_be_bytes()).expect("get"));
+        }));
+    }
+    let overhead = (observed_ns / bare_ns - 1.0) * 100.0;
+    println!(
+        "metrics_overhead paired gets: bare {bare_ns:.1} ns/op, \
+         observed {observed_ns:.1} ns/op => overhead {overhead:+.2}% (target < 5%)"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_puts,
+    bench_gets,
+    bench_merge_growth,
+    bench_metrics_overhead
+);
 criterion_main!(benches);

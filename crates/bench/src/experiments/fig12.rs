@@ -24,6 +24,7 @@ pub struct Row {
 /// Runs the matrix.
 pub fn compute(scale: &Scale) -> Vec<Row> {
     let mut rows = Vec::new();
+    let mut snapshots = Vec::new();
     for (name, workload) in [
         ("A", CoreWorkload::A),
         ("D", CoreWorkload::D),
@@ -46,7 +47,15 @@ pub fn compute(scale: &Scale) -> Vec<Row> {
                 throughput: report.throughput,
                 p999_ns: report.latency.p999_ns,
             });
+            if scale.metrics.is_some() {
+                if let Some(snap) = inst.store.metrics() {
+                    snapshots.push((format!("{name}/{}", inst.label), snap));
+                }
+            }
         }
+    }
+    if let Some(path) = &scale.metrics {
+        crate::dump_store_metrics(path, &snapshots);
     }
     rows
 }

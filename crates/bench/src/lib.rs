@@ -28,15 +28,20 @@ pub struct Scale {
     pub ops: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Where to dump end-of-run store metrics snapshots
+    /// ([`dump_store_metrics`]), if anywhere.
+    pub metrics: Option<PathBuf>,
 }
 
 impl Scale {
-    /// Parses `--events N`, `--ops N`, `--seed N`, `--full` from argv.
+    /// Parses `--events N`, `--ops N`, `--seed N`, `--metrics PATH`,
+    /// `--full` from argv.
     pub fn from_args() -> Scale {
         let mut scale = Scale {
             events: 100_000,
             ops: 200_000,
             seed: 42,
+            metrics: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -56,6 +61,10 @@ impl Scale {
                 }
                 "--seed" if i + 1 < args.len() => {
                     scale.seed = args[i + 1].parse().expect("--seed takes a number");
+                    i += 1;
+                }
+                "--metrics" if i + 1 < args.len() => {
+                    scale.metrics = Some(PathBuf::from(&args[i + 1]));
                     i += 1;
                 }
                 other => eprintln!("ignoring unknown argument {other}"),
@@ -160,6 +169,35 @@ pub fn build_store(label: &str, shrink: usize) -> StoreInstance {
             }
         }
         other => panic!("unknown store label {other}"),
+    }
+}
+
+/// Writes labeled end-of-run store metrics snapshots as one JSON object
+/// keyed by label (the sink for [`Scale::metrics`] / `--metrics PATH`).
+pub fn dump_store_metrics(
+    path: &std::path::Path,
+    snapshots: &[(String, gadget_obs::MetricsSnapshot)],
+) {
+    use serde::Serialize;
+    let obj = serde::Value::Object(
+        snapshots
+            .iter()
+            .map(|(n, s)| (n.clone(), s.to_value()))
+            .collect(),
+    );
+    match serde_json::to_string_pretty(&obj) {
+        Ok(mut text) => {
+            text.push('\n');
+            match std::fs::write(path, text) {
+                Ok(()) => println!(
+                    "wrote {} store metrics snapshots to {}",
+                    snapshots.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+            }
+        }
+        Err(e) => eprintln!("cannot serialize metrics: {e}"),
     }
 }
 

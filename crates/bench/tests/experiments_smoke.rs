@@ -10,6 +10,7 @@ fn tiny() -> Scale {
         events: 4_000,
         ops: 4_000,
         seed: 7,
+        metrics: None,
     }
 }
 

@@ -41,6 +41,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use gadget_kv::{StateStore, StoreCounters, StoreError};
+use gadget_obs::{MetricsRegistry, MetricsSnapshot};
 
 pub use tree::BTreeConfig;
 use tree::Tree;
@@ -49,6 +50,7 @@ use tree::Tree;
 pub struct BTreeStore {
     tree: Mutex<Tree>,
     counters: StoreCounters,
+    metrics: MetricsRegistry,
 }
 
 impl BTreeStore {
@@ -57,9 +59,13 @@ impl BTreeStore {
         path: P,
         config: BTreeConfig,
     ) -> Result<Self, StoreError> {
+        let metrics = MetricsRegistry::new();
+        let mut tree = Tree::open(path.as_ref(), config)?;
+        tree.attach_metrics(&metrics);
         Ok(BTreeStore {
-            tree: Mutex::new(Tree::open(path.as_ref(), config)?),
-            counters: StoreCounters::new(),
+            tree: Mutex::new(tree),
+            counters: StoreCounters::registered(&metrics),
+            metrics,
         })
     }
 
@@ -139,6 +145,12 @@ impl StateStore for BTreeStore {
         let mut out = self.counters.snapshot();
         out.extend(self.tree.lock().stats());
         out
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        let mut snap = self.metrics.snapshot();
+        snap.push_gauge("cached_pages", self.tree.lock().cached_pages() as i64);
+        Some(snap)
     }
 }
 
@@ -265,6 +277,29 @@ mod tests {
         let v = s.get(b"bucket").unwrap().unwrap();
         assert!(v.ends_with(b"event-499;"));
         assert!(v.starts_with(b"event-0;"));
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_internals() {
+        let s = BTreeStore::open(tmpfile("metrics.db"), BTreeConfig::small()).unwrap();
+        for i in 0..20_000u64 {
+            s.put(&i.to_be_bytes(), format!("value-{i}").as_bytes())
+                .unwrap();
+        }
+        s.flush().unwrap();
+        for i in (0..20_000u64).step_by(487) {
+            s.get(&i.to_be_bytes()).unwrap();
+        }
+        let snap = s.metrics().expect("btree store exposes metrics");
+        assert_eq!(snap.counter("puts"), Some(20_000));
+        assert!(snap.counter("page_splits").unwrap() > 0);
+        assert!(snap.counter("pages_written").unwrap() > 0);
+        assert!(snap.counter("dirty_writebacks").unwrap() > 0);
+        assert!(
+            snap.counter("page_cache_hits").unwrap() + snap.counter("page_cache_misses").unwrap()
+                > 0
+        );
+        assert!(snap.gauge("cached_pages").unwrap() > 0);
     }
 
     #[test]

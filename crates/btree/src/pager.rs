@@ -8,6 +8,8 @@ use std::path::Path;
 
 use std::sync::Arc;
 
+use gadget_obs::{Counter, MetricsRegistry};
+
 use crate::node::{Node, KIND_OVERFLOW, PAGE_SIZE};
 
 const MAGIC: u64 = 0x6761_6467_6574_4254; // "gadgetBT"
@@ -33,11 +35,14 @@ pub struct Pager {
     tick: u64,
     capacity_pages: usize,
     meta_dirty: bool,
-    // Statistics.
-    cache_hits: u64,
-    cache_misses: u64,
-    pages_written: u64,
-    overflow_pages_written: u64,
+    // Statistics. Plain counters by default; [`Pager::attach_metrics`]
+    // swaps in registry-backed ones.
+    cache_hits: Counter,
+    cache_misses: Counter,
+    pages_written: Counter,
+    overflow_pages_written: Counter,
+    dirty_writebacks: Counter,
+    page_splits: Counter,
 }
 
 impl Pager {
@@ -77,11 +82,36 @@ impl Pager {
             tick: 0,
             capacity_pages: (cache_bytes / PAGE_SIZE).max(8),
             meta_dirty: true,
-            cache_hits: 0,
-            cache_misses: 0,
-            pages_written: 0,
-            overflow_pages_written: 0,
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            pages_written: Counter::new(),
+            overflow_pages_written: Counter::new(),
+            dirty_writebacks: Counter::new(),
+            page_splits: Counter::new(),
         })
+    }
+
+    /// Re-registers every pager counter in `registry` so snapshots of the
+    /// registry observe subsequent pager activity. Counts accumulated
+    /// before the call are not carried over; attach right after open.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.cache_hits = registry.counter("page_cache_hits");
+        self.cache_misses = registry.counter("page_cache_misses");
+        self.pages_written = registry.counter("pages_written");
+        self.overflow_pages_written = registry.counter("overflow_pages_written");
+        self.dirty_writebacks = registry.counter("dirty_writebacks");
+        self.page_splits = registry.counter("page_splits");
+    }
+
+    /// Records one node split (leaf or internal); called by the tree,
+    /// which owns the split logic but not the counters.
+    pub fn note_split(&self) {
+        self.page_splits.inc();
+    }
+
+    /// Number of pages currently resident in the cache.
+    pub fn cached_pages(&self) -> usize {
+        self.cache.len()
     }
 
     /// Allocates a fresh page id.
@@ -118,11 +148,11 @@ impl Pager {
     /// with the cache, so reads never copy node contents.
     pub fn read_node(&mut self, pid: u32) -> io::Result<Arc<Node>> {
         if self.cache.contains_key(&pid) {
-            self.cache_hits += 1;
+            self.cache_hits.inc();
             self.touch(pid);
             return Ok(self.cache[&pid].node.clone());
         }
-        self.cache_misses += 1;
+        self.cache_misses.inc();
         let mut page = [0u8; PAGE_SIZE];
         self.file
             .read_exact_at(&mut page, pid as u64 * PAGE_SIZE as u64)?;
@@ -174,6 +204,7 @@ impl Pager {
             self.recency_index.remove(&oldest);
             if let Some(slot) = self.cache.remove(&victim) {
                 if slot.dirty {
+                    self.dirty_writebacks.inc();
                     self.write_page_raw(victim, &slot.node.encode())?;
                 }
             }
@@ -182,7 +213,7 @@ impl Pager {
     }
 
     fn write_page_raw(&mut self, pid: u32, page: &[u8; PAGE_SIZE]) -> io::Result<()> {
-        self.pages_written += 1;
+        self.pages_written.inc();
         self.file.write_all_at(page, pid as u64 * PAGE_SIZE as u64)
     }
 
@@ -203,7 +234,7 @@ impl Pager {
             page[5..7].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
             page[7..7 + chunk.len()].copy_from_slice(chunk);
             self.write_page_raw(pid, &page)?;
-            self.overflow_pages_written += 1;
+            self.overflow_pages_written.inc();
             next_pid = pid;
         }
         Ok(next_pid)
@@ -261,6 +292,7 @@ impl Pager {
             .collect();
         for pid in dirty {
             let page = self.cache[&pid].node.encode();
+            self.dirty_writebacks.inc();
             self.write_page_raw(pid, &page)?;
             self.cache.get_mut(&pid).expect("present").dirty = false;
         }
@@ -284,13 +316,15 @@ impl Pager {
     /// Internal statistics.
     pub fn stats(&self) -> Vec<(String, u64)> {
         vec![
-            ("page_cache_hits".to_string(), self.cache_hits),
-            ("page_cache_misses".to_string(), self.cache_misses),
-            ("pages_written".to_string(), self.pages_written),
+            ("page_cache_hits".to_string(), self.cache_hits.get()),
+            ("page_cache_misses".to_string(), self.cache_misses.get()),
+            ("pages_written".to_string(), self.pages_written.get()),
             (
                 "overflow_pages_written".to_string(),
-                self.overflow_pages_written,
+                self.overflow_pages_written.get(),
             ),
+            ("dirty_writebacks".to_string(), self.dirty_writebacks.get()),
+            ("page_splits".to_string(), self.page_splits.get()),
         ]
     }
 }

@@ -52,6 +52,17 @@ impl Tree {
         Ok(Tree { pager, config })
     }
 
+    /// Registers the pager's counters in `registry`; see
+    /// [`Pager::attach_metrics`].
+    pub fn attach_metrics(&mut self, registry: &gadget_obs::MetricsRegistry) {
+        self.pager.attach_metrics(registry);
+    }
+
+    /// Number of pages resident in the page cache.
+    pub fn cached_pages(&self) -> usize {
+        self.pager.cached_pages()
+    }
+
     /// Descends to the leaf page covering `key`.
     fn find_leaf(&mut self, key: &[u8]) -> io::Result<u32> {
         let mut pid = self.pager.root;
@@ -176,6 +187,7 @@ impl Tree {
                 }
                 let node = Node::Internal { keys, children };
                 if node.encoded_size() > PAGE_SIZE {
+                    self.pager.note_split();
                     let (left, sep, right) = split_internal(node);
                     let right_pid = self.pager.alloc();
                     self.pager.write_node(right_pid, right)?;
@@ -199,6 +211,7 @@ impl Tree {
                 }
                 let node = Node::Leaf { entries, next };
                 if node.encoded_size() > PAGE_SIZE {
+                    self.pager.note_split();
                     let (left, sep, right) = split_leaf(node, pid, &mut self.pager)?;
                     self.pager.write_node(pid, left)?;
                     Ok(Some((sep, right)))

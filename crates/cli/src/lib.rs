@@ -22,7 +22,8 @@ use gadget_analysis::{
     working_set_series,
 };
 use gadget_core::GadgetConfig;
-use gadget_replay::{run_online, ReplayOptions, TraceReplayer};
+use gadget_obs::{MetricsSeries, SnapshotEmitter};
+use gadget_replay::{run_online, run_online_observed, ReplayOptions, TraceReplayer};
 use gadget_types::{OpType, Trace};
 use gadget_ycsb::{CoreWorkload, YcsbConfig};
 
@@ -79,11 +80,19 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
+    // Bare-flags form (`gadget --config c.json --metrics out.json`): the
+    // observability sweep, for parity with the paper artifact's default
+    // invocation.
+    if cmd.starts_with("--") {
+        let flags = Flags::parse(args)?;
+        return cmd_observe(&flags);
+    }
     let flags = Flags::parse(&args[1..])?;
     match cmd.as_str() {
         "generate" => cmd_generate(&flags),
         "replay" => cmd_replay(&flags),
         "online" => cmd_online(&flags),
+        "observe" => cmd_observe(&flags),
         "analyze" => cmd_analyze(&flags),
         "compare" => cmd_compare(&flags),
         "concurrent" => cmd_concurrent(&flags),
@@ -105,8 +114,11 @@ pub fn usage() -> String {
      subcommands:\n\
      \x20 generate --config <json> --out <trace>         generate a state-access trace (offline mode)\n\
      \x20 replay   --trace <trace> --store <label>       replay a trace against a store\n\
-     \x20          [--dir <path>] [--rate <ops/s>] [--ops <n>]\n\
+     \x20          [--dir <path>] [--rate <ops/s>] [--ops <n>] [--metrics <json>] [--every <ops>]\n\
      \x20 online   --config <json> --store <label>       generate and issue requests on the fly\n\
+     \x20          [--metrics <json>] [--every <ops>]\n\
+     \x20 observe  --config <json> --metrics <json>      run the workload on every store, sampling\n\
+     \x20          [--stores <a,b,..>] [--every <ops>]    internal metrics into a JSON time series\n\
      \x20 analyze  --trace <trace>                       characterize a trace (composition, locality, TTL)\n\
      \x20 compare  --a <trace> --b <trace>                side-by-side fidelity report (paper 6.1)\n\
      \x20 concurrent --traces <a.gdt,b.gdt> --store <label>  co-located operators (paper 6.4)\n\
@@ -225,6 +237,9 @@ impl gadget_kv::StateStore for ArcStore {
     fn internal_counters(&self) -> Vec<(String, u64)> {
         self.0.internal_counters()
     }
+    fn metrics(&self) -> Option<gadget_obs::MetricsSnapshot> {
+        self.0.metrics()
+    }
 }
 
 fn print_report(report: &gadget_replay::RunReport) {
@@ -250,6 +265,23 @@ fn print_report(report: &gadget_replay::RunReport) {
     }
 }
 
+/// Default sampling interval: aim for ~10 snapshots over `total_ops`.
+fn sample_interval(flags: &Flags, total_ops: u64) -> Result<u64, String> {
+    match flags.optional_parse("every")? {
+        Some(0) => Err("--every must be at least 1".to_string()),
+        Some(n) => Ok(n),
+        None => Ok((total_ops / 10).max(1)),
+    }
+}
+
+fn write_series(path: &str, series: &MetricsSeries) -> Result<(), String> {
+    let mut text = serde_json::to_string_pretty(series).map_err(|e| e.to_string())?;
+    text.push('\n');
+    std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {} metrics snapshots to {path}", series.points.len());
+    Ok(())
+}
+
 fn cmd_replay(flags: &Flags) -> Result<(), String> {
     let trace_path = flags.required("trace")?;
     let label = flags.required("store")?;
@@ -259,9 +291,20 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
         service_rate: flags.optional_parse("rate")?,
         max_ops: flags.optional_parse("ops")?,
     };
-    let report = TraceReplayer::new(options)
-        .replay(&trace, store.as_ref(), trace_path)
-        .map_err(|e| e.to_string())?;
+    let replayer = TraceReplayer::new(options);
+    let report = match flags.optional("metrics") {
+        None => replayer
+            .replay(&trace, store.as_ref(), trace_path)
+            .map_err(|e| e.to_string())?,
+        Some(metrics_path) => {
+            let mut emitter = SnapshotEmitter::every(sample_interval(flags, trace.len() as u64)?);
+            let report = replayer
+                .replay_observed(&trace, store.as_ref(), trace_path, &mut emitter)
+                .map_err(|e| e.to_string())?;
+            write_series(metrics_path, emitter.series())?;
+            report
+        }
+    };
     print_report(&report);
     Ok(())
 }
@@ -270,10 +313,70 @@ fn cmd_online(flags: &Flags) -> Result<(), String> {
     let config = load_config(flags)?;
     let label = flags.required("store")?;
     let store = open_store(label, flags.optional("dir"))?;
-    let report =
-        run_online(&config, store.as_ref(), &config.operator).map_err(|e| e.to_string())?;
+    let report = match flags.optional("metrics") {
+        None => run_online(&config, store.as_ref(), &config.operator).map_err(|e| e.to_string())?,
+        Some(metrics_path) => {
+            // Online op count is not known upfront; approximate it as 2×
+            // the source event count for the default interval.
+            let events = match &config.source {
+                gadget_core::SourceConfig::Synthetic(g) => g.events,
+                gadget_core::SourceConfig::Dataset { events, .. } => *events,
+            };
+            let mut emitter = SnapshotEmitter::every(sample_interval(flags, events * 2)?);
+            let report =
+                run_online_observed(&config, store.as_ref(), &config.operator, &mut emitter)
+                    .map_err(|e| e.to_string())?;
+            write_series(metrics_path, emitter.series())?;
+            report
+        }
+    };
     print_report(&report);
     Ok(())
+}
+
+/// Store labels swept by `observe` when `--stores` is not given: the
+/// paper's four store classes.
+const OBSERVE_STORES: &str = "rocksdb-class,lethe-class,faster-class,berkeleydb-class";
+
+/// Runs one workload against a set of stores, sampling each store's
+/// internal metrics into a single JSON time series. Components in each
+/// snapshot are prefixed with the store label (`rocksdb-class.store`,
+/// `rocksdb-class.replayer`).
+fn cmd_observe(flags: &Flags) -> Result<(), String> {
+    let config = load_config(flags)?;
+    let metrics_path = flags.required("metrics")?;
+    let labels = flags.optional("stores").unwrap_or(OBSERVE_STORES);
+    let trace = config.run();
+    let interval = sample_interval(flags, trace.len() as u64)?;
+    let replayer = TraceReplayer::default();
+    let mut combined = MetricsSeries {
+        interval_ops: interval,
+        points: Vec::new(),
+    };
+    for label in labels.split(',').map(str::trim).filter(|l| !l.is_empty()) {
+        let dir =
+            std::env::temp_dir().join(format!("gadget-observe-{}-{label}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = open_store(label, dir.to_str())?;
+        let observed = gadget_kv::ObservedStore::new(ArcStore(store));
+        let mut emitter = SnapshotEmitter::every(interval);
+        let report = replayer
+            .replay_observed(&trace, &observed, label, &mut emitter)
+            .map_err(|e| format!("{label}: {e}"))?;
+        println!(
+            "{label}: {} ops at {:.0} ops/s (p99.9 {}ns)",
+            report.operations, report.throughput, report.latency.p999_ns
+        );
+        for mut point in emitter.series().points.iter().cloned() {
+            for (component, _) in &mut point.registries {
+                *component = format!("{label}.{component}");
+            }
+            combined.points.push(point);
+        }
+        drop(observed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    write_series(metrics_path, &combined)
 }
 
 fn cmd_analyze(flags: &Flags) -> Result<(), String> {
@@ -556,6 +659,83 @@ mod tests {
             "mem",
         ]))
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observe_sweeps_every_store_into_one_series() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("cfg.json");
+        let metrics_path = dir.join("metrics.json");
+        let cfg = gadget_core::GadgetConfig::synthetic(
+            gadget_core::OperatorKind::TumblingIncr,
+            gadget_core::GeneratorConfig {
+                events: 2_000,
+                ..gadget_core::GeneratorConfig::default()
+            },
+        );
+        std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
+        // Bare-flags invocation (no subcommand), as in the quickstart.
+        dispatch(&strs(&[
+            "--config",
+            cfg_path.to_str().unwrap(),
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+            "--stores",
+            "mem,faster-class",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&metrics_path).unwrap();
+        let series: MetricsSeries = serde_json::from_str(&text).unwrap();
+        assert!(series.points.len() >= 4, "{} points", series.points.len());
+        for label in ["mem", "faster-class"] {
+            let last = series
+                .points
+                .iter()
+                .rev()
+                .find(|p| p.registry(&format!("{label}.store")).is_some())
+                .unwrap();
+            let snap = last.registry(&format!("{label}.store")).unwrap();
+            assert!(snap.counter("puts").unwrap() > 0, "{label} puts");
+            assert!(
+                last.registry(&format!("{label}.replayer"))
+                    .unwrap()
+                    .counter("ops")
+                    .unwrap()
+                    > 0
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_with_metrics_writes_series() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-rm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.gdt");
+        let metrics_path = dir.join("metrics.json");
+        let cfg = gadget_core::GadgetConfig::synthetic(
+            gadget_core::OperatorKind::Aggregation,
+            gadget_core::GeneratorConfig {
+                events: 1_000,
+                ..gadget_core::GeneratorConfig::default()
+            },
+        );
+        cfg.run().save(&trace_path).unwrap();
+        dispatch(&strs(&[
+            "replay",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--store",
+            "mem",
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&metrics_path).unwrap();
+        let series: MetricsSeries = serde_json::from_str(&text).unwrap();
+        assert!(series.points.len() >= 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -6,6 +6,7 @@
 
 use std::collections::HashSet;
 
+use gadget_obs::{MetricsSnapshot, SnapshotEmitter};
 use gadget_types::{StateAccess, StreamElement, Timestamp, Trace};
 
 use crate::operator::Operator;
@@ -19,6 +20,8 @@ pub struct Driver {
     allowed_lateness: Timestamp,
     watermark: Timestamp,
     dropped_late: u64,
+    events_in: u64,
+    accesses_out: u64,
 }
 
 impl Driver {
@@ -29,6 +32,8 @@ impl Driver {
             allowed_lateness: 0,
             watermark: 0,
             dropped_late: 0,
+            events_in: 0,
+            accesses_out: 0,
         }
     }
 
@@ -48,11 +53,40 @@ impl Driver {
         self.operator.name()
     }
 
+    /// The driver's own instruments: progress counters plus the current
+    /// watermark as a gauge.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("events_in", self.events_in);
+        snap.push_counter("accesses_out", self.accesses_out);
+        snap.push_counter("dropped_late", self.dropped_late);
+        snap.push_gauge("watermark", self.watermark as i64);
+        snap
+    }
+
     /// Runs the full stream through the operator and returns the trace.
     ///
     /// At end-of-stream the operator flushes all remaining state (as if a
     /// final watermark arrived), so traces are self-contained.
     pub fn run<I>(&mut self, stream: I) -> Trace
+    where
+        I: Iterator<Item = StreamElement>,
+    {
+        self.run_inner(stream, None)
+    }
+
+    /// Like [`run`](Driver::run), but also samples
+    /// [`metrics_snapshot`](Driver::metrics_snapshot) into `emitter` on
+    /// its op-count schedule (ops = state accesses emitted), plus one
+    /// final sample.
+    pub fn run_observed<I>(&mut self, stream: I, emitter: &mut SnapshotEmitter) -> Trace
+    where
+        I: Iterator<Item = StreamElement>,
+    {
+        self.run_inner(stream, Some(emitter))
+    }
+
+    fn run_inner<I>(&mut self, stream: I, mut emitter: Option<&mut SnapshotEmitter>) -> Trace
     where
         I: Iterator<Item = StreamElement>,
     {
@@ -70,6 +104,7 @@ impl Driver {
                         continue;
                     }
                     input_events += 1;
+                    self.events_in += 1;
                     input_keys.insert(event.key);
                     self.operator.on_event(&event, &mut accesses);
                 }
@@ -80,8 +115,20 @@ impl Driver {
                     }
                 }
             }
+            self.accesses_out = accesses.len() as u64;
+            if let Some(em) = emitter.as_deref_mut() {
+                let snap = || vec![("driver".to_string(), self.metrics_snapshot())];
+                em.poll(accesses.len() as u64, snap);
+            }
         }
         self.operator.on_end(&mut accesses);
+        self.accesses_out = accesses.len() as u64;
+        if let Some(em) = emitter {
+            em.finish(
+                accesses.len() as u64,
+                vec![("driver".to_string(), self.metrics_snapshot())],
+            );
+        }
 
         Trace {
             accesses,
@@ -142,6 +189,25 @@ mod tests {
         assert_eq!(trace.input_events, 3);
         assert_eq!(trace.input_distinct_keys, 2);
         assert_eq!(trace.stats().event_amplification(), Some(2.0));
+    }
+
+    #[test]
+    fn observed_run_samples_driver_metrics() {
+        let op = OperatorKind::Aggregation.build(&OperatorParams::default());
+        let mut driver = Driver::new(op).with_allowed_lateness(1_000);
+        let mut emitter = SnapshotEmitter::every(2);
+        let elements: Vec<StreamElement> = (0..10u64)
+            .map(|i| StreamElement::Event(Event::new(i % 3, 1_000 * i, 10)))
+            .chain([StreamElement::Watermark(10_000)])
+            .collect();
+        driver.run_observed(stream(elements), &mut emitter);
+        let points = &emitter.series().points;
+        assert!(points.len() >= 2);
+        let last = points.last().unwrap();
+        let driver_snap = last.registry("driver").unwrap();
+        assert_eq!(driver_snap.counter("events_in"), Some(10));
+        assert!(driver_snap.counter("accesses_out").unwrap() >= 20);
+        assert_eq!(driver_snap.gauge("watermark"), Some(10_000));
     }
 
     #[test]

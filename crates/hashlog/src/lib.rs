@@ -35,6 +35,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use gadget_kv::{StateStore, StoreCounters, StoreError};
+use gadget_obs::{MetricsRegistry, MetricsSnapshot};
 
 mod shard;
 
@@ -88,6 +89,7 @@ impl HashLogConfig {
 pub struct HashLogStore {
     shards: Vec<Mutex<Shard>>,
     counters: StoreCounters,
+    metrics: MetricsRegistry,
 }
 
 impl HashLogStore {
@@ -96,9 +98,11 @@ impl HashLogStore {
         let shards = (0..config.shards.max(1))
             .map(|_| Mutex::new(Shard::new(config.clone())))
             .collect();
+        let metrics = MetricsRegistry::new();
         HashLogStore {
             shards,
-            counters: StoreCounters::new(),
+            counters: StoreCounters::registered(&metrics),
+            metrics,
         }
     }
 
@@ -174,6 +178,36 @@ impl StateStore for HashLogStore {
         }
         out.sort();
         out
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        let mut snap = self.metrics.snapshot();
+        let stats = self.shard_stats();
+        for name in ["in_place_updates", "copy_updates", "gc_runs"] {
+            snap.push_counter(name, stats.get(name).copied().unwrap_or(0));
+        }
+        // Log growth: live bytes vs dead (retired-record) bytes.
+        snap.push_gauge(
+            "log_bytes",
+            stats.get("log_bytes").copied().unwrap_or(0) as i64,
+        );
+        snap.push_gauge(
+            "dead_bytes",
+            stats.get("dead_bytes").copied().unwrap_or(0) as i64,
+        );
+        // Chain-length proxies: with one live record per key, the average
+        // and worst-case per-shard occupancy are what govern index probe
+        // cost (a FASTER hash chain collapses to its live tail entry).
+        let mut live = 0usize;
+        let mut max_shard = 0usize;
+        for s in &self.shards {
+            let n = s.lock().len();
+            live += n;
+            max_shard = max_shard.max(n);
+        }
+        snap.push_gauge("live_keys", live as i64);
+        snap.push_gauge("max_shard_keys", max_shard as i64);
+        Some(snap)
     }
 }
 
@@ -288,6 +322,25 @@ mod tests {
         for t in 0..4u8 {
             assert_eq!(v.iter().filter(|&&b| b == t).count(), 1_000, "thread {t}");
         }
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_internals() {
+        let s = HashLogStore::new(HashLogConfig::small());
+        s.put(b"hot", b"00000000").unwrap();
+        for _ in 0..100 {
+            s.put(b"hot", b"11111111").unwrap();
+        }
+        s.merge(b"hot", b"!").unwrap();
+        s.get(b"hot").unwrap();
+        let snap = s.metrics().expect("hashlog store exposes metrics");
+        assert_eq!(snap.counter("puts"), Some(101));
+        assert_eq!(snap.counter("gets"), Some(1));
+        assert_eq!(snap.counter("merges"), Some(1));
+        assert!(snap.counter("in_place_updates").unwrap() > 90);
+        assert!(snap.gauge("log_bytes").unwrap() > 0);
+        assert_eq!(snap.gauge("live_keys"), Some(1));
+        assert_eq!(snap.gauge("max_shard_keys"), Some(1));
     }
 
     #[test]

@@ -3,9 +3,11 @@
 use parking_lot::Mutex;
 
 use bytes::Bytes;
+use gadget_obs::{MetricsRegistry, MetricsSnapshot};
 use gadget_types::{OpType, StateAccess, StateKey, Timestamp, Trace};
 
 use crate::error::StoreError;
+use crate::observed::OpTimers;
 use crate::store::StateStore;
 
 /// A store wrapper that records every access into a [`Trace`].
@@ -23,15 +25,22 @@ pub struct InstrumentedStore<S> {
     inner: S,
     trace: Mutex<Trace>,
     clock: Mutex<Timestamp>,
+    metrics: MetricsRegistry,
+    timers: OpTimers,
 }
 
 impl<S: StateStore> InstrumentedStore<S> {
     /// Wraps `inner`, starting with an empty trace.
     pub fn new(inner: S) -> Self {
+        let metrics = MetricsRegistry::new();
+        // Trace recording dwarfs a clock read, so time every call.
+        let timers = OpTimers::registered(&metrics, 0);
         InstrumentedStore {
             inner,
             trace: Mutex::new(Trace::new()),
             clock: Mutex::new(0),
+            metrics,
+            timers,
         }
     }
 
@@ -84,22 +93,22 @@ impl<S: StateStore> StateStore for InstrumentedStore<S> {
 
     fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StoreError> {
         self.record(OpType::Get, key, 0);
-        self.inner.get(key)
+        self.timers.get.time(|| self.inner.get(key))
     }
 
     fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
         self.record(OpType::Put, key, value.len() as u32);
-        self.inner.put(key, value)
+        self.timers.put.time(|| self.inner.put(key, value))
     }
 
     fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), StoreError> {
         self.record(OpType::Merge, key, operand.len() as u32);
-        self.inner.merge(key, operand)
+        self.timers.merge.time(|| self.inner.merge(key, operand))
     }
 
     fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
         self.record(OpType::Delete, key, 0);
-        self.inner.delete(key)
+        self.timers.delete.time(|| self.inner.delete(key))
     }
 
     fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
@@ -126,6 +135,13 @@ impl<S: StateStore> StateStore for InstrumentedStore<S> {
 
     fn internal_counters(&self) -> Vec<(String, u64)> {
         self.inner.internal_counters()
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        let mut snap = self.inner.metrics().unwrap_or_default();
+        snap.merge(&self.metrics.snapshot());
+        snap.push_gauge("trace_len", self.trace.lock().len() as i64);
+        Some(snap)
     }
 }
 
@@ -184,6 +200,20 @@ mod tests {
         assert_eq!(trace.len(), 2);
         assert!(trace.iter().all(|a| a.op == OpType::Get));
         assert!(s.supports_scan());
+    }
+
+    #[test]
+    fn metrics_time_every_operation() {
+        let s = InstrumentedStore::new(MemStore::new());
+        s.put(b"k", b"v").unwrap();
+        s.get(b"k").unwrap();
+        s.get(b"k").unwrap();
+        let snap = s.metrics().unwrap();
+        assert_eq!(snap.counter("get_calls"), Some(2));
+        assert_eq!(snap.histogram("get_ns").unwrap().count(), 2);
+        assert_eq!(snap.gauge("trace_len"), Some(3));
+        // Inner MemStore metrics ride along.
+        assert_eq!(snap.counter("puts"), Some(1));
     }
 
     #[test]

@@ -15,15 +15,25 @@
 //!   [`Trace`](gadget_types::Trace); this is the Rust analogue of the
 //!   paper's instrumented Flink state backend (§3.1) and is how the
 //!   reference stream processor produces "real" traces.
+//! * [`ObservedStore`] — a lightweight wrapper that counts operations and
+//!   samples latencies into a `gadget-obs` registry, cheap enough to keep
+//!   enabled during benchmark runs (unlike the full trace recorder).
+//!
+//! Every store exposes [`StateStore::metrics`], returning a
+//! [`MetricsSnapshot`](gadget_obs::MetricsSnapshot) of its internals
+//! (compaction traffic, cache hit rates, fsync latencies, …) for the
+//! `--metrics` time-series emitter.
 
 pub mod error;
 pub mod instrument;
 pub mod mem;
+pub mod observed;
 pub mod remote;
 pub mod store;
 
 pub use error::StoreError;
 pub use instrument::InstrumentedStore;
 pub use mem::MemStore;
+pub use observed::{ObservedStore, OpTimers};
 pub use remote::{NetworkProfile, RemoteStore};
 pub use store::{StateStore, StoreCounters};

@@ -5,6 +5,8 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use parking_lot::RwLock;
 
+use gadget_obs::{MetricsRegistry, MetricsSnapshot};
+
 use crate::error::StoreError;
 use crate::store::{StateStore, StoreCounters};
 
@@ -14,10 +16,22 @@ use crate::store::{StateStore, StoreCounters};
 /// which the real substrates are differentially tested, and (ii) an
 /// upper-bound "infinitely fast store" baseline in reports. It supports
 /// native merges by direct concatenation.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemStore {
     map: RwLock<HashMap<Vec<u8>, Bytes>>,
     counters: StoreCounters,
+    metrics: MetricsRegistry,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        let metrics = MetricsRegistry::new();
+        MemStore {
+            map: RwLock::default(),
+            counters: StoreCounters::registered(&metrics),
+            metrics,
+        }
+    }
 }
 
 impl MemStore {
@@ -100,6 +114,12 @@ impl StateStore for MemStore {
     fn internal_counters(&self) -> Vec<(String, u64)> {
         self.counters.snapshot()
     }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        let mut snap = self.metrics.snapshot();
+        snap.push_gauge("live_keys", self.len() as i64);
+        Some(snap)
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +170,18 @@ mod tests {
         let keys: Vec<u8> = hits.iter().map(|(k, _)| k[0]).collect();
         assert_eq!(keys, vec![3, 5, 7]);
         assert!(s.supports_scan());
+    }
+
+    #[test]
+    fn metrics_snapshot_tracks_ops_and_live_keys() {
+        let s = MemStore::new();
+        s.put(b"a", b"1").unwrap();
+        s.put(b"b", b"2").unwrap();
+        s.get(b"a").unwrap();
+        let snap = s.metrics().unwrap();
+        assert_eq!(snap.counter("puts"), Some(2));
+        assert_eq!(snap.counter("gets"), Some(1));
+        assert_eq!(snap.gauge("live_keys"), Some(2));
     }
 
     #[test]

@@ -12,8 +12,10 @@
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use gadget_obs::{Counter, MetricsRegistry, MetricsSnapshot};
 
 use crate::error::StoreError;
+use crate::observed::OpTimers;
 use crate::store::StateStore;
 
 /// Synthetic network profile for a remote store.
@@ -51,12 +53,27 @@ impl NetworkProfile {
 pub struct RemoteStore<S> {
     inner: S,
     profile: NetworkProfile,
+    metrics: MetricsRegistry,
+    timers: OpTimers,
+    network_bytes: Counter,
 }
 
 impl<S: StateStore> RemoteStore<S> {
     /// Wraps `inner` behind the given network profile.
     pub fn new(inner: S, profile: NetworkProfile) -> Self {
-        RemoteStore { inner, profile }
+        let metrics = MetricsRegistry::new();
+        // Every operation already pays at least one synthetic RTT
+        // (tens of microseconds), so timing each one is free in
+        // relative terms.
+        let timers = OpTimers::registered(&metrics, 0);
+        let network_bytes = metrics.counter("network_bytes");
+        RemoteStore {
+            inner,
+            profile,
+            metrics,
+            timers,
+            network_bytes,
+        }
     }
 
     /// Access to the wrapped store.
@@ -65,6 +82,7 @@ impl<S: StateStore> RemoteStore<S> {
     }
 
     fn simulate_network(&self, payload_bytes: usize) {
+        self.network_bytes.add(payload_bytes as u64);
         let deadline = Instant::now() + self.profile.delay_for(payload_bytes);
         // Busy-wait: sleep() cannot resolve sub-millisecond delays.
         while Instant::now() < deadline {
@@ -79,31 +97,41 @@ impl<S: StateStore> StateStore for RemoteStore<S> {
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StoreError> {
-        let result = self.inner.get(key)?;
-        self.simulate_network(key.len() + result.as_ref().map_or(0, |v| v.len()));
-        Ok(result)
+        self.timers.get.time(|| {
+            let result = self.inner.get(key)?;
+            self.simulate_network(key.len() + result.as_ref().map_or(0, |v| v.len()));
+            Ok(result)
+        })
     }
 
     fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
-        self.simulate_network(key.len() + value.len());
-        self.inner.put(key, value)
+        self.timers.put.time(|| {
+            self.simulate_network(key.len() + value.len());
+            self.inner.put(key, value)
+        })
     }
 
     fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), StoreError> {
-        self.simulate_network(key.len() + operand.len());
-        self.inner.merge(key, operand)
+        self.timers.merge.time(|| {
+            self.simulate_network(key.len() + operand.len());
+            self.inner.merge(key, operand)
+        })
     }
 
     fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
-        self.simulate_network(key.len());
-        self.inner.delete(key)
+        self.timers.delete.time(|| {
+            self.simulate_network(key.len());
+            self.inner.delete(key)
+        })
     }
 
     fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
-        let result = self.inner.scan(lo, hi)?;
-        let bytes: usize = result.iter().map(|(k, v)| k.len() + v.len()).sum();
-        self.simulate_network(bytes);
-        Ok(result)
+        self.timers.scan.time(|| {
+            let result = self.inner.scan(lo, hi)?;
+            let bytes: usize = result.iter().map(|(k, v)| k.len() + v.len()).sum();
+            self.simulate_network(bytes);
+            Ok(result)
+        })
     }
 
     fn supports_scan(&self) -> bool {
@@ -120,6 +148,12 @@ impl<S: StateStore> StateStore for RemoteStore<S> {
 
     fn internal_counters(&self) -> Vec<(String, u64)> {
         self.inner.internal_counters()
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        let mut snap = self.inner.metrics().unwrap_or_default();
+        snap.merge(&self.metrics.snapshot());
+        Some(snap)
     }
 }
 
@@ -163,6 +197,20 @@ mod tests {
         // 100 ops × 200us = 20ms minimum for the remote store.
         assert!(remote_time >= Duration::from_millis(18), "{remote_time:?}");
         assert!(remote_time > 4 * local_time);
+    }
+
+    #[test]
+    fn metrics_capture_latency_and_traffic() {
+        let s = RemoteStore::new(MemStore::new(), NetworkProfile::loopback());
+        s.put(b"key", b"value").unwrap();
+        s.get(b"key").unwrap();
+        let snap = s.metrics().unwrap();
+        assert_eq!(snap.counter("put_calls"), Some(1));
+        assert_eq!(snap.counter("get_calls"), Some(1));
+        // put: 3+5 bytes, get: 3+5 bytes.
+        assert_eq!(snap.counter("network_bytes"), Some(16));
+        // Latency includes the ~10us synthetic RTT.
+        assert!(snap.histogram("put_ns").unwrap().max() >= 10_000);
     }
 
     #[test]

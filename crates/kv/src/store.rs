@@ -1,8 +1,7 @@
 //! The [`StateStore`] trait.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use bytes::Bytes;
+use gadget_obs::{Counter, MetricsRegistry, MetricsSnapshot};
 
 use crate::error::StoreError;
 
@@ -77,66 +76,85 @@ pub trait StateStore: Send + Sync {
     fn internal_counters(&self) -> Vec<(String, u64)> {
         Vec::new()
     }
+
+    /// A point-in-time snapshot of the store's metrics, or `None` for
+    /// stores that are not instrumented.
+    ///
+    /// This returns a value (not live instrument handles) so callers
+    /// can hold, merge, and serialize readings without worrying about
+    /// instruments going stale across flushes or restarts. Instrumented
+    /// stores assemble the snapshot from their internal registry plus
+    /// any computed gauges (e.g. live bytes derived from shard state)
+    /// at call time.
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        None
+    }
 }
 
 /// Cheap atomic operation counters shared by store implementations.
 ///
 /// Stores embed one of these and bump it per public operation so reports
 /// can show per-store request mixes without external instrumentation.
+/// Built via [`StoreCounters::registered`], the counters live in the
+/// store's [`MetricsRegistry`] and show up in its snapshots for free.
 #[derive(Debug, Default)]
 pub struct StoreCounters {
-    /// Number of `get` calls.
-    pub gets: AtomicU64,
-    /// Number of `put` calls.
-    pub puts: AtomicU64,
-    /// Number of `merge` calls.
-    pub merges: AtomicU64,
-    /// Number of `delete` calls.
-    pub deletes: AtomicU64,
+    gets: Counter,
+    puts: Counter,
+    merges: Counter,
+    deletes: Counter,
 }
 
 impl StoreCounters {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters not tied to any registry.
     pub fn new() -> Self {
         StoreCounters::default()
     }
 
+    /// Creates counters registered as `gets`/`puts`/`merges`/`deletes`
+    /// in `registry`, so registry snapshots include them.
+    pub fn registered(registry: &MetricsRegistry) -> Self {
+        StoreCounters {
+            gets: registry.counter("gets"),
+            puts: registry.counter("puts"),
+            merges: registry.counter("merges"),
+            deletes: registry.counter("deletes"),
+        }
+    }
+
     /// Records one `get`.
     pub fn record_get(&self) {
-        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.gets.inc();
     }
 
     /// Records one `put`.
     pub fn record_put(&self) {
-        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.puts.inc();
     }
 
     /// Records one `merge`.
     pub fn record_merge(&self) {
-        self.merges.fetch_add(1, Ordering::Relaxed);
+        self.merges.inc();
     }
 
     /// Records one `delete`.
     pub fn record_delete(&self) {
-        self.deletes.fetch_add(1, Ordering::Relaxed);
+        self.deletes.inc();
     }
 
     /// Snapshot of all counters as (name, value) pairs.
     pub fn snapshot(&self) -> Vec<(String, u64)> {
         vec![
-            ("gets".to_string(), self.gets.load(Ordering::Relaxed)),
-            ("puts".to_string(), self.puts.load(Ordering::Relaxed)),
-            ("merges".to_string(), self.merges.load(Ordering::Relaxed)),
-            ("deletes".to_string(), self.deletes.load(Ordering::Relaxed)),
+            ("gets".to_string(), self.gets.get()),
+            ("puts".to_string(), self.puts.get()),
+            ("merges".to_string(), self.merges.get()),
+            ("deletes".to_string(), self.deletes.get()),
         ]
     }
 
     /// Total operations recorded.
     pub fn total(&self) -> u64 {
-        self.gets.load(Ordering::Relaxed)
-            + self.puts.load(Ordering::Relaxed)
-            + self.merges.load(Ordering::Relaxed)
-            + self.deletes.load(Ordering::Relaxed)
+        self.gets.get() + self.puts.get() + self.merges.get() + self.deletes.get()
     }
 }
 

@@ -432,6 +432,7 @@ impl TableHandle {
         }
         if let Some(bloom) = self.bloom.as_ref() {
             if !bloom.may_contain(key) {
+                cache.note_bloom_negative();
                 return Ok(Lookup::NotFound);
             }
         }

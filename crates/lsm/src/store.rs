@@ -10,6 +10,7 @@ use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use gadget_kv::{StateStore, StoreCounters, StoreError};
+use gadget_obs::{Counter, MetricsRegistry, MetricsSnapshot};
 
 use crate::cache::BlockCache;
 use crate::compaction::{pick_compaction, run_compaction, CompactionReason};
@@ -17,7 +18,7 @@ use crate::config::LsmConfig;
 use crate::memtable::{Lookup, MemTable};
 use crate::sstable::TableWriter;
 use crate::version::{recover_version, table_path, Version};
-use crate::wal::{Wal, WalOp};
+use crate::wal::{Wal, WalMetrics, WalOp};
 
 /// Mutable write-side state, guarded by one mutex.
 struct WriteState {
@@ -43,14 +44,19 @@ struct Inner {
     seq: AtomicU64,
     next_file_no: AtomicU64,
     counters: StoreCounters,
-    flushes: AtomicU64,
-    compactions_l0: AtomicU64,
-    compactions_size: AtomicU64,
-    compactions_lethe: AtomicU64,
-    tombstones_dropped: AtomicU64,
-    compaction_bytes_read: AtomicU64,
-    compaction_bytes_written: AtomicU64,
-    write_stalls: AtomicU64,
+    /// Registry behind every stat counter below (plus the block cache
+    /// and WAL instruments); `metrics()` snapshots it.
+    metrics: MetricsRegistry,
+    wal_metrics: WalMetrics,
+    flushes: Counter,
+    flush_bytes_written: Counter,
+    compactions_l0: Counter,
+    compactions_size: Counter,
+    compactions_lethe: Counter,
+    tombstones_dropped: Counter,
+    compaction_bytes_read: Counter,
+    compaction_bytes_written: Counter,
+    write_stalls: Counter,
 }
 
 /// An embedded LSM-tree key-value store (see the crate docs for the
@@ -129,11 +135,12 @@ impl LsmStore {
         // once the new generation's WAL exists.
         // Recovered entries are re-logged under the new generation so the
         // old WAL files can be retired immediately.
+        let metrics = MetricsRegistry::new();
+        let wal_metrics = WalMetrics::registered(&metrics);
         let mut wal = if config.wal {
-            Some(Wal::create(
-                &dir.join(wal_file_name(mem_gen)),
-                config.wal_sync,
-            )?)
+            let mut w = Wal::create(&dir.join(wal_file_name(mem_gen)), config.wal_sync)?;
+            w.set_metrics(wal_metrics.clone());
+            Some(w)
         } else {
             None
         };
@@ -158,7 +165,7 @@ impl LsmStore {
         }
 
         let inner = Arc::new(Inner {
-            cache: BlockCache::new(config.block_cache_bytes),
+            cache: BlockCache::registered(config.block_cache_bytes, &metrics),
             state: Mutex::new(WriteState {
                 mem,
                 mem_gen,
@@ -172,15 +179,18 @@ impl LsmStore {
             shutdown: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             next_file_no: AtomicU64::new(max_file_no),
-            counters: StoreCounters::new(),
-            flushes: AtomicU64::new(0),
-            compactions_l0: AtomicU64::new(0),
-            compactions_size: AtomicU64::new(0),
-            compactions_lethe: AtomicU64::new(0),
-            tombstones_dropped: AtomicU64::new(0),
-            compaction_bytes_read: AtomicU64::new(0),
-            compaction_bytes_written: AtomicU64::new(0),
-            write_stalls: AtomicU64::new(0),
+            counters: StoreCounters::registered(&metrics),
+            wal_metrics,
+            flushes: metrics.counter("flushes"),
+            flush_bytes_written: metrics.counter("flush_bytes_written"),
+            compactions_l0: metrics.counter("compactions_l0"),
+            compactions_size: metrics.counter("compactions_size"),
+            compactions_lethe: metrics.counter("compactions_lethe"),
+            tombstones_dropped: metrics.counter("tombstones_dropped"),
+            compaction_bytes_read: metrics.counter("compaction_bytes_read"),
+            compaction_bytes_written: metrics.counter("compaction_bytes_written"),
+            write_stalls: metrics.counter("write_stalls"),
+            metrics,
             dir,
             config,
         });
@@ -370,7 +380,7 @@ fn rotate_memtable(
     state: &mut parking_lot::MutexGuard<'_, WriteState>,
 ) -> Result<(), StoreError> {
     while state.immutables.len() >= inner.config.max_immutable_memtables {
-        inner.write_stalls.fetch_add(1, Ordering::Relaxed);
+        inner.write_stalls.inc();
         inner.work_cv.notify_all();
         inner
             .stall_cv
@@ -383,10 +393,12 @@ fn rotate_memtable(
         if let Some(w) = state.wal.as_mut() {
             w.flush()?;
         }
-        state.wal = Some(Wal::create(
+        let mut w = Wal::create(
             &inner.dir.join(wal_file_name(state.mem_gen)),
             inner.config.wal_sync,
-        )?);
+        )?;
+        w.set_metrics(inner.wal_metrics.clone());
+        state.wal = Some(w);
     }
     state.immutables.push_back((gen, Arc::new(mem)));
     inner.work_cv.notify_all();
@@ -422,25 +434,13 @@ fn worker_loop(inner: Arc<Inner>) {
                 Ok(out) => {
                     inner.next_file_no.store(next_no, Ordering::Relaxed);
                     match job.reason {
-                        CompactionReason::L0FileCount => {
-                            inner.compactions_l0.fetch_add(1, Ordering::Relaxed)
-                        }
-                        CompactionReason::DeletePersistence => {
-                            inner.compactions_lethe.fetch_add(1, Ordering::Relaxed)
-                        }
-                        CompactionReason::LevelSize => {
-                            inner.compactions_size.fetch_add(1, Ordering::Relaxed)
-                        }
+                        CompactionReason::L0FileCount => inner.compactions_l0.inc(),
+                        CompactionReason::DeletePersistence => inner.compactions_lethe.inc(),
+                        CompactionReason::LevelSize => inner.compactions_size.inc(),
                     };
-                    inner
-                        .tombstones_dropped
-                        .fetch_add(out.tombstones_dropped, Ordering::Relaxed);
-                    inner
-                        .compaction_bytes_read
-                        .fetch_add(out.bytes_read, Ordering::Relaxed);
-                    inner
-                        .compaction_bytes_written
-                        .fetch_add(out.bytes_written, Ordering::Relaxed);
+                    inner.tombstones_dropped.add(out.tombstones_dropped);
+                    inner.compaction_bytes_read.add(out.bytes_read);
+                    inner.compaction_bytes_written.add(out.bytes_written);
                     let deleted: Vec<(usize, u64)> = job
                         .inputs
                         .iter()
@@ -531,7 +531,10 @@ fn flush_one(inner: &Inner) -> Result<bool, StoreError> {
         inner.stall_cv.notify_all();
     }
     let _ = std::fs::remove_file(inner.dir.join(wal_file_name(gen)));
-    inner.flushes.fetch_add(1, Ordering::Relaxed);
+    inner.flushes.inc();
+    if let Ok(meta) = std::fs::metadata(&path) {
+        inner.flush_bytes_written.add(meta.len());
+    }
     Ok(true)
 }
 
@@ -615,42 +618,56 @@ impl StateStore for LsmStore {
         let mut out = self.inner.counters.snapshot();
         let (hits, misses) = self.inner.cache.stats();
         out.extend([
-            (
-                "flushes".to_string(),
-                self.inner.flushes.load(Ordering::Relaxed),
-            ),
+            ("flushes".to_string(), self.inner.flushes.get()),
             (
                 "compactions_l0".to_string(),
-                self.inner.compactions_l0.load(Ordering::Relaxed),
+                self.inner.compactions_l0.get(),
             ),
             (
                 "compactions_size".to_string(),
-                self.inner.compactions_size.load(Ordering::Relaxed),
+                self.inner.compactions_size.get(),
             ),
             (
                 "compactions_lethe".to_string(),
-                self.inner.compactions_lethe.load(Ordering::Relaxed),
+                self.inner.compactions_lethe.get(),
             ),
             (
                 "tombstones_dropped".to_string(),
-                self.inner.tombstones_dropped.load(Ordering::Relaxed),
+                self.inner.tombstones_dropped.get(),
             ),
             (
                 "compaction_bytes_read".to_string(),
-                self.inner.compaction_bytes_read.load(Ordering::Relaxed),
+                self.inner.compaction_bytes_read.get(),
             ),
             (
                 "compaction_bytes_written".to_string(),
-                self.inner.compaction_bytes_written.load(Ordering::Relaxed),
+                self.inner.compaction_bytes_written.get(),
             ),
             ("block_cache_hits".to_string(), hits),
             ("block_cache_misses".to_string(), misses),
-            (
-                "write_stalls".to_string(),
-                self.inner.write_stalls.load(Ordering::Relaxed),
-            ),
+            ("write_stalls".to_string(), self.inner.write_stalls.get()),
         ]);
         out
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        let mut snap = self.inner.metrics.snapshot();
+        snap.histograms.push((
+            "wal_fsync_ns".to_string(),
+            self.inner.wal_metrics.fsync_ns.snapshot(),
+        ));
+        // Write amplification: total bytes hitting disk (flushes plus
+        // compaction rewrites) per byte of flushed user data, ×100 to
+        // fit a gauge. 100 means "no amplification yet".
+        let flushed = self.inner.flush_bytes_written.get();
+        if flushed > 0 {
+            let total = flushed + self.inner.compaction_bytes_written.get();
+            snap.push_gauge("write_amplification_x100", (total * 100 / flushed) as i64);
+        }
+        let version = self.inner.version.read().clone();
+        snap.push_gauge("l0_files", version.level_files(0) as i64);
+        snap.push_gauge("total_files", version.total_files() as i64);
+        Some(snap)
     }
 }
 
@@ -931,6 +948,38 @@ mod tests {
                 Some(&b"r9"[..])
             );
         }
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_internals() {
+        let dir = tmpdir("metrics");
+        let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+        for i in 0..5_000u64 {
+            s.put(&i.to_be_bytes(), format!("value-{i}").as_bytes())
+                .unwrap();
+        }
+        s.compact_and_wait().unwrap();
+        for i in (0..5_000u64).step_by(191) {
+            s.get(&i.to_be_bytes()).unwrap();
+        }
+        let snap = s.metrics().expect("lsm store exposes metrics");
+        assert!(snap.counter("flushes").unwrap() > 0);
+        assert!(snap.counter("wal_appends").unwrap() >= 5_000);
+        assert!(snap.counter("wal_bytes").unwrap() > 0);
+        assert!(snap.counter("puts").unwrap() == 5_000);
+        assert!(
+            snap.counter("block_cache_hits").unwrap() + snap.counter("block_cache_misses").unwrap()
+                > 0
+        );
+        // Flushes happened, so write amplification is defined and ≥ 1×.
+        assert!(snap.gauge("write_amplification_x100").unwrap() >= 100);
+        assert!(snap.gauge("total_files").unwrap() >= snap.gauge("l0_files").unwrap());
+        assert!(
+            snap.histogram("wal_fsync_ns").is_some(),
+            "fsync histogram exported even when sync is off"
+        );
         drop(s);
         std::fs::remove_dir_all(&dir).ok();
     }

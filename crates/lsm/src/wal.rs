@@ -8,6 +8,10 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
+use std::time::Instant;
+
+use gadget_obs::{AtomicHistogram, Counter, MetricsRegistry};
+use std::sync::Arc;
 
 use crate::crc::crc32c;
 
@@ -26,10 +30,44 @@ pub enum WalOp {
     Merge(Vec<u8>, Vec<u8>),
 }
 
+/// Durability instruments shared by successive WAL generations.
+///
+/// The store keeps one of these and re-attaches it to each WAL it
+/// creates (the active log is rotated on every memtable rotation), so
+/// the counters accumulate across generations. Fsync latency is always
+/// timed: an fsync costs orders of magnitude more than the two clock
+/// reads around it.
+#[derive(Debug, Clone)]
+pub struct WalMetrics {
+    /// Operations appended.
+    pub appends: Counter,
+    /// Payload bytes appended (including record framing).
+    pub bytes: Counter,
+    /// `sync_data` calls issued.
+    pub fsyncs: Counter,
+    /// Latency of each `sync_data` call, in nanoseconds.
+    pub fsync_ns: Arc<AtomicHistogram>,
+}
+
+impl WalMetrics {
+    /// Registers WAL instruments in `registry` under `wal_appends` /
+    /// `wal_bytes` / `wal_fsyncs` (the histogram is exported by the
+    /// store as `wal_fsync_ns`).
+    pub fn registered(registry: &MetricsRegistry) -> Self {
+        WalMetrics {
+            appends: registry.counter("wal_appends"),
+            bytes: registry.counter("wal_bytes"),
+            fsyncs: registry.counter("wal_fsyncs"),
+            fsync_ns: Arc::new(AtomicHistogram::new()),
+        }
+    }
+}
+
 /// An append-only write-ahead log.
 pub struct Wal {
     writer: BufWriter<File>,
     sync: bool,
+    metrics: Option<WalMetrics>,
 }
 
 impl Wal {
@@ -43,7 +81,14 @@ impl Wal {
         Ok(Wal {
             writer: BufWriter::new(file),
             sync,
+            metrics: None,
         })
+    }
+
+    /// Attaches durability instruments; subsequent appends and fsyncs
+    /// are counted against them.
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Appends one operation.
@@ -72,9 +117,21 @@ impl Wal {
             .write_all(&(payload.len() as u32).to_le_bytes())?;
         self.writer.write_all(&crc32c(&payload).to_le_bytes())?;
         self.writer.write_all(&payload)?;
+        if let Some(m) = &self.metrics {
+            m.appends.inc();
+            m.bytes.add(8 + payload.len() as u64);
+        }
         if self.sync {
             self.writer.flush()?;
-            self.writer.get_ref().sync_data()?;
+            match &self.metrics {
+                Some(m) => {
+                    let started = Instant::now();
+                    self.writer.get_ref().sync_data()?;
+                    m.fsync_ns.record(started.elapsed().as_nanos() as u64);
+                    m.fsyncs.inc();
+                }
+                None => self.writer.get_ref().sync_data()?,
+            }
         }
         Ok(())
     }
@@ -215,5 +272,26 @@ mod tests {
         let path = tmp("never-created.wal");
         std::fs::remove_file(&path).ok();
         assert_eq!(Wal::replay(&path).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn metrics_count_appends_and_fsyncs() {
+        let path = tmp("metrics.wal");
+        let reg = MetricsRegistry::new();
+        let metrics = WalMetrics::registered(&reg);
+        {
+            let mut wal = Wal::create(&path, true).unwrap();
+            wal.set_metrics(metrics.clone());
+            wal.append(&WalOp::Put(b"key".to_vec(), b"value".to_vec()))
+                .unwrap();
+            wal.append(&WalOp::Delete(b"key".to_vec())).unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("wal_appends"), Some(2));
+        assert_eq!(snap.counter("wal_fsyncs"), Some(2));
+        // Framing (8 bytes) + tag (1) + klen (4) + key + value, per op.
+        assert_eq!(snap.counter("wal_bytes"), Some(21 + 16));
+        assert_eq!(metrics.fsync_ns.count(), 2);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,269 @@
+//! Periodic snapshot collection into a JSON time series.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::snapshot::MetricsSnapshot;
+
+/// One sample of every observed registry at one moment of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotPoint {
+    /// Operations completed when the sample was taken.
+    pub ops: u64,
+    /// Milliseconds since the emitter was created.
+    pub wall_ms: u64,
+    /// Snapshots by component name (store label, "replayer", ...).
+    pub registries: Vec<(String, MetricsSnapshot)>,
+}
+
+/// A whole run's worth of [`SnapshotPoint`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSeries {
+    /// Sampling interval in operations.
+    pub interval_ops: u64,
+    /// Samples in collection order.
+    pub points: Vec<SnapshotPoint>,
+}
+
+impl SnapshotPoint {
+    /// The snapshot recorded for `component`, if present.
+    pub fn registry(&self, component: &str) -> Option<&MetricsSnapshot> {
+        self.registries
+            .iter()
+            .find(|(n, _)| n == component)
+            .map(|(_, s)| s)
+    }
+}
+
+// Manual impls so `registries` reads as a JSON object keyed by
+// component name rather than an array of pairs.
+impl Serialize for SnapshotPoint {
+    fn to_value(&self) -> Value {
+        let registries = self
+            .registries
+            .iter()
+            .map(|(n, s)| (n.clone(), s.to_value()))
+            .collect();
+        Value::Object(vec![
+            ("ops".to_string(), Value::UInt(self.ops as u128)),
+            ("wall_ms".to_string(), Value::UInt(self.wall_ms as u128)),
+            ("registries".to_string(), Value::Object(registries)),
+        ])
+    }
+}
+
+impl Deserialize for SnapshotPoint {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        const CTX: &str = "SnapshotPoint";
+        let members = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value, CTX))?;
+        let field = |name: &str| {
+            serde::find_field(members, name).ok_or_else(|| Error::missing_field(name, CTX))
+        };
+        let registries = field("registries")?
+            .as_object()
+            .ok_or_else(|| Error::custom("`registries` must be an object"))?
+            .iter()
+            .map(|(n, v)| Ok((n.clone(), MetricsSnapshot::from_value(v)?)))
+            .collect::<Result<_, Error>>()?;
+        Ok(SnapshotPoint {
+            ops: u64::from_value(field("ops")?)?,
+            wall_ms: u64::from_value(field("wall_ms")?)?,
+            registries,
+        })
+    }
+}
+
+impl Serialize for MetricsSeries {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "interval_ops".to_string(),
+                Value::UInt(self.interval_ops as u128),
+            ),
+            (
+                "points".to_string(),
+                Value::Array(self.points.iter().map(Serialize::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for MetricsSeries {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        const CTX: &str = "MetricsSeries";
+        let members = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value, CTX))?;
+        let field = |name: &str| {
+            serde::find_field(members, name).ok_or_else(|| Error::missing_field(name, CTX))
+        };
+        let points = match field("points")? {
+            Value::Array(entries) => entries
+                .iter()
+                .map(SnapshotPoint::from_value)
+                .collect::<Result<_, Error>>()?,
+            other => return Err(Error::expected("array", other, CTX)),
+        };
+        Ok(MetricsSeries {
+            interval_ops: u64::from_value(field("interval_ops")?)?,
+            points,
+        })
+    }
+}
+
+/// Samples metrics every `interval` operations.
+///
+/// The driving loop calls [`poll`](SnapshotEmitter::poll) after each
+/// operation (or batch); collection only happens when the op counter
+/// crosses the next threshold, so the common case is a single integer
+/// compare. The closure passed to `poll` assembles the registries to
+/// record — it runs only on sampling ticks, keeping snapshot assembly
+/// off the hot path.
+#[derive(Debug)]
+pub struct SnapshotEmitter {
+    interval: u64,
+    next: u64,
+    started: Instant,
+    series: MetricsSeries,
+}
+
+impl SnapshotEmitter {
+    /// Creates an emitter sampling every `interval` operations
+    /// (`interval = 0` is treated as 1).
+    pub fn every(interval: u64) -> Self {
+        let interval = interval.max(1);
+        SnapshotEmitter {
+            interval,
+            next: interval,
+            started: Instant::now(),
+            series: MetricsSeries {
+                interval_ops: interval,
+                points: Vec::new(),
+            },
+        }
+    }
+
+    /// Records a sample if `ops` has crossed the next threshold.
+    /// Returns whether a sample was taken.
+    pub fn poll(
+        &mut self,
+        ops: u64,
+        collect: impl FnOnce() -> Vec<(String, MetricsSnapshot)>,
+    ) -> bool {
+        if ops < self.next {
+            return false;
+        }
+        self.next = ops - ops % self.interval + self.interval;
+        self.take(ops, collect());
+        true
+    }
+
+    /// Records a final sample unconditionally (end-of-run totals).
+    pub fn finish(&mut self, ops: u64, registries: Vec<(String, MetricsSnapshot)>) {
+        self.take(ops, registries);
+    }
+
+    fn take(&mut self, ops: u64, registries: Vec<(String, MetricsSnapshot)>) {
+        self.series.points.push(SnapshotPoint {
+            ops,
+            wall_ms: self.started.elapsed().as_millis() as u64,
+            registries,
+        });
+    }
+
+    /// The series collected so far.
+    pub fn series(&self) -> &MetricsSeries {
+        &self.series
+    }
+
+    /// Writes the series as pretty-printed JSON to `path`.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        serde_json::to_writer_pretty(&mut file, &self.series)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        file.write_all(b"\n")?;
+        file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_registry(n: u64) -> Vec<(String, MetricsSnapshot)> {
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("ops", n);
+        vec![("store".to_string(), snap)]
+    }
+
+    #[test]
+    fn polls_fire_on_interval_boundaries() {
+        let mut emitter = SnapshotEmitter::every(100);
+        let mut collected = 0u32;
+        for ops in 1..=350u64 {
+            if emitter.poll(ops, || {
+                collected += 1;
+                one_registry(ops)
+            }) {
+                assert_eq!(ops % 100, 0);
+            }
+        }
+        assert_eq!(collected, 3);
+        let points = &emitter.series().points;
+        assert_eq!(points.len(), 3);
+        assert_eq!(
+            points.iter().map(|p| p.ops).collect::<Vec<_>>(),
+            vec![100, 200, 300]
+        );
+        assert_eq!(
+            points[1].registry("store").unwrap().counter("ops"),
+            Some(200)
+        );
+    }
+
+    #[test]
+    fn poll_skips_ahead_after_a_gap() {
+        let mut emitter = SnapshotEmitter::every(10);
+        assert!(emitter.poll(35, || one_registry(35)));
+        // Next threshold is 40, not 20: missed windows are not replayed.
+        assert!(!emitter.poll(39, || one_registry(39)));
+        assert!(emitter.poll(40, || one_registry(40)));
+    }
+
+    #[test]
+    fn finish_always_records() {
+        let mut emitter = SnapshotEmitter::every(1_000);
+        assert!(!emitter.poll(5, || one_registry(5)));
+        emitter.finish(5, one_registry(5));
+        assert_eq!(emitter.series().points.len(), 1);
+        assert_eq!(emitter.series().points[0].ops, 5);
+    }
+
+    #[test]
+    fn series_round_trips_through_json() {
+        let mut emitter = SnapshotEmitter::every(2);
+        emitter.poll(2, || one_registry(2));
+        emitter.poll(4, || one_registry(4));
+        let json = serde_json::to_string_pretty(emitter.series()).unwrap();
+        let back: MetricsSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, emitter.series());
+    }
+
+    #[test]
+    fn write_json_creates_the_file() {
+        let mut emitter = SnapshotEmitter::every(1);
+        emitter.poll(1, || one_registry(1));
+        let dir = std::env::temp_dir().join("gadget-obs-emitter-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.json");
+        emitter.write_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"interval_ops\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,388 @@
+//! Log-bucketed histograms.
+//!
+//! Values are bucketed by exponent and 5 mantissa bits, giving ~3%
+//! relative error with a fixed, allocation-free footprint — the usual
+//! HDR-histogram trade-off, reimplemented here to keep the dependency
+//! surface minimal. Two flavours share the bucket layout:
+//!
+//! * [`LogHistogram`] — single-writer, mergeable, serializable. This is
+//!   the snapshot/aggregation type (and backs the replayer's
+//!   `LatencyHistogram`).
+//! * [`AtomicHistogram`] — shared-writer recording with relaxed atomics,
+//!   convertible to a [`LogHistogram`] via [`AtomicHistogram::snapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+const MANTISSA_BITS: u32 = 5;
+const BUCKETS: usize = 64 << MANTISSA_BITS;
+
+fn bucket_of(value: u64) -> usize {
+    if value < (1 << (MANTISSA_BITS + 1)) {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros();
+    let mantissa = (value >> (exp - MANTISSA_BITS)) & ((1 << MANTISSA_BITS) - 1);
+    (((exp - MANTISSA_BITS) as usize) << MANTISSA_BITS | mantissa as usize) + (1 << MANTISSA_BITS)
+}
+
+fn bucket_floor(bucket: usize) -> u64 {
+    if bucket < (1 << (MANTISSA_BITS + 1)) {
+        return bucket as u64;
+    }
+    let b = bucket - (1 << MANTISSA_BITS);
+    let exp = (b >> MANTISSA_BITS) as u32 + MANTISSA_BITS;
+    let mantissa = (b & ((1 << MANTISSA_BITS) - 1)) as u64;
+    (1u64 << exp) | (mantissa << (exp - MANTISSA_BITS))
+}
+
+/// The `[lo, hi)` range of the bucket `value` falls into.
+///
+/// Every value in that half-open range is indistinguishable after
+/// recording, so `hi - lo` bounds the quantization error a reported
+/// percentile can carry. Exposed for accuracy tests.
+pub fn bucket_bounds(value: u64) -> (u64, u64) {
+    let b = bucket_of(value).min(BUCKETS - 1);
+    let lo = bucket_floor(b);
+    let hi = if b + 1 < BUCKETS {
+        bucket_floor(b + 1)
+    } else {
+        u64::MAX
+    };
+    (lo, hi)
+}
+
+/// A histogram of `u64` values (nanoseconds by convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let b = bucket_of(value).min(BUCKETS - 1);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at percentile `p` in `[0, 100]` (bucket lower bound; exact
+    /// max for `p = 100`).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if p >= 100.0 {
+            return self.max;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(b);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+// A dense dump of 2048 buckets would dominate every snapshot file, so
+// the wire form is sparse: only occupied buckets, as `[index, count]`
+// pairs, plus derived summary fields for human readers (ignored on
+// deserialize — they are recomputed from the buckets).
+impl Serialize for LogHistogram {
+    fn to_value(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(b, &c)| Value::Array(vec![Value::UInt(b as u128), Value::UInt(c as u128)]))
+            .collect();
+        Value::Object(vec![
+            ("count".to_string(), Value::UInt(self.total as u128)),
+            ("sum".to_string(), Value::UInt(self.sum)),
+            ("max".to_string(), Value::UInt(self.max as u128)),
+            ("mean".to_string(), Value::Float(self.mean())),
+            (
+                "p50".to_string(),
+                Value::UInt(self.percentile(50.0) as u128),
+            ),
+            (
+                "p99".to_string(),
+                Value::UInt(self.percentile(99.0) as u128),
+            ),
+            (
+                "p999".to_string(),
+                Value::UInt(self.percentile(99.9) as u128),
+            ),
+            ("buckets".to_string(), Value::Array(buckets)),
+        ])
+    }
+}
+
+impl Deserialize for LogHistogram {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        const CTX: &str = "LogHistogram";
+        let members = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value, CTX))?;
+        let field = |name: &str| {
+            serde::find_field(members, name).ok_or_else(|| Error::missing_field(name, CTX))
+        };
+        let mut hist = LogHistogram::new();
+        hist.total = u64::from_value(field("count")?)?;
+        hist.sum = u128::from_value(field("sum")?)?;
+        hist.max = u64::from_value(field("max")?)?;
+        let buckets = match field("buckets")? {
+            Value::Array(entries) => entries,
+            other => return Err(Error::expected("array", other, CTX)),
+        };
+        for entry in buckets {
+            let (bucket, count) = <(usize, u64)>::from_value(entry)?;
+            if bucket >= BUCKETS {
+                return Err(Error::custom(format!(
+                    "bucket index {bucket} out of range in {CTX}"
+                )));
+            }
+            hist.counts[bucket] = count;
+        }
+        Ok(hist)
+    }
+}
+
+/// A [`LogHistogram`] with interior mutability: any number of threads
+/// may [`record`](AtomicHistogram::record) concurrently through a
+/// shared reference, with one relaxed fetch-add per touched field.
+///
+/// `sum` lives in a `u64`: at one recorded millisecond (10^6 ns) per
+/// operation it takes ~10^13 operations to overflow, far beyond any
+/// run this harness drives.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        let b = bucket_of(value).min(BUCKETS - 1);
+        self.counts[b].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current contents into a mergeable [`LogHistogram`].
+    ///
+    /// Concurrent writers may land between field reads, so a snapshot
+    /// taken mid-traffic can be off by the few operations in flight;
+    /// it is exact once writers quiesce.
+    pub fn snapshot(&self) -> LogHistogram {
+        let mut hist = LogHistogram::new();
+        for (slot, count) in hist.counts.iter_mut().zip(&self.counts) {
+            *slot = count.load(Ordering::Relaxed);
+        }
+        hist.total = hist.counts.iter().sum();
+        hist.sum = self.sum.load(Ordering::Relaxed) as u128;
+        hist.max = self.max.load(Ordering::Relaxed);
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(100.0), 63);
+        assert_eq!(h.percentile(50.0), 31);
+        assert_eq!(h.count(), 64);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for exp in 6..40u32 {
+            let v = (1u64 << exp) + (1 << (exp - 2));
+            let (lo, hi) = bucket_bounds(v);
+            assert!(lo <= v && v < hi, "value outside its bucket at {v}");
+            assert!(
+                (v - lo) as f64 / v as f64 <= 0.04,
+                "error too large at {v}: floor {lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = LogHistogram::new();
+        let mut x = 17u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x % 10_000_000);
+        }
+        let ps = [1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0];
+        for w in ps.windows(2) {
+            assert!(h.percentile(w[0]) <= h.percentile(w[1]));
+        }
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip_is_lossless() {
+        let mut h = LogHistogram::new();
+        let mut x = 99u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x % 50_000_000);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn serde_output_is_sparse() {
+        let mut h = LogHistogram::new();
+        h.record(3);
+        h.record(1_000_000);
+        let json = serde_json::to_string(&h).unwrap();
+        // Two occupied buckets → two [index, count] pairs, not 2048 slots.
+        assert_eq!(json.matches('[').count(), 3, "json: {json}");
+    }
+
+    #[test]
+    fn atomic_matches_sequential() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = LogHistogram::new();
+        let mut x = 7u64;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = x % 3_000_000;
+            atomic.record(v);
+            plain.record(v);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn atomic_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let hist = Arc::new(AtomicHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        hist.record(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(hist.count(), 4_000);
+        assert_eq!(hist.snapshot().max(), 3_999);
+    }
+}

@@ -1,0 +1,39 @@
+//! # gadget-obs — metrics and observability for the gadget harness
+//!
+//! A dependency-light metrics subsystem shared by the state stores, the
+//! streaming driver, and the trace replayer. The design splits cleanly
+//! into live instruments and dead data:
+//!
+//! * **Instruments** ([`Counter`], [`Gauge`], [`Timer`]) are
+//!   `Arc`-wrapped atomics owned by a [`MetricsRegistry`]. Updating one
+//!   is a single relaxed atomic operation — no locks on any hot path.
+//!   [`Timer`] additionally supports power-of-two sampling so that
+//!   clock reads stay off sub-microsecond operations.
+//! * **Snapshots** ([`MetricsSnapshot`]) are plain values copied out of
+//!   a registry (or assembled by hand). They merge, compare, and
+//!   round-trip through JSON, which makes them the right currency for
+//!   the `StateStore::metrics` hook: a store reports a snapshot of
+//!   its internals without exposing live handles that could go stale
+//!   across flushes or restarts.
+//! * **Time series** ([`SnapshotEmitter`]) turns periodic snapshots
+//!   into a [`MetricsSeries`] keyed by operation count, written as one
+//!   JSON document per run — the raw material for "metric X versus
+//!   ingested operations" plots.
+//!
+//! Latency distributions use [`LogHistogram`], a log-bucketed
+//! (HDR-style) histogram with ~3% relative error and a fixed 2048-slot
+//! footprint; [`AtomicHistogram`] is its concurrent twin.
+//!
+//! `StateStore::metrics` lives in `gadget-kv`; this crate deliberately
+//! depends only on the serde shims so every layer of the workspace can
+//! use it.
+
+pub mod emitter;
+pub mod hist;
+pub mod registry;
+pub mod snapshot;
+
+pub use emitter::{MetricsSeries, SnapshotEmitter, SnapshotPoint};
+pub use hist::{bucket_bounds, AtomicHistogram, LogHistogram};
+pub use registry::{Counter, Gauge, MetricsRegistry, Timer};
+pub use snapshot::MetricsSnapshot;

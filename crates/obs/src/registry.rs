@@ -1,0 +1,285 @@
+//! Named metric instruments and the registry that owns them.
+//!
+//! The hot path never takes a lock: instruments are `Arc`-wrapped
+//! atomics handed out once at registration, and every update after that
+//! is a relaxed atomic op. The registry's mutex is touched only when
+//! registering an instrument or taking a snapshot.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::hist::{AtomicHistogram, LogHistogram};
+use crate::snapshot::MetricsSnapshot;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates an unregistered counter (useful for tests and for
+    /// instruments shared outside a registry).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time signed measurement (queue depth, live bytes, ...).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates an unregistered gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Latency recorder backed by an [`AtomicHistogram`], with optional
+/// sampling so timing cost stays off the hot path.
+///
+/// With `sample_shift = s`, only one in `2^s` calls takes the clock;
+/// `s = 0` times every call (right when the operation itself dwarfs two
+/// `Instant` reads, e.g. an fsync). The untimed calls cost a relaxed
+/// load/store pair — deliberately not an atomic RMW, which alone would
+/// be a measurable share of a sub-100ns operation. Under concurrent use
+/// of one timer, racing increments can be lost, so [`Timer::calls`] is
+/// a slight undercount in the worst case; stores keep their own exact
+/// operation counters, and latency is sampled by design.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    hist: Arc<AtomicHistogram>,
+    calls: Arc<AtomicU64>,
+    mask: u64,
+}
+
+impl Timer {
+    /// Creates an unregistered timer sampling one in `2^sample_shift`
+    /// calls.
+    pub fn new(sample_shift: u32) -> Self {
+        Timer {
+            hist: Arc::new(AtomicHistogram::new()),
+            calls: Arc::new(AtomicU64::new(0)),
+            mask: (1u64 << sample_shift.min(63)) - 1,
+        }
+    }
+
+    /// Runs `f`, recording its latency if this call is sampled.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        // Racy increment on purpose: see the type-level note on cost.
+        let tick = self.calls.load(Ordering::Relaxed);
+        self.calls.store(tick.wrapping_add(1), Ordering::Relaxed);
+        if tick & self.mask == 0 {
+            let start = Instant::now();
+            let out = f();
+            self.hist.record(start.elapsed().as_nanos() as u64);
+            out
+        } else {
+            f()
+        }
+    }
+
+    /// Records an externally measured latency in nanoseconds,
+    /// bypassing sampling.
+    pub fn record_ns(&self, nanos: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.hist.record(nanos);
+    }
+
+    /// Total calls observed (sampled or not).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the sampled latencies.
+    pub fn snapshot(&self) -> LogHistogram {
+        self.hist.snapshot()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    timers: Vec<(String, Timer)>,
+}
+
+/// A named collection of instruments.
+///
+/// Cloning the registry (it is used behind `Arc`) or an instrument is
+/// cheap; all clones observe the same values. Instrument lookup is
+/// get-or-register by name, so independent components can share an
+/// instrument by agreeing on its name.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter named `name`, registering it if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, c)) = inner.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let counter = Counter::new();
+        inner.counters.push((name.to_string(), counter.clone()));
+        counter
+    }
+
+    /// Returns the gauge named `name`, registering it if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, g)) = inner.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let gauge = Gauge::new();
+        inner.gauges.push((name.to_string(), gauge.clone()));
+        gauge
+    }
+
+    /// Returns the timer named `name`, registering it (sampling one in
+    /// `2^sample_shift` calls) if absent. An existing timer keeps its
+    /// original sampling rate.
+    pub fn timer(&self, name: &str, sample_shift: u32) -> Timer {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, t)) = inner.timers.iter().find(|(n, _)| n == name) {
+            return t.clone();
+        }
+        let timer = Timer::new(sample_shift);
+        inner.timers.push((name.to_string(), timer.clone()));
+        timer
+    }
+
+    /// Copies every instrument's current value into a snapshot.
+    ///
+    /// Counters and gauges are reported under their registered names;
+    /// a timer contributes a `<name>_calls` counter and a `<name>_ns`
+    /// histogram. Names are sorted for stable output.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for (name, counter) in &inner.counters {
+            snap.counters.push((name.clone(), counter.get()));
+        }
+        for (name, gauge) in &inner.gauges {
+            snap.gauges.push((name.clone(), gauge.get()));
+        }
+        for (name, timer) in &inner.timers {
+            snap.counters.push((format!("{name}_calls"), timer.calls()));
+            snap.histograms
+                .push((format!("{name}_ns"), timer.snapshot()));
+        }
+        snap.sort();
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("ops");
+        let b = reg.counter("ops");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter("ops").get(), 4);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn timer_counts_every_call_and_samples_latency() {
+        let timer = Timer::new(2); // one in four sampled
+        for _ in 0..16 {
+            timer.time(|| std::hint::black_box(1 + 1));
+        }
+        assert_eq!(timer.calls(), 16);
+        assert_eq!(timer.snapshot().count(), 4);
+    }
+
+    #[test]
+    fn timer_shift_zero_times_everything() {
+        let timer = Timer::new(0);
+        for _ in 0..5 {
+            timer.time(|| ());
+        }
+        assert_eq!(timer.snapshot().count(), 5);
+    }
+
+    #[test]
+    fn snapshot_includes_all_instruments_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zeta").add(1);
+        reg.counter("alpha").add(2);
+        reg.gauge("live").set(-5);
+        reg.timer("get", 0).record_ns(1_000);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "get_calls", "zeta"]);
+        assert_eq!(snap.gauges, vec![("live".to_string(), -5)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].0, "get_ns");
+        assert_eq!(snap.histograms[0].1.count(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("n");
+        let c2 = c.clone();
+        c2.add(9);
+        assert_eq!(c.get(), 9);
+    }
+}

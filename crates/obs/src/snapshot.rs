@@ -1,0 +1,202 @@
+//! Point-in-time metric values, detached from their instruments.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::hist::LogHistogram;
+
+/// All instrument values of one component at one instant.
+///
+/// Snapshots are plain data: mergeable, serializable, and safe to hold
+/// across store restarts (unlike instrument handles). Entries are kept
+/// sorted by name so JSON output and comparisons are deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, by name.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time gauges, by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Latency histograms, by name.
+    pub histograms: Vec<(String, LogHistogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Value of the counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of the gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Adds a counter (or adds to it, if the name exists).
+    pub fn push_counter(&mut self, name: &str, value: u64) {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += value,
+            None => self.counters.push((name.to_string(), value)),
+        }
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Sets a gauge (overwriting if the name exists).
+    pub fn push_gauge(&mut self, name: &str, value: i64) {
+        match self.gauges.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.gauges.push((name.to_string(), value)),
+        }
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Merges `other` into `self`: counters add, same-name histograms
+    /// merge, and gauges take `other`'s value (it is the newer reading).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => *v += value,
+                None => self.counters.push((name.clone(), *value)),
+            }
+        }
+        for (name, value) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => *v = *value,
+                None => self.gauges.push((name.clone(), *value)),
+            }
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, h)) => h.merge(hist),
+                None => self.histograms.push((name.clone(), hist.clone())),
+            }
+        }
+        self.sort();
+    }
+
+    /// Sorts every section by name.
+    pub(crate) fn sort(&mut self) {
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), Value::UInt(*v as u128)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(n, v)| (n.clone(), v.to_value()))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.clone(), h.to_value()))
+            .collect();
+        Value::Object(vec![
+            ("counters".to_string(), Value::Object(counters)),
+            ("gauges".to_string(), Value::Object(gauges)),
+            ("histograms".to_string(), Value::Object(histograms)),
+        ])
+    }
+}
+
+impl Deserialize for MetricsSnapshot {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        const CTX: &str = "MetricsSnapshot";
+        let members = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value, CTX))?;
+        let section = |name: &str| -> Result<&Vec<(String, Value)>, Error> {
+            serde::find_field(members, name)
+                .ok_or_else(|| Error::missing_field(name, CTX))?
+                .as_object()
+                .ok_or_else(|| Error::custom(format!("section `{name}` must be an object")))
+        };
+        let mut snap = MetricsSnapshot::new();
+        for (name, v) in section("counters")? {
+            snap.counters.push((name.clone(), u64::from_value(v)?));
+        }
+        for (name, v) in section("gauges")? {
+            snap.gauges.push((name.clone(), i64::from_value(v)?));
+        }
+        for (name, v) in section("histograms")? {
+            snap.histograms
+                .push((name.clone(), LogHistogram::from_value(v)?));
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters_and_merges_histograms() {
+        let mut a = MetricsSnapshot::new();
+        a.push_counter("ops", 10);
+        a.push_gauge("depth", 2);
+        let mut ha = LogHistogram::new();
+        ha.record(100);
+        a.histograms.push(("lat".to_string(), ha));
+
+        let mut b = MetricsSnapshot::new();
+        b.push_counter("ops", 5);
+        b.push_counter("errors", 1);
+        b.push_gauge("depth", 7);
+        let mut hb = LogHistogram::new();
+        hb.record(2_000);
+        b.histograms.push(("lat".to_string(), hb));
+
+        a.merge(&b);
+        assert_eq!(a.counter("ops"), Some(15));
+        assert_eq!(a.counter("errors"), Some(1));
+        assert_eq!(a.gauge("depth"), Some(7));
+        let lat = a.histogram("lat").unwrap();
+        assert_eq!(lat.count(), 2);
+        assert_eq!(lat.max(), 2_000);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("flushes", 3);
+        snap.push_gauge("live_bytes", -1);
+        let mut h = LogHistogram::new();
+        h.record(42);
+        h.record(9_999);
+        snap.histograms.push(("fsync_ns".to_string(), h));
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn lookup_missing_names() {
+        let snap = MetricsSnapshot::new();
+        assert_eq!(snap.counter("nope"), None);
+        assert_eq!(snap.gauge("nope"), None);
+        assert!(snap.histogram("nope").is_none());
+    }
+}

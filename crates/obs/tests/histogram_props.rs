@@ -1,0 +1,94 @@
+//! Property-based tests: the log-bucketed histogram vs an exact oracle.
+
+use proptest::prelude::*;
+
+use gadget_obs::{bucket_bounds, AtomicHistogram, LogHistogram};
+
+/// Exact nearest-rank percentile oracle.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    /// Every reported quantile lands within one bucket width of the
+    /// exact sorted percentile: it never exceeds the exact value, and
+    /// the exact value lies inside the bucket whose floor was reported.
+    #[test]
+    fn quantiles_within_one_bucket_of_exact(
+        mut values in proptest::collection::vec(0u64..10_000_000_000, 1..500),
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0, 99.9] {
+            let exact = exact_percentile(&values, p);
+            let approx = h.percentile(p);
+            prop_assert!(approx <= exact, "p{p}: approx {approx} > exact {exact}");
+            let (lo, hi) = bucket_bounds(exact);
+            prop_assert_eq!(approx, lo, "p{p}: reported floor is not the exact value's bucket");
+            prop_assert!(
+                hi - lo <= lo / 16 + 1,
+                "bucket width {w} too wide at {exact}", w = hi - lo
+            );
+        }
+        prop_assert_eq!(h.percentile(100.0), *values.last().unwrap());
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max(), *values.last().unwrap());
+        let exact_mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - exact_mean).abs() < 1e-6);
+    }
+
+    /// merge(a, b) is exactly the histogram of the concatenated
+    /// recordings — full structural equality, not just summary fields.
+    #[test]
+    fn merge_equals_concatenated_recording(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut ha = LogHistogram::new();
+        let mut hb = LogHistogram::new();
+        let mut concat = LogHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            concat.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            concat.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(&ha, &concat);
+        prop_assert_eq!(ha.mean(), concat.mean());
+    }
+
+    /// The atomic variant records identically to the single-writer one.
+    #[test]
+    fn atomic_snapshot_matches_plain(
+        values in proptest::collection::vec(0u64..100_000_000, 0..200),
+    ) {
+        let atomic = AtomicHistogram::new();
+        let mut plain = LogHistogram::new();
+        for &v in &values {
+            atomic.record(v);
+            plain.record(v);
+        }
+        prop_assert_eq!(atomic.snapshot(), plain);
+    }
+
+    /// JSON round-trips are lossless despite the sparse encoding.
+    #[test]
+    fn json_round_trip_is_lossless(
+        values in proptest::collection::vec(0u64..10_000_000_000, 0..300),
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(h, back);
+    }
+}

@@ -1,126 +1,21 @@
 //! Log-bucketed latency histogram.
 //!
-//! Values are bucketed by exponent and 5 mantissa bits, giving ~3%
-//! relative error with a fixed, allocation-free footprint — the usual
-//! HDR-histogram trade-off, reimplemented here to keep the dependency
-//! surface minimal.
-
-use serde::{Deserialize, Serialize};
-
-const MANTISSA_BITS: u32 = 5;
-const BUCKETS: usize = 64 << MANTISSA_BITS;
+//! The implementation lives in `gadget-obs` ([`gadget_obs::LogHistogram`])
+//! so the stores, driver, and replayer all share one bucket layout and
+//! snapshots from any layer merge cleanly. This alias keeps the
+//! replay-facing name stable: values are bucketed by exponent and 5
+//! mantissa bits, giving ~3% relative error with a fixed,
+//! allocation-free footprint — the usual HDR-histogram trade-off.
 
 /// A histogram of `u64` values (nanoseconds by convention).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
-    sum: u128,
-    max: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: vec![0; BUCKETS],
-            total: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-
-    fn bucket_of(value: u64) -> usize {
-        if value < (1 << (MANTISSA_BITS + 1)) {
-            return value as usize;
-        }
-        let exp = 63 - value.leading_zeros();
-        let mantissa = (value >> (exp - MANTISSA_BITS)) & ((1 << MANTISSA_BITS) - 1);
-        (((exp - MANTISSA_BITS) as usize) << MANTISSA_BITS | mantissa as usize)
-            + (1 << MANTISSA_BITS)
-    }
-
-    fn bucket_floor(bucket: usize) -> u64 {
-        if bucket < (1 << (MANTISSA_BITS + 1)) {
-            return bucket as u64;
-        }
-        let b = bucket - (1 << MANTISSA_BITS);
-        let exp = (b >> MANTISSA_BITS) as u32 + MANTISSA_BITS;
-        let mantissa = (b & ((1 << MANTISSA_BITS) - 1)) as u64;
-        (1u64 << exp) | (mantissa << (exp - MANTISSA_BITS))
-    }
-
-    /// Records one value.
-    pub fn record(&mut self, value: u64) {
-        let b = Self::bucket_of(value).min(BUCKETS - 1);
-        self.counts[b] += 1;
-        self.total += 1;
-        self.sum += value as u128;
-        self.max = self.max.max(value);
-    }
-
-    /// Number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Mean of recorded values (0 if empty).
-    pub fn mean(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.total as f64
-        }
-    }
-
-    /// Largest recorded value.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Value at percentile `p` in `[0, 100]` (bucket lower bound; exact
-    /// max for `p = 100`).
-    pub fn percentile(&self, p: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        if p >= 100.0 {
-            return self.max;
-        }
-        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (b, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Self::bucket_floor(b);
-            }
-        }
-        self.max
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-    }
-}
+pub type LatencyHistogram = gadget_obs::LogHistogram;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn small_values_are_exact() {
+    fn replay_facing_api_is_intact() {
         let mut h = LatencyHistogram::new();
         for v in 0..64u64 {
             h.record(v);
@@ -128,54 +23,10 @@ mod tests {
         assert_eq!(h.percentile(100.0), 63);
         assert_eq!(h.percentile(50.0), 31);
         assert_eq!(h.count(), 64);
-    }
-
-    #[test]
-    fn relative_error_is_bounded() {
-        let mut h = LatencyHistogram::new();
-        for exp in 6..40u32 {
-            let v = (1u64 << exp) + (1 << (exp - 2));
-            h.record(v);
-            let lo = LatencyHistogram::bucket_floor(LatencyHistogram::bucket_of(v));
-            assert!(lo <= v, "floor above value");
-            assert!(
-                (v - lo) as f64 / v as f64 <= 0.04,
-                "error too large at {v}: floor {lo}"
-            );
-        }
-    }
-
-    #[test]
-    fn percentiles_are_monotone() {
-        let mut h = LatencyHistogram::new();
-        let mut x = 17u64;
-        for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            h.record(x % 10_000_000);
-        }
-        let ps = [1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0];
-        for w in ps.windows(2) {
-            assert!(h.percentile(w[0]) <= h.percentile(w[1]));
-        }
         assert!(h.mean() > 0.0);
-    }
-
-    #[test]
-    fn merge_combines() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(10);
-        b.record(1_000_000);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.max(), 1_000_000);
-    }
-
-    #[test]
-    fn empty_histogram() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.percentile(99.0), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.max(), 0);
+        let mut other = LatencyHistogram::new();
+        other.record(1_000_000);
+        h.merge(&other);
+        assert_eq!(h.max(), 1_000_000);
     }
 }

@@ -13,9 +13,14 @@
 //! * [`run_concurrent`] — the concurrent-operators experiment (§6.4):
 //!   several workloads hammer one shared store instance from separate
 //!   threads.
+//! * [`TraceReplayer::replay_observed`] / [`run_online_observed`] — the
+//!   same runs with periodic metrics sampling into a
+//!   [`SnapshotEmitter`](gadget_obs::SnapshotEmitter) time series.
 
 pub mod histogram;
 pub mod replayer;
 
 pub use histogram::LatencyHistogram;
-pub use replayer::{run_concurrent, run_online, ReplayOptions, RunReport, TraceReplayer};
+pub use replayer::{
+    run_concurrent, run_online, run_online_observed, ReplayOptions, RunReport, TraceReplayer,
+};

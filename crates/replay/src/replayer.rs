@@ -7,9 +7,31 @@ use serde::{Deserialize, Serialize};
 
 use gadget_core::GadgetConfig;
 use gadget_kv::{StateStore, StoreError};
+use gadget_obs::{MetricsSnapshot, SnapshotEmitter};
 use gadget_types::{OpType, StateAccess, Trace};
 
 use crate::histogram::LatencyHistogram;
+
+/// Assembles the per-tick observation: the store's internal metrics plus
+/// the replayer's own progress counters and latency histogram.
+fn observe(
+    store: &dyn StateStore,
+    overall: &LatencyHistogram,
+    hits: u64,
+    misses: u64,
+) -> Vec<(String, MetricsSnapshot)> {
+    let mut replayer = MetricsSnapshot::new();
+    replayer.push_counter("ops", overall.count());
+    replayer.push_counter("hits", hits);
+    replayer.push_counter("misses", misses);
+    replayer
+        .histograms
+        .push(("latency_ns".to_string(), overall.clone()));
+    vec![
+        ("store".to_string(), store.metrics().unwrap_or_default()),
+        ("replayer".to_string(), replayer),
+    ]
+}
 
 /// Options controlling a replay run.
 #[derive(Debug, Clone, Default)]
@@ -129,6 +151,28 @@ impl TraceReplayer {
         store: &dyn StateStore,
         workload: &str,
     ) -> Result<RunReport, StoreError> {
+        self.replay_inner(trace, store, workload, None)
+    }
+
+    /// Like [`replay`](TraceReplayer::replay), but also samples metrics
+    /// into `emitter` on its op-count schedule (plus one final sample).
+    pub fn replay_observed(
+        &self,
+        trace: &Trace,
+        store: &dyn StateStore,
+        workload: &str,
+        emitter: &mut SnapshotEmitter,
+    ) -> Result<RunReport, StoreError> {
+        self.replay_inner(trace, store, workload, Some(emitter))
+    }
+
+    fn replay_inner(
+        &self,
+        trace: &Trace,
+        store: &dyn StateStore,
+        workload: &str,
+        mut emitter: Option<&mut SnapshotEmitter>,
+    ) -> Result<RunReport, StoreError> {
         let mut overall = LatencyHistogram::new();
         let mut per_op = [
             LatencyHistogram::new(),
@@ -168,8 +212,14 @@ impl TraceReplayer {
             };
             per_op[idx].record(ns);
             executed += 1;
+            if let Some(em) = emitter.as_deref_mut() {
+                em.poll(executed, || observe(store, &overall, hits, misses));
+            }
         }
         let seconds = started.elapsed().as_secs_f64();
+        if let Some(em) = emitter {
+            em.finish(executed, observe(store, &overall, hits, misses));
+        }
 
         Ok(RunReport {
             store: store.name().to_string(),
@@ -220,6 +270,26 @@ pub fn run_online(
     store: &dyn StateStore,
     workload: &str,
 ) -> Result<RunReport, StoreError> {
+    run_online_inner(config, store, workload, None)
+}
+
+/// Like [`run_online`], but also samples metrics into `emitter` on its
+/// op-count schedule (plus one final sample).
+pub fn run_online_observed(
+    config: &GadgetConfig,
+    store: &dyn StateStore,
+    workload: &str,
+    emitter: &mut SnapshotEmitter,
+) -> Result<RunReport, StoreError> {
+    run_online_inner(config, store, workload, Some(emitter))
+}
+
+fn run_online_inner(
+    config: &GadgetConfig,
+    store: &dyn StateStore,
+    workload: &str,
+    mut emitter: Option<&mut SnapshotEmitter>,
+) -> Result<RunReport, StoreError> {
     let kind = config.operator_kind().ok_or_else(|| {
         StoreError::InvalidArgument(format!("unknown operator {}", config.operator))
     })?;
@@ -253,6 +323,9 @@ pub fn run_online(
             let ns = replayer.apply(store, access, &mut hits, &mut misses)?;
             overall.record(ns);
             executed += 1;
+            if let Some(em) = emitter.as_deref_mut() {
+                em.poll(executed, || observe(store, &overall, hits, misses));
+            }
         }
     }
     buf.clear();
@@ -263,6 +336,9 @@ pub fn run_online(
         executed += 1;
     }
     let seconds = started.elapsed().as_secs_f64();
+    if let Some(em) = emitter {
+        em.finish(executed, observe(store, &overall, hits, misses));
+    }
 
     Ok(RunReport {
         store: store.name().to_string(),
@@ -419,6 +495,50 @@ mod tests {
         assert_eq!(reports.len(), 2);
         assert!(reports.iter().all(|r| r.operations > 0));
         assert_eq!(reports[0].workload, "incr");
+    }
+
+    #[test]
+    fn observed_replay_emits_a_time_series() {
+        let trace = small_trace(OperatorKind::TumblingIncr);
+        let store = MemStore::new();
+        let mut emitter = SnapshotEmitter::every(500);
+        let report = TraceReplayer::default()
+            .replay_observed(&trace, &store, "t", &mut emitter)
+            .unwrap();
+        let points = &emitter.series().points;
+        assert!(points.len() >= 2, "only {} snapshots", points.len());
+        let last = points.last().unwrap();
+        assert_eq!(last.ops, report.operations);
+        let replayer = last.registry("replayer").unwrap();
+        assert_eq!(replayer.counter("ops"), Some(report.operations));
+        assert!(replayer.histogram("latency_ns").unwrap().count() > 0);
+        let store_snap = last.registry("store").unwrap();
+        assert_eq!(
+            store_snap.counter("gets").unwrap()
+                + store_snap.counter("puts").unwrap()
+                + store_snap.counter("merges").unwrap()
+                + store_snap.counter("deletes").unwrap(),
+            report.operations
+        );
+        // Earlier points show strictly less progress: a series, not a dump.
+        assert!(points[0].ops < last.ops);
+    }
+
+    #[test]
+    fn observed_online_run_emits_a_time_series() {
+        let cfg = GadgetConfig::synthetic(
+            OperatorKind::Aggregation,
+            GeneratorConfig {
+                events: 1_000,
+                ..GeneratorConfig::default()
+            },
+        );
+        let store = MemStore::new();
+        let mut emitter = SnapshotEmitter::every(300);
+        let report = run_online_observed(&cfg, &store, "agg", &mut emitter).unwrap();
+        let points = &emitter.series().points;
+        assert!(points.len() >= 2);
+        assert_eq!(points.last().unwrap().ops, report.operations);
     }
 
     #[test]

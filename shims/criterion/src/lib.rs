@@ -1,0 +1,263 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness with criterion's API shape:
+//! benchmark groups, `bench_function`, `iter`, `iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is
+//! deliberately simple — warm up, then time batches until a minimum
+//! measurement window is filled, and report the median per-iteration
+//! time — but it is real measurement, good enough for relative
+//! comparisons such as instrumented-vs-bare overhead checks.
+
+use std::time::{Duration, Instant};
+
+/// Black-box hint: prevents the optimizer from deleting a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    /// Minimum measured time per sample.
+    sample_window: Duration,
+    /// Samples collected per benchmark (median is reported).
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_window: Duration::from_millis(25),
+            samples: 7,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Standalone benchmark without a group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (window, samples) = (self.sample_window, self.samples);
+        run_benchmark(&id.to_string(), window, samples, None, f);
+        self
+    }
+}
+
+/// Throughput annotation for a group (reported alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (accepted for API compatibility;
+    /// mapped onto this harness's fixed sampling plan).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.samples = n.clamp(3, 15);
+        self
+    }
+
+    /// Sets expected per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &label,
+            self.criterion.sample_window,
+            self.criterion.samples,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    window: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    // Warmup sample plus measured samples.
+    for sample in 0..=samples {
+        let mut bencher = Bencher {
+            window,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if sample == 0 || bencher.iters == 0 {
+            continue;
+        }
+        per_iter.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter
+        .get(per_iter.len() / 2)
+        .copied()
+        .unwrap_or(f64::NAN);
+    let spread = match (per_iter.first(), per_iter.last()) {
+        (Some(lo), Some(hi)) if median > 0.0 => (hi - lo) / median * 100.0,
+        _ => 0.0,
+    };
+    let mut line = format!("{label:<48} time: {median:>12.1} ns/iter  (±{spread:.0}%)");
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if median > 0.0 && count > 0 {
+            let rate = count as f64 / (median / 1e9);
+            line.push_str(&format!("  {rate:>12.0} {unit}/s"));
+        }
+    }
+    eprintln!("{line}");
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    window: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Batch sizing for [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Fresh input per routine call.
+    PerIteration,
+    /// Small batched inputs.
+    SmallInput,
+    /// Large batched inputs.
+    LargeInput,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement window fills.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let mut batch = 1u64;
+        while elapsed < self.window {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+
+    /// Times `routine` with a fresh `setup()` input per call; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.window {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+/// Declares a benchmark group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion {
+            sample_window: Duration::from_micros(200),
+            samples: 3,
+        };
+        let mut group = c.benchmark_group("shim-selftest");
+        let mut total = 0u64;
+        group.bench_function("sum", |b| {
+            b.iter(|| {
+                total = total.wrapping_add(black_box(1));
+                total
+            })
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::PerIteration,
+            )
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,5 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace declares crossbeam as a dependency but does not use any
+//! of its APIs; this empty crate satisfies the dependency graph without
+//! registry access.
