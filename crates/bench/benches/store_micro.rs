@@ -119,24 +119,45 @@ fn bench_metrics_overhead(c: &mut Criterion) {
     group.finish();
 
     // Paired measurement with the verdict printed directly: same op
-    // sequence, same working set, rounds interleaved A/B so a frequency
-    // or scheduler shift mid-bench cannot bias one side, min per side.
-    const OPS: u64 = 1_000_000;
-    const ROUNDS: usize = 6;
+    // sequence, same working set, short chunks interleaved A/B so a
+    // frequency or scheduler shift mid-bench cannot bias one side, min
+    // per side. Chunks are deliberately small relative to how long the
+    // machine stays in one speed regime; the min then picks each side's
+    // quiet chunks even on a noisy host.
+    const OPS: u64 = 100_000;
+    const ROUNDS: usize = 100;
     let mut bare_ns = f64::INFINITY;
     let mut observed_ns = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(ROUNDS);
     for _ in 0..ROUNDS {
-        bare_ns = bare_ns.min(ns_per_op(OPS, |i| {
+        let b = ns_per_op(OPS, |i| {
             black_box(bare.get(&(i % 1_000).to_be_bytes()).expect("get"));
-        }));
-        observed_ns = observed_ns.min(ns_per_op(OPS, |i| {
+        });
+        let o = ns_per_op(OPS, |i| {
             black_box(observed.get(&(i % 1_000).to_be_bytes()).expect("get"));
-        }));
+        });
+        bare_ns = bare_ns.min(b);
+        observed_ns = observed_ns.min(o);
+        ratios.push(o / b);
     }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_overhead = (ratios[ROUNDS / 2] - 1.0) * 100.0;
     let overhead = (observed_ns / bare_ns - 1.0) * 100.0;
+    println!("metrics_overhead median of paired rounds: {median_overhead:+.2}%");
     println!(
         "metrics_overhead paired gets: bare {bare_ns:.1} ns/op, \
          observed {observed_ns:.1} ns/op => overhead {overhead:+.2}% (target < 5%)"
+    );
+    // Machine-greppable verdict for CI. Tracing must be off here: with no
+    // active session the sampled-span hook in the timer is one relaxed
+    // atomic load, and that cost is part of what the 5% budget covers.
+    assert!(
+        !gadget_obs::trace::enabled(),
+        "tracing unexpectedly enabled during overhead measurement"
+    );
+    println!(
+        "metrics_overhead: {} ({overhead:+.2}% vs 5% budget, tracing disabled)",
+        if overhead < 5.0 { "PASS" } else { "FAIL" }
     );
 }
 

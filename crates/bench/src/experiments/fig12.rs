@@ -2,11 +2,13 @@
 //! D (read latest), and F (read-modify-write) on all four stores with
 //! 1K keys and zipfian requests.
 
+use gadget_kv::{ObservedStore, StateStore};
+use gadget_obs::trace;
 use gadget_replay::{ReplayOptions, TraceReplayer};
 use gadget_ycsb::{CoreWorkload, YcsbConfig};
 use serde::Serialize;
 
-use crate::{all_stores, dump_json, kops, print_table, us, Scale};
+use crate::{all_stores, dump_json, kops, print_table, us, Scale, SharedStore};
 
 /// One (workload, store) measurement.
 #[derive(Debug, Serialize)]
@@ -22,7 +24,13 @@ pub struct Row {
 }
 
 /// Runs the matrix.
+///
+/// With `--trace PATH` the whole matrix runs inside one trace session:
+/// sampled op spans (stores wrapped in [`ObservedStore`]), always-on
+/// background spans, and replay phase spans land in one Chrome JSON
+/// timeline, and a tail-latency attribution table is printed.
 pub fn compute(scale: &Scale) -> Vec<Row> {
+    let session = scale.trace.as_ref().map(|_| trace::start_session());
     let mut rows = Vec::new();
     let mut snapshots = Vec::new();
     for (name, workload) in [
@@ -34,12 +42,17 @@ pub fn compute(scale: &Scale) -> Vec<Row> {
         let cfg = YcsbConfig::core(workload, 1_000, scale.ops);
         let trace = cfg.generate();
         for inst in all_stores(64) {
+            let run_store: Box<dyn StateStore> = if session.is_some() {
+                Box::new(ObservedStore::new(SharedStore(inst.store.clone())))
+            } else {
+                Box::new(SharedStore(inst.store.clone()))
+            };
             let replayer = TraceReplayer::new(ReplayOptions::default());
             replayer
-                .preload(inst.store.as_ref(), cfg.preload_keys(), cfg.value_size)
+                .preload(run_store.as_ref(), cfg.preload_keys(), cfg.value_size)
                 .expect("preload");
             let report = replayer
-                .replay(&trace, inst.store.as_ref(), name)
+                .replay(&trace, run_store.as_ref(), name)
                 .expect("replay");
             rows.push(Row {
                 workload: name.to_string(),
@@ -56,6 +69,19 @@ pub fn compute(scale: &Scale) -> Vec<Row> {
     }
     if let Some(path) = &scale.metrics {
         crate::dump_store_metrics(path, &snapshots);
+    }
+    if let (Some(path), Some(session)) = (&scale.trace, session) {
+        let log = session.finish();
+        match log.write_chrome(path) {
+            Ok(()) => println!(
+                "wrote {} trace spans to {} (load in https://ui.perfetto.dev, {} dropped)",
+                log.events.len(),
+                path.display(),
+                log.dropped
+            ),
+            Err(e) => eprintln!("cannot write trace {}: {e}", path.display()),
+        }
+        println!("{}", log.attribution().to_table());
     }
     rows
 }

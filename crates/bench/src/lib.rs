@@ -31,17 +31,22 @@ pub struct Scale {
     /// Where to dump end-of-run store metrics snapshots
     /// ([`dump_store_metrics`]), if anywhere.
     pub metrics: Option<PathBuf>,
+    /// Where to write a Chrome trace-event JSON span timeline
+    /// (`gadget_obs::trace`), if anywhere. Experiments that honor this
+    /// (fig12) also print a tail-latency attribution table.
+    pub trace: Option<PathBuf>,
 }
 
 impl Scale {
     /// Parses `--events N`, `--ops N`, `--seed N`, `--metrics PATH`,
-    /// `--full` from argv.
+    /// `--trace PATH`, `--full` from argv.
     pub fn from_args() -> Scale {
         let mut scale = Scale {
             events: 100_000,
             ops: 200_000,
             seed: 42,
             metrics: None,
+            trace: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -65,6 +70,10 @@ impl Scale {
                 }
                 "--metrics" if i + 1 < args.len() => {
                     scale.metrics = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
+                "--trace" if i + 1 < args.len() => {
+                    scale.trace = Some(PathBuf::from(&args[i + 1]));
                     i += 1;
                 }
                 other => eprintln!("ignoring unknown argument {other}"),
@@ -266,6 +275,51 @@ pub fn dump_json<T: serde::Serialize>(name: &str, value: &T) {
             }
         }
         Err(e) => eprintln!("could not serialize {name}: {e}"),
+    }
+}
+
+/// Adapter: lets an `Arc<dyn StateStore>` zoo handle be wrapped by
+/// decorators that take ownership of a concrete store (notably
+/// `ObservedStore` when an experiment runs with `--trace`).
+pub struct SharedStore(pub Arc<dyn StateStore>);
+
+impl StateStore for SharedStore {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn get(&self, key: &[u8]) -> Result<Option<bytes::Bytes>, gadget_kv::StoreError> {
+        self.0.get(key)
+    }
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), gadget_kv::StoreError> {
+        self.0.put(key, value)
+    }
+    fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), gadget_kv::StoreError> {
+        self.0.merge(key, operand)
+    }
+    fn delete(&self, key: &[u8]) -> Result<(), gadget_kv::StoreError> {
+        self.0.delete(key)
+    }
+    fn scan(
+        &self,
+        lo: &[u8],
+        hi: &[u8],
+    ) -> Result<Vec<(Vec<u8>, bytes::Bytes)>, gadget_kv::StoreError> {
+        self.0.scan(lo, hi)
+    }
+    fn supports_scan(&self) -> bool {
+        self.0.supports_scan()
+    }
+    fn supports_merge(&self) -> bool {
+        self.0.supports_merge()
+    }
+    fn flush(&self) -> Result<(), gadget_kv::StoreError> {
+        self.0.flush()
+    }
+    fn internal_counters(&self) -> Vec<(String, u64)> {
+        self.0.internal_counters()
+    }
+    fn metrics(&self) -> Option<gadget_obs::MetricsSnapshot> {
+        self.0.metrics()
     }
 }
 

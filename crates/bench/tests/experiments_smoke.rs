@@ -11,6 +11,7 @@ fn tiny() -> Scale {
         ops: 4_000,
         seed: 7,
         metrics: None,
+        trace: None,
     }
 }
 

@@ -204,6 +204,12 @@ impl Pager {
             self.recency_index.remove(&oldest);
             if let Some(slot) = self.cache.remove(&victim) {
                 if slot.dirty {
+                    // Eviction writeback stalls the op that faulted the
+                    // cache over capacity — worth a trace span.
+                    let _span = gadget_obs::trace::span(
+                        gadget_obs::trace::Category::PageWriteback,
+                        victim as u64,
+                    );
                     self.dirty_writebacks.inc();
                     self.write_page_raw(victim, &slot.node.encode())?;
                 }
@@ -292,6 +298,8 @@ impl Pager {
             .collect();
         for pid in dirty {
             let page = self.cache[&pid].node.encode();
+            let _span =
+                gadget_obs::trace::span(gadget_obs::trace::Category::PageWriteback, pid as u64);
             self.dirty_writebacks.inc();
             self.write_page_raw(pid, &page)?;
             self.cache.get_mut(&pid).expect("present").dirty = false;

@@ -115,8 +115,9 @@ pub fn usage() -> String {
      \x20 generate --config <json> --out <trace>         generate a state-access trace (offline mode)\n\
      \x20 replay   --trace <trace> --store <label>       replay a trace against a store\n\
      \x20          [--dir <path>] [--rate <ops/s>] [--ops <n>] [--metrics <json>] [--every <ops>]\n\
+     \x20          [--trace-out <json>]                   span timeline (Chrome/Perfetto) + tail attribution\n\
      \x20 online   --config <json> --store <label>       generate and issue requests on the fly\n\
-     \x20          [--metrics <json>] [--every <ops>]\n\
+     \x20          [--metrics <json>] [--every <ops>] [--trace <json>]\n\
      \x20 observe  --config <json> --metrics <json>      run the workload on every store, sampling\n\
      \x20          [--stores <a,b,..>] [--every <ops>]    internal metrics into a JSON time series\n\
      \x20 analyze  --trace <trace>                       characterize a trace (composition, locality, TTL)\n\
@@ -176,6 +177,20 @@ fn open_store(
             gadget_btree::BTreeStore::open(
                 dir.join("data.db"),
                 gadget_btree::BTreeConfig::default(),
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        // A shrunk LSM (tiny memtable/cache, synchronous WAL) whose
+        // flushes, compactions, fsyncs, and cache fills all fire within
+        // a few thousand operations — the store to use for traced smoke
+        // runs where the paper-scale config would never leave memory.
+        "rocksdb-small" => std::sync::Arc::new(
+            gadget_lsm::LsmStore::open(
+                &dir,
+                gadget_lsm::LsmConfig {
+                    wal_sync: true,
+                    ..gadget_lsm::LsmConfig::small()
+                },
             )
             .map_err(|e| e.to_string())?,
         ),
@@ -282,6 +297,32 @@ fn write_series(path: &str, series: &MetricsSeries) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes a finished trace session as Chrome JSON, prints the
+/// tail-latency attribution table, and (when a metrics series is being
+/// collected) embeds the report in the series' final point.
+fn export_trace(
+    path: &str,
+    log: &gadget_obs::trace::TraceLog,
+    emitter: Option<&mut SnapshotEmitter>,
+) -> Result<(), String> {
+    log.write_chrome(std::path::Path::new(path))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "wrote {} trace events to {path} ({} dropped by ring wrap); load it at https://ui.perfetto.dev",
+        log.events.len(),
+        log.dropped
+    );
+    let report = log.attribution();
+    print!("{}", report.to_table());
+    if let Some(em) = emitter {
+        em.annotate_last(
+            "trace_attribution",
+            gadget_obs::attribution_snapshot(&report),
+        );
+    }
+    Ok(())
+}
+
 fn cmd_replay(flags: &Flags) -> Result<(), String> {
     let trace_path = flags.required("trace")?;
     let label = flags.required("store")?;
@@ -292,19 +333,37 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
         max_ops: flags.optional_parse("ops")?,
     };
     let replayer = TraceReplayer::new(options);
-    let report = match flags.optional("metrics") {
-        None => replayer
-            .replay(&trace, store.as_ref(), trace_path)
-            .map_err(|e| e.to_string())?,
-        Some(metrics_path) => {
-            let mut emitter = SnapshotEmitter::every(sample_interval(flags, trace.len() as u64)?);
-            let report = replayer
-                .replay_observed(&trace, store.as_ref(), trace_path, &mut emitter)
-                .map_err(|e| e.to_string())?;
-            write_series(metrics_path, emitter.series())?;
-            report
-        }
+    // `--trace` is the *input* .gdt here, so the span-timeline output
+    // flag is `--trace-out`. Tracing needs the ObservedStore wrapper
+    // (its sampler emits the foreground op spans); untraced runs keep
+    // the raw store.
+    let trace_out = flags.optional("trace-out");
+    let run_store: Box<dyn gadget_kv::StateStore> = match trace_out {
+        Some(_) => Box::new(gadget_kv::ObservedStore::new(ArcStore(store.clone()))),
+        None => Box::new(ArcStore(store.clone())),
     };
+    let session = trace_out.map(|_| gadget_obs::trace::start_session());
+    let mut emitter = match flags.optional("metrics") {
+        Some(_) => Some(SnapshotEmitter::every(sample_interval(
+            flags,
+            trace.len() as u64,
+        )?)),
+        None => None,
+    };
+    let report = match emitter.as_mut() {
+        None => replayer.replay(&trace, run_store.as_ref(), trace_path),
+        Some(em) => replayer.replay_observed(&trace, run_store.as_ref(), trace_path, em),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(out) = trace_out {
+        let log = session
+            .expect("session exists when --trace-out set")
+            .finish();
+        export_trace(out, &log, emitter.as_mut())?;
+    }
+    if let (Some(metrics_path), Some(em)) = (flags.optional("metrics"), emitter.as_ref()) {
+        write_series(metrics_path, em.series())?;
+    }
     print_report(&report);
     Ok(())
 }
@@ -313,23 +372,41 @@ fn cmd_online(flags: &Flags) -> Result<(), String> {
     let config = load_config(flags)?;
     let label = flags.required("store")?;
     let store = open_store(label, flags.optional("dir"))?;
-    let report = match flags.optional("metrics") {
-        None => run_online(&config, store.as_ref(), &config.operator).map_err(|e| e.to_string())?,
-        Some(metrics_path) => {
+    // No input-trace flag on `online`, so the span timeline is plain
+    // `--trace` (with `--trace-out` accepted as the replay-consistent
+    // alias).
+    let trace_out = flags
+        .optional("trace")
+        .or_else(|| flags.optional("trace-out"));
+    let run_store: Box<dyn gadget_kv::StateStore> = match trace_out {
+        Some(_) => Box::new(gadget_kv::ObservedStore::new(ArcStore(store.clone()))),
+        None => Box::new(ArcStore(store.clone())),
+    };
+    let session = trace_out.map(|_| gadget_obs::trace::start_session());
+    let mut emitter = match flags.optional("metrics") {
+        Some(_) => {
             // Online op count is not known upfront; approximate it as 2×
             // the source event count for the default interval.
             let events = match &config.source {
                 gadget_core::SourceConfig::Synthetic(g) => g.events,
                 gadget_core::SourceConfig::Dataset { events, .. } => *events,
             };
-            let mut emitter = SnapshotEmitter::every(sample_interval(flags, events * 2)?);
-            let report =
-                run_online_observed(&config, store.as_ref(), &config.operator, &mut emitter)
-                    .map_err(|e| e.to_string())?;
-            write_series(metrics_path, emitter.series())?;
-            report
+            Some(SnapshotEmitter::every(sample_interval(flags, events * 2)?))
         }
+        None => None,
     };
+    let report = match emitter.as_mut() {
+        None => run_online(&config, run_store.as_ref(), &config.operator),
+        Some(em) => run_online_observed(&config, run_store.as_ref(), &config.operator, em),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(out) = trace_out {
+        let log = session.expect("session exists when tracing").finish();
+        export_trace(out, &log, emitter.as_mut())?;
+    }
+    if let (Some(metrics_path), Some(em)) = (flags.optional("metrics"), emitter.as_ref()) {
+        write_series(metrics_path, em.series())?;
+    }
     print_report(&report);
     Ok(())
 }
@@ -353,20 +430,35 @@ fn cmd_observe(flags: &Flags) -> Result<(), String> {
         interval_ops: interval,
         points: Vec::new(),
     };
+    // One failing store must not abort the sweep (the other stores'
+    // series are still wanted) — but it must not be silent either: the
+    // partial series is written, then the command exits non-zero naming
+    // every failure.
+    let mut failures: Vec<String> = Vec::new();
     for label in labels.split(',').map(str::trim).filter(|l| !l.is_empty()) {
         let dir =
             std::env::temp_dir().join(format!("gadget-observe-{}-{label}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let store = open_store(label, dir.to_str())?;
+        let store = match open_store(label, dir.to_str()) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("{label}: {e}");
+                failures.push(format!("{label}: {e}"));
+                continue;
+            }
+        };
         let observed = gadget_kv::ObservedStore::new(ArcStore(store));
         let mut emitter = SnapshotEmitter::every(interval);
-        let report = replayer
-            .replay_observed(&trace, &observed, label, &mut emitter)
-            .map_err(|e| format!("{label}: {e}"))?;
-        println!(
-            "{label}: {} ops at {:.0} ops/s (p99.9 {}ns)",
-            report.operations, report.throughput, report.latency.p999_ns
-        );
+        match replayer.replay_observed(&trace, &observed, label, &mut emitter) {
+            Ok(report) => println!(
+                "{label}: {} ops at {:.0} ops/s (p99.9 {}ns)",
+                report.operations, report.throughput, report.latency.p999_ns
+            ),
+            Err(e) => {
+                eprintln!("{label}: run failed: {e}");
+                failures.push(format!("{label}: {e}"));
+            }
+        }
         for mut point in emitter.series().points.iter().cloned() {
             for (component, _) in &mut point.registries {
                 *component = format!("{label}.{component}");
@@ -376,7 +468,15 @@ fn cmd_observe(flags: &Flags) -> Result<(), String> {
         drop(observed);
         let _ = std::fs::remove_dir_all(&dir);
     }
-    write_series(metrics_path, &combined)
+    write_series(metrics_path, &combined)?;
+    if !failures.is_empty() {
+        return Err(format!(
+            "observe sweep failed for {} store(s): {}",
+            failures.len(),
+            failures.join("; ")
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_analyze(flags: &Flags) -> Result<(), String> {
@@ -591,6 +691,9 @@ fn cmd_stores() -> Result<(), String> {
     println!("  lethe-class       LSM tree with delete-aware compaction (gadget-lsm)");
     println!("  faster-class      hash index over a record log (gadget-hashlog)");
     println!("  berkeleydb-class  page-cached B+Tree (gadget-btree)");
+    println!(
+        "  rocksdb-small     shrunk LSM (tiny memtable/cache, sync WAL) for traced smoke runs"
+    );
     println!("  mem               reference in-memory hash map (gadget-kv)");
     println!("  remote-<label>    any of the above behind a synthetic datacenter network");
     Ok(())
@@ -736,6 +839,138 @@ mod tests {
         let text = std::fs::read_to_string(&metrics_path).unwrap();
         let series: MetricsSeries = serde_json::from_str(&text).unwrap();
         assert!(series.points.len() >= 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Minimal Chrome trace-event schema check: every event must be an
+    /// object with string `ph` ∈ {X, M}, numeric pid/tid, and complete
+    /// events additionally need name, numeric ts and dur.
+    fn validate_chrome_schema(doc: &serde::Value) -> Vec<&serde::Value> {
+        use serde::Value;
+        let events = match doc.get("traceEvents") {
+            Some(Value::Array(events)) => events,
+            other => panic!("traceEvents missing or not an array: {other:?}"),
+        };
+        for event in events {
+            assert!(event.as_object().is_some(), "event not an object");
+            let ph = event.get("ph").and_then(Value::as_str).expect("ph");
+            assert!(ph == "X" || ph == "M", "unexpected phase {ph}");
+            assert!(event.get("pid").and_then(Value::as_u64).is_some(), "pid");
+            assert!(event.get("tid").and_then(Value::as_u64).is_some(), "tid");
+            if ph == "X" {
+                assert!(event.get("name").and_then(Value::as_str).is_some());
+                assert!(event.get("ts").and_then(Value::as_f64).is_some());
+                assert!(event.get("dur").and_then(Value::as_f64).is_some());
+            }
+        }
+        events.iter().collect()
+    }
+
+    #[test]
+    fn traced_replay_emits_valid_chrome_trace_with_background_categories() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("ycsb.gdt");
+        let chrome_path = dir.join("spans.json");
+        let metrics_path = dir.join("metrics.json");
+        // Update-heavy YCSB A with a value size large enough to roll
+        // the rocksdb-small memtable many times: flush, compaction,
+        // wal_fsync, and cache_fill all fire.
+        gadget_ycsb::YcsbConfig::core(gadget_ycsb::CoreWorkload::A, 400, 6_000)
+            .generate()
+            .save(&trace_path)
+            .unwrap();
+        dispatch(&strs(&[
+            "replay",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--store",
+            "rocksdb-small",
+            "--dir",
+            dir.join("db").to_str().unwrap(),
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+            "--trace-out",
+            chrome_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let text = std::fs::read_to_string(&chrome_path).unwrap();
+        let doc: serde::Value = serde_json::from_str(&text).unwrap();
+        let events = validate_chrome_schema(&doc);
+        let mut seen: Vec<&str> = Vec::new();
+        for event in &events {
+            if event.get("cat").and_then(serde::Value::as_str) == Some("background") {
+                let name = event.get("name").and_then(serde::Value::as_str).unwrap();
+                if !seen.contains(&name) {
+                    seen.push(name);
+                }
+            }
+        }
+        for required in ["flush", "compaction", "wal_fsync", "cache_fill"] {
+            assert!(
+                seen.contains(&required),
+                "background category {required} missing; saw {seen:?}"
+            );
+        }
+        // Sampled foreground op spans and the replay phase frame exist.
+        assert!(events
+            .iter()
+            .any(|e| e.get("cat").and_then(serde::Value::as_str) == Some("op")));
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(serde::Value::as_str) == Some("replay")));
+
+        // The attribution report rode into the metrics series.
+        let series: MetricsSeries =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        let last = series.points.last().unwrap();
+        let attribution = last
+            .registry("trace_attribution")
+            .expect("attribution embedded in final point");
+        assert!(attribution.counter("total_ops").unwrap() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observe_sweep_with_failing_store_exits_nonzero_but_writes_series() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-obsfail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("cfg.json");
+        let metrics_path = dir.join("metrics.json");
+        let cfg = gadget_core::GadgetConfig::synthetic(
+            gadget_core::OperatorKind::TumblingIncr,
+            gadget_core::GeneratorConfig {
+                events: 500,
+                ..gadget_core::GeneratorConfig::default()
+            },
+        );
+        std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
+        let err = dispatch(&strs(&[
+            "--config",
+            cfg_path.to_str().unwrap(),
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+            "--stores",
+            "mem,no-such-store",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.contains("no-such-store"),
+            "error names the store: {err}"
+        );
+        // The healthy store's series was still written.
+        let series: MetricsSeries =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert!(
+            series
+                .points
+                .iter()
+                .any(|p| p.registry("mem.store").is_some()),
+            "partial series retains the healthy store"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -94,6 +94,10 @@ impl Driver {
         let mut input_events = 0u64;
         let mut input_keys: HashSet<u64> = HashSet::new();
 
+        let _phase = gadget_obs::trace::span(
+            gadget_obs::trace::Category::Phase,
+            gadget_obs::trace::phase::DRIVE,
+        );
         for element in stream {
             match element {
                 StreamElement::Event(event) => {

@@ -151,6 +151,12 @@ impl Shard {
         if (self.dead_bytes as f64) < self.config.gc_dead_fraction * self.log.len() as f64 {
             return;
         }
+        // GC runs inline on the writing thread, so this span is exactly
+        // the window in which foreground ops on this shard stall.
+        let _span = gadget_obs::trace::span(
+            gadget_obs::trace::Category::HashlogGc,
+            self.dead_bytes as u64,
+        );
         // Compact: rewrite live records into a fresh log.
         let mut new_log = Vec::with_capacity(self.log.len().saturating_sub(self.dead_bytes));
         let mut new_index = HashMap::with_capacity(self.index.len());

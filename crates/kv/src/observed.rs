@@ -1,6 +1,7 @@
 //! Low-overhead per-operation metrics wrapper.
 
 use bytes::Bytes;
+use gadget_obs::trace::Category;
 use gadget_obs::{MetricsRegistry, MetricsSnapshot, Timer};
 
 use crate::error::StoreError;
@@ -84,24 +85,37 @@ impl<S: StateStore> StateStore for ObservedStore<S> {
         self.inner.name()
     }
 
+    // Sampled calls double as trace spans: the same one-in-2^shift
+    // operations the timer clocks are recorded into the active trace
+    // session (if any), so tracing adds nothing to unsampled calls.
     fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StoreError> {
-        self.timers.get.time(|| self.inner.get(key))
+        self.timers
+            .get
+            .time_traced(Category::OpGet, 0, || self.inner.get(key))
     }
 
     fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
-        self.timers.put.time(|| self.inner.put(key, value))
+        self.timers
+            .put
+            .time_traced(Category::OpPut, 0, || self.inner.put(key, value))
     }
 
     fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), StoreError> {
-        self.timers.merge.time(|| self.inner.merge(key, operand))
+        self.timers
+            .merge
+            .time_traced(Category::OpMerge, 0, || self.inner.merge(key, operand))
     }
 
     fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
-        self.timers.delete.time(|| self.inner.delete(key))
+        self.timers
+            .delete
+            .time_traced(Category::OpDelete, 0, || self.inner.delete(key))
     }
 
     fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
-        self.timers.scan.time(|| self.inner.scan(lo, hi))
+        self.timers
+            .scan
+            .time_traced(Category::OpScan, 0, || self.inner.scan(lo, hi))
     }
 
     fn supports_scan(&self) -> bool {

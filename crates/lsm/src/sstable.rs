@@ -418,6 +418,9 @@ impl TableHandle {
         if let Some(block) = cache.get(&cache_key) {
             return Ok(block);
         }
+        // Cache miss: the disk read + insert is the span that stalls
+        // whichever foreground op triggered it.
+        let _span = gadget_obs::trace::span(gadget_obs::trace::Category::CacheFill, e.len as u64);
         let mut buf = vec![0u8; e.len as usize];
         self.file.read_exact_at(&mut buf, e.offset)?;
         let block: Block = Arc::new(buf);

@@ -10,6 +10,7 @@ use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use gadget_kv::{StateStore, StoreCounters, StoreError};
+use gadget_obs::trace;
 use gadget_obs::{Counter, MetricsRegistry, MetricsSnapshot};
 
 use crate::cache::BlockCache;
@@ -423,6 +424,9 @@ fn worker_loop(inner: Arc<Inner>) {
         let seq = inner.seq.load(Ordering::Relaxed);
         if let Some(job) = pick_compaction(&version, &inner.config, seq) {
             let mut next_no = inner.next_file_no.load(Ordering::Relaxed);
+            // Always-on background span: the attribution report joins
+            // tail-latency ops against exactly these windows.
+            let _span = trace::span(trace::Category::Compaction, job.level as u64);
             match run_compaction(
                 &job,
                 &inner.dir,
@@ -505,6 +509,7 @@ fn flush_one(inner: &Inner) -> Result<bool, StoreError> {
         inner.stall_cv.notify_all();
         return Ok(true);
     }
+    let _span = trace::span(trace::Category::Flush, mem.len() as u64);
     let file_no = inner.next_file_no.fetch_add(1, Ordering::Relaxed) + 1;
     let path = table_path(&inner.dir, 0, file_no);
     let mut writer = TableWriter::create(

@@ -10,6 +10,7 @@ use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
 use std::time::Instant;
 
+use gadget_obs::trace;
 use gadget_obs::{AtomicHistogram, Counter, MetricsRegistry};
 use std::sync::Arc;
 
@@ -123,14 +124,21 @@ impl Wal {
         }
         if self.sync {
             self.writer.flush()?;
-            match &self.metrics {
-                Some(m) => {
-                    let started = Instant::now();
-                    self.writer.get_ref().sync_data()?;
-                    m.fsync_ns.record(started.elapsed().as_nanos() as u64);
+            if self.metrics.is_some() || trace::enabled() {
+                let started = Instant::now();
+                self.writer.get_ref().sync_data()?;
+                let nanos = started.elapsed().as_nanos() as u64;
+                if let Some(m) = &self.metrics {
+                    m.fsync_ns.record(nanos);
                     m.fsyncs.inc();
                 }
-                None => self.writer.get_ref().sync_data()?,
+                trace::record_ending_now(
+                    trace::Category::WalFsync,
+                    8 + payload.len() as u64,
+                    nanos,
+                );
+            } else {
+                self.writer.get_ref().sync_data()?;
             }
         }
         Ok(())

@@ -176,6 +176,16 @@ impl SnapshotEmitter {
         });
     }
 
+    /// Attaches an extra component snapshot to the most recent point —
+    /// used for end-of-run derivations like the tail-latency
+    /// attribution report, which only exists once the run is over.
+    /// No-op when no point was recorded yet.
+    pub fn annotate_last(&mut self, component: &str, snapshot: MetricsSnapshot) {
+        if let Some(point) = self.series.points.last_mut() {
+            point.registries.push((component.to_string(), snapshot));
+        }
+    }
+
     /// The series collected so far.
     pub fn series(&self) -> &MetricsSeries {
         &self.series
@@ -252,6 +262,55 @@ mod tests {
         let json = serde_json::to_string_pretty(emitter.series()).unwrap();
         let back: MetricsSeries = serde_json::from_str(&json).unwrap();
         assert_eq!(&back, emitter.series());
+    }
+
+    #[test]
+    fn round_trip_preserves_non_decreasing_op_counts() {
+        // A realistic multi-point series (poll ticks plus a finish
+        // sample at the same op count) must come back from JSON with
+        // its op axis intact and monotonically non-decreasing.
+        let mut emitter = SnapshotEmitter::every(50);
+        for ops in [50u64, 100, 150, 730] {
+            emitter.poll(ops, || one_registry(ops));
+        }
+        emitter.finish(730, one_registry(730));
+        let json = serde_json::to_string_pretty(emitter.series()).unwrap();
+        let back: MetricsSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, emitter.series());
+        let ops: Vec<u64> = back.points.iter().map(|p| p.ops).collect();
+        assert_eq!(ops, vec![50, 100, 150, 730, 730]);
+        assert!(ops.windows(2).all(|w| w[0] <= w[1]), "ops axis regressed");
+        for point in &back.points {
+            assert_eq!(
+                point.registry("store").unwrap().counter("ops"),
+                Some(point.ops)
+            );
+        }
+    }
+
+    #[test]
+    fn annotate_last_appends_a_component() {
+        let mut emitter = SnapshotEmitter::every(1);
+        // Before any point exists, annotation is dropped, not panicking.
+        emitter.annotate_last("extra", MetricsSnapshot::new());
+        assert!(emitter.series().points.is_empty());
+
+        emitter.poll(1, || one_registry(1));
+        let mut extra = MetricsSnapshot::new();
+        extra.push_counter("tail_ops", 7);
+        emitter.annotate_last("trace_attribution", extra);
+        let point = emitter.series().points.last().unwrap();
+        assert_eq!(
+            point
+                .registry("trace_attribution")
+                .unwrap()
+                .counter("tail_ops"),
+            Some(7)
+        );
+        // And it survives the JSON round trip.
+        let json = serde_json::to_string(emitter.series()).unwrap();
+        let back: MetricsSeries = serde_json::from_str(&json).unwrap();
+        assert!(back.points[0].registry("trace_attribution").is_some());
     }
 
     #[test]

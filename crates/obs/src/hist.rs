@@ -244,6 +244,24 @@ impl AtomicHistogram {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Records one value through relaxed load/store pairs instead of
+    /// RMWs — several times cheaper on common hardware. Only sound
+    /// with a single writer (the per-thread timer slots); racing this
+    /// against itself or [`record`](AtomicHistogram::record) loses
+    /// updates.
+    pub(crate) fn record_unshared(&self, value: u64) {
+        let b = bucket_of(value).min(BUCKETS - 1);
+        let count = self.counts[b].load(Ordering::Relaxed);
+        self.counts[b].store(count + 1, Ordering::Relaxed);
+        let total = self.total.load(Ordering::Relaxed);
+        self.total.store(total + 1, Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        self.sum.store(sum + value, Ordering::Relaxed);
+        if value > self.max.load(Ordering::Relaxed) {
+            self.max.store(value, Ordering::Relaxed);
+        }
+    }
+
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.total.load(Ordering::Relaxed)
@@ -326,6 +344,63 @@ mod tests {
         assert_eq!(h.percentile(99.0), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_every_quantile_is_zero() {
+        let h = LogHistogram::new();
+        for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 0, "p{p} of empty histogram");
+        }
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = LogHistogram::new();
+        h.record(1_234_567);
+        let (lo, hi) = bucket_bounds(1_234_567);
+        for p in [0.0, 1.0, 50.0, 99.0, 99.9] {
+            let q = h.percentile(p);
+            assert!(
+                (lo..hi).contains(&q),
+                "p{p} = {q} outside the sample's bucket [{lo}, {hi})"
+            );
+        }
+        // p100 reports the exact max, not the bucket floor.
+        assert_eq!(h.percentile(100.0), 1_234_567);
+        assert_eq!(h.mean(), 1_234_567.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn merge_of_disjoint_bucket_ranges() {
+        // `low` occupies only the exact small-value buckets, `high`
+        // only large log buckets — no bucket is shared, so the merged
+        // quantiles must straddle the gap without inventing mass.
+        let mut low = LogHistogram::new();
+        for v in 1..=50u64 {
+            low.record(v);
+        }
+        let mut high = LogHistogram::new();
+        for i in 0..50u64 {
+            high.record(1_000_000_000 + i * 1_000_000);
+        }
+        let (low_alone, high_alone) = (low.clone(), high.clone());
+        low.merge(&high);
+
+        assert_eq!(low.count(), 100);
+        assert_eq!(low.max(), high_alone.max());
+        let expected_sum = low_alone.mean() * 50.0 + high_alone.mean() * 50.0;
+        assert!((low.mean() * 100.0 - expected_sum).abs() < 1e-3);
+        // Lower half comes from `low`, upper half from `high`.
+        assert!(low.percentile(25.0) <= 50);
+        assert!(low.percentile(75.0) >= bucket_bounds(1_000_000_000).0);
+        // p50 sits at the boundary: still a small value.
+        assert!(low.percentile(50.0) <= 50);
+        for w in [1.0, 25.0, 50.0, 75.0, 99.0, 100.0].windows(2) {
+            assert!(low.percentile(w[0]) <= low.percentile(w[1]));
+        }
     }
 
     #[test]

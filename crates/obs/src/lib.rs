@@ -24,16 +24,54 @@
 //! (HDR-style) histogram with ~3% relative error and a fixed 2048-slot
 //! footprint; [`AtomicHistogram`] is its concurrent twin.
 //!
+//! Aggregates explain *how much*; the re-exported [`trace`] subsystem
+//! (`gadget-trace`) explains *when*: per-thread span timelines for
+//! sampled ops and always-on background work, exportable as Chrome
+//! trace JSON and reducible to a tail-latency attribution report.
+//! [`Timer::time_traced`] bridges the two, emitting a span for exactly
+//! the calls it samples.
+//!
 //! `StateStore::metrics` lives in `gadget-kv`; this crate deliberately
-//! depends only on the serde shims so every layer of the workspace can
-//! use it.
+//! depends only on `gadget-trace` and the serde shims so every layer
+//! of the workspace can use it.
 
 pub mod emitter;
 pub mod hist;
 pub mod registry;
 pub mod snapshot;
 
+/// Span tracing and tail-latency attribution (re-export of
+/// `gadget-trace`, so downstream crates need no extra dependency).
+pub use gadget_trace as trace;
+
 pub use emitter::{MetricsSeries, SnapshotEmitter, SnapshotPoint};
 pub use hist::{bucket_bounds, AtomicHistogram, LogHistogram};
 pub use registry::{Counter, Gauge, MetricsRegistry, Timer};
 pub use snapshot::MetricsSnapshot;
+
+/// Flattens a tail-latency [`trace::AttributionReport`] into a
+/// [`MetricsSnapshot`] so it can ride along in a metrics JSON series.
+///
+/// Counters: `tail_ops`, `total_ops`, `p99_ns`, `unattributed_tail`,
+/// and one `tail_overlap_<category>` per background category seen.
+/// Gauges: `tail_overlap_<category>_ppm`, the overlap fraction in
+/// parts per million (snapshots carry integers, not floats).
+pub fn attribution_snapshot(report: &trace::AttributionReport) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    snap.push_counter("total_ops", report.total_ops as u64);
+    snap.push_counter("tail_ops", report.tail_ops as u64);
+    snap.push_counter("p99_ns", report.p99_ns);
+    snap.push_counter("unattributed_tail", report.unattributed as u64);
+    for share in &report.shares {
+        snap.push_counter(
+            &format!("tail_overlap_{}", share.category.name()),
+            share.overlapping as u64,
+        );
+        snap.push_gauge(
+            &format!("tail_overlap_{}_ppm", share.category.name()),
+            (share.fraction * 1_000_000.0).round() as i64,
+        );
+    }
+    snap.sort();
+    snap
+}

@@ -187,6 +187,10 @@ impl TraceReplayer {
             .service_rate
             .map(|rate| Duration::from_nanos((1e9 / rate) as u64));
 
+        let _phase = gadget_obs::trace::span(
+            gadget_obs::trace::Category::Phase,
+            gadget_obs::trace::phase::REPLAY,
+        );
         let started = Instant::now();
         let mut executed = 0u64;
         for access in trace.iter() {
@@ -254,6 +258,10 @@ impl TraceReplayer {
     where
         I: IntoIterator<Item = gadget_types::StateKey>,
     {
+        let _phase = gadget_obs::trace::span(
+            gadget_obs::trace::Category::Phase,
+            gadget_obs::trace::phase::PRELOAD,
+        );
         let mut n = 0;
         for key in keys {
             store.put(&key.encode(), self.payload_of(value_size))?;
@@ -297,6 +305,10 @@ fn run_online_inner(
     let mut operator = kind.build(&config.operator_params());
     let replayer = TraceReplayer::default();
 
+    let _phase = gadget_obs::trace::span(
+        gadget_obs::trace::Category::Phase,
+        gadget_obs::trace::phase::ONLINE,
+    );
     let mut overall = LatencyHistogram::new();
     let (mut hits, mut misses) = (0u64, 0u64);
     let mut buf: Vec<StateAccess> = Vec::with_capacity(64);

@@ -1,0 +1,609 @@
+//! Low-overhead span tracing for the gadget harness.
+//!
+//! The metrics layer (`gadget-obs`) answers "how much"; this crate
+//! answers "when, and overlapping what". Every participating thread
+//! owns a fixed-size lock-free ring buffer of completed spans
+//! (timestamp + duration + [`Category`] + one `u64` argument). Writers
+//! record with a handful of relaxed atomic stores and never block;
+//! when tracing is disabled the entire record path is a single relaxed
+//! load of a global flag.
+//!
+//! Spans come in three flavours:
+//!
+//! * **Sampled foreground ops** — `get`/`put`/`merge`/`delete`/`scan`,
+//!   recorded by the obs `Timer` for the same one-in-`2^shift` calls it
+//!   already times, so the hot path pays nothing extra.
+//! * **Always-on background work** — memtable flush, compaction, WAL
+//!   fsync, block-cache fill, hash-log GC, B-tree page writeback.
+//!   These are rare and long relative to ops, so they are recorded
+//!   unconditionally while a session is active.
+//! * **Phases** — coarse driver/replayer stages (preload, replay,
+//!   online, drive) that frame the timeline.
+//!
+//! A [`TraceSession`] turns recording on, and [`TraceSession::finish`]
+//! turns it off and drains every ring into a [`TraceLog`], which can be
+//! exported as Chrome trace-event JSON ([`TraceLog::write_chrome`],
+//! loadable in Perfetto / `chrome://tracing`) or reduced to a
+//! tail-latency [`attribution`] report: for the sampled ops slower than
+//! p99, which background work was running at the same time?
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+pub mod attribution;
+pub mod chrome;
+
+pub use attribution::AttributionReport;
+
+// ---------------------------------------------------------------------------
+// Categories
+// ---------------------------------------------------------------------------
+
+/// What a span measured. Stored in the ring as a `u64` discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Category {
+    /// Sampled foreground `get`.
+    OpGet = 0,
+    /// Sampled foreground `put`.
+    OpPut = 1,
+    /// Sampled foreground `merge`.
+    OpMerge = 2,
+    /// Sampled foreground `delete`.
+    OpDelete = 3,
+    /// Sampled foreground `scan`.
+    OpScan = 4,
+    /// LSM memtable flush to an L0 table (arg: entries flushed).
+    Flush = 5,
+    /// LSM compaction (arg: source level).
+    Compaction = 6,
+    /// WAL `sync_data` (arg: bytes appended since last sync).
+    WalFsync = 7,
+    /// Block-cache miss filled from disk (arg: block bytes).
+    CacheFill = 8,
+    /// Hash-log shard GC / region compaction (arg: dead bytes reclaimed).
+    HashlogGc = 9,
+    /// B-tree dirty page written back (arg: page number).
+    PageWriteback = 10,
+    /// Driver/replayer phase (arg: one of the [`phase`] constants).
+    Phase = 11,
+}
+
+/// All categories, in discriminant order.
+pub const CATEGORIES: [Category; 12] = [
+    Category::OpGet,
+    Category::OpPut,
+    Category::OpMerge,
+    Category::OpDelete,
+    Category::OpScan,
+    Category::Flush,
+    Category::Compaction,
+    Category::WalFsync,
+    Category::CacheFill,
+    Category::HashlogGc,
+    Category::PageWriteback,
+    Category::Phase,
+];
+
+impl Category {
+    /// Stable snake-case name, used in trace exports and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::OpGet => "get",
+            Category::OpPut => "put",
+            Category::OpMerge => "merge",
+            Category::OpDelete => "delete",
+            Category::OpScan => "scan",
+            Category::Flush => "flush",
+            Category::Compaction => "compaction",
+            Category::WalFsync => "wal_fsync",
+            Category::CacheFill => "cache_fill",
+            Category::HashlogGc => "hashlog_gc",
+            Category::PageWriteback => "page_writeback",
+            Category::Phase => "phase",
+        }
+    }
+
+    /// Whether this is a sampled foreground state-op span.
+    pub fn is_op(self) -> bool {
+        matches!(
+            self,
+            Category::OpGet
+                | Category::OpPut
+                | Category::OpMerge
+                | Category::OpDelete
+                | Category::OpScan
+        )
+    }
+
+    /// Whether this is an always-on background-work span.
+    pub fn is_background(self) -> bool {
+        !self.is_op() && self != Category::Phase
+    }
+
+    fn from_u64(raw: u64) -> Option<Category> {
+        CATEGORIES.get(raw as usize).copied()
+    }
+}
+
+/// Arguments for [`Category::Phase`] spans.
+pub mod phase {
+    /// Store preload before a timed run.
+    pub const PRELOAD: u64 = 0;
+    /// Recorded-trace replay.
+    pub const REPLAY: u64 = 1;
+    /// Online (generate-and-apply) run.
+    pub const ONLINE: u64 = 2;
+    /// Core driver event loop.
+    pub const DRIVE: u64 = 3;
+
+    /// Display name for a phase argument.
+    pub fn name(arg: u64) -> &'static str {
+        match arg {
+            PRELOAD => "preload",
+            REPLAY => "replay",
+            ONLINE => "online",
+            DRIVE => "drive",
+            _ => "phase",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread rings
+// ---------------------------------------------------------------------------
+
+/// Completed spans each ring can hold before the oldest are overwritten.
+pub const RING_CAPACITY: usize = 1 << 14;
+
+struct Slot {
+    start_ns: AtomicU64,
+    dur_ns: AtomicU64,
+    arg: AtomicU64,
+    cat: AtomicU64,
+}
+
+impl Slot {
+    const fn empty() -> Slot {
+        Slot {
+            start_ns: AtomicU64::new(0),
+            dur_ns: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+            cat: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+/// Single-producer ring of completed spans. The owning thread is the
+/// only writer; [`TraceSession::finish`] is the only reader and runs
+/// with recording disabled, so relaxed slot stores published by a
+/// release head bump are enough.
+struct Ring {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring {
+            slots: (0..RING_CAPACITY).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, cat: Category, arg: u64, start_ns: u64, dur_ns: u64) {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(head as usize) & (RING_CAPACITY - 1)];
+        slot.start_ns.store(start_ns, Ordering::Relaxed);
+        slot.dur_ns.store(dur_ns, Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+        slot.cat.store(cat as u64, Ordering::Relaxed);
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Reads the spans recorded in `[from_head, current head)`, oldest
+    /// first, plus how many of them the ring had already overwritten.
+    fn drain_since(&self, from_head: u64) -> (Vec<RawSpan>, u64) {
+        let head = self.head.load(Ordering::Acquire);
+        let oldest = from_head.max(head.saturating_sub(RING_CAPACITY as u64));
+        let dropped = oldest - from_head.min(oldest);
+        let mut out = Vec::with_capacity((head - oldest) as usize);
+        for i in oldest..head {
+            let slot = &self.slots[(i as usize) & (RING_CAPACITY - 1)];
+            let Some(cat) = Category::from_u64(slot.cat.load(Ordering::Relaxed)) else {
+                continue;
+            };
+            out.push(RawSpan {
+                cat,
+                arg: slot.arg.load(Ordering::Relaxed),
+                start_ns: slot.start_ns.load(Ordering::Relaxed),
+                dur_ns: slot.dur_ns.load(Ordering::Relaxed),
+            });
+        }
+        (out, dropped)
+    }
+}
+
+struct RawSpan {
+    cat: Category,
+    arg: u64,
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+struct RingHandle {
+    tid: u64,
+    thread_name: String,
+    ring: Arc<Ring>,
+}
+
+// ---------------------------------------------------------------------------
+// Globals
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static REGISTRY: Mutex<Vec<RingHandle>> = Mutex::new(Vec::new());
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    static RING: Arc<Ring> = register_thread();
+}
+
+fn register_thread() -> Arc<Ring> {
+    let ring = Arc::new(Ring::new());
+    let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    let thread_name = std::thread::current()
+        .name()
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("thread-{tid}"));
+    lock(&REGISTRY).push(RingHandle {
+        tid,
+        thread_name,
+        ring: ring.clone(),
+    });
+    ring
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Whether a trace session is currently recording. One relaxed load;
+/// every record path checks this first, so a disabled tracer costs a
+/// single branch.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Nanoseconds since the process-wide trace epoch (first use).
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Records an already-measured span. No-op while tracing is disabled.
+#[inline]
+pub fn record_complete(cat: Category, arg: u64, start_ns: u64, dur_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    RING.with(|ring| ring.push(cat, arg, start_ns, dur_ns));
+}
+
+/// Records a span of `dur_ns` that ends now — for callers that already
+/// timed the work with their own clock (e.g. the obs `Timer`).
+#[inline]
+pub fn record_ending_now(cat: Category, arg: u64, dur_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let end = now_ns();
+    RING.with(|ring| ring.push(cat, arg, end.saturating_sub(dur_ns), dur_ns));
+}
+
+/// Starts a span that is recorded when the guard drops. Cheap no-op
+/// (no clock read) while tracing is disabled.
+#[inline]
+pub fn span(cat: Category, arg: u64) -> SpanGuard {
+    if enabled() {
+        SpanGuard {
+            cat,
+            arg,
+            start_ns: now_ns(),
+            armed: true,
+        }
+    } else {
+        SpanGuard {
+            cat,
+            arg,
+            start_ns: 0,
+            armed: false,
+        }
+    }
+}
+
+/// RAII span: records `[creation, drop)` into the current thread's
+/// ring, if tracing was enabled at creation.
+#[must_use = "a span guard records on drop; binding it to `_` drops immediately"]
+pub struct SpanGuard {
+    cat: Category,
+    arg: u64,
+    start_ns: u64,
+    armed: bool,
+}
+
+impl SpanGuard {
+    /// Updates the span's argument before it is recorded (e.g. bytes
+    /// moved, once known).
+    pub fn set_arg(&mut self, arg: u64) {
+        self.arg = arg;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let dur = now_ns().saturating_sub(self.start_ns);
+            RING.with(|ring| ring.push(self.cat, self.arg, self.start_ns, dur));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sessions and logs
+// ---------------------------------------------------------------------------
+
+/// Begins recording. Sessions are serialized process-wide (the guard
+/// holds a lock) so concurrent tests cannot pollute each other's logs.
+pub fn start_session() -> TraceSession {
+    let guard = lock(&SESSION_LOCK);
+    let start_heads: Vec<(u64, u64)> = lock(&REGISTRY)
+        .iter()
+        .map(|h| (h.tid, h.ring.head.load(Ordering::Acquire)))
+        .collect();
+    let start_ns = now_ns();
+    ENABLED.store(true, Ordering::SeqCst);
+    TraceSession {
+        _guard: guard,
+        start_ns,
+        start_heads,
+    }
+}
+
+/// An active recording session. Dropping it without calling
+/// [`TraceSession::finish`] stops recording and discards the spans.
+pub struct TraceSession {
+    _guard: MutexGuard<'static, ()>,
+    start_ns: u64,
+    start_heads: Vec<(u64, u64)>,
+}
+
+impl TraceSession {
+    /// Stops recording and collects every thread's spans into a log.
+    pub fn finish(self) -> TraceLog {
+        ENABLED.store(false, Ordering::SeqCst);
+        let end_ns = now_ns();
+        let mut events = Vec::new();
+        let mut threads = Vec::new();
+        let mut dropped = 0u64;
+        for handle in lock(&REGISTRY).iter() {
+            let from = self
+                .start_heads
+                .iter()
+                .find(|(tid, _)| *tid == handle.tid)
+                .map(|(_, head)| *head)
+                .unwrap_or(0);
+            let (raw, ring_dropped) = handle.ring.drain_since(from);
+            dropped += ring_dropped;
+            if !raw.is_empty() {
+                threads.push((handle.tid, handle.thread_name.clone()));
+            }
+            events.extend(raw.into_iter().map(|s| Span {
+                cat: s.cat,
+                arg: s.arg,
+                start_ns: s.start_ns,
+                dur_ns: s.dur_ns,
+                tid: handle.tid,
+            }));
+        }
+        events.sort_by_key(|e| (e.start_ns, e.tid));
+        TraceLog {
+            events,
+            threads,
+            dropped,
+            session_start_ns: self.start_ns,
+            session_end_ns: end_ns,
+        }
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// One completed span, as drained from a ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// What was measured.
+    pub cat: Category,
+    /// Category-specific argument (level, bytes, shard, page, phase).
+    pub arg: u64,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Trace-local id of the recording thread.
+    pub tid: u64,
+}
+
+impl Span {
+    /// Exclusive end of the span.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+
+    /// Whether two spans overlap in time (thread-agnostic; a
+    /// zero-duration span overlaps anything covering its instant).
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start_ns <= other.end_ns() && other.start_ns <= self.end_ns()
+    }
+}
+
+/// Everything one session recorded, ready for export or analysis.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    /// All spans, sorted by start time.
+    pub events: Vec<Span>,
+    /// `(tid, thread name)` for every thread that recorded spans.
+    pub threads: Vec<(u64, String)>,
+    /// Spans overwritten before they could be drained (ring wrapped).
+    pub dropped: u64,
+    /// Session start, nanoseconds since the trace epoch.
+    pub session_start_ns: u64,
+    /// Session end, nanoseconds since the trace epoch.
+    pub session_end_ns: u64,
+}
+
+impl TraceLog {
+    /// Spans of one category.
+    pub fn spans_of(&self, cat: Category) -> impl Iterator<Item = &Span> {
+        self.events.iter().filter(move |e| e.cat == cat)
+    }
+
+    /// Builds the tail-latency attribution report for this log.
+    pub fn attribution(&self) -> AttributionReport {
+        attribution::attribute(self)
+    }
+
+    /// Serializes the log as Chrome trace-event JSON.
+    pub fn to_chrome_json(&self) -> String {
+        chrome::to_chrome_json(self)
+    }
+
+    /// Writes Chrome trace-event JSON to `path` (Perfetto-loadable).
+    pub fn write_chrome(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let session = start_session();
+        let log = session.finish();
+        assert!(!enabled());
+        record_complete(Category::Flush, 0, 1, 1);
+        let _ = log;
+        let log2 = start_session().finish();
+        assert!(log2.events.is_empty());
+    }
+
+    #[test]
+    fn session_captures_spans_from_multiple_threads() {
+        let session = start_session();
+        record_complete(Category::OpGet, 0, now_ns(), 50);
+        let handle = std::thread::Builder::new()
+            .name("bg-test".into())
+            .spawn(|| {
+                let mut s = span(Category::Compaction, 2);
+                s.set_arg(3);
+                drop(s);
+            })
+            .unwrap();
+        handle.join().unwrap();
+        let log = session.finish();
+        assert_eq!(log.spans_of(Category::OpGet).count(), 1);
+        let comp: Vec<&Span> = log.spans_of(Category::Compaction).collect();
+        assert_eq!(comp.len(), 1);
+        assert_eq!(comp[0].arg, 3);
+        assert!(log.threads.iter().any(|(_, n)| n == "bg-test"));
+        let tids: std::collections::HashSet<u64> = log.events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 2, "two distinct threads recorded");
+    }
+
+    #[test]
+    fn sequential_sessions_do_not_leak_spans() {
+        let first = start_session();
+        record_complete(Category::Flush, 0, now_ns(), 10);
+        let log1 = first.finish();
+        assert_eq!(log1.spans_of(Category::Flush).count(), 1);
+
+        let second = start_session();
+        record_complete(Category::WalFsync, 0, now_ns(), 10);
+        let log2 = second.finish();
+        assert_eq!(log2.spans_of(Category::Flush).count(), 0);
+        assert_eq!(log2.spans_of(Category::WalFsync).count(), 1);
+    }
+
+    #[test]
+    fn ring_wrap_counts_dropped_spans() {
+        let session = start_session();
+        let n = RING_CAPACITY as u64 + 100;
+        for i in 0..n {
+            record_complete(Category::OpPut, i, i, 1);
+        }
+        let log = session.finish();
+        let kept = log.spans_of(Category::OpPut).count() as u64;
+        assert_eq!(kept, RING_CAPACITY as u64);
+        assert_eq!(log.dropped, 100);
+        // The survivors are the newest spans.
+        assert!(log.spans_of(Category::OpPut).all(|s| s.arg >= 100));
+    }
+
+    #[test]
+    fn span_guard_records_duration() {
+        let session = start_session();
+        {
+            let _span = span(Category::HashlogGc, 7);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let log = session.finish();
+        let gc: Vec<&Span> = log.spans_of(Category::HashlogGc).collect();
+        assert_eq!(gc.len(), 1);
+        assert_eq!(gc[0].arg, 7);
+        assert!(
+            gc[0].dur_ns >= 1_000_000,
+            "slept 2ms, span {}ns",
+            gc[0].dur_ns
+        );
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        let mk = |start, dur| Span {
+            cat: Category::OpGet,
+            arg: 0,
+            start_ns: start,
+            dur_ns: dur,
+            tid: 1,
+        };
+        assert!(mk(0, 10).overlaps(&mk(5, 10)));
+        assert!(mk(5, 10).overlaps(&mk(0, 10)));
+        assert!(mk(0, 10).overlaps(&mk(10, 5)), "touching counts");
+        assert!(!mk(0, 10).overlaps(&mk(11, 5)));
+        assert!(mk(5, 0).overlaps(&mk(0, 10)), "instant inside window");
+    }
+
+    #[test]
+    fn category_names_are_stable() {
+        for cat in CATEGORIES {
+            assert_eq!(Category::from_u64(cat as u64), Some(cat));
+            assert!(!cat.name().is_empty());
+        }
+        assert!(Category::OpScan.is_op());
+        assert!(!Category::OpScan.is_background());
+        assert!(Category::CacheFill.is_background());
+        assert!(!Category::Phase.is_background());
+        assert!(!Category::Phase.is_op());
+    }
+}
