@@ -47,7 +47,12 @@ pub fn compute(scale: &Scale) -> Vec<Row> {
             } else {
                 Box::new(SharedStore(inst.store.clone()))
             };
-            let replayer = TraceReplayer::new(ReplayOptions::default());
+            // `--batch-size N` routes the replay through apply_batch
+            // (N > 1), exercising each store's native batch path.
+            let replayer = TraceReplayer::new(ReplayOptions {
+                batch_size: scale.batch,
+                ..ReplayOptions::default()
+            });
             replayer
                 .preload(run_store.as_ref(), cfg.preload_keys(), cfg.value_size)
                 .expect("preload");

@@ -35,11 +35,14 @@ pub struct Scale {
     /// (`gadget_obs::trace`), if anywhere. Experiments that honor this
     /// (fig12) also print a tail-latency attribution table.
     pub trace: Option<PathBuf>,
+    /// Ops per `apply_batch` call in replay-based experiments (1 =
+    /// op-by-op, the pre-batching behavior).
+    pub batch: usize,
 }
 
 impl Scale {
     /// Parses `--events N`, `--ops N`, `--seed N`, `--metrics PATH`,
-    /// `--trace PATH`, `--full` from argv.
+    /// `--trace PATH`, `--batch-size N`, `--full` from argv.
     pub fn from_args() -> Scale {
         let mut scale = Scale {
             events: 100_000,
@@ -47,6 +50,7 @@ impl Scale {
             seed: 42,
             metrics: None,
             trace: None,
+            batch: 1,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -74,6 +78,10 @@ impl Scale {
                 }
                 "--trace" if i + 1 < args.len() => {
                     scale.trace = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
+                "--batch-size" if i + 1 < args.len() => {
+                    scale.batch = args[i + 1].parse().expect("--batch-size takes a number");
                     i += 1;
                 }
                 other => eprintln!("ignoring unknown argument {other}"),
@@ -317,6 +325,14 @@ impl StateStore for SharedStore {
     }
     fn internal_counters(&self) -> Vec<(String, u64)> {
         self.0.internal_counters()
+    }
+    // Must forward: the trait default would silently degrade batches to
+    // op-by-op, hiding the inner store's native group-commit path.
+    fn apply_batch(
+        &self,
+        batch: &[gadget_types::Op],
+    ) -> Result<Vec<gadget_kv::BatchResult>, gadget_kv::StoreError> {
+        self.0.apply_batch(batch)
     }
     fn metrics(&self) -> Option<gadget_obs::MetricsSnapshot> {
         self.0.metrics()

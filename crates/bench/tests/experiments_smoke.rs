@@ -12,6 +12,7 @@ fn tiny() -> Scale {
         seed: 7,
         metrics: None,
         trace: None,
+        batch: 1,
     }
 }
 
@@ -138,6 +139,15 @@ fn fig12_and_fig13_store_matrix() {
     let rows = experiments::fig12::compute(&tiny());
     assert_eq!(rows.len(), 3 * 4);
     assert!(rows.iter().all(|r| r.throughput > 0.0));
+
+    // Batched replay runs the same matrix through apply_batch and must
+    // produce the same structure.
+    let batched = experiments::fig12::compute(&Scale {
+        batch: 64,
+        ..tiny()
+    });
+    assert_eq!(batched.len(), 3 * 4);
+    assert!(batched.iter().all(|r| r.throughput > 0.0));
 
     let rows = experiments::fig13::compute(&tiny());
     assert_eq!(rows.len(), 11 * 4);

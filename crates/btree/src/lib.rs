@@ -40,8 +40,9 @@ mod tree;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use gadget_kv::{StateStore, StoreCounters, StoreError};
+use gadget_kv::{apply_ops_serially, BatchResult, StateStore, StoreCounters, StoreError};
 use gadget_obs::{MetricsRegistry, MetricsSnapshot};
+use gadget_types::Op;
 
 pub use tree::BTreeConfig;
 use tree::Tree;
@@ -145,6 +146,47 @@ impl StateStore for BTreeStore {
         let mut out = self.counters.snapshot();
         out.extend(self.tree.lock().stats());
         out
+    }
+
+    fn apply_batch(&self, batch: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
+        // Single-op batches take the per-op methods directly.
+        if batch.len() <= 1 {
+            return apply_ops_serially(self, batch);
+        }
+        // One tree-lock acquisition for the whole batch.
+        let mut tree = self.tree.lock();
+        let mut out = Vec::with_capacity(batch.len());
+        for op in batch {
+            match op {
+                Op::Get { key } => {
+                    self.counters.record_get();
+                    out.push(BatchResult::Value(tree.get(key)?.map(Bytes::from)));
+                }
+                Op::Put { key, value } => {
+                    self.counters.record_put();
+                    tree.insert(key, value)?;
+                    out.push(BatchResult::Applied);
+                }
+                Op::Merge { key, operand } => {
+                    self.counters.record_merge();
+                    let merged = match tree.get(key)? {
+                        Some(mut v) => {
+                            v.extend_from_slice(operand);
+                            v
+                        }
+                        None => operand.to_vec(),
+                    };
+                    tree.insert(key, &merged)?;
+                    out.push(BatchResult::Applied);
+                }
+                Op::Delete { key } => {
+                    self.counters.record_delete();
+                    tree.remove(key)?;
+                    out.push(BatchResult::Applied);
+                }
+            }
+        }
+        Ok(out)
     }
 
     fn metrics(&self) -> Option<MetricsSnapshot> {
@@ -300,6 +342,27 @@ mod tests {
                 > 0
         );
         assert!(snap.gauge("cached_pages").unwrap() > 0);
+    }
+
+    #[test]
+    fn apply_batch_matches_op_by_op() {
+        let batched = BTreeStore::open(tmpfile("batch-a.db"), BTreeConfig::small()).unwrap();
+        let serial = BTreeStore::open(tmpfile("batch-b.db"), BTreeConfig::small()).unwrap();
+        let mut ops = Vec::new();
+        for i in 0..50u64 {
+            ops.push(Op::put(
+                i.to_be_bytes().to_vec(),
+                format!("v{i}").into_bytes(),
+            ));
+            ops.push(Op::merge(i.to_be_bytes().to_vec(), b"+m".to_vec()));
+            ops.push(Op::get(i.to_be_bytes().to_vec()));
+        }
+        ops.push(Op::delete(7u64.to_be_bytes().to_vec()));
+        ops.push(Op::get(7u64.to_be_bytes().to_vec()));
+        let out = batched.apply_batch(&ops).unwrap();
+        let expect = gadget_kv::apply_ops_serially(&serial, &ops).unwrap();
+        assert_eq!(out, expect);
+        assert_eq!(batched.len().unwrap(), serial.len().unwrap());
     }
 
     #[test]

@@ -23,7 +23,7 @@ use gadget_analysis::{
 };
 use gadget_core::GadgetConfig;
 use gadget_obs::{MetricsSeries, SnapshotEmitter};
-use gadget_replay::{run_online, run_online_observed, ReplayOptions, TraceReplayer};
+use gadget_replay::{run_online_observed_with, run_online_with, ReplayOptions, TraceReplayer};
 use gadget_types::{OpType, Trace};
 use gadget_ycsb::{CoreWorkload, YcsbConfig};
 
@@ -114,15 +114,17 @@ pub fn usage() -> String {
      subcommands:\n\
      \x20 generate --config <json> --out <trace>         generate a state-access trace (offline mode)\n\
      \x20 replay   --trace <trace> --store <label>       replay a trace against a store\n\
-     \x20          [--dir <path>] [--rate <ops/s>] [--ops <n>] [--metrics <json>] [--every <ops>]\n\
+     \x20          [--dir <path>] [--rate <ops/s>] [--ops <n>] [--batch-size <n>]\n\
+     \x20          [--metrics <json>] [--every <ops>]\n\
      \x20          [--trace-out <json>]                   span timeline (Chrome/Perfetto) + tail attribution\n\
      \x20 online   --config <json> --store <label>       generate and issue requests on the fly\n\
-     \x20          [--metrics <json>] [--every <ops>] [--trace <json>]\n\
+     \x20          [--batch-size <n>] [--metrics <json>] [--every <ops>] [--trace <json>]\n\
      \x20 observe  --config <json> --metrics <json>      run the workload on every store, sampling\n\
      \x20          [--stores <a,b,..>] [--every <ops>]    internal metrics into a JSON time series\n\
      \x20 analyze  --trace <trace>                       characterize a trace (composition, locality, TTL)\n\
      \x20 compare  --a <trace> --b <trace>                side-by-side fidelity report (paper 6.1)\n\
      \x20 concurrent --traces <a.gdt,b.gdt> --store <label>  co-located operators (paper 6.4)\n\
+     \x20          [--rate <ops/s>] [--ops <n>] [--batch-size <n>]\n\
      \x20 tune-cache --trace <trace> --hit-rate <0..1>   recommend an LRU capacity (paper 8)\n\
      \x20 dataset  --name <borg|taxi|azure> --events <n> --out <events.csv>\n\
      \x20 ycsb     --workload <A|B|C|D|F> --records <n> --ops <n> --out <trace>\n\
@@ -213,6 +215,20 @@ fn open_store(
     Ok(store)
 }
 
+/// Replay options shared by `replay`/`concurrent`: `--rate`, `--ops`,
+/// `--batch-size` (default 1 = op-by-op).
+fn replay_options(flags: &Flags) -> Result<ReplayOptions, String> {
+    let batch_size = flags.optional_parse("batch-size")?.unwrap_or(1);
+    if batch_size == 0 {
+        return Err("--batch-size must be at least 1".to_string());
+    }
+    Ok(ReplayOptions {
+        service_rate: flags.optional_parse("rate")?,
+        max_ops: flags.optional_parse("ops")?,
+        batch_size,
+    })
+}
+
 /// Adapter: lets an `Arc<dyn StateStore>` be wrapped by decorators that
 /// take ownership of a concrete store.
 struct ArcStore(std::sync::Arc<dyn gadget_kv::StateStore>);
@@ -251,6 +267,14 @@ impl gadget_kv::StateStore for ArcStore {
     }
     fn internal_counters(&self) -> Vec<(String, u64)> {
         self.0.internal_counters()
+    }
+    // Must forward: the trait default would silently degrade batches to
+    // op-by-op, hiding the inner store's native group-commit path.
+    fn apply_batch(
+        &self,
+        batch: &[gadget_types::Op],
+    ) -> Result<Vec<gadget_kv::BatchResult>, gadget_kv::StoreError> {
+        self.0.apply_batch(batch)
     }
     fn metrics(&self) -> Option<gadget_obs::MetricsSnapshot> {
         self.0.metrics()
@@ -328,11 +352,7 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
     let label = flags.required("store")?;
     let trace = Trace::load(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
     let store = open_store(label, flags.optional("dir"))?;
-    let options = ReplayOptions {
-        service_rate: flags.optional_parse("rate")?,
-        max_ops: flags.optional_parse("ops")?,
-    };
-    let replayer = TraceReplayer::new(options);
+    let replayer = TraceReplayer::new(replay_options(flags)?);
     // `--trace` is the *input* .gdt here, so the span-timeline output
     // flag is `--trace-out`. Tracing needs the ObservedStore wrapper
     // (its sampler emits the foreground op spans); untraced runs keep
@@ -395,9 +415,12 @@ fn cmd_online(flags: &Flags) -> Result<(), String> {
         }
         None => None,
     };
+    let options = replay_options(flags)?;
     let report = match emitter.as_mut() {
-        None => run_online(&config, run_store.as_ref(), &config.operator),
-        Some(em) => run_online_observed(&config, run_store.as_ref(), &config.operator, em),
+        None => run_online_with(&config, run_store.as_ref(), &config.operator, &options),
+        Some(em) => {
+            run_online_observed_with(&config, run_store.as_ref(), &config.operator, &options, em)
+        }
     }
     .map_err(|e| e.to_string())?;
     if let Some(out) = trace_out {
@@ -600,15 +623,8 @@ fn cmd_concurrent(flags: &Flags) -> Result<(), String> {
         return Err("--traces requires at least one path".to_string());
     }
     let store = open_store(label, flags.optional("dir"))?;
-    let reports = gadget_replay::run_concurrent(
-        traces,
-        store,
-        ReplayOptions {
-            service_rate: flags.optional_parse("rate")?,
-            max_ops: flags.optional_parse("ops")?,
-        },
-    )
-    .map_err(|e| e.to_string())?;
+    let reports = gadget_replay::run_concurrent(traces, store, replay_options(flags)?)
+        .map_err(|e| e.to_string())?;
     for report in &reports {
         print_report(report);
         println!();
@@ -1027,6 +1043,73 @@ mod tests {
         .unwrap();
         dispatch(&strs(&["tune-cache", "--trace", &tp, "--hit-rate", "0.9"])).unwrap();
         assert!(dispatch(&strs(&["tune-cache", "--trace", &tp, "--hit-rate", "2.0"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batched_replay_group_commits_on_sync_lsm() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-batch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("w.gdt");
+        let metrics_path = dir.join("metrics.json");
+        gadget_ycsb::YcsbConfig::core(gadget_ycsb::CoreWorkload::A, 200, 3_000)
+            .generate()
+            .save(&trace_path)
+            .unwrap();
+        // rocksdb-small runs with wal_sync=true: batching must reach the
+        // LSM's native apply_batch through ArcStore + ObservedStore so
+        // fsyncs are amortized over whole batches.
+        dispatch(&strs(&[
+            "replay",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--store",
+            "rocksdb-small",
+            "--dir",
+            dir.join("db").to_str().unwrap(),
+            "--batch-size",
+            "64",
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let series: MetricsSeries =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        let store_snap = series.points.last().unwrap().registry("store").unwrap();
+        let appends = store_snap.counter("wal_appends").unwrap();
+        let fsyncs = store_snap.counter("wal_fsyncs").unwrap();
+        assert!(fsyncs > 0, "sync WAL must fsync");
+        assert!(
+            fsyncs < appends / 8,
+            "group commit should amortize: {fsyncs} fsyncs for {appends} appends"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn online_accepts_batch_size() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-obatch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("cfg.json");
+        let cfg = gadget_core::GadgetConfig::synthetic(
+            gadget_core::OperatorKind::Aggregation,
+            gadget_core::GeneratorConfig {
+                events: 500,
+                ..gadget_core::GeneratorConfig::default()
+            },
+        );
+        std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
+        dispatch(&strs(&[
+            "online",
+            "--config",
+            cfg_path.to_str().unwrap(),
+            "--store",
+            "mem",
+            "--batch-size",
+            "32",
+        ]))
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -72,7 +72,20 @@ impl Driver {
     where
         I: Iterator<Item = StreamElement>,
     {
-        self.run_inner(stream, None)
+        self.run_inner(stream, 1, None)
+    }
+
+    /// Like [`run`](Driver::run), but pulls stream elements in
+    /// micro-batches of `batch_size` before routing them, mirroring the
+    /// batch-aware replay pipeline (`--batch-size`). Elements are still
+    /// processed strictly in stream order, so the resulting trace is
+    /// identical to an unbatched run; what changes is the pull loop's
+    /// shape (one wakeup drains a whole micro-batch).
+    pub fn run_batched<I>(&mut self, stream: I, batch_size: usize) -> Trace
+    where
+        I: Iterator<Item = StreamElement>,
+    {
+        self.run_inner(stream, batch_size, None)
     }
 
     /// Like [`run`](Driver::run), but also samples
@@ -83,41 +96,64 @@ impl Driver {
     where
         I: Iterator<Item = StreamElement>,
     {
-        self.run_inner(stream, Some(emitter))
+        self.run_inner(stream, 1, Some(emitter))
     }
 
-    fn run_inner<I>(&mut self, stream: I, mut emitter: Option<&mut SnapshotEmitter>) -> Trace
+    /// Routes one stream element to the operator (Algorithm 1 body).
+    fn route(
+        &mut self,
+        element: StreamElement,
+        accesses: &mut Vec<StateAccess>,
+        input_events: &mut u64,
+        input_keys: &mut HashSet<u64>,
+    ) {
+        match element {
+            StreamElement::Event(event) => {
+                if self.watermark > 0 && event.timestamp + self.allowed_lateness <= self.watermark {
+                    self.dropped_late += 1;
+                    return;
+                }
+                *input_events += 1;
+                self.events_in += 1;
+                input_keys.insert(event.key);
+                self.operator.on_event(&event, accesses);
+            }
+            StreamElement::Watermark(ts) => {
+                if ts > self.watermark {
+                    self.watermark = ts;
+                    self.operator.on_watermark(ts, accesses);
+                }
+            }
+        }
+    }
+
+    fn run_inner<I>(
+        &mut self,
+        stream: I,
+        batch_size: usize,
+        mut emitter: Option<&mut SnapshotEmitter>,
+    ) -> Trace
     where
         I: Iterator<Item = StreamElement>,
     {
+        let batch_size = batch_size.max(1);
+        let mut stream = stream;
         let mut accesses: Vec<StateAccess> = Vec::new();
         let mut input_events = 0u64;
         let mut input_keys: HashSet<u64> = HashSet::new();
+        let mut pending: Vec<StreamElement> = Vec::with_capacity(batch_size);
 
         let _phase = gadget_obs::trace::span(
             gadget_obs::trace::Category::Phase,
             gadget_obs::trace::phase::DRIVE,
         );
-        for element in stream {
-            match element {
-                StreamElement::Event(event) => {
-                    if self.watermark > 0
-                        && event.timestamp + self.allowed_lateness <= self.watermark
-                    {
-                        self.dropped_late += 1;
-                        continue;
-                    }
-                    input_events += 1;
-                    self.events_in += 1;
-                    input_keys.insert(event.key);
-                    self.operator.on_event(&event, &mut accesses);
-                }
-                StreamElement::Watermark(ts) => {
-                    if ts > self.watermark {
-                        self.watermark = ts;
-                        self.operator.on_watermark(ts, &mut accesses);
-                    }
-                }
+        loop {
+            pending.extend(stream.by_ref().take(batch_size));
+            if pending.is_empty() {
+                break;
+            }
+            for element in pending.drain(..) {
+                self.route(element, &mut accesses, &mut input_events, &mut input_keys);
             }
             self.accesses_out = accesses.len() as u64;
             if let Some(em) = emitter.as_deref_mut() {
@@ -212,6 +248,31 @@ mod tests {
         assert_eq!(driver_snap.counter("events_in"), Some(10));
         assert!(driver_snap.counter("accesses_out").unwrap() >= 20);
         assert_eq!(driver_snap.gauge("watermark"), Some(10_000));
+    }
+
+    #[test]
+    fn batched_pull_produces_identical_traces() {
+        let elements: Vec<StreamElement> = (0..500u64)
+            .flat_map(|i| {
+                let mut v = vec![StreamElement::Event(Event::new(i % 7, 100 * i, 10))];
+                if i % 50 == 49 {
+                    v.push(StreamElement::Watermark(100 * i));
+                }
+                v
+            })
+            .collect();
+        let baseline = Driver::new(OperatorKind::TumblingIncr.build(&OperatorParams::default()))
+            .with_allowed_lateness(1_000)
+            .run(stream(elements.clone()));
+        for batch_size in [2, 64, 1_000] {
+            let mut driver =
+                Driver::new(OperatorKind::TumblingIncr.build(&OperatorParams::default()))
+                    .with_allowed_lateness(1_000);
+            let trace = driver.run_batched(stream(elements.clone()), batch_size);
+            assert_eq!(trace.accesses, baseline.accesses, "batch {batch_size}");
+            assert_eq!(trace.input_events, baseline.input_events);
+            assert_eq!(trace.input_distinct_keys, baseline.input_distinct_keys);
+        }
     }
 
     #[test]

@@ -34,8 +34,9 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use gadget_kv::{StateStore, StoreCounters, StoreError};
+use gadget_kv::{apply_ops_serially, BatchResult, StateStore, StoreCounters, StoreError};
 use gadget_obs::{MetricsRegistry, MetricsSnapshot};
+use gadget_types::Op;
 
 mod shard;
 
@@ -106,12 +107,16 @@ impl HashLogStore {
         }
     }
 
-    fn shard_for(&self, key: &[u8]) -> &Mutex<Shard> {
+    fn shard_index(&self, key: &[u8]) -> usize {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for &b in key {
             h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
         }
-        &self.shards[(h as usize) % self.shards.len()]
+        (h as usize) % self.shards.len()
+    }
+
+    fn shard_for(&self, key: &[u8]) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Total live keys across shards.
@@ -178,6 +183,61 @@ impl StateStore for HashLogStore {
         }
         out.sort();
         out
+    }
+
+    fn apply_batch(&self, batch: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
+        // Single-op batches take the per-op methods: the shard-grouping
+        // sort has nothing to amortize over.
+        if batch.len() <= 1 {
+            return apply_ops_serially(self, batch);
+        }
+        // Partition the batch by shard and take each shard mutex once per
+        // contiguous run. Reordering across shards is safe: same-key ops
+        // always hash to the same shard, and per-shard order is preserved
+        // (the sort key (shard, original index) is unique), so every key
+        // sees its ops in issue order and results are identical to
+        // op-by-op application.
+        let mut order: Vec<(usize, usize)> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, op)| (self.shard_index(op.key()), i))
+            .collect();
+        order.sort_unstable();
+        let mut out: Vec<Option<BatchResult>> = vec![None; batch.len()];
+        let mut pos = 0;
+        while pos < order.len() {
+            let shard_idx = order[pos].0;
+            let mut shard = self.shards[shard_idx].lock();
+            while pos < order.len() && order[pos].0 == shard_idx {
+                let i = order[pos].1;
+                out[i] = Some(match &batch[i] {
+                    Op::Get { key } => {
+                        self.counters.record_get();
+                        BatchResult::Value(shard.get(key))
+                    }
+                    Op::Put { key, value } => {
+                        self.counters.record_put();
+                        shard.upsert(key, value);
+                        BatchResult::Applied
+                    }
+                    Op::Merge { key, operand } => {
+                        self.counters.record_merge();
+                        shard.rmw_append(key, operand);
+                        BatchResult::Applied
+                    }
+                    Op::Delete { key } => {
+                        self.counters.record_delete();
+                        shard.delete(key);
+                        BatchResult::Applied
+                    }
+                });
+                pos += 1;
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every op visited"))
+            .collect())
     }
 
     fn metrics(&self) -> Option<MetricsSnapshot> {
@@ -341,6 +401,35 @@ mod tests {
         assert!(snap.gauge("log_bytes").unwrap() > 0);
         assert_eq!(snap.gauge("live_keys"), Some(1));
         assert_eq!(snap.gauge("max_shard_keys"), Some(1));
+    }
+
+    #[test]
+    fn apply_batch_groups_by_shard_but_preserves_per_key_order() {
+        let batched = HashLogStore::new(HashLogConfig::small());
+        let serial = HashLogStore::new(HashLogConfig::small());
+        // Keys spread over all 4 shards, with per-key op sequences whose
+        // order matters (put → merge → get → delete → get).
+        let mut ops = Vec::new();
+        for i in 0..40u64 {
+            let key = i.to_be_bytes().to_vec();
+            ops.push(Op::put(key.clone(), format!("v{i}").into_bytes()));
+            ops.push(Op::merge(key.clone(), b"+m".to_vec()));
+            ops.push(Op::get(key.clone()));
+            if i % 3 == 0 {
+                ops.push(Op::delete(key.clone()));
+                ops.push(Op::get(key));
+            }
+        }
+        let out = batched.apply_batch(&ops).unwrap();
+        let expect = gadget_kv::apply_ops_serially(&serial, &ops).unwrap();
+        assert_eq!(out, expect);
+        for i in 0..40u64 {
+            assert_eq!(
+                batched.get(&i.to_be_bytes()).unwrap(),
+                serial.get(&i.to_be_bytes()).unwrap(),
+                "key {i}"
+            );
+        }
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! Access-trace instrumentation.
 
+use std::time::Instant;
+
 use parking_lot::Mutex;
 
 use bytes::Bytes;
 use gadget_obs::{MetricsRegistry, MetricsSnapshot};
-use gadget_types::{OpType, StateAccess, StateKey, Timestamp, Trace};
+use gadget_types::{Op, OpType, StateAccess, StateKey, Timestamp, Trace};
 
 use crate::error::StoreError;
 use crate::observed::OpTimers;
-use crate::store::StateStore;
+use crate::store::{apply_ops_serially, BatchResult, StateStore};
 
 /// A store wrapper that records every access into a [`Trace`].
 ///
@@ -137,6 +139,23 @@ impl<S: StateStore> StateStore for InstrumentedStore<S> {
         self.inner.internal_counters()
     }
 
+    fn apply_batch(&self, batch: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
+        if batch.len() <= 1 {
+            return apply_ops_serially(self, batch);
+        }
+        // Trace entries are recorded per op, in issue order, with the same
+        // (op, key, size, ts) tuples the unbatched path produces — batching
+        // must be invisible in the trace.
+        for op in batch {
+            self.record(op.op_type(), op.key(), op.payload().len() as u32);
+        }
+        let started = Instant::now();
+        let out = self.inner.apply_batch(batch)?;
+        self.timers
+            .record_batch(batch, started.elapsed().as_nanos() as u64);
+        Ok(out)
+    }
+
     fn metrics(&self) -> Option<MetricsSnapshot> {
         let mut snap = self.inner.metrics().unwrap_or_default();
         snap.merge(&self.metrics.snapshot());
@@ -214,6 +233,39 @@ mod tests {
         assert_eq!(snap.gauge("trace_len"), Some(3));
         // Inner MemStore metrics ride along.
         assert_eq!(snap.counter("puts"), Some(1));
+    }
+
+    #[test]
+    fn batch_trace_is_identical_to_op_by_op() {
+        let batched = InstrumentedStore::new(MemStore::new());
+        let serial = InstrumentedStore::new(MemStore::new());
+        batched.set_time(42);
+        serial.set_time(42);
+        let k = StateKey::windowed(3, 9).encode().to_vec();
+        let ops = vec![
+            Op::put(k.clone(), b"hello".to_vec()),
+            Op::merge(k.clone(), b"!".to_vec()),
+            Op::get(k.clone()),
+            Op::delete(k),
+        ];
+        let out = batched.apply_batch(&ops).unwrap();
+        let expect = crate::store::apply_ops_serially(&serial, &ops).unwrap();
+        assert_eq!(out, expect);
+        assert_eq!(batched.take_trace().accesses, serial.take_trace().accesses);
+    }
+
+    #[test]
+    fn batch_keeps_per_op_call_counts() {
+        let s = InstrumentedStore::new(MemStore::new());
+        let ops = vec![
+            Op::put(b"a".to_vec(), b"1".to_vec()),
+            Op::put(b"b".to_vec(), b"2".to_vec()),
+            Op::get(b"a".to_vec()),
+        ];
+        s.apply_batch(&ops).unwrap();
+        let snap = s.metrics().unwrap();
+        assert_eq!(snap.counter("put_calls"), Some(2));
+        assert_eq!(snap.counter("get_calls"), Some(1));
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub use instrument::InstrumentedStore;
 pub use mem::MemStore;
 pub use observed::{ObservedStore, OpTimers};
 pub use remote::{NetworkProfile, RemoteStore};
-pub use store::{StateStore, StoreCounters};
+pub use store::{apply_ops_serially, BatchResult, StateStore, StoreCounters};

@@ -6,9 +6,10 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 
 use gadget_obs::{MetricsRegistry, MetricsSnapshot};
+use gadget_types::Op;
 
 use crate::error::StoreError;
-use crate::store::{StateStore, StoreCounters};
+use crate::store::{apply_ops_serially, BatchResult, StateStore, StoreCounters};
 
 /// A trivial in-memory hash-map store.
 ///
@@ -120,6 +121,52 @@ impl StateStore for MemStore {
         snap.push_gauge("live_keys", self.len() as i64);
         Some(snap)
     }
+
+    fn apply_batch(&self, batch: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
+        // Single-op batches take the per-op methods directly.
+        if batch.len() <= 1 {
+            return apply_ops_serially(self, batch);
+        }
+        // One write-lock acquisition for the whole batch. Gets read through
+        // the same exclusive guard, which keeps results identical to op-by-op
+        // order without a lock-mode dance.
+        let mut map = self.map.write();
+        let mut out = Vec::with_capacity(batch.len());
+        for op in batch {
+            match op {
+                Op::Get { key } => {
+                    self.counters.record_get();
+                    out.push(BatchResult::Value(map.get(key.as_ref()).cloned()));
+                }
+                Op::Put { key, value } => {
+                    self.counters.record_put();
+                    map.insert(key.to_vec(), value.clone());
+                    out.push(BatchResult::Applied);
+                }
+                Op::Merge { key, operand } => {
+                    self.counters.record_merge();
+                    match map.get_mut(key.as_ref()) {
+                        Some(existing) => {
+                            let mut v = Vec::with_capacity(existing.len() + operand.len());
+                            v.extend_from_slice(existing);
+                            v.extend_from_slice(operand);
+                            *existing = Bytes::from(v);
+                        }
+                        None => {
+                            map.insert(key.to_vec(), operand.clone());
+                        }
+                    }
+                    out.push(BatchResult::Applied);
+                }
+                Op::Delete { key } => {
+                    self.counters.record_delete();
+                    map.remove(key.as_ref());
+                    out.push(BatchResult::Applied);
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +229,25 @@ mod tests {
         assert_eq!(snap.counter("puts"), Some(2));
         assert_eq!(snap.counter("gets"), Some(1));
         assert_eq!(snap.gauge("live_keys"), Some(2));
+    }
+
+    #[test]
+    fn apply_batch_matches_op_by_op() {
+        let batched = MemStore::new();
+        let serial = MemStore::new();
+        let ops = vec![
+            Op::put(&b"a"[..], &b"1"[..]),
+            Op::merge(&b"a"[..], &b"2"[..]),
+            Op::get(&b"a"[..]),
+            Op::delete(&b"a"[..]),
+            Op::get(&b"a"[..]),
+        ];
+        let out = batched.apply_batch(&ops).unwrap();
+        let expect = crate::store::apply_ops_serially(&serial, &ops).unwrap();
+        assert_eq!(out, expect);
+        assert_eq!(out[2].value().map(|v| v.as_ref()), Some(&b"12"[..]));
+        assert!(!out[4].found());
+        assert_eq!(batched.internal_counters(), serial.internal_counters());
     }
 
     #[test]

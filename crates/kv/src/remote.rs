@@ -13,10 +13,11 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use gadget_obs::{Counter, MetricsRegistry, MetricsSnapshot};
+use gadget_types::Op;
 
 use crate::error::StoreError;
 use crate::observed::OpTimers;
-use crate::store::StateStore;
+use crate::store::{apply_ops_serially, BatchResult, StateStore};
 
 /// Synthetic network profile for a remote store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,6 +151,28 @@ impl<S: StateStore> StateStore for RemoteStore<S> {
         self.inner.internal_counters()
     }
 
+    fn apply_batch(&self, batch: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
+        if batch.len() <= 1 {
+            return apply_ops_serially(self, batch);
+        }
+        // A real client pipelines a batch over one connection: the whole
+        // batch pays a single RTT, with transfer time scaling on the summed
+        // payload (request keys + write payloads + returned get values).
+        let started = Instant::now();
+        let out = self.inner.apply_batch(batch)?;
+        let bytes: usize = batch
+            .iter()
+            .zip(&out)
+            .map(|(op, res)| {
+                op.key().len() + op.payload().len() + res.value().map_or(0, |v| v.len())
+            })
+            .sum();
+        self.simulate_network(bytes);
+        self.timers
+            .record_batch(batch, started.elapsed().as_nanos() as u64);
+        Ok(out)
+    }
+
     fn metrics(&self) -> Option<MetricsSnapshot> {
         let mut snap = self.inner.metrics().unwrap_or_default();
         snap.merge(&self.metrics.snapshot());
@@ -211,6 +234,27 @@ mod tests {
         assert_eq!(snap.counter("network_bytes"), Some(16));
         // Latency includes the ~10us synthetic RTT.
         assert!(snap.histogram("put_ns").unwrap().max() >= 10_000);
+    }
+
+    #[test]
+    fn batch_pays_one_rtt() {
+        let profile = NetworkProfile {
+            rtt: Duration::from_micros(300),
+            per_kb: Duration::ZERO,
+        };
+        let s = RemoteStore::new(MemStore::new(), profile);
+        let ops: Vec<Op> = (0..50u64)
+            .map(|i| Op::put(i.to_be_bytes().to_vec(), b"v".to_vec()))
+            .collect();
+        let started = Instant::now();
+        s.apply_batch(&ops).unwrap();
+        let batched = started.elapsed();
+        // 50 ops op-by-op would cost >= 15ms of RTT; one pipelined round
+        // trip costs ~300us.
+        assert!(batched < Duration::from_millis(5), "{batched:?}");
+        let snap = s.metrics().unwrap();
+        assert_eq!(snap.counter("put_calls"), Some(50));
+        assert_eq!(snap.counter("network_bytes"), Some(50 * 9));
     }
 
     #[test]

@@ -2,8 +2,65 @@
 
 use bytes::Bytes;
 use gadget_obs::{Counter, MetricsRegistry, MetricsSnapshot};
+use gadget_types::Op;
 
 use crate::error::StoreError;
+
+/// The per-operation outcome of [`StateStore::apply_batch`].
+///
+/// Results are positional: `results[i]` is the outcome of `batch[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchResult {
+    /// Outcome of a `get`: the value, or `None` if the key was absent.
+    Value(Option<Bytes>),
+    /// Outcome of a write (`put`, `merge`, `delete`).
+    Applied,
+}
+
+impl BatchResult {
+    /// The value returned by a `get`, or `None` for writes and missing keys.
+    pub fn value(&self) -> Option<&Bytes> {
+        match self {
+            BatchResult::Value(v) => v.as_ref(),
+            BatchResult::Applied => None,
+        }
+    }
+
+    /// Whether this result is a `get` that found a value.
+    pub fn found(&self) -> bool {
+        matches!(self, BatchResult::Value(Some(_)))
+    }
+}
+
+/// Applies each op through the store's single-op methods, in order.
+///
+/// This is the default [`StateStore::apply_batch`] body; wrappers also use
+/// it for single-op batches so the per-op instrumentation path (sampling,
+/// per-op network delays) stays identical to unbatched operation.
+pub fn apply_ops_serially<S: StateStore + ?Sized>(
+    store: &S,
+    batch: &[Op],
+) -> Result<Vec<BatchResult>, StoreError> {
+    let mut out = Vec::with_capacity(batch.len());
+    for op in batch {
+        out.push(match op {
+            Op::Get { key } => BatchResult::Value(store.get(key)?),
+            Op::Put { key, value } => {
+                store.put(key, value)?;
+                BatchResult::Applied
+            }
+            Op::Merge { key, operand } => {
+                store.merge(key, operand)?;
+                BatchResult::Applied
+            }
+            Op::Delete { key } => {
+                store.delete(key)?;
+                BatchResult::Applied
+            }
+        });
+    }
+    Ok(out)
+}
 
 /// A key-value state store, as seen by a streaming operator task.
 ///
@@ -88,6 +145,23 @@ pub trait StateStore: Send + Sync {
     /// at call time.
     fn metrics(&self) -> Option<MetricsSnapshot> {
         None
+    }
+
+    /// Applies a batch of operations in order, returning one
+    /// [`BatchResult`] per op.
+    ///
+    /// Semantically identical to issuing the ops one at a time; native
+    /// implementations amortize per-op costs instead (the LSM takes its
+    /// write lock once and group-commits the WAL with a single fsync, the
+    /// hash store takes each shard mutex once per batch, the B+Tree holds
+    /// its tree lock across the batch). The default falls back to op-by-op
+    /// dispatch, so every store is batch-correct even before it is
+    /// batch-fast.
+    ///
+    /// Errors fail the whole call; ops already applied before the failing
+    /// one remain applied (same as issuing them individually).
+    fn apply_batch(&self, batch: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
+        apply_ops_serially(self, batch)
     }
 }
 

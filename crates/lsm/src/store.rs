@@ -9,9 +9,10 @@ use std::thread::JoinHandle;
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
 
-use gadget_kv::{StateStore, StoreCounters, StoreError};
+use gadget_kv::{apply_ops_serially, BatchResult, StateStore, StoreCounters, StoreError};
 use gadget_obs::trace;
 use gadget_obs::{Counter, MetricsRegistry, MetricsSnapshot};
+use gadget_types::Op;
 
 use crate::cache::BlockCache;
 use crate::compaction::{pick_compaction, run_compaction, CompactionReason};
@@ -40,6 +41,10 @@ struct Inner {
     work_cv: Condvar,
     /// Wakes stalled writers when an immutable memtable drains.
     stall_cv: Condvar,
+    /// Completed flushes + compactions. Bumped by the worker under the
+    /// state lock and announced on `stall_cv`, so `compact_and_wait` can
+    /// sleep exactly until the tree makes progress instead of polling.
+    progress: AtomicU64,
     shutdown: AtomicBool,
     /// Global operation sequence; ages tombstones for the Lethe policy.
     seq: AtomicU64,
@@ -177,6 +182,7 @@ impl LsmStore {
             version: RwLock::new(Arc::new(version)),
             work_cv: Condvar::new(),
             stall_cv: Condvar::new(),
+            progress: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             next_file_no: AtomicU64::new(max_file_no),
@@ -239,8 +245,18 @@ impl LsmStore {
             if pick_compaction(&version, &self.inner.config, seq).is_none() {
                 return Ok(());
             }
+            let before = self.inner.progress.load(Ordering::SeqCst);
             self.inner.work_cv.notify_all();
-            std::thread::sleep(std::time::Duration::from_millis(5));
+            let mut state = self.inner.state.lock();
+            if self.inner.progress.load(Ordering::SeqCst) == before {
+                // The worker bumps `progress` under the state lock before
+                // signalling, so a compaction completing between the load
+                // above and this wait cannot be missed; the timeout is only
+                // a safety net.
+                self.inner
+                    .stall_cv
+                    .wait_for(&mut state, std::time::Duration::from_millis(100));
+            }
         }
     }
 
@@ -374,6 +390,34 @@ impl LsmStore {
     }
 }
 
+/// Point lookup with the state lock already held (the batch read path).
+///
+/// Unlike [`StateStore::get`], which drops the lock before probing
+/// SSTables, this keeps it: a batch interleaving reads and writes must see
+/// its own earlier writes, and releasing the lock mid-batch would forfeit
+/// the single-acquisition batching contract.
+fn lookup_in_state(
+    inner: &Inner,
+    state: &WriteState,
+    key: &[u8],
+) -> Result<Option<Bytes>, StoreError> {
+    let mut pending: Vec<Bytes> = Vec::new();
+    match state.mem.get(key) {
+        Lookup::Value(v) => return Ok(Some(v)),
+        Lookup::Deleted => return Ok(None),
+        Lookup::Operands(ops) => pending = ops,
+        Lookup::NotFound => {}
+    }
+    for (_, imm) in state.immutables.iter().rev() {
+        let lookup = imm.get(key);
+        if let Some(r) = crate::sstable::resolve_with(&mut pending, lookup) {
+            return Ok(r);
+        }
+    }
+    let version = inner.version.read().clone();
+    Ok(version.get(key, &inner.cache, pending)?)
+}
+
 /// Rotates the active memtable into the immutable queue, stalling if the
 /// queue is full. Caller holds the state lock.
 fn rotate_memtable(
@@ -475,9 +519,23 @@ fn worker_loop(inner: Arc<Inner>) {
                         inner.cache.evict_file(t.file_no);
                         let _ = std::fs::remove_file(&t.path);
                     }
+                    {
+                        // Bump under the state lock so `compact_and_wait`
+                        // cannot check-then-wait across this update.
+                        let _state = inner.state.lock();
+                        inner.progress.fetch_add(1, Ordering::SeqCst);
+                    }
+                    inner.stall_cv.notify_all();
                 }
                 Err(_) => {
-                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    // Back off before retrying, but stay wakeable: shutdown
+                    // or new work signals `work_cv` and ends the wait early.
+                    let mut state = inner.state.lock();
+                    if !inner.shutdown.load(Ordering::SeqCst) {
+                        inner
+                            .work_cv
+                            .wait_for(&mut state, std::time::Duration::from_millis(10));
+                    }
                 }
             }
             continue;
@@ -506,6 +564,7 @@ fn flush_one(inner: &Inner) -> Result<bool, StoreError> {
         let mut state = inner.state.lock();
         state.immutables.pop_front();
         let _ = std::fs::remove_file(inner.dir.join(wal_file_name(gen)));
+        inner.progress.fetch_add(1, Ordering::SeqCst);
         inner.stall_cv.notify_all();
         return Ok(true);
     }
@@ -533,6 +592,7 @@ fn flush_one(inner: &Inner) -> Result<bool, StoreError> {
             *vguard = Arc::new(new_version);
         }
         state.immutables.pop_front();
+        inner.progress.fetch_add(1, Ordering::SeqCst);
         inner.stall_cv.notify_all();
     }
     let _ = std::fs::remove_file(inner.dir.join(wal_file_name(gen)));
@@ -653,6 +713,71 @@ impl StateStore for LsmStore {
             ("write_stalls".to_string(), self.inner.write_stalls.get()),
         ]);
         out
+    }
+
+    fn apply_batch(&self, batch: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
+        // Single-op batches take the per-op methods: the grouping
+        // machinery has nothing to amortize over.
+        if batch.len() <= 1 {
+            return apply_ops_serially(self, batch);
+        }
+        let inner = &self.inner;
+        // One sequence bump per write, claimed up front (the single-op path
+        // bumps per write; gets never age Lethe tombstones).
+        let writes = batch.iter().filter(|op| op.is_write()).count() as u64;
+        if writes > 0 {
+            inner.seq.fetch_add(writes, Ordering::Relaxed);
+        }
+        let mut out = Vec::with_capacity(batch.len());
+        let mut state = inner.state.lock();
+        if state.closed {
+            return Err(StoreError::Closed);
+        }
+        for op in batch {
+            match op {
+                Op::Get { key } => {
+                    inner.counters.record_get();
+                    out.push(BatchResult::Value(lookup_in_state(inner, &state, key)?));
+                    continue;
+                }
+                Op::Put { key, value } => {
+                    inner.counters.record_put();
+                    if let Some(wal) = state.wal.as_mut() {
+                        wal.append_record(&WalOp::Put(key.to_vec(), value.to_vec()))?;
+                    }
+                    state.mem.put(key, value);
+                }
+                Op::Merge { key, operand } => {
+                    inner.counters.record_merge();
+                    if let Some(wal) = state.wal.as_mut() {
+                        wal.append_record(&WalOp::Merge(key.to_vec(), operand.to_vec()))?;
+                    }
+                    state.mem.merge(key, operand);
+                }
+                Op::Delete { key } => {
+                    inner.counters.record_delete();
+                    if let Some(wal) = state.wal.as_mut() {
+                        wal.append_record(&WalOp::Delete(key.to_vec()))?;
+                    }
+                    state.mem.delete(key);
+                }
+            }
+            out.push(BatchResult::Applied);
+            if state.mem.approximate_bytes() >= inner.config.memtable_bytes {
+                // Close the open group before this WAL generation rotates
+                // away: once the writer is replaced, its pending records
+                // could never be synced.
+                if let Some(wal) = state.wal.as_mut() {
+                    wal.commit()?;
+                }
+                rotate_memtable(inner, &mut state)?;
+            }
+        }
+        // Group commit: every record appended above shares this one fsync.
+        if let Some(wal) = state.wal.as_mut() {
+            wal.commit()?;
+        }
+        Ok(out)
     }
 
     fn metrics(&self) -> Option<MetricsSnapshot> {
@@ -952,6 +1077,72 @@ mod tests {
                 s.get(&i.to_be_bytes()).unwrap().as_deref(),
                 Some(&b"r9"[..])
             );
+        }
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn apply_batch_matches_op_by_op_and_group_commits() {
+        let mut config = LsmConfig::small();
+        config.wal_sync = true;
+        let dir = tmpdir("batch");
+        let s = LsmStore::open(&dir, config).unwrap();
+        let mut batch = Vec::new();
+        for i in 0..200u64 {
+            batch.push(Op::put(
+                i.to_be_bytes().to_vec(),
+                format!("v{i}").into_bytes(),
+            ));
+        }
+        batch.push(Op::merge(b"acc".to_vec(), b"one".to_vec()));
+        batch.push(Op::merge(b"acc".to_vec(), b"+two".to_vec()));
+        batch.push(Op::get(b"acc".to_vec()));
+        batch.push(Op::delete(5u64.to_be_bytes().to_vec()));
+        batch.push(Op::get(5u64.to_be_bytes().to_vec()));
+        batch.push(Op::get(7u64.to_be_bytes().to_vec()));
+        let out = s.apply_batch(&batch).unwrap();
+        // Batch sees its own writes, in order.
+        assert_eq!(out[202].value().map(|v| v.as_ref()), Some(&b"one+two"[..]));
+        assert_eq!(out[204], BatchResult::Value(None));
+        assert_eq!(out[205].value().map(|v| v.as_ref()), Some(&b"v7"[..]));
+        // Group commit: far fewer fsyncs than appends.
+        let snap = s.metrics().unwrap();
+        let appends = snap.counter("wal_appends").unwrap();
+        let fsyncs = snap.counter("wal_fsyncs").unwrap();
+        assert!(appends >= 203, "appends {appends}");
+        assert!(
+            fsyncs >= 1 && fsyncs < appends,
+            "fsyncs {fsyncs} vs appends {appends}"
+        );
+        drop(s);
+        // The batch must survive recovery (its group was committed).
+        let s = LsmStore::open(&dir, LsmConfig::small()).unwrap();
+        assert_eq!(s.get(b"acc").unwrap().as_deref(), Some(&b"one+two"[..]));
+        assert_eq!(s.get(&5u64.to_be_bytes()).unwrap(), None);
+        assert_eq!(
+            s.get(&7u64.to_be_bytes()).unwrap().as_deref(),
+            Some(&b"v7"[..])
+        );
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn apply_batch_rotates_memtable_mid_batch() {
+        // A batch far bigger than the memtable must rotate (and stay
+        // correct) mid-batch.
+        let mut config = LsmConfig::small();
+        config.memtable_bytes = 4 << 10;
+        let dir = tmpdir("batch-rotate");
+        let s = LsmStore::open(&dir, config).unwrap();
+        let batch: Vec<Op> = (0..2_000u64)
+            .map(|i| Op::put(i.to_be_bytes().to_vec(), vec![b'x'; 64]))
+            .collect();
+        s.apply_batch(&batch).unwrap();
+        s.compact_and_wait().unwrap();
+        for i in (0..2_000u64).step_by(113) {
+            assert_eq!(s.get(&i.to_be_bytes()).unwrap().map(|v| v.len()), Some(64));
         }
         drop(s);
         std::fs::remove_dir_all(&dir).ok();

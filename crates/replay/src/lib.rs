@@ -22,5 +22,6 @@ pub mod replayer;
 
 pub use histogram::LatencyHistogram;
 pub use replayer::{
-    run_concurrent, run_online, run_online_observed, ReplayOptions, RunReport, TraceReplayer,
+    run_concurrent, run_online, run_online_observed, run_online_observed_with, run_online_with,
+    ReplayOptions, RunReport, TraceReplayer,
 };

@@ -10,15 +10,19 @@
 //!   `a = (p, k, v, t)` of the paper (§2.3).
 //! * [`Trace`] — a recorded state-access stream that can be analyzed or
 //!   replayed against a store.
+//! * [`Op`] / [`OpBatch`] — materialized operations (with payload bytes)
+//!   grouped into batches for `StateStore::apply_batch`.
 //!
 //! Everything here is plain data: no I/O beyond trace (de)serialization, no
 //! randomness, no store logic.
 
+pub mod batch;
 pub mod event;
 pub mod op;
 pub mod time;
 pub mod trace;
 
+pub use batch::{Op, OpBatch};
 pub use event::{Event, StreamElement, StreamId};
 pub use op::{OpType, StateAccess, StateKey};
 pub use time::Timestamp;
