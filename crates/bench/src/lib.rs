@@ -311,7 +311,7 @@ impl StateStore for SharedStore {
         &self,
         lo: &[u8],
         hi: &[u8],
-    ) -> Result<Vec<(Vec<u8>, bytes::Bytes)>, gadget_kv::StoreError> {
+    ) -> Result<Vec<(bytes::Bytes, bytes::Bytes)>, gadget_kv::StoreError> {
         self.0.scan(lo, hi)
     }
     fn supports_scan(&self) -> bool {

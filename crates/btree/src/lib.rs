@@ -119,13 +119,13 @@ impl StateStore for BTreeStore {
         Ok(())
     }
 
-    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
+    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>, StoreError> {
         Ok(self
             .tree
             .lock()
             .scan(lo, hi)?
             .into_iter()
-            .map(|(k, v)| (k, Bytes::from(v)))
+            .map(|(k, v)| (Bytes::from(k), Bytes::from(v)))
             .collect())
     }
 

@@ -115,16 +115,17 @@ pub fn usage() -> String {
      \x20 generate --config <json> --out <trace>         generate a state-access trace (offline mode)\n\
      \x20 replay   --trace <trace> --store <label>       replay a trace against a store\n\
      \x20          [--dir <path>] [--rate <ops/s>] [--ops <n>] [--batch-size <n>]\n\
+     \x20          [--shards <n>] [--replay-threads <n>]  keyspace-sharded store / shard-affine threads\n\
      \x20          [--metrics <json>] [--every <ops>]\n\
      \x20          [--trace-out <json>]                   span timeline (Chrome/Perfetto) + tail attribution\n\
      \x20 online   --config <json> --store <label>       generate and issue requests on the fly\n\
-     \x20          [--batch-size <n>] [--metrics <json>] [--every <ops>] [--trace <json>]\n\
+     \x20          [--shards <n>] [--batch-size <n>] [--metrics <json>] [--every <ops>] [--trace <json>]\n\
      \x20 observe  --config <json> --metrics <json>      run the workload on every store, sampling\n\
      \x20          [--stores <a,b,..>] [--every <ops>]    internal metrics into a JSON time series\n\
      \x20 analyze  --trace <trace>                       characterize a trace (composition, locality, TTL)\n\
      \x20 compare  --a <trace> --b <trace>                side-by-side fidelity report (paper 6.1)\n\
      \x20 concurrent --traces <a.gdt,b.gdt> --store <label>  co-located operators (paper 6.4)\n\
-     \x20          [--rate <ops/s>] [--ops <n>] [--batch-size <n>]\n\
+     \x20          [--rate <ops/s>] [--ops <n>] [--batch-size <n>] [--shards <n>] [--replay-threads <n>]\n\
      \x20 tune-cache --trace <trace> --hit-rate <0..1>   recommend an LRU capacity (paper 8)\n\
      \x20 dataset  --name <borg|taxi|azure> --events <n> --out <events.csv>\n\
      \x20 ycsb     --workload <A|B|C|D|F> --records <n> --ops <n> --out <trace>\n\
@@ -153,23 +154,67 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves the working directory for a store (or a temp dir).
+fn store_dir(dir: Option<&str>) -> PathBuf {
+    match dir {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("gadget-cli-{}", std::process::id())),
+    }
+}
+
 /// Builds a store by bench-zoo label in `dir` (or a temp dir).
 fn open_store(
     label: &str,
     dir: Option<&str>,
 ) -> Result<std::sync::Arc<dyn gadget_kv::StateStore>, String> {
-    let dir: PathBuf = match dir {
-        Some(d) => PathBuf::from(d),
-        None => std::env::temp_dir().join(format!("gadget-cli-{}", std::process::id())),
+    open_store_at(label, &store_dir(dir), None)
+}
+
+/// Builds a store by label, optionally hash-partitioned: with
+/// `shards > 1` the keyspace splits across `shards` instances of the
+/// labelled store behind a [`gadget_kv::ShardedStore`], each shard in
+/// its own `shard-<i>` subdirectory with independent WAL, memtables,
+/// SSTables, and background threads.
+fn open_store_sharded(
+    label: &str,
+    dir: Option<&str>,
+    shards: usize,
+) -> Result<std::sync::Arc<dyn gadget_kv::StateStore>, String> {
+    if shards <= 1 {
+        return open_store(label, dir);
+    }
+    let base = store_dir(dir);
+    let sharded = gadget_kv::ShardedStore::from_factory(shards, |shard| {
+        open_store_at(
+            label,
+            &base.join(format!("shard-{shard}")),
+            Some(shard as u64),
+        )
+        .map_err(gadget_kv::StoreError::InvalidArgument)
+    })
+    .map_err(|e| e.to_string())?;
+    Ok(std::sync::Arc::new(sharded))
+}
+
+/// Builds one store instance in exactly `dir`. `shard` tags LSM
+/// instances with their shard id (worker-thread name + trace spans).
+fn open_store_at(
+    label: &str,
+    dir: &std::path::Path,
+    shard: Option<u64>,
+) -> Result<std::sync::Arc<dyn gadget_kv::StateStore>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let lsm_cfg = |cfg: gadget_lsm::LsmConfig| match shard {
+        Some(s) => cfg.with_shard_id(s),
+        None => cfg,
     };
-    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
     let store: std::sync::Arc<dyn gadget_kv::StateStore> = match label {
         "rocksdb-class" => std::sync::Arc::new(
-            gadget_lsm::LsmStore::open(&dir, gadget_lsm::LsmConfig::paper_rocksdb())
+            gadget_lsm::LsmStore::open(dir, lsm_cfg(gadget_lsm::LsmConfig::paper_rocksdb()))
                 .map_err(|e| e.to_string())?,
         ),
         "lethe-class" => std::sync::Arc::new(
-            gadget_lsm::LsmStore::open(&dir, gadget_lsm::LsmConfig::paper_lethe())
+            gadget_lsm::LsmStore::open(dir, lsm_cfg(gadget_lsm::LsmConfig::paper_lethe()))
                 .map_err(|e| e.to_string())?,
         ),
         "faster-class" => std::sync::Arc::new(gadget_hashlog::HashLogStore::new(
@@ -188,11 +233,11 @@ fn open_store(
         // runs where the paper-scale config would never leave memory.
         "rocksdb-small" => std::sync::Arc::new(
             gadget_lsm::LsmStore::open(
-                &dir,
-                gadget_lsm::LsmConfig {
+                dir,
+                lsm_cfg(gadget_lsm::LsmConfig {
                     wal_sync: true,
                     ..gadget_lsm::LsmConfig::small()
-                },
+                }),
             )
             .map_err(|e| e.to_string())?,
         ),
@@ -201,7 +246,7 @@ fn open_store(
             // `remote-<label>` wraps any embedded store behind a synthetic
             // datacenter network (paper §8, external state management).
             if let Some(inner_label) = other.strip_prefix("remote-") {
-                let inner = open_store(inner_label, dir.to_str())?;
+                let inner = open_store_at(inner_label, dir, shard)?;
                 return Ok(std::sync::Arc::new(gadget_kv::RemoteStore::new(
                     ArcStore(inner),
                     gadget_kv::NetworkProfile::datacenter(),
@@ -216,17 +261,32 @@ fn open_store(
 }
 
 /// Replay options shared by `replay`/`concurrent`: `--rate`, `--ops`,
-/// `--batch-size` (default 1 = op-by-op).
+/// `--batch-size` (default 1 = op-by-op), `--replay-threads` (default 1
+/// = single-threaded, in trace order).
 fn replay_options(flags: &Flags) -> Result<ReplayOptions, String> {
     let batch_size = flags.optional_parse("batch-size")?.unwrap_or(1);
     if batch_size == 0 {
         return Err("--batch-size must be at least 1".to_string());
     }
+    let replay_threads = flags.optional_parse("replay-threads")?.unwrap_or(1);
+    if replay_threads == 0 {
+        return Err("--replay-threads must be at least 1".to_string());
+    }
     Ok(ReplayOptions {
         service_rate: flags.optional_parse("rate")?,
         max_ops: flags.optional_parse("ops")?,
         batch_size,
+        replay_threads,
     })
+}
+
+/// `--shards` (default 1 = unsharded).
+fn shard_count(flags: &Flags) -> Result<usize, String> {
+    match flags.optional_parse("shards")? {
+        Some(0) => Err("--shards must be at least 1".to_string()),
+        Some(n) => Ok(n),
+        None => Ok(1),
+    }
 }
 
 /// Adapter: lets an `Arc<dyn StateStore>` be wrapped by decorators that
@@ -253,7 +313,7 @@ impl gadget_kv::StateStore for ArcStore {
         &self,
         lo: &[u8],
         hi: &[u8],
-    ) -> Result<Vec<(Vec<u8>, bytes::Bytes)>, gadget_kv::StoreError> {
+    ) -> Result<Vec<(bytes::Bytes, bytes::Bytes)>, gadget_kv::StoreError> {
         self.0.scan(lo, hi)
     }
     fn supports_scan(&self) -> bool {
@@ -351,7 +411,7 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
     let trace_path = flags.required("trace")?;
     let label = flags.required("store")?;
     let trace = Trace::load(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
-    let store = open_store(label, flags.optional("dir"))?;
+    let store = open_store_sharded(label, flags.optional("dir"), shard_count(flags)?)?;
     let replayer = TraceReplayer::new(replay_options(flags)?);
     // `--trace` is the *input* .gdt here, so the span-timeline output
     // flag is `--trace-out`. Tracing needs the ObservedStore wrapper
@@ -391,7 +451,7 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
 fn cmd_online(flags: &Flags) -> Result<(), String> {
     let config = load_config(flags)?;
     let label = flags.required("store")?;
-    let store = open_store(label, flags.optional("dir"))?;
+    let store = open_store_sharded(label, flags.optional("dir"), shard_count(flags)?)?;
     // No input-trace flag on `online`, so the span timeline is plain
     // `--trace` (with `--trace-out` accepted as the replay-consistent
     // alias).
@@ -622,14 +682,25 @@ fn cmd_concurrent(flags: &Flags) -> Result<(), String> {
     if traces.is_empty() {
         return Err("--traces requires at least one path".to_string());
     }
-    let store = open_store(label, flags.optional("dir"))?;
-    let reports = gadget_replay::run_concurrent(traces, store, replay_options(flags)?)
-        .map_err(|e| e.to_string())?;
-    for report in &reports {
-        print_report(report);
-        println!();
+    let store = open_store_sharded(label, flags.optional("dir"), shard_count(flags)?)?;
+    match gadget_replay::run_concurrent(traces, store, replay_options(flags)?) {
+        Ok(reports) => {
+            for report in &reports {
+                print_report(report);
+                println!();
+            }
+            Ok(())
+        }
+        Err(err) => {
+            // Surviving runs are joined and measured even when a peer
+            // fails; print their reports before surfacing the error.
+            for report in &err.completed {
+                print_report(report);
+                println!();
+            }
+            Err(err.to_string())
+        }
     }
-    Ok(())
 }
 
 fn cmd_tune_cache(flags: &Flags) -> Result<(), String> {

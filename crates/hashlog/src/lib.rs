@@ -84,6 +84,31 @@ impl HashLogConfig {
             gc_min_bytes: 8 << 10,
         }
     }
+
+    /// Validates and normalizes the shard count.
+    ///
+    /// Zero shards is an error (there would be nowhere to put a key).
+    /// A non-power-of-two count is rounded *up* to the next power of
+    /// two with a warning on stderr: the FNV router distributes `h %
+    /// shards` noticeably unevenly for some non-power-of-two counts,
+    /// and the per-shard byte budgets assume the documented
+    /// power-of-two layout.
+    pub fn validated(mut self) -> Result<HashLogConfig, StoreError> {
+        if self.shards == 0 {
+            return Err(StoreError::InvalidArgument(
+                "HashLogConfig::shards must be at least 1".to_string(),
+            ));
+        }
+        if !self.shards.is_power_of_two() {
+            let rounded = self.shards.next_power_of_two();
+            eprintln!(
+                "hashlog: shards = {} is not a power of two; rounding up to {rounded}",
+                self.shards
+            );
+            self.shards = rounded;
+        }
+        Ok(self)
+    }
 }
 
 /// A FASTER-class concurrent hash/log store. See the crate docs.
@@ -94,17 +119,34 @@ pub struct HashLogStore {
 }
 
 impl HashLogStore {
-    /// Creates an empty store.
-    pub fn new(config: HashLogConfig) -> Self {
-        let shards = (0..config.shards.max(1))
+    /// Creates an empty store, validating the configuration first (see
+    /// [`HashLogConfig::validated`]).
+    pub fn try_new(config: HashLogConfig) -> Result<Self, StoreError> {
+        let config = config.validated()?;
+        let shards = (0..config.shards)
             .map(|_| Mutex::new(Shard::new(config.clone())))
             .collect();
         let metrics = MetricsRegistry::new();
-        HashLogStore {
+        Ok(HashLogStore {
             shards,
             counters: StoreCounters::registered(&metrics),
             metrics,
-        }
+        })
+    }
+
+    /// Creates an empty store.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (`shards == 0`); use
+    /// [`HashLogStore::try_new`] to handle that as an error.
+    pub fn new(config: HashLogConfig) -> Self {
+        HashLogStore::try_new(config).expect("invalid HashLogConfig")
+    }
+
+    /// Number of internal index/log shards (after normalization).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     fn shard_index(&self, key: &[u8]) -> usize {
@@ -283,6 +325,35 @@ mod tests {
         s.delete(b"a").unwrap();
         assert_eq!(s.get(b"a").unwrap(), None);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let cfg = HashLogConfig {
+            shards: 0,
+            ..HashLogConfig::small()
+        };
+        assert!(matches!(
+            cfg.clone().validated(),
+            Err(StoreError::InvalidArgument(_))
+        ));
+        assert!(HashLogStore::try_new(cfg).is_err());
+    }
+
+    #[test]
+    fn non_power_of_two_shards_round_up() {
+        for (given, expect) in [(1usize, 1usize), (3, 4), (4, 4), (7, 8), (65, 128)] {
+            let cfg = HashLogConfig {
+                shards: given,
+                ..HashLogConfig::small()
+            };
+            assert_eq!(cfg.clone().validated().unwrap().shards, expect);
+            let store = HashLogStore::try_new(cfg).unwrap();
+            assert_eq!(store.shard_count(), expect, "given {given}");
+            // The rounded store still works.
+            store.put(b"k", b"v").unwrap();
+            assert_eq!(store.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        }
     }
 
     #[test]

@@ -113,7 +113,7 @@ impl<S: StateStore> StateStore for InstrumentedStore<S> {
         self.timers.delete.time(|| self.inner.delete(key))
     }
 
-    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
+    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>, StoreError> {
         // Range reads surface as one recorded get per returned key, which
         // is how a scan appears in the state-access vocabulary.
         let result = self.inner.scan(lo, hi)?;

@@ -18,6 +18,9 @@
 //! * [`ObservedStore`] — a lightweight wrapper that counts operations and
 //!   samples latencies into a `gadget-obs` registry, cheap enough to keep
 //!   enabled during benchmark runs (unlike the full trace recorder).
+//! * [`ShardedStore`] — hash-partitions the keyspace across N inner
+//!   stores so independent shard locks, WALs, and background workers can
+//!   use multiple cores; batches split per shard and apply in parallel.
 //!
 //! Every store exposes [`StateStore::metrics`], returning a
 //! [`MetricsSnapshot`](gadget_obs::MetricsSnapshot) of its internals
@@ -29,6 +32,7 @@ pub mod instrument;
 pub mod mem;
 pub mod observed;
 pub mod remote;
+pub mod sharded;
 pub mod store;
 
 pub use error::StoreError;
@@ -36,4 +40,5 @@ pub use instrument::InstrumentedStore;
 pub use mem::MemStore;
 pub use observed::{ObservedStore, OpTimers};
 pub use remote::{NetworkProfile, RemoteStore};
+pub use sharded::{shard_of, ShardedStore};
 pub use store::{apply_ops_serially, BatchResult, StateStore, StoreCounters};

@@ -93,14 +93,14 @@ impl StateStore for MemStore {
         Ok(())
     }
 
-    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
+    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>, StoreError> {
         let map = self.map.read();
-        let mut out: Vec<(Vec<u8>, Bytes)> = map
+        let mut out: Vec<(Bytes, Bytes)> = map
             .iter()
             .filter(|(k, _)| k.as_slice() >= lo && k.as_slice() <= hi)
-            .map(|(k, v)| (k.clone(), v.clone()))
+            .map(|(k, v)| (Bytes::copy_from_slice(k), v.clone()))
             .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out.sort_by(|a, b| a.0.as_ref().cmp(b.0.as_ref()));
         Ok(out)
     }
 

@@ -143,7 +143,7 @@ impl<S: StateStore> StateStore for ObservedStore<S> {
             .time_traced(Category::OpDelete, 0, || self.inner.delete(key))
     }
 
-    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
+    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>, StoreError> {
         self.timers
             .scan
             .time_traced(Category::OpScan, 0, || self.inner.scan(lo, hi))

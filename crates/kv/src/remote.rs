@@ -126,7 +126,7 @@ impl<S: StateStore> StateStore for RemoteStore<S> {
         })
     }
 
-    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
+    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>, StoreError> {
         self.timers.scan.time(|| {
             let result = self.inner.scan(lo, hi)?;
             let bytes: usize = result.iter().map(|(k, v)| k.len() + v.len()).sum();

@@ -1,0 +1,566 @@
+//! Hash-sharded store composition.
+//!
+//! [`ShardedStore`] partitions the keyspace across N inner
+//! [`StateStore`] instances by key hash. Every store in the workspace
+//! funnels writes through one coarse lock (the LSM's `WriteState`
+//! mutex, the B+Tree's tree mutex), so a single instance cannot use
+//! more than ~1 core of write bandwidth no matter how many client
+//! threads it has. Sharding multiplies the whole stack: N independent
+//! locks, N WALs fsyncing in parallel, N background flush/compaction
+//! workers — while the routing invariant (one shard owns a key forever)
+//! preserves per-key operation order, which is all the dataflow model
+//! requires.
+//!
+//! The router is FNV-1a over the key bytes modulo the shard count, the
+//! same hash family the hash-log store and the trace instrumentation
+//! use. Routing is deterministic across runs, so a sharded store's
+//! on-disk layout (`shard-0/`, `shard-1/`, …) recovers shard-by-shard:
+//! each inner store replays its own WAL with no cross-shard
+//! coordination.
+//!
+//! Every routed call runs inside a [`trace::shard_scope`], so sampled
+//! op spans (and WAL fsyncs performed on the calling thread) carry the
+//! shard id and tail-latency attribution can blame a hot shard.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use gadget_obs::trace;
+use gadget_obs::MetricsSnapshot;
+use gadget_types::Op;
+
+use crate::error::StoreError;
+use crate::store::{BatchResult, StateStore};
+
+/// FNV-1a shard router: which of `shards` owns `key`.
+///
+/// Deterministic and stable across processes; used by the store itself
+/// and by shard-affine replay threads, which must agree on ownership.
+pub fn shard_of(key: &[u8], shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// Below this batch size, splitting across worker threads costs more
+/// than it saves; sub-batches are applied sequentially instead (still
+/// one group-commit per shard).
+const PARALLEL_BATCH_MIN: usize = 8;
+
+/// A store that hash-partitions the keyspace over N inner stores.
+pub struct ShardedStore {
+    shards: Vec<Arc<dyn StateStore>>,
+    name: &'static str,
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("name", &self.name)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl ShardedStore {
+    /// Builds a sharded store from `shards` instances produced by
+    /// `factory` (called with the shard index, so disk-backed stores
+    /// can give each shard its own directory).
+    ///
+    /// Fails with [`StoreError::InvalidArgument`] when `shards == 0`,
+    /// or with the first factory error.
+    pub fn from_factory<F>(shards: usize, mut factory: F) -> Result<ShardedStore, StoreError>
+    where
+        F: FnMut(usize) -> Result<Arc<dyn StateStore>, StoreError>,
+    {
+        if shards == 0 {
+            return Err(StoreError::InvalidArgument(
+                "shard count must be at least 1".to_string(),
+            ));
+        }
+        let stores = (0..shards).map(&mut factory).collect::<Result<_, _>>()?;
+        ShardedStore::from_stores(stores)
+    }
+
+    /// Builds a sharded store over pre-built instances.
+    pub fn from_stores(stores: Vec<Arc<dyn StateStore>>) -> Result<ShardedStore, StoreError> {
+        if stores.is_empty() {
+            return Err(StoreError::InvalidArgument(
+                "shard count must be at least 1".to_string(),
+            ));
+        }
+        let name = stores[0].name();
+        Ok(ShardedStore {
+            shards: stores,
+            name,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `key`.
+    pub fn shard_for_key(&self, key: &[u8]) -> usize {
+        shard_of(key, self.shards.len())
+    }
+
+    /// Direct access to one shard (tests and diagnostics).
+    pub fn shard(&self, index: usize) -> &Arc<dyn StateStore> {
+        &self.shards[index]
+    }
+
+    /// Splits `batch` into per-shard sub-batches, preserving both the
+    /// relative op order within each shard and the original positions
+    /// for result re-stitching.
+    fn partition(&self, batch: &[Op]) -> Vec<(usize, Vec<usize>, Vec<Op>)> {
+        let n = self.shards.len();
+        let mut parts: Vec<(Vec<usize>, Vec<Op>)> = vec![(Vec::new(), Vec::new()); n];
+        for (i, op) in batch.iter().enumerate() {
+            let s = shard_of(op.key(), n);
+            parts[s].0.push(i);
+            parts[s].1.push(op.clone());
+        }
+        parts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (idx, _))| !idx.is_empty())
+            .map(|(s, (idx, ops))| (s, idx, ops))
+            .collect()
+    }
+
+    /// Re-stitches per-shard results into positional order.
+    fn stitch(
+        batch_len: usize,
+        parts: Vec<(usize, Vec<usize>, Vec<BatchResult>)>,
+    ) -> Vec<BatchResult> {
+        let mut out: Vec<Option<BatchResult>> = vec![None; batch_len];
+        for (_, indices, results) in parts {
+            for (i, r) in indices.into_iter().zip(results) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every op belongs to exactly one shard"))
+            .collect()
+    }
+}
+
+impl StateStore for ShardedStore {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StoreError> {
+        let s = self.shard_for_key(key);
+        let _scope = trace::shard_scope(s as u64);
+        self.shards[s].get(key)
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let s = self.shard_for_key(key);
+        let _scope = trace::shard_scope(s as u64);
+        self.shards[s].put(key, value)
+    }
+
+    fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), StoreError> {
+        let s = self.shard_for_key(key);
+        let _scope = trace::shard_scope(s as u64);
+        self.shards[s].merge(key, operand)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+        let s = self.shard_for_key(key);
+        let _scope = trace::shard_scope(s as u64);
+        self.shards[s].delete(key)
+    }
+
+    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>, StoreError> {
+        // Hash routing scatters a key range over every shard: scan them
+        // all and merge. Each shard returns sorted output, so a global
+        // sort of the concatenation restores ascending key order.
+        let mut out = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let _scope = trace::shard_scope(s as u64);
+            out.extend(shard.scan(lo, hi)?);
+        }
+        out.sort_by(|a, b| a.0.as_ref().cmp(b.0.as_ref()));
+        Ok(out)
+    }
+
+    fn supports_scan(&self) -> bool {
+        self.shards[0].supports_scan()
+    }
+
+    fn supports_merge(&self) -> bool {
+        self.shards[0].supports_merge()
+    }
+
+    fn flush(&self) -> Result<(), StoreError> {
+        for (s, shard) in self.shards.iter().enumerate() {
+            let _scope = trace::shard_scope(s as u64);
+            shard.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Counters summed by name across shards.
+    fn internal_counters(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for shard in &self.shards {
+            for (name, value) in shard.internal_counters() {
+                match out.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, v)) => *v += value,
+                    None => out.push((name, value)),
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-shard snapshots aggregated into one: counters add,
+    /// histograms merge, and gauges *sum* (shard gauges are sizes and
+    /// occupancies, where the whole-store reading is the total — unlike
+    /// `MetricsSnapshot::merge`, which treats `other` as a newer
+    /// reading of the same component). A `shards` gauge records the
+    /// shard count.
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        let mut agg = MetricsSnapshot::new();
+        let mut any = false;
+        for shard in &self.shards {
+            let Some(snap) = shard.metrics() else {
+                continue;
+            };
+            any = true;
+            for (name, value) in &snap.counters {
+                agg.push_counter(name, *value);
+            }
+            for (name, value) in &snap.gauges {
+                match agg.gauges.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, v)) => *v += *value,
+                    None => agg.gauges.push((name.clone(), *value)),
+                }
+            }
+            for (name, hist) in &snap.histograms {
+                match agg.histograms.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, h)) => h.merge(hist),
+                    None => agg.histograms.push((name.clone(), hist.clone())),
+                }
+            }
+        }
+        if !any {
+            return None;
+        }
+        agg.push_gauge("shards", self.shards.len() as i64);
+        agg.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        agg.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Some(agg)
+    }
+
+    /// Splits the batch by shard, applies sub-batches in parallel, and
+    /// re-stitches positional results.
+    ///
+    /// Each shard receives its ops in original relative order, so
+    /// per-key semantics match the unsharded store exactly (a key never
+    /// crosses shards). Group-commit savings multiply: N shards fsync
+    /// their WALs concurrently instead of serializing on one.
+    ///
+    /// On error the first failing shard's error is returned; sub-batches
+    /// already applied on other shards remain applied, matching the
+    /// trait's partial-application contract.
+    fn apply_batch(&self, batch: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut parts = self.partition(batch);
+        if parts.len() == 1 {
+            let (s, indices, ops) = parts.pop().expect("one part");
+            let _scope = trace::shard_scope(s as u64);
+            let results = self.shards[s].apply_batch(&ops)?;
+            return Ok(Self::stitch(batch.len(), vec![(s, indices, results)]));
+        }
+        if batch.len() < PARALLEL_BATCH_MIN {
+            // Tiny batch over several shards: thread spawns would cost
+            // more than the work. Apply sequentially, still batched per
+            // shard.
+            let mut done = Vec::with_capacity(parts.len());
+            for (s, indices, ops) in parts {
+                let _scope = trace::shard_scope(s as u64);
+                let results = self.shards[s].apply_batch(&ops)?;
+                done.push((s, indices, results));
+            }
+            return Ok(Self::stitch(batch.len(), done));
+        }
+        let applied = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|(s, _, ops)| {
+                    let shard = &self.shards[*s];
+                    let s = *s;
+                    scope.spawn(move || {
+                        let _scope = trace::shard_scope(s as u64);
+                        shard.apply_batch(ops)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard apply thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut done = Vec::with_capacity(parts.len());
+        let mut first_err = None;
+        for ((s, indices, _), result) in parts.into_iter().zip(applied) {
+            match result {
+                Ok(results) => done.push((s, indices, results)),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(Self::stitch(batch.len(), done)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemStore;
+
+    fn sharded_mem(n: usize) -> ShardedStore {
+        ShardedStore::from_factory(n, |_| Ok(Arc::new(MemStore::new()) as Arc<dyn StateStore>))
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let err =
+            ShardedStore::from_factory(0, |_| Ok(Arc::new(MemStore::new()) as Arc<dyn StateStore>))
+                .unwrap_err();
+        assert!(matches!(err, StoreError::InvalidArgument(_)));
+        assert!(ShardedStore::from_stores(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let s = sharded_mem(4);
+        for i in 0..200u64 {
+            let key = i.to_be_bytes();
+            let owner = s.shard_for_key(&key);
+            assert!(owner < 4);
+            assert_eq!(owner, s.shard_for_key(&key), "stable routing");
+            assert_eq!(owner, shard_of(&key, 4));
+        }
+        // Every shard owns some keys (FNV spreads 200 keys well).
+        let owned: std::collections::HashSet<usize> = (0..200u64)
+            .map(|i| s.shard_for_key(&i.to_be_bytes()))
+            .collect();
+        assert_eq!(owned.len(), 4);
+    }
+
+    #[test]
+    fn point_ops_round_trip_through_shards() {
+        let s = sharded_mem(4);
+        for i in 0..100u64 {
+            s.put(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        for i in 0..100u64 {
+            assert_eq!(
+                s.get(&i.to_be_bytes()).unwrap().as_deref(),
+                Some(&i.to_le_bytes()[..])
+            );
+        }
+        s.merge(b"m", b"ab").unwrap();
+        s.merge(b"m", b"cd").unwrap();
+        assert_eq!(s.get(b"m").unwrap().as_deref(), Some(&b"abcd"[..]));
+        s.delete(b"m").unwrap();
+        assert_eq!(s.get(b"m").unwrap(), None);
+        // Keys land on the shard the router says they do.
+        let key = 42u64.to_be_bytes();
+        let owner = s.shard_for_key(&key);
+        assert!(s.shard(owner).get(&key).unwrap().is_some());
+        for other in (0..4).filter(|o| *o != owner) {
+            assert!(s.shard(other).get(&key).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn scan_merges_all_shards_in_key_order() {
+        let s = sharded_mem(4);
+        for i in 0..50u64 {
+            s.put(&i.to_be_bytes(), b"v").unwrap();
+        }
+        let hits = s.scan(&10u64.to_be_bytes(), &19u64.to_be_bytes()).unwrap();
+        let keys: Vec<u64> = hits
+            .iter()
+            .map(|(k, _)| u64::from_be_bytes(k.as_ref().try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, (10..=19).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn apply_batch_stitches_positional_results() {
+        for shards in [1usize, 2, 3, 7] {
+            let s = sharded_mem(shards);
+            let mut ops = Vec::new();
+            for i in 0..64u64 {
+                ops.push(Op::put(i.to_be_bytes().to_vec(), vec![i as u8]));
+            }
+            for i in 0..64u64 {
+                ops.push(Op::get(i.to_be_bytes().to_vec()));
+            }
+            let out = s.apply_batch(&ops).unwrap();
+            assert_eq!(out.len(), 128);
+            for i in 0..64usize {
+                assert_eq!(out[i], BatchResult::Applied, "shards={shards} op {i}");
+                assert_eq!(
+                    out[64 + i].value().map(|v| v.as_ref()),
+                    Some(&[i as u8][..]),
+                    "shards={shards} get {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_batches_avoid_thread_fanout_but_stay_correct() {
+        let s = sharded_mem(8);
+        let ops = vec![
+            Op::put(b"a".to_vec(), b"1".to_vec()),
+            Op::put(b"b".to_vec(), b"2".to_vec()),
+            Op::get(b"a".to_vec()),
+        ];
+        let out = s.apply_batch(&ops).unwrap();
+        assert_eq!(out[2].value().map(|v| v.as_ref()), Some(&b"1"[..]));
+        assert!(s.apply_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn counters_and_metrics_aggregate_across_shards() {
+        let s = sharded_mem(4);
+        for i in 0..40u64 {
+            s.put(&i.to_be_bytes(), b"v").unwrap();
+        }
+        for i in 0..10u64 {
+            s.get(&i.to_be_bytes()).unwrap();
+        }
+        let counters = s.internal_counters();
+        assert!(counters.contains(&("puts".to_string(), 40)));
+        assert!(counters.contains(&("gets".to_string(), 10)));
+        let snap = s.metrics().unwrap();
+        assert_eq!(snap.counter("puts"), Some(40));
+        // Gauges sum across shards: 40 distinct keys in total.
+        assert_eq!(snap.gauge("live_keys"), Some(40));
+        assert_eq!(snap.gauge("shards"), Some(4));
+    }
+
+    #[test]
+    fn single_shard_behaves_like_inner_store() {
+        let s = sharded_mem(1);
+        s.put(b"k", b"v").unwrap();
+        assert_eq!(s.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        assert_eq!(s.name(), "mem");
+        assert!(s.supports_merge());
+        assert!(s.supports_scan());
+        assert_eq!(s.shard_for_key(b"anything"), 0);
+    }
+
+    /// A store that records which shard context each call ran under.
+    struct ShardProbe {
+        seen: parking_lot::Mutex<Vec<u64>>,
+    }
+
+    impl StateStore for ShardProbe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn get(&self, _key: &[u8]) -> Result<Option<Bytes>, StoreError> {
+            self.seen.lock().push(trace::current_shard());
+            Ok(None)
+        }
+        fn put(&self, _key: &[u8], _value: &[u8]) -> Result<(), StoreError> {
+            self.seen.lock().push(trace::current_shard());
+            Ok(())
+        }
+        fn merge(&self, _key: &[u8], _operand: &[u8]) -> Result<(), StoreError> {
+            Ok(())
+        }
+        fn delete(&self, _key: &[u8]) -> Result<(), StoreError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn routed_calls_run_inside_the_shard_scope() {
+        let probes: Vec<Arc<ShardProbe>> = (0..4)
+            .map(|_| {
+                Arc::new(ShardProbe {
+                    seen: parking_lot::Mutex::new(Vec::new()),
+                })
+            })
+            .collect();
+        let s = ShardedStore::from_stores(
+            probes
+                .iter()
+                .map(|p| p.clone() as Arc<dyn StateStore>)
+                .collect(),
+        )
+        .unwrap();
+        for i in 0..32u64 {
+            s.put(&i.to_be_bytes(), b"v").unwrap();
+            s.get(&i.to_be_bytes()).unwrap();
+        }
+        for (idx, probe) in probes.iter().enumerate() {
+            let seen = probe.seen.lock().clone();
+            assert!(
+                seen.iter().all(|&tag| tag == idx as u64),
+                "shard {idx} saw contexts {seen:?}"
+            );
+        }
+        // The caller's thread is untagged once the calls return.
+        assert_eq!(trace::current_shard(), trace::NO_SHARD);
+    }
+
+    #[test]
+    fn batch_workers_run_inside_the_shard_scope() {
+        let probes: Vec<Arc<ShardProbe>> = (0..4)
+            .map(|_| {
+                Arc::new(ShardProbe {
+                    seen: parking_lot::Mutex::new(Vec::new()),
+                })
+            })
+            .collect();
+        let s = ShardedStore::from_stores(
+            probes
+                .iter()
+                .map(|p| p.clone() as Arc<dyn StateStore>)
+                .collect(),
+        )
+        .unwrap();
+        let ops: Vec<Op> = (0..64u64)
+            .map(|i| Op::put(i.to_be_bytes().to_vec(), b"v".to_vec()))
+            .collect();
+        s.apply_batch(&ops).unwrap();
+        for (idx, probe) in probes.iter().enumerate() {
+            let seen = probe.seen.lock().clone();
+            assert!(!seen.is_empty(), "shard {idx} got no ops");
+            assert!(
+                seen.iter().all(|&tag| tag == idx as u64),
+                "shard {idx} saw contexts {seen:?}"
+            );
+        }
+    }
+}

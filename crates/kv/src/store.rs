@@ -105,7 +105,10 @@ pub trait StateStore: Send + Sync {
     /// stores return [`StoreError::Unsupported`], mirroring the real
     /// systems they model (FASTER has no range scans). Check
     /// [`StateStore::supports_scan`] first.
-    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Bytes)>, StoreError> {
+    ///
+    /// Keys are returned as [`Bytes`], like every other value-bearing API
+    /// on this trait, so callers can hold scan results without copying.
+    fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>, StoreError> {
         let _ = (lo, hi);
         Err(StoreError::Unsupported("range scan"))
     }

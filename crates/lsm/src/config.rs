@@ -57,6 +57,11 @@ pub struct LsmConfig {
     /// Delete-aware compaction (Lethe). `None` means vanilla RocksDB-style
     /// behaviour.
     pub lethe: Option<LethePolicy>,
+    /// Shard id when this instance is one shard of a
+    /// `ShardedStore`. Names the background worker thread
+    /// (`lsm-worker-<id>`) and tags its flush/compaction trace spans so
+    /// attribution can blame a hot shard. `None` for standalone stores.
+    pub shard_id: Option<u64>,
 }
 
 impl Default for LsmConfig {
@@ -75,6 +80,7 @@ impl Default for LsmConfig {
             wal: true,
             wal_sync: false,
             lethe: None,
+            shard_id: None,
         }
     }
 }
@@ -112,7 +118,15 @@ impl LsmConfig {
             wal: true,
             wal_sync: false,
             lethe: None,
+            shard_id: None,
         }
+    }
+
+    /// Returns this configuration tagged as shard `shard` of a sharded
+    /// store (see [`LsmConfig::shard_id`]).
+    pub fn with_shard_id(mut self, shard: u64) -> Self {
+        self.shard_id = Some(shard);
+        self
     }
 
     /// [`LsmConfig::small`] with Lethe's delete-aware compaction enabled

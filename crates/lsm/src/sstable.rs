@@ -519,7 +519,15 @@ impl TableIterator<'_> {
 pub fn resolve_with(acc: &mut Vec<Bytes>, deeper: Lookup) -> Option<Option<Bytes>> {
     match deeper {
         Lookup::Value(v) => Some(Some(fold_merge(Some(&v), acc))),
-        Lookup::Deleted => Some(Some(fold_merge(None, acc))),
+        Lookup::Deleted => {
+            // A bare tombstone means "absent"; only a merge stack above it
+            // rebuilds a value from the empty base.
+            if acc.is_empty() {
+                Some(None)
+            } else {
+                Some(Some(fold_merge(None, acc)))
+            }
+        }
         Lookup::NotFound => None,
         Lookup::Operands(mut ops) => {
             ops.append(acc);
@@ -660,5 +668,9 @@ mod tests {
         );
         let mut acc3 = vec![Bytes::from_static(b"y")];
         assert_eq!(resolve_with(&mut acc3, Lookup::NotFound), None);
+        // A tombstone with no operands above it resolves to "absent",
+        // never to an empty value.
+        let mut acc4 = Vec::new();
+        assert_eq!(resolve_with(&mut acc4, Lookup::Deleted), Some(None));
     }
 }

@@ -116,6 +116,18 @@ pub struct ReplayOptions {
     /// replays op-by-op through the individual store methods, exactly as
     /// before batching existed; `0` is treated as `1`.
     pub batch_size: usize,
+    /// Shard-affine replay threads. `1` (the default, `0` is treated the
+    /// same) replays the trace on the calling thread in issue order.
+    /// With `N > 1` the trace is partitioned by
+    /// [`gadget_kv::shard_of`] over the encoded key into `N`
+    /// subsequences that replay on their own threads against the shared
+    /// store. Every access to a given key lands in the same subsequence,
+    /// so per-key order — the guarantee keyed streaming state relies on —
+    /// is preserved; only cross-key interleaving changes. Pairs naturally
+    /// with a [`ShardedStore`](gadget_kv::ShardedStore) built with the
+    /// same shard count (thread `i` then only ever touches shard `i`),
+    /// but is correct against any store.
+    pub replay_threads: usize,
 }
 
 impl Default for ReplayOptions {
@@ -124,6 +136,7 @@ impl Default for ReplayOptions {
             service_rate: None,
             max_ops: None,
             batch_size: 1,
+            replay_threads: 1,
         }
     }
 }
@@ -177,6 +190,86 @@ impl LatencySummary {
             max_ns: h.max(),
         }
     }
+}
+
+/// Mid-run progress callback fed by the measuring core after every op
+/// or batch: `(executed, overall histogram, hits, misses)`.
+type ProgressFn<'a> = &'a mut dyn FnMut(u64, &LatencyHistogram, u64, u64);
+
+/// Raw measurements accumulated by one replay loop — one worker's worth
+/// in shard-affine mode, the whole run otherwise. Kept as histograms
+/// (not summaries) so per-thread results merge exactly.
+struct Measured {
+    overall: LatencyHistogram,
+    per_op: [LatencyHistogram; 4],
+    hits: u64,
+    misses: u64,
+    executed: u64,
+}
+
+impl Measured {
+    fn new() -> Self {
+        Measured {
+            overall: LatencyHistogram::new(),
+            per_op: [
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+            ],
+            hits: 0,
+            misses: 0,
+            executed: 0,
+        }
+    }
+
+    /// Folds another worker's measurements into this one.
+    fn absorb(&mut self, other: &Measured) {
+        self.overall.merge(&other.overall);
+        for (mine, theirs) in self.per_op.iter_mut().zip(&other.per_op) {
+            mine.merge(theirs);
+        }
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.executed += other.executed;
+    }
+
+    fn into_report(self, store: &str, workload: &str, seconds: f64) -> RunReport {
+        RunReport {
+            store: store.to_string(),
+            workload: workload.to_string(),
+            operations: self.executed,
+            seconds,
+            throughput: if seconds > 0.0 {
+                self.executed as f64 / seconds
+            } else {
+                0.0
+            },
+            latency: LatencySummary::from_histogram(&self.overall),
+            per_op: OpType::ALL
+                .iter()
+                .zip(self.per_op.iter())
+                .filter(|(_, h)| h.count() > 0)
+                .map(|(op, h)| (op.name().to_string(), LatencySummary::from_histogram(h)))
+                .collect(),
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+}
+
+/// Converts a worker thread's panic payload into a [`StoreError`], so a
+/// panicking replay worker surfaces as an error the caller can handle
+/// instead of aborting the harness.
+fn panic_error(payload: Box<dyn std::any::Any + Send>) -> StoreError {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    StoreError::Corruption(format!("replay worker panicked: {msg}"))
 }
 
 /// Replays traces against stores, measuring latency and throughput.
@@ -284,14 +377,10 @@ impl TraceReplayer {
         workload: &str,
         mut emitter: Option<&mut SnapshotEmitter>,
     ) -> Result<RunReport, StoreError> {
-        let mut overall = LatencyHistogram::new();
-        let mut per_op = [
-            LatencyHistogram::new(),
-            LatencyHistogram::new(),
-            LatencyHistogram::new(),
-            LatencyHistogram::new(),
-        ];
-        let (mut hits, mut misses) = (0u64, 0u64);
+        let threads = self.options.replay_threads.max(1);
+        if threads > 1 {
+            return self.replay_shard_affine(trace, store, workload, threads, emitter);
+        }
         let limit = self.options.max_ops.unwrap_or(u64::MAX);
         let pace = self
             .options
@@ -302,33 +391,142 @@ impl TraceReplayer {
             gadget_obs::trace::Category::Phase,
             gadget_obs::trace::phase::REPLAY,
         );
-        let batch_size = self.options.batch_size.max(1);
         let started = Instant::now();
-        let mut executed = 0u64;
+        let measured = {
+            let mut progress =
+                |executed: u64, overall: &LatencyHistogram, hits: u64, misses: u64| {
+                    if let Some(em) = emitter.as_deref_mut() {
+                        em.poll(executed, || observe(store, overall, hits, misses));
+                    }
+                };
+            self.run_accesses(
+                trace.iter(),
+                store,
+                limit,
+                pace,
+                started,
+                Some(&mut progress),
+            )?
+        };
+        let seconds = started.elapsed().as_secs_f64();
+        if let Some(em) = emitter {
+            em.finish(
+                measured.executed,
+                observe(store, &measured.overall, measured.hits, measured.misses),
+            );
+        }
+        Ok(measured.into_report(store.name(), workload, seconds))
+    }
+
+    /// Shard-affine parallel replay: partitions the trace by key shard
+    /// into `threads` subsequences and replays each on its own thread
+    /// against the shared store (see [`ReplayOptions::replay_threads`]).
+    ///
+    /// With a service rate set, each worker paces at `rate / threads`,
+    /// so the aggregate rate approximates the requested one when the key
+    /// distribution is balanced. Workers do not sample metrics mid-run;
+    /// an emitter, when present, records one final sample.
+    fn replay_shard_affine(
+        &self,
+        trace: &Trace,
+        store: &dyn StateStore,
+        workload: &str,
+        threads: usize,
+        emitter: Option<&mut SnapshotEmitter>,
+    ) -> Result<RunReport, StoreError> {
+        let limit = self
+            .options
+            .max_ops
+            .and_then(|n| usize::try_from(n).ok())
+            .unwrap_or(usize::MAX);
+        let mut parts: Vec<Vec<StateAccess>> = vec![Vec::new(); threads];
+        for access in trace.iter().take(limit) {
+            parts[gadget_kv::shard_of(&access.key.encode(), threads)].push(*access);
+        }
+        let pace = self
+            .options
+            .service_rate
+            .map(|rate| Duration::from_nanos((1e9 * threads as f64 / rate) as u64));
+
+        let _phase = gadget_obs::trace::span(
+            gadget_obs::trace::Category::Phase,
+            gadget_obs::trace::phase::REPLAY,
+        );
+        let started = Instant::now();
+        let results: Vec<Result<Measured, StoreError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .enumerate()
+                .map(|(shard, part)| {
+                    scope.spawn(move || {
+                        // Tag this worker's trace spans with its shard so
+                        // hot-shard attribution sees replay threads too.
+                        let _shard = gadget_obs::trace::shard_scope(shard as u64);
+                        // The op cap was applied while partitioning, so
+                        // each worker drains its whole subsequence.
+                        self.run_accesses(part.iter(), store, u64::MAX, pace, started, None)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|payload| Err(panic_error(payload))))
+                .collect()
+        });
+        let mut merged = Measured::new();
+        for result in results {
+            merged.absorb(&result?);
+        }
+        let seconds = started.elapsed().as_secs_f64();
+        if let Some(em) = emitter {
+            em.finish(
+                merged.executed,
+                observe(store, &merged.overall, merged.hits, merged.misses),
+            );
+        }
+        Ok(merged.into_report(store.name(), workload, seconds))
+    }
+
+    /// The measuring core shared by single-threaded and shard-affine
+    /// replay: drains `accesses` (op-by-op, or in `batch_size` chunks
+    /// through [`StateStore::apply_batch`]), pacing each op against
+    /// `started` when `pace` is set and invoking `progress` after every
+    /// op or batch so callers can sample metrics mid-run.
+    fn run_accesses<'t>(
+        &self,
+        accesses: impl Iterator<Item = &'t StateAccess>,
+        store: &dyn StateStore,
+        limit: u64,
+        pace: Option<Duration>,
+        started: Instant,
+        mut progress: Option<ProgressFn<'_>>,
+    ) -> Result<Measured, StoreError> {
+        let mut m = Measured::new();
+        let batch_size = self.options.batch_size.max(1);
         if batch_size == 1 {
-            for access in trace.iter() {
-                if executed >= limit {
+            for access in accesses {
+                if m.executed >= limit {
                     break;
                 }
                 if let Some(gap) = pace {
                     // Closed-loop pacing against the absolute schedule: op
                     // `i` may not start before `started + i * gap`.
-                    sleep_until(started + gap * executed as u32);
+                    sleep_until(started + gap * m.executed as u32);
                 }
-                let ns = self.apply(store, access, &mut hits, &mut misses)?;
-                overall.record(ns);
-                per_op[op_index(access.op)].record(ns);
-                executed += 1;
-                if let Some(em) = emitter.as_deref_mut() {
-                    em.poll(executed, || observe(store, &overall, hits, misses));
+                let ns = self.apply(store, access, &mut m.hits, &mut m.misses)?;
+                m.overall.record(ns);
+                m.per_op[op_index(access.op)].record(ns);
+                m.executed += 1;
+                if let Some(p) = progress.as_mut() {
+                    p(m.executed, &m.overall, m.hits, m.misses);
                 }
             }
         } else {
             let mut ops: Vec<Op> = Vec::with_capacity(batch_size);
             let mut kinds: Vec<OpType> = Vec::with_capacity(batch_size);
-            let mut iter = trace.iter();
+            let mut iter = accesses;
             loop {
-                while ops.len() < batch_size && executed + (ops.len() as u64) < limit {
+                while ops.len() < batch_size && m.executed + (ops.len() as u64) < limit {
                     match iter.next() {
                         Some(access) => {
                             ops.push(self.materialize(access));
@@ -344,47 +542,23 @@ impl TraceReplayer {
                     // The whole batch is released at its first op's slot,
                     // modelling a poll loop that drains a micro-batch per
                     // wakeup.
-                    sleep_until(started + gap * executed as u32);
+                    sleep_until(started + gap * m.executed as u32);
                 }
-                executed += flush_batch(
+                m.executed += flush_batch(
                     store,
                     &mut ops,
                     &mut kinds,
-                    &mut overall,
-                    &mut per_op,
-                    &mut hits,
-                    &mut misses,
+                    &mut m.overall,
+                    &mut m.per_op,
+                    &mut m.hits,
+                    &mut m.misses,
                 )?;
-                if let Some(em) = emitter.as_deref_mut() {
-                    em.poll(executed, || observe(store, &overall, hits, misses));
+                if let Some(p) = progress.as_mut() {
+                    p(m.executed, &m.overall, m.hits, m.misses);
                 }
             }
         }
-        let seconds = started.elapsed().as_secs_f64();
-        if let Some(em) = emitter {
-            em.finish(executed, observe(store, &overall, hits, misses));
-        }
-
-        Ok(RunReport {
-            store: store.name().to_string(),
-            workload: workload.to_string(),
-            operations: executed,
-            seconds,
-            throughput: if seconds > 0.0 {
-                executed as f64 / seconds
-            } else {
-                0.0
-            },
-            latency: LatencySummary::from_histogram(&overall),
-            per_op: OpType::ALL
-                .iter()
-                .zip(per_op.iter())
-                .filter(|(_, h)| h.count() > 0)
-                .map(|(op, h)| (op.name().to_string(), LatencySummary::from_histogram(h)))
-                .collect(),
-            hits,
-            misses,
-        })
+        Ok(m)
     }
 
     /// Preloads `keys` with `value_size`-byte values (YCSB-style load
@@ -593,14 +767,47 @@ fn run_online_inner(
     })
 }
 
+/// Error from [`run_concurrent`]: the first worker failure plus the
+/// reports of every trace that still completed. Worker panics are
+/// converted to [`StoreError`]s rather than propagated, so one
+/// misbehaving operator cannot abort the whole experiment or discard
+/// its peers' measurements.
+#[derive(Debug)]
+pub struct ConcurrentRunError {
+    /// The first failure, in input order.
+    pub error: StoreError,
+    /// Reports from the traces that completed successfully, in input
+    /// order.
+    pub completed: Vec<RunReport>,
+}
+
+impl std::fmt::Display for ConcurrentRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} concurrent run(s) still completed)",
+            self.error,
+            self.completed.len()
+        )
+    }
+}
+
+impl std::error::Error for ConcurrentRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// Concurrent-operators mode (§6.4): each trace replays on its own thread
 /// against the *same* store instance. Returns one report per trace, in
-/// input order.
+/// input order. Every worker is joined before returning; when any fail,
+/// the error carries the surviving runs' reports, and a worker panic
+/// becomes a [`StoreError`] instead of aborting the process.
 pub fn run_concurrent(
     traces: Vec<(String, Trace)>,
     store: Arc<dyn StateStore>,
     options: ReplayOptions,
-) -> Result<Vec<RunReport>, StoreError> {
+) -> Result<Vec<RunReport>, ConcurrentRunError> {
     let mut handles = Vec::new();
     for (label, trace) in traces {
         let store = store.clone();
@@ -610,11 +817,22 @@ pub fn run_concurrent(
             replayer.replay(&trace, store.as_ref(), &label)
         }));
     }
-    let mut reports = Vec::new();
+    let mut completed = Vec::new();
+    let mut first_error = None;
     for h in handles {
-        reports.push(h.join().expect("replay thread panicked")?);
+        match h.join().unwrap_or_else(|payload| Err(panic_error(payload))) {
+            Ok(report) => completed.push(report),
+            Err(e) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
     }
-    Ok(reports)
+    match first_error {
+        None => Ok(completed),
+        Some(error) => Err(ConcurrentRunError { error, completed }),
+    }
 }
 
 #[cfg(test)]
@@ -883,6 +1101,179 @@ mod tests {
         .unwrap();
         assert_eq!(reports.len(), 2);
         assert!(reports.iter().all(|r| r.operations > 0));
+    }
+
+    /// Fails every op on one specific key, so exactly one concurrent
+    /// worker errors while the others run to completion.
+    struct PoisonStore {
+        inner: MemStore,
+        poison: Vec<u8>,
+    }
+
+    impl PoisonStore {
+        fn check(&self, key: &[u8]) -> Result<(), StoreError> {
+            if key == self.poison.as_slice() {
+                Err(StoreError::InvalidArgument("poisoned key".into()))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl StateStore for PoisonStore {
+        fn name(&self) -> &'static str {
+            "poison"
+        }
+        fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StoreError> {
+            self.check(key)?;
+            self.inner.get(key)
+        }
+        fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+            self.check(key)?;
+            self.inner.put(key, value)
+        }
+        fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), StoreError> {
+            self.check(key)?;
+            self.inner.merge(key, operand)
+        }
+        fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+            self.check(key)?;
+            self.inner.delete(key)
+        }
+    }
+
+    /// Panics on every op, exercising panic-to-error conversion.
+    struct PanickyStore;
+
+    impl StateStore for PanickyStore {
+        fn name(&self) -> &'static str {
+            "panicky"
+        }
+        fn get(&self, _key: &[u8]) -> Result<Option<Bytes>, StoreError> {
+            panic!("synthetic store panic")
+        }
+        fn put(&self, _key: &[u8], _value: &[u8]) -> Result<(), StoreError> {
+            panic!("synthetic store panic")
+        }
+        fn merge(&self, _key: &[u8], _operand: &[u8]) -> Result<(), StoreError> {
+            panic!("synthetic store panic")
+        }
+        fn delete(&self, _key: &[u8]) -> Result<(), StoreError> {
+            panic!("synthetic store panic")
+        }
+    }
+
+    #[test]
+    fn concurrent_failure_keeps_completed_reports() {
+        let mut ok = Trace::new();
+        let mut bad = Trace::new();
+        for i in 0..200 {
+            ok.push(gadget_types::StateAccess::put(
+                StateKey::plain(i % 20),
+                8,
+                i,
+            ));
+            bad.push(gadget_types::StateAccess::put(StateKey::plain(999), 8, i));
+        }
+        let store: Arc<dyn StateStore> = Arc::new(PoisonStore {
+            inner: MemStore::new(),
+            poison: StateKey::plain(999).encode().to_vec(),
+        });
+        let err = run_concurrent(
+            vec![("ok".into(), ok), ("bad".into(), bad)],
+            store,
+            ReplayOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err.error, StoreError::InvalidArgument(_)));
+        assert_eq!(err.completed.len(), 1, "surviving run's report kept");
+        assert_eq!(err.completed[0].workload, "ok");
+        assert_eq!(err.completed[0].operations, 200);
+        assert!(err.to_string().contains("completed"));
+    }
+
+    #[test]
+    fn concurrent_panic_becomes_an_error() {
+        let mut trace = Trace::new();
+        trace.push(gadget_types::StateAccess::put(StateKey::plain(1), 8, 0));
+        let store: Arc<dyn StateStore> = Arc::new(PanickyStore);
+        let err = run_concurrent(
+            vec![("boom".into(), trace)],
+            store,
+            ReplayOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.completed.is_empty());
+        let msg = err.error.to_string();
+        assert!(msg.contains("panicked"), "{msg}");
+        assert!(msg.contains("synthetic store panic"), "{msg}");
+    }
+
+    #[test]
+    fn shard_affine_replay_matches_single_thread() {
+        let trace = small_trace(OperatorKind::TumblingIncr);
+        let baseline_store = MemStore::new();
+        let baseline = TraceReplayer::default()
+            .replay(&trace, &baseline_store, "t")
+            .unwrap();
+        for threads in [2, 4, 7] {
+            let store = MemStore::new();
+            let replayer = TraceReplayer::new(ReplayOptions {
+                replay_threads: threads,
+                ..ReplayOptions::default()
+            });
+            let report = replayer.replay(&trace, &store, "t").unwrap();
+            assert_eq!(report.operations, baseline.operations, "threads {threads}");
+            // Hits and misses depend only on per-key history, which
+            // shard-affine partitioning preserves exactly.
+            assert_eq!(report.hits, baseline.hits, "threads {threads}");
+            assert_eq!(report.misses, baseline.misses, "threads {threads}");
+            assert_eq!(report.per_op.len(), baseline.per_op.len());
+            // Per-key order is intact, so every tumbling pane still
+            // fires and deletes its state.
+            assert!(
+                store.is_empty(),
+                "threads {threads}: {} leaked",
+                store.len()
+            );
+        }
+    }
+
+    #[test]
+    fn shard_affine_replay_honours_max_ops_and_batching() {
+        let trace = small_trace(OperatorKind::Aggregation);
+        let store = MemStore::new();
+        let replayer = TraceReplayer::new(ReplayOptions {
+            max_ops: Some(100),
+            batch_size: 16,
+            replay_threads: 3,
+            ..ReplayOptions::default()
+        });
+        let report = replayer.replay(&trace, &store, "t").unwrap();
+        assert_eq!(report.operations, 100);
+    }
+
+    #[test]
+    fn shard_affine_replay_drives_a_sharded_store() {
+        // Thread count == shard count: each replay thread only ever
+        // touches its own shard, the intended zero-contention pairing.
+        let trace = small_trace(OperatorKind::TumblingIncr);
+        let plain = MemStore::new();
+        let baseline = TraceReplayer::default()
+            .replay(&trace, &plain, "t")
+            .unwrap();
+        let sharded = gadget_kv::ShardedStore::from_factory(4, |_| {
+            Ok(Arc::new(MemStore::new()) as Arc<dyn StateStore>)
+        })
+        .unwrap();
+        let replayer = TraceReplayer::new(ReplayOptions {
+            replay_threads: 4,
+            ..ReplayOptions::default()
+        });
+        let report = replayer.replay(&trace, &sharded, "t").unwrap();
+        assert_eq!(report.operations, baseline.operations);
+        assert_eq!(report.hits, baseline.hits);
+        assert_eq!(report.misses, baseline.misses);
     }
 
     #[test]

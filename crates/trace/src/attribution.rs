@@ -10,7 +10,7 @@
 //! fsync, or neither?". Fractions can sum past 1.0 because one slow op
 //! can overlap several kinds of background work at once.
 
-use crate::{Category, Span, TraceLog};
+use crate::{Category, Span, TraceLog, NO_SHARD};
 
 /// Per-category share of the tail.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +20,21 @@ pub struct CategoryShare {
     /// Tail ops that overlapped at least one span of this category.
     pub overlapping: usize,
     /// `overlapping / tail_ops` (0 when there are no tail ops).
+    pub fraction: f64,
+}
+
+/// Per-shard share of the tail, for sharded stores.
+///
+/// Built from the shard tag op spans carry (see
+/// [`shard_scope`](crate::shard_scope)): a shard that owns a
+/// disproportionate slice of the tail is the hot shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardShare {
+    /// Shard id the ops were routed to.
+    pub shard: u64,
+    /// Tail ops served by this shard.
+    pub tail_ops: usize,
+    /// `tail_ops / total tail ops` (0 when there are no tail ops).
     pub fraction: f64,
 }
 
@@ -35,6 +50,9 @@ pub struct AttributionReport {
     /// One entry per background category, descending by count; only
     /// categories present in the log appear.
     pub shares: Vec<CategoryShare>,
+    /// One entry per shard that served tail ops, descending by count.
+    /// Empty unless op spans carry shard tags (i.e. a sharded store).
+    pub shard_shares: Vec<ShardShare>,
     /// Tail ops that overlapped no background span at all.
     pub unattributed: usize,
 }
@@ -77,6 +95,20 @@ impl AttributionReport {
             self.unattributed,
             unattributed_frac * 100.0
         ));
+        if !self.shard_shares.is_empty() {
+            out.push_str(&format!(
+                "  {:<16} {:>8} {:>9}\n",
+                "hot shards", "tail ops", "fraction"
+            ));
+            for share in &self.shard_shares {
+                out.push_str(&format!(
+                    "  {:<16} {:>8} {:>8.1}%\n",
+                    format!("shard {}", share.shard),
+                    share.tail_ops,
+                    share.fraction * 100.0
+                ));
+            }
+        }
         out
     }
 }
@@ -145,11 +177,37 @@ pub fn attribute(log: &TraceLog) -> AttributionReport {
             .then(a.category.cmp(&b.category))
     });
 
+    // Hot-shard breakdown: tail ops grouped by the shard that served
+    // them (ops without a shard tag contribute nothing).
+    let mut shard_shares: Vec<ShardShare> = Vec::new();
+    for op in &tail {
+        if op.shard == NO_SHARD {
+            continue;
+        }
+        match shard_shares.iter_mut().find(|s| s.shard == op.shard) {
+            Some(share) => share.tail_ops += 1,
+            None => shard_shares.push(ShardShare {
+                shard: op.shard,
+                tail_ops: 1,
+                fraction: 0.0,
+            }),
+        }
+    }
+    for share in &mut shard_shares {
+        share.fraction = if tail_ops == 0 {
+            0.0
+        } else {
+            share.tail_ops as f64 / tail_ops as f64
+        };
+    }
+    shard_shares.sort_by(|a, b| b.tail_ops.cmp(&a.tail_ops).then(a.shard.cmp(&b.shard)));
+
     AttributionReport {
         total_ops: ops.len(),
         p99_ns,
         tail_ops,
         shares,
+        shard_shares,
         unattributed,
     }
 }
@@ -165,6 +223,14 @@ mod tests {
             start_ns: start,
             dur_ns: dur,
             tid: 1,
+            shard: NO_SHARD,
+        }
+    }
+
+    fn sharded_op(start: u64, dur: u64, shard: u64) -> Span {
+        Span {
+            shard,
+            ..op(start, dur)
         }
     }
 
@@ -175,6 +241,7 @@ mod tests {
             start_ns: start,
             dur_ns: dur,
             tid: 2,
+            shard: NO_SHARD,
         }
     }
 
@@ -263,6 +330,37 @@ mod tests {
         assert_eq!(report.unattributed, 0);
         // Table renders without dividing by zero.
         assert!(report.to_table().contains("0 tail ops"));
+    }
+
+    #[test]
+    fn hot_shard_owns_its_share_of_the_tail() {
+        // 297 fast ops spread over shards, then 3 slow ops: two on
+        // shard 1, one on shard 0. With n = 300 the nearest-rank p99
+        // lands on a fast op, so the tail is exactly the slow three.
+        let mut events: Vec<Span> = (0..297).map(|i| sharded_op(i * 10, 100, i % 4)).collect();
+        events.push(sharded_op(50_000, 9_000, 1));
+        events.push(sharded_op(61_000, 9_500, 1));
+        events.push(sharded_op(72_000, 8_000, 0));
+        let report = attribute(&log(events));
+        assert_eq!(report.tail_ops, 3);
+        assert_eq!(report.shard_shares.len(), 2);
+        assert_eq!(report.shard_shares[0].shard, 1, "hot shard sorts first");
+        assert_eq!(report.shard_shares[0].tail_ops, 2);
+        assert!((report.shard_shares[0].fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(report.shard_shares[1].shard, 0);
+        let table = report.to_table();
+        assert!(table.contains("hot shards"));
+        assert!(table.contains("shard 1"));
+    }
+
+    #[test]
+    fn untagged_ops_produce_no_shard_section() {
+        let mut events: Vec<Span> = (0..99).map(|i| op(i * 10, 100)).collect();
+        events.push(op(50_000, 9_000));
+        let report = attribute(&log(events));
+        assert_eq!(report.tail_ops, 1);
+        assert!(report.shard_shares.is_empty());
+        assert!(!report.to_table().contains("hot shards"));
     }
 
     #[test]

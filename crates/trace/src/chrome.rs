@@ -8,7 +8,7 @@
 
 use serde::Value;
 
-use crate::{phase, Category, Span, TraceLog};
+use crate::{phase, Category, Span, TraceLog, NO_SHARD};
 
 fn micros(ns: u64) -> Value {
     Value::Float(ns as f64 / 1_000.0)
@@ -39,6 +39,10 @@ fn span_event(span: &Span) -> Value {
     } else {
         "phase"
     };
+    let mut args = vec![(arg_key(span.cat).to_string(), Value::UInt(span.arg as u128))];
+    if span.shard != NO_SHARD {
+        args.push(("shard".to_string(), Value::UInt(span.shard as u128)));
+    }
     Value::Object(vec![
         ("name".into(), Value::Str(name.to_string())),
         ("cat".into(), Value::Str(kind.to_string())),
@@ -47,13 +51,7 @@ fn span_event(span: &Span) -> Value {
         ("dur".into(), micros(span.dur_ns)),
         ("pid".into(), Value::UInt(1)),
         ("tid".into(), Value::UInt(span.tid as u128)),
-        (
-            "args".into(),
-            Value::Object(vec![(
-                arg_key(span.cat).to_string(),
-                Value::UInt(span.arg as u128),
-            )]),
-        ),
+        ("args".into(), Value::Object(args)),
     ])
 }
 
@@ -98,6 +96,7 @@ mod tests {
                     start_ns: 1_000,
                     dur_ns: 500,
                     tid: 1,
+                    shard: 3,
                 },
                 Span {
                     cat: Category::Compaction,
@@ -105,6 +104,7 @@ mod tests {
                     start_ns: 1_200,
                     dur_ns: 4_000,
                     tid: 2,
+                    shard: NO_SHARD,
                 },
                 Span {
                     cat: Category::Phase,
@@ -112,6 +112,7 @@ mod tests {
                     start_ns: 0,
                     dur_ns: 10_000,
                     tid: 1,
+                    shard: NO_SHARD,
                 },
             ],
             threads: vec![(1, "main".to_string()), (2, "lsm-worker".to_string())],
@@ -177,5 +178,29 @@ mod tests {
                 .and_then(Value::as_u64),
             Some(2)
         );
+    }
+
+    #[test]
+    fn shard_tag_appears_only_on_tagged_spans() {
+        let json = to_chrome_json(&sample_log());
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let Value::Array(events) = doc.get("traceEvents").unwrap() else {
+            panic!("traceEvents not an array");
+        };
+        let get = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("get"))
+            .unwrap();
+        assert_eq!(
+            get.get("args")
+                .and_then(|a| a.get("shard"))
+                .and_then(Value::as_u64),
+            Some(3)
+        );
+        let comp = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("compaction"))
+            .unwrap();
+        assert!(comp.get("args").and_then(|a| a.get("shard")).is_none());
     }
 }

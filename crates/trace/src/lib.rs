@@ -27,6 +27,7 @@
 //! tail-latency [`attribution`] report: for the sampled ops slower than
 //! p99, which background work was running at the same time?
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
@@ -162,6 +163,7 @@ struct Slot {
     dur_ns: AtomicU64,
     arg: AtomicU64,
     cat: AtomicU64,
+    shard: AtomicU64,
 }
 
 impl Slot {
@@ -171,6 +173,7 @@ impl Slot {
             dur_ns: AtomicU64::new(0),
             arg: AtomicU64::new(0),
             cat: AtomicU64::new(u64::MAX),
+            shard: AtomicU64::new(NO_SHARD),
         }
     }
 }
@@ -198,6 +201,7 @@ impl Ring {
         slot.start_ns.store(start_ns, Ordering::Relaxed);
         slot.dur_ns.store(dur_ns, Ordering::Relaxed);
         slot.arg.store(arg, Ordering::Relaxed);
+        slot.shard.store(current_shard(), Ordering::Relaxed);
         slot.cat.store(cat as u64, Ordering::Relaxed);
         self.head.store(head + 1, Ordering::Release);
     }
@@ -219,6 +223,7 @@ impl Ring {
                 arg: slot.arg.load(Ordering::Relaxed),
                 start_ns: slot.start_ns.load(Ordering::Relaxed),
                 dur_ns: slot.dur_ns.load(Ordering::Relaxed),
+                shard: slot.shard.load(Ordering::Relaxed),
             });
         }
         (out, dropped)
@@ -230,6 +235,7 @@ struct RawSpan {
     arg: u64,
     start_ns: u64,
     dur_ns: u64,
+    shard: u64,
 }
 
 struct RingHandle {
@@ -279,6 +285,57 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Shard context
+// ---------------------------------------------------------------------------
+
+/// Shard value recorded for spans outside any shard context.
+pub const NO_SHARD: u64 = u64::MAX;
+
+thread_local! {
+    static CURRENT_SHARD: Cell<u64> = const { Cell::new(NO_SHARD) };
+}
+
+/// The shard id spans recorded by this thread are tagged with
+/// ([`NO_SHARD`] when untagged).
+#[inline]
+pub fn current_shard() -> u64 {
+    CURRENT_SHARD.with(Cell::get)
+}
+
+/// Permanently tags this thread's spans with `shard`.
+///
+/// Store-owned background threads (per-shard LSM workers) call this once
+/// at startup so their flush/compaction spans can be attributed to the
+/// shard that scheduled them.
+pub fn set_thread_shard(shard: u64) {
+    CURRENT_SHARD.with(|s| s.set(shard));
+}
+
+/// Tags spans recorded by this thread with `shard` until the guard
+/// drops, then restores the previous tag.
+///
+/// The sharded store wraps every routed call in one of these, so
+/// foreground op spans (and WAL fsyncs performed on the caller's thread)
+/// carry the shard that served them even though one caller thread talks
+/// to many shards.
+#[must_use = "the scope untags the thread when dropped"]
+pub fn shard_scope(shard: u64) -> ShardScope {
+    let previous = CURRENT_SHARD.with(|s| s.replace(shard));
+    ShardScope { previous }
+}
+
+/// RAII guard restoring the previous thread shard tag on drop.
+pub struct ShardScope {
+    previous: u64,
+}
+
+impl Drop for ShardScope {
+    fn drop(&mut self) {
+        CURRENT_SHARD.with(|s| s.set(self.previous));
+    }
 }
 
 /// Nanoseconds since the process-wide trace epoch (first use).
@@ -409,6 +466,7 @@ impl TraceSession {
                 start_ns: s.start_ns,
                 dur_ns: s.dur_ns,
                 tid: handle.tid,
+                shard: s.shard,
             }));
         }
         events.sort_by_key(|e| (e.start_ns, e.tid));
@@ -441,6 +499,9 @@ pub struct Span {
     pub dur_ns: u64,
     /// Trace-local id of the recording thread.
     pub tid: u64,
+    /// Shard the span belongs to, or [`NO_SHARD`] if it was recorded
+    /// outside any shard context.
+    pub shard: u64,
 }
 
 impl Span {
@@ -453,6 +514,11 @@ impl Span {
     /// zero-duration span overlaps anything covering its instant).
     pub fn overlaps(&self, other: &Span) -> bool {
         self.start_ns <= other.end_ns() && other.start_ns <= self.end_ns()
+    }
+
+    /// Whether the span was recorded inside a shard context.
+    pub fn has_shard(&self) -> bool {
+        self.shard != NO_SHARD
     }
 }
 
@@ -586,12 +652,56 @@ mod tests {
             start_ns: start,
             dur_ns: dur,
             tid: 1,
+            shard: NO_SHARD,
         };
         assert!(mk(0, 10).overlaps(&mk(5, 10)));
         assert!(mk(5, 10).overlaps(&mk(0, 10)));
         assert!(mk(0, 10).overlaps(&mk(10, 5)), "touching counts");
         assert!(!mk(0, 10).overlaps(&mk(11, 5)));
         assert!(mk(5, 0).overlaps(&mk(0, 10)), "instant inside window");
+    }
+
+    #[test]
+    fn shard_scope_tags_spans_and_restores() {
+        let session = start_session();
+        record_complete(Category::OpGet, 0, now_ns(), 10);
+        {
+            let _outer = shard_scope(3);
+            record_complete(Category::OpPut, 0, now_ns(), 10);
+            {
+                let _inner = shard_scope(5);
+                record_complete(Category::WalFsync, 0, now_ns(), 10);
+            }
+            // Inner scope restored the outer tag.
+            record_complete(Category::OpDelete, 0, now_ns(), 10);
+        }
+        record_complete(Category::OpMerge, 0, now_ns(), 10);
+        let log = session.finish();
+        let shard_of = |cat| log.spans_of(cat).next().unwrap().shard;
+        assert_eq!(shard_of(Category::OpGet), NO_SHARD);
+        assert_eq!(shard_of(Category::OpPut), 3);
+        assert_eq!(shard_of(Category::WalFsync), 5);
+        assert_eq!(shard_of(Category::OpDelete), 3);
+        assert_eq!(shard_of(Category::OpMerge), NO_SHARD);
+        assert!(!log.spans_of(Category::OpGet).next().unwrap().has_shard());
+        assert!(log.spans_of(Category::OpPut).next().unwrap().has_shard());
+    }
+
+    #[test]
+    fn worker_threads_keep_a_permanent_shard_tag() {
+        let session = start_session();
+        let handle = std::thread::Builder::new()
+            .name("shard-worker-2".into())
+            .spawn(|| {
+                set_thread_shard(2);
+                record_complete(Category::Flush, 10, now_ns(), 100);
+                record_complete(Category::Compaction, 0, now_ns(), 100);
+            })
+            .unwrap();
+        handle.join().unwrap();
+        let log = session.finish();
+        assert_eq!(log.spans_of(Category::Flush).next().unwrap().shard, 2);
+        assert_eq!(log.spans_of(Category::Compaction).next().unwrap().shard, 2);
     }
 
     #[test]
