@@ -107,6 +107,17 @@ fn verdict_group_commit_speedup(_c: &mut Criterion) {
     }
     let snap = store.metrics().unwrap_or_default();
     let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    // One extra instrumented round per side feeds the perf trajectory:
+    // the verdict above stays on the untouched min-of-rounds timing,
+    // while these rounds record per-batch latencies into a versioned
+    // run report under results/reports/.
+    emit_bench_report(&store, put_batch(&mut next, OPS_PER_ROUND), 1, "serial-put");
+    emit_bench_report(
+        &store,
+        put_batch(&mut next, OPS_PER_ROUND),
+        BATCH,
+        "batch64-put",
+    );
     drop(store);
     let _ = std::fs::remove_dir_all(&dir);
     let ratio = serial_ns / batched_ns;
@@ -120,6 +131,34 @@ fn verdict_group_commit_speedup(_c: &mut Criterion) {
     println!(
         "batch_sweep: {} ({ratio:.1}x vs 5x target at batch {BATCH})",
         if ratio >= 5.0 { "PASS" } else { "FAIL" }
+    );
+}
+
+/// Replays `ops` through `apply_batch` in `batch`-sized chunks with
+/// per-chunk timing folded into a latency histogram, then writes the
+/// run as a `gadget-report` document for cross-revision comparison.
+fn emit_bench_report(store: &dyn StateStore, ops: Vec<Op>, batch: usize, workload: &str) {
+    let mut m = gadget_replay::Measured::new();
+    let started = Instant::now();
+    for chunk in ops.chunks(batch) {
+        let t = Instant::now();
+        store.apply_batch(chunk).expect("batch");
+        let ns = (t.elapsed().as_nanos() as u64) / chunk.len() as u64;
+        for _ in chunk {
+            m.overall.record(ns);
+            m.per_op[1].record(ns); // the put slot (OpType::ALL order)
+        }
+        m.executed += chunk.len() as u64;
+    }
+    let run = m.to_report(store.name(), workload, started.elapsed().as_secs_f64());
+    gadget_bench::emit_run_report(
+        &gadget_bench::bench_reports_dir(),
+        "batch_sweep",
+        "lsm-sync",
+        &run,
+        store.metrics(),
+        &format!("batch_sweep workload={workload} batch={batch}"),
+        batch,
     );
 }
 

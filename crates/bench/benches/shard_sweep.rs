@@ -108,6 +108,16 @@ fn verdict_shard_speedup(_c: &mut Criterion) {
         single_ns = single_ns.min(batched_ns_per_op(&single, &ops));
         quad_ns = quad_ns.min(batched_ns_per_op(&quad, &ops));
     }
+    // One extra instrumented round per side feeds the perf trajectory
+    // (versioned run reports under results/reports/); the verdict stays
+    // on the untouched min-of-rounds timing above.
+    emit_bench_report(
+        &single,
+        put_batch(&mut next, OPS_PER_ROUND),
+        "shard1-put",
+        1,
+    );
+    emit_bench_report(&quad, put_batch(&mut next, OPS_PER_ROUND), "shard4-put", 4);
     drop(single);
     drop(quad);
     let _ = std::fs::remove_dir_all(&dir1);
@@ -126,6 +136,35 @@ fn verdict_shard_speedup(_c: &mut Criterion) {
         "FAIL"
     };
     println!("shard_sweep: {verdict} ({ratio:.1}x vs 2x target at 4 shards, {cpus} CPU(s))");
+}
+
+/// Replays `ops` through `apply_batch` in `BATCH`-sized chunks with
+/// per-chunk timing folded into a latency histogram, then writes the
+/// run as a `gadget-report` document for cross-revision comparison.
+fn emit_bench_report(store: &dyn StateStore, ops: Vec<Op>, workload: &str, shards: usize) {
+    let mut m = gadget_replay::Measured::new();
+    let started = Instant::now();
+    for chunk in ops.chunks(BATCH) {
+        let t = Instant::now();
+        store.apply_batch(chunk).expect("batch");
+        let ns = (t.elapsed().as_nanos() as u64) / chunk.len() as u64;
+        for _ in chunk {
+            m.overall.record(ns);
+            m.per_op[1].record(ns); // the put slot (OpType::ALL order)
+        }
+        m.executed += chunk.len() as u64;
+    }
+    let mut run = m.to_report(store.name(), workload, started.elapsed().as_secs_f64());
+    run.store = "lsm-sync-sharded".to_string();
+    gadget_bench::emit_run_report(
+        &gadget_bench::bench_reports_dir(),
+        "shard_sweep",
+        "lsm-sync-sharded",
+        &run,
+        store.metrics(),
+        &format!("shard_sweep workload={workload} shards={shards} batch={BATCH}"),
+        BATCH,
+    );
 }
 
 criterion_group!(benches, bench_shard_counts, verdict_shard_speedup);

@@ -59,6 +59,20 @@ pub fn compute(scale: &Scale) -> Vec<Row> {
             let report = replayer
                 .replay(&trace, run_store.as_ref(), name)
                 .expect("replay");
+            if let Some(dir) = &scale.reports {
+                crate::emit_run_report(
+                    dir,
+                    "fig12",
+                    inst.label,
+                    &report,
+                    inst.store.metrics(),
+                    &format!(
+                        "fig12 workload={name} ops={} batch={}",
+                        scale.ops, scale.batch
+                    ),
+                    scale.batch,
+                );
+            }
             rows.push(Row {
                 workload: name.to_string(),
                 store: inst.label.to_string(),

@@ -38,11 +38,17 @@ pub struct Scale {
     /// Ops per `apply_batch` call in replay-based experiments (1 =
     /// op-by-op, the pre-batching behavior).
     pub batch: usize,
+    /// Directory for versioned per-run reports (`gadget-report`), if
+    /// any. Experiments that measure store runs (fig12) drop one
+    /// report per (workload, store) here so `gadget report compare`
+    /// can diff them across revisions.
+    pub reports: Option<PathBuf>,
 }
 
 impl Scale {
     /// Parses `--events N`, `--ops N`, `--seed N`, `--metrics PATH`,
-    /// `--trace PATH`, `--batch-size N`, `--full` from argv.
+    /// `--trace PATH`, `--batch-size N`, `--reports DIR`,
+    /// `--no-reports`, `--full` from argv.
     pub fn from_args() -> Scale {
         let mut scale = Scale {
             events: 100_000,
@@ -51,6 +57,7 @@ impl Scale {
             metrics: None,
             trace: None,
             batch: 1,
+            reports: Some(PathBuf::from("results/reports")),
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -83,6 +90,13 @@ impl Scale {
                 "--batch-size" if i + 1 < args.len() => {
                     scale.batch = args[i + 1].parse().expect("--batch-size takes a number");
                     i += 1;
+                }
+                "--reports" if i + 1 < args.len() => {
+                    scale.reports = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
+                "--no-reports" => {
+                    scale.reports = None;
                 }
                 other => eprintln!("ignoring unknown argument {other}"),
             }
@@ -284,6 +298,52 @@ pub fn dump_json<T: serde::Serialize>(name: &str, value: &T) {
         }
         Err(e) => eprintln!("could not serialize {name}: {e}"),
     }
+}
+
+/// Writes a versioned run report for one measured experiment run into
+/// `dir` as `<experiment>-<workload>-<store_label>.json`.
+///
+/// The store identity in the report is `store_label` (the zoo label,
+/// e.g. `rocksdb-class`) rather than the engine name the replay layer
+/// recorded, so the two LSM variants don't collide and baselines match
+/// on the label users sweep by.
+pub fn emit_run_report(
+    dir: &std::path::Path,
+    experiment: &str,
+    store_label: &str,
+    run: &gadget_replay::RunReport,
+    metrics: Option<gadget_obs::MetricsSnapshot>,
+    config: &str,
+    batch: usize,
+) {
+    let mut meta = gadget_report::capture(config);
+    meta.batch_size = batch as u64;
+    let mut report = gadget_report::RunReport::from_run(run, meta);
+    report.store = store_label.to_string();
+    if let Some(snapshot) = metrics {
+        report.metrics = snapshot;
+    }
+    let slug = |s: &str| {
+        s.to_lowercase()
+            .replace(|c: char| !c.is_ascii_alphanumeric() && c != '-', "-")
+    };
+    let path = dir.join(format!(
+        "{experiment}-{}-{}.json",
+        slug(&run.workload),
+        slug(store_label)
+    ));
+    match report.save(&path) {
+        Ok(()) => println!("(run report saved to {})", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Reports directory for criterion benches, which run with the package
+/// directory as cwd: resolves to `<workspace>/results/reports`.
+pub fn bench_reports_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results/reports")
 }
 
 /// Adapter: lets an `Arc<dyn StateStore>` zoo handle be wrapped by

@@ -13,6 +13,7 @@ fn tiny() -> Scale {
         metrics: None,
         trace: None,
         batch: 1,
+        reports: None,
     }
 }
 

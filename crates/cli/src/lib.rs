@@ -63,6 +63,20 @@ impl Flags {
         self.values.get(key).map(|s| s.as_str())
     }
 
+    /// Canonical `key=value` rendering of all flags, sorted by key.
+    /// Digested into a run report's `config_digest`, so the same
+    /// invocation always produces the same digest regardless of flag
+    /// order.
+    pub fn canonical(&self) -> String {
+        let mut pairs: Vec<_> = self
+            .values
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        pairs.sort();
+        pairs.join(" ")
+    }
+
     /// An optional parsed flag.
     pub fn optional_parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
         match self.values.get(key) {
@@ -86,6 +100,11 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     if cmd.starts_with("--") {
         let flags = Flags::parse(args)?;
         return cmd_observe(&flags);
+    }
+    // `report` takes positional file arguments (`report compare a b`),
+    // which the strict `--key value` parser would reject.
+    if cmd == "report" {
+        return cmd_report(&args[1..]);
     }
     let flags = Flags::parse(&args[1..])?;
     match cmd.as_str() {
@@ -118,14 +137,21 @@ pub fn usage() -> String {
      \x20          [--shards <n>] [--replay-threads <n>]  keyspace-sharded store / shard-affine threads\n\
      \x20          [--metrics <json>] [--every <ops>]\n\
      \x20          [--trace-out <json>]                   span timeline (Chrome/Perfetto) + tail attribution\n\
+     \x20          [--report-out <json>]                  versioned run report (provenance + histograms)\n\
      \x20 online   --config <json> --store <label>       generate and issue requests on the fly\n\
      \x20          [--shards <n>] [--batch-size <n>] [--metrics <json>] [--every <ops>] [--trace <json>]\n\
+     \x20          [--report-out <json>]\n\
+     \x20 report   show <report.json>                    summarize one run report\n\
+     \x20 report   compare <baseline.json> <candidate.json>  statistical regression verdict (KS + W1)\n\
+     \x20          compare <candidate.json> --baseline <dir>  ...against the newest matching baseline\n\
+     \x20          [--tolerance <pct>] [--out <json>]     thresholds / machine-readable ComparisonReport\n\
      \x20 observe  --config <json> --metrics <json>      run the workload on every store, sampling\n\
      \x20          [--stores <a,b,..>] [--every <ops>]    internal metrics into a JSON time series\n\
      \x20 analyze  --trace <trace>                       characterize a trace (composition, locality, TTL)\n\
      \x20 compare  --a <trace> --b <trace>                side-by-side fidelity report (paper 6.1)\n\
      \x20 concurrent --traces <a.gdt,b.gdt> --store <label>  co-located operators (paper 6.4)\n\
      \x20          [--rate <ops/s>] [--ops <n>] [--batch-size <n>] [--shards <n>] [--replay-threads <n>]\n\
+     \x20          [--report-out <json>]                  one report per trace (suffixed -0, -1, ...)\n\
      \x20 tune-cache --trace <trace> --hit-rate <0..1>   recommend an LRU capacity (paper 8)\n\
      \x20 dataset  --name <borg|taxi|azure> --events <n> --out <events.csv>\n\
      \x20 ycsb     --workload <A|B|C|D|F> --records <n> --ops <n> --out <trace>\n\
@@ -383,12 +409,13 @@ fn write_series(path: &str, series: &MetricsSeries) -> Result<(), String> {
 
 /// Writes a finished trace session as Chrome JSON, prints the
 /// tail-latency attribution table, and (when a metrics series is being
-/// collected) embeds the report in the series' final point.
+/// collected) embeds the report in the series' final point. Returns the
+/// attribution so callers can also embed it in a run report.
 fn export_trace(
     path: &str,
     log: &gadget_obs::trace::TraceLog,
     emitter: Option<&mut SnapshotEmitter>,
-) -> Result<(), String> {
+) -> Result<gadget_obs::trace::AttributionReport, String> {
     log.write_chrome(std::path::Path::new(path))
         .map_err(|e| format!("cannot write {path}: {e}"))?;
     println!(
@@ -404,7 +431,44 @@ fn export_trace(
             gadget_obs::attribution_snapshot(&report),
         );
     }
+    Ok(report)
+}
+
+/// Assembles and writes a versioned [`gadget_report::RunReport`] for a
+/// finished measured run: provenance from the environment and flags,
+/// measurements from the replay layer, plus the store's final metrics
+/// snapshot and (when tracing was on) the tail-latency attribution.
+fn write_run_report(
+    path: &str,
+    flags: &Flags,
+    run: &gadget_replay::RunReport,
+    store_metrics: Option<gadget_obs::MetricsSnapshot>,
+    attribution: Option<&gadget_obs::trace::AttributionReport>,
+) -> Result<(), String> {
+    let options = replay_options(flags)?;
+    let mut meta = gadget_report::capture(&flags.canonical());
+    meta.threads = options.replay_threads as u64;
+    meta.shards = shard_count(flags)? as u64;
+    meta.batch_size = options.batch_size as u64;
+    let mut report = gadget_report::RunReport::from_run(run, meta);
+    if let Some(snapshot) = store_metrics {
+        report.metrics = snapshot;
+    }
+    report.attribution = attribution.map(gadget_obs::attribution_snapshot);
+    report
+        .save(std::path::Path::new(path))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote run report to {path}");
     Ok(())
+}
+
+/// `reports.json` → `reports-0.json`, `reports-1.json`, ... — one
+/// output per concurrent trace.
+fn indexed_path(path: &str, index: usize) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}-{index}.{ext}"),
+        _ => format!("{path}-{index}"),
+    }
 }
 
 fn cmd_replay(flags: &Flags) -> Result<(), String> {
@@ -435,14 +499,18 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
         Some(em) => replayer.replay_observed(&trace, run_store.as_ref(), trace_path, em),
     }
     .map_err(|e| e.to_string())?;
+    let mut attribution = None;
     if let Some(out) = trace_out {
         let log = session
             .expect("session exists when --trace-out set")
             .finish();
-        export_trace(out, &log, emitter.as_mut())?;
+        attribution = Some(export_trace(out, &log, emitter.as_mut())?);
     }
     if let (Some(metrics_path), Some(em)) = (flags.optional("metrics"), emitter.as_ref()) {
         write_series(metrics_path, em.series())?;
+    }
+    if let Some(path) = flags.optional("report-out") {
+        write_run_report(path, flags, &report, store.metrics(), attribution.as_ref())?;
     }
     print_report(&report);
     Ok(())
@@ -483,12 +551,16 @@ fn cmd_online(flags: &Flags) -> Result<(), String> {
         }
     }
     .map_err(|e| e.to_string())?;
+    let mut attribution = None;
     if let Some(out) = trace_out {
         let log = session.expect("session exists when tracing").finish();
-        export_trace(out, &log, emitter.as_mut())?;
+        attribution = Some(export_trace(out, &log, emitter.as_mut())?);
     }
     if let (Some(metrics_path), Some(em)) = (flags.optional("metrics"), emitter.as_ref()) {
         write_series(metrics_path, em.series())?;
+    }
+    if let Some(path) = flags.optional("report-out") {
+        write_run_report(path, flags, &report, store.metrics(), attribution.as_ref())?;
     }
     print_report(&report);
     Ok(())
@@ -671,6 +743,142 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `gadget report <show|compare> <files...> [--flags...]`.
+///
+/// Positional arguments (everything before the first `--flag`) are
+/// hand-split because [`Flags::parse`] only accepts `--key value`
+/// pairs.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: gadget report show <report.json>\n\
+         \x20      gadget report compare <baseline.json> <candidate.json> [--tolerance <pct>] [--out <json>]\n\
+         \x20      gadget report compare <candidate.json> --baseline <dir> [--tolerance <pct>] [--out <json>]";
+    let Some(action) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let rest = &args[1..];
+    let split = rest
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(rest.len());
+    let (positional, flag_args) = rest.split_at(split);
+    let flags = Flags::parse(flag_args)?;
+    match action.as_str() {
+        "show" => {
+            let [path] = positional else {
+                return Err(USAGE.to_string());
+            };
+            let report = gadget_report::RunReport::load(std::path::Path::new(path))?;
+            print_run_report_summary(path, &report);
+            Ok(())
+        }
+        "compare" => {
+            let tolerance = match flags.optional_parse::<f64>("tolerance")? {
+                Some(pct) if pct > 0.0 => gadget_report::Tolerance::from_pct(pct),
+                Some(_) => return Err("--tolerance must be positive".to_string()),
+                None => gadget_report::Tolerance::default(),
+            };
+            let (baseline_label, baseline, candidate_label, candidate) = match positional {
+                [a, b] => (
+                    a.clone(),
+                    gadget_report::RunReport::load(std::path::Path::new(a))?,
+                    b.clone(),
+                    gadget_report::RunReport::load(std::path::Path::new(b))?,
+                ),
+                [cand] => {
+                    let candidate = gadget_report::RunReport::load(std::path::Path::new(cand))?;
+                    let dir = flags.required("baseline")?;
+                    let (path, baseline) = gadget_report::find_baseline(
+                        std::path::Path::new(dir),
+                        &candidate.store,
+                        &candidate.workload,
+                    )?;
+                    (
+                        path.display().to_string(),
+                        baseline,
+                        cand.clone(),
+                        candidate,
+                    )
+                }
+                _ => return Err(USAGE.to_string()),
+            };
+            let comparison = gadget_report::compare_reports(
+                &baseline,
+                &candidate,
+                &baseline_label,
+                &candidate_label,
+                &tolerance,
+            );
+            // Verdict table on stderr so stdout stays machine-friendly
+            // (and the table survives output redirection in CI logs).
+            eprint!("{}", comparison.to_table());
+            if let Some(out) = flags.optional("out") {
+                let mut text =
+                    serde_json::to_string_pretty(&comparison).map_err(|e| e.to_string())?;
+                text.push('\n');
+                std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+            }
+            println!("verdict: {}", comparison.status.label());
+            if comparison.regressed() {
+                let failed: Vec<&str> = comparison
+                    .metrics
+                    .iter()
+                    .filter(|m| m.status == gadget_report::Status::Regressed)
+                    .map(|m| m.metric.as_str())
+                    .collect();
+                return Err(format!("comparison REGRESSED: {}", failed.join(", ")));
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown report action {other}\n{USAGE}")),
+    }
+}
+
+/// Human summary of one run report (`gadget report show`).
+fn print_run_report_summary(path: &str, report: &gadget_report::RunReport) {
+    println!("report:     {path} (schema v{})", report.version);
+    println!("run:        {} / {}", report.store, report.workload);
+    let m = &report.meta;
+    println!("revision:   {} ({})", m.git_describe, m.git_sha);
+    println!(
+        "config:     digest={} threads={} shards={} batch={} cpus={}",
+        m.config_digest, m.threads, m.shards, m.batch_size, m.cpu_count
+    );
+    println!(
+        "measured:   {} ops in {:.3}s -> {:.0} ops/s ({} hits, {} misses)",
+        report.operations, report.seconds, report.throughput, report.hits, report.misses
+    );
+    let h = &report.latency;
+    if h.count() > 0 {
+        println!(
+            "latency ns: mean={:.0} p50={} p99={} p99.9={} max={}",
+            h.mean(),
+            h.percentile(50.0),
+            h.percentile(99.0),
+            h.percentile(99.9),
+            h.max()
+        );
+    }
+    for (op, hist) in &report.per_op {
+        println!(
+            "  {op:>6}: n={} mean={:.0}ns p99.9={}",
+            hist.count(),
+            hist.mean(),
+            hist.percentile(99.9)
+        );
+    }
+    println!(
+        "metrics:    {} counters, {} gauges, {} histograms{}",
+        report.metrics.counters.len(),
+        report.metrics.gauges.len(),
+        report.metrics.histograms.len(),
+        if report.attribution.is_some() {
+            "; tail attribution attached"
+        } else {
+            ""
+        }
+    );
+}
+
 fn cmd_concurrent(flags: &Flags) -> Result<(), String> {
     let traces_arg = flags.required("traces")?;
     let label = flags.required("store")?;
@@ -683,11 +891,17 @@ fn cmd_concurrent(flags: &Flags) -> Result<(), String> {
         return Err("--traces requires at least one path".to_string());
     }
     let store = open_store_sharded(label, flags.optional("dir"), shard_count(flags)?)?;
-    match gadget_replay::run_concurrent(traces, store, replay_options(flags)?) {
+    match gadget_replay::run_concurrent(traces, store.clone(), replay_options(flags)?) {
         Ok(reports) => {
             for report in &reports {
                 print_report(report);
                 println!();
+            }
+            if let Some(path) = flags.optional("report-out") {
+                for (i, report) in reports.iter().enumerate() {
+                    let out = indexed_path(path, i);
+                    write_run_report(&out, flags, report, store.metrics(), None)?;
+                }
             }
             Ok(())
         }
@@ -1204,5 +1418,171 @@ mod tests {
         let trace = Trace::load(&out).unwrap();
         assert_eq!(trace.stats().total, 1_000);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Replays `trace` on `mem` and writes a run report to `out`.
+    fn replay_with_report(trace: &std::path::Path, out: &std::path::Path) {
+        dispatch(&strs(&[
+            "replay",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--store",
+            "mem",
+            "--report-out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn report_out_compare_passes_then_regresses_on_perturbation() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.gdt");
+        dispatch(&strs(&[
+            "ycsb",
+            "--workload",
+            "A",
+            "--records",
+            "200",
+            "--ops",
+            "5000",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let (a, b) = (dir.join("a.json"), dir.join("b.json"));
+        replay_with_report(&trace_path, &a);
+        replay_with_report(&trace_path, &b);
+
+        // Reports parse back with provenance recorded.
+        let parsed = gadget_report::RunReport::load(&a).unwrap();
+        assert_eq!(parsed.store, "mem");
+        assert_eq!(parsed.operations, 5_000);
+        assert_eq!(parsed.latency.count(), 5_000);
+        assert!(parsed.meta.cpu_count >= 1);
+        assert_ne!(parsed.meta.config_digest, "unknown");
+
+        // Same seed, same machine, generous tolerance: PASS.
+        let cmp_out = dir.join("cmp.json");
+        dispatch(&strs(&[
+            "report",
+            "compare",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--tolerance",
+            "50",
+            "--out",
+            cmp_out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let cmp_text = std::fs::read_to_string(&cmp_out).unwrap();
+        assert!(cmp_text.contains("\"status\""), "machine output written");
+        assert!(cmp_text.contains("\"ks_p\""), "KS statistics recorded");
+
+        // 4x latency + quartered throughput: REGRESSED, non-zero exit
+        // (dispatch Err is what the binary maps to exit code 1).
+        let mut slow = gadget_report::RunReport::load(&b).unwrap();
+        let mut hist = gadget_obs::LogHistogram::new();
+        for (floor, count) in slow.latency.buckets() {
+            for _ in 0..count {
+                hist.record(floor.saturating_mul(4).max(4));
+            }
+        }
+        slow.latency = hist;
+        slow.throughput /= 4.0;
+        let c = dir.join("c.json");
+        slow.save(&c).unwrap();
+        let err = dispatch(&strs(&[
+            "report",
+            "compare",
+            a.to_str().unwrap(),
+            c.to_str().unwrap(),
+            "--tolerance",
+            "50",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("REGRESSED"), "got: {err}");
+        assert!(err.contains("latency"), "latency named as regressed: {err}");
+
+        // `report show` summarizes without error.
+        dispatch(&strs(&["report", "show", a.to_str().unwrap()])).unwrap();
+
+        // Baseline-directory form: picks the matching report from a dir.
+        let bl_dir = dir.join("baselines");
+        std::fs::create_dir_all(&bl_dir).unwrap();
+        std::fs::copy(&a, bl_dir.join("baseline.json")).unwrap();
+        dispatch(&strs(&[
+            "report",
+            "compare",
+            b.to_str().unwrap(),
+            "--baseline",
+            bl_dir.to_str().unwrap(),
+            "--tolerance",
+            "50",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_compare_rejects_malformed_and_missing_inputs() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-repbad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("nope.json");
+        let err = dispatch(&strs(&[
+            "report",
+            "compare",
+            missing.to_str().unwrap(),
+            missing.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("nope.json"), "got: {err}");
+
+        let malformed = dir.join("bad.json");
+        std::fs::write(&malformed, "{\"not\": \"a report\"}").unwrap();
+        let err = dispatch(&strs(&[
+            "report",
+            "compare",
+            malformed.to_str().unwrap(),
+            malformed.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bad.json"), "got: {err}");
+
+        // Baseline directory with no matching report.
+        let sample = crate::tests::sample_saved_report(&dir);
+        let empty = dir.join("empty-baselines");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = dispatch(&strs(&[
+            "report",
+            "compare",
+            sample.to_str().unwrap(),
+            "--baseline",
+            empty.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no baseline report"), "got: {err}");
+
+        // Bad shapes: no args, unknown action, `show` without a file.
+        assert!(dispatch(&strs(&["report"])).is_err());
+        assert!(dispatch(&strs(&["report", "frob"])).is_err());
+        assert!(dispatch(&strs(&["report", "show"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Writes a minimal valid report for tests that only need identity.
+    fn sample_saved_report(dir: &std::path::Path) -> std::path::PathBuf {
+        let mut m = gadget_replay::Measured::new();
+        for i in 0..100 {
+            m.overall.record(500 + i);
+            m.per_op[0].record(500 + i);
+        }
+        m.executed = 100;
+        let run = m.to_report("mem", "unit", 0.01);
+        let report = gadget_report::RunReport::from_run(&run, gadget_report::RunMeta::default());
+        let path = dir.join("sample.json");
+        report.save(&path).unwrap();
+        path
     }
 }

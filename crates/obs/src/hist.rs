@@ -128,13 +128,39 @@ impl LogHistogram {
     }
 
     /// Merges another histogram into this one.
+    ///
+    /// Merge semantics are a *union*: per-bucket counts add, `sum` adds,
+    /// `max` takes the larger side. Buckets occupied on only one side
+    /// keep that side's count — merging histograms over disjoint value
+    /// ranges (e.g. per-shard latency profiles with different speeds) is
+    /// well-defined and exact at bucket granularity. The bucket layout
+    /// itself (`MANTISSA_BITS`, bucket count) is a compile-time
+    /// invariant of this crate, so two in-process histograms always
+    /// agree on shape; histograms deserialized from files written by a
+    /// *different* layout are rejected at decode time (see the
+    /// `mantissa_bits` wire field) rather than silently mis-merged.
     pub fn merge(&mut self, other: &LogHistogram) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
         self.total += other.total;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
+    }
+
+    /// Occupied buckets as `(bucket_floor, count)` pairs, ascending by
+    /// value. `bucket_floor` is the lower bound of the bucket's value
+    /// range (see [`bucket_bounds`]); together with the counts this is
+    /// enough to reconstruct the empirical distribution at bucket
+    /// granularity — the decoding used by `gadget-report`'s statistical
+    /// comparison engine.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(b, &c)| (bucket_floor(b), c))
     }
 }
 
@@ -152,6 +178,10 @@ impl Serialize for LogHistogram {
             .map(|(b, &c)| Value::Array(vec![Value::UInt(b as u128), Value::UInt(c as u128)]))
             .collect();
         Value::Object(vec![
+            (
+                "mantissa_bits".to_string(),
+                Value::UInt(MANTISSA_BITS as u128),
+            ),
             ("count".to_string(), Value::UInt(self.total as u128)),
             ("sum".to_string(), Value::UInt(self.sum)),
             ("max".to_string(), Value::UInt(self.max as u128)),
@@ -182,6 +212,18 @@ impl Deserialize for LogHistogram {
         let field = |name: &str| {
             serde::find_field(members, name).ok_or_else(|| Error::missing_field(name, CTX))
         };
+        // Bucket indexes are only meaningful under the layout that wrote
+        // them. Histograms serialized before the field existed carry no
+        // marker and are accepted (they used today's layout); an explicit
+        // mismatch is a hard error, not a silent mis-decode.
+        if let Some(bits) = serde::find_field(members, "mantissa_bits") {
+            let bits = u32::from_value(bits)?;
+            if bits != MANTISSA_BITS {
+                return Err(Error::custom(format!(
+                    "{CTX} written with {bits} mantissa bits, this build uses {MANTISSA_BITS}"
+                )));
+            }
+        }
         let mut hist = LogHistogram::new();
         hist.total = u64::from_value(field("count")?)?;
         hist.sum = u128::from_value(field("sum")?)?;
@@ -424,6 +466,47 @@ mod tests {
         let json = serde_json::to_string(&h).unwrap();
         // Two occupied buckets → two [index, count] pairs, not 2048 slots.
         assert_eq!(json.matches('[').count(), 3, "json: {json}");
+    }
+
+    #[test]
+    fn buckets_reconstruct_the_distribution() {
+        let mut h = LogHistogram::new();
+        let values = [3u64, 3, 70, 1_000_000, 1_000_000, 1_000_000];
+        for v in values {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(buckets.len(), 3, "{buckets:?}");
+        assert_eq!(buckets.iter().map(|(_, c)| c).sum::<u64>(), 6);
+        // Floors ascend and each recorded value falls in its bucket.
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for v in values {
+            let (lo, hi) = bucket_bounds(v);
+            assert!(buckets.iter().any(|&(f, _)| f == lo && lo <= v && v < hi));
+        }
+        assert!(LogHistogram::new().buckets().next().is_none());
+    }
+
+    #[test]
+    fn mismatched_bucket_layout_is_rejected() {
+        let mut h = LogHistogram::new();
+        h.record(1_000);
+        let json = serde_json::to_string(&h).unwrap();
+        assert!(json.contains("\"mantissa_bits\""));
+        // A file written under a different layout must not decode.
+        let foreign = json.replace(
+            &format!("\"mantissa_bits\":{MANTISSA_BITS}"),
+            "\"mantissa_bits\":7",
+        );
+        assert_ne!(json, foreign);
+        let err = serde_json::from_str::<LogHistogram>(&foreign).unwrap_err();
+        assert!(err.to_string().contains("mantissa bits"), "{err}");
+        // Histograms written before the marker existed still decode.
+        let legacy = json.replace(&format!("\"mantissa_bits\":{MANTISSA_BITS},"), "");
+        let back: LogHistogram = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, h);
     }
 
     #[test]

@@ -64,8 +64,23 @@ impl MetricsSnapshot {
         self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
     }
 
-    /// Merges `other` into `self`: counters add, same-name histograms
-    /// merge, and gauges take `other`'s value (it is the newer reading).
+    /// Merges `other` into `self` with *union* semantics over metric
+    /// names: the result contains every name from either side.
+    ///
+    /// * counters — same-name values add; a name present on one side
+    ///   only keeps that side's value (a shard that never compacted
+    ///   simply contributes 0 compactions, not an error);
+    /// * gauges — same-name entries take `other`'s value (it is the
+    ///   newer reading); one-sided names are kept as-is;
+    /// * histograms — same-name histograms merge bucket-wise (see
+    ///   [`LogHistogram::merge`]; the bucket layout is a compile-time
+    ///   invariant, and layout-mismatched files are rejected at decode
+    ///   time); one-sided histograms are copied over.
+    ///
+    /// These rules make snapshots from heterogeneous runs — different
+    /// shard counts, stores exposing different counter sets, reports
+    /// written by different subcommands — mergeable without pre-aligning
+    /// their shapes.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (name, value) in &other.counters {
             match self.counters.iter_mut().find(|(n, _)| n == name) {
@@ -190,6 +205,64 @@ mod tests {
         let json = serde_json::to_string_pretty(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn merge_is_a_union_over_disjoint_names() {
+        // Two shards exposing different counter sets (one compacted,
+        // one GC'd) and different histogram names: the merge keeps
+        // every name, adds nothing spurious, and stays sorted.
+        let mut a = MetricsSnapshot::new();
+        a.push_counter("compactions", 3);
+        a.push_gauge("memtable_bytes", 100);
+        let mut ha = LogHistogram::new();
+        ha.record(500);
+        a.histograms.push(("flush_ns".to_string(), ha));
+        a.sort();
+
+        let mut b = MetricsSnapshot::new();
+        b.push_counter("gc_passes", 2);
+        b.push_gauge("log_bytes", 9);
+        let mut hb = LogHistogram::new();
+        hb.record(7_000);
+        b.histograms.push(("gc_ns".to_string(), hb));
+        b.sort();
+
+        a.merge(&b);
+        assert_eq!(a.counter("compactions"), Some(3));
+        assert_eq!(a.counter("gc_passes"), Some(2));
+        assert_eq!(a.gauge("memtable_bytes"), Some(100));
+        assert_eq!(a.gauge("log_bytes"), Some(9));
+        assert_eq!(a.histogram("flush_ns").unwrap().count(), 1);
+        assert_eq!(a.histogram("gc_ns").unwrap().count(), 1);
+        assert_eq!(a.counters.len(), 2);
+        assert_eq!(a.histograms.len(), 2);
+        let mut sorted = a.histograms.clone();
+        sorted.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(a.histograms, sorted, "sections stay sorted after merge");
+    }
+
+    #[test]
+    fn merge_unions_histograms_with_disjoint_buckets() {
+        // Same metric name, disjoint value ranges (a fast shard and a
+        // slow shard): the merged histogram holds both populations.
+        let mut fast = MetricsSnapshot::new();
+        let mut hf = LogHistogram::new();
+        for _ in 0..10 {
+            hf.record(100);
+        }
+        fast.histograms.push(("lat".to_string(), hf));
+        let mut slow = MetricsSnapshot::new();
+        let mut hs = LogHistogram::new();
+        for _ in 0..10 {
+            hs.record(50_000_000);
+        }
+        slow.histograms.push(("lat".to_string(), hs));
+        fast.merge(&slow);
+        let merged = fast.histogram("lat").unwrap();
+        assert_eq!(merged.count(), 20);
+        assert!(merged.percentile(25.0) <= 100);
+        assert!(merged.percentile(75.0) >= 49_000_000);
     }
 
     #[test]

@@ -23,5 +23,5 @@ pub mod replayer;
 pub use histogram::LatencyHistogram;
 pub use replayer::{
     run_concurrent, run_online, run_online_observed, run_online_observed_with, run_online_with,
-    ConcurrentRunError, ReplayOptions, RunReport, TraceReplayer,
+    ConcurrentRunError, Measured, ReplayOptions, RunReport, TraceReplayer,
 };

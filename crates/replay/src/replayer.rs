@@ -49,15 +49,13 @@ fn sleep_until(deadline: Instant) {
 
 /// Applies a buffered batch through [`StateStore::apply_batch`], charging
 /// each op the amortized batch latency and classifying get results into
-/// hits/misses. Clears `ops`/`kinds` and returns how many ops ran.
+/// hits/misses. Clears `ops`/`kinds`, folds the measurements into `m`
+/// (including `executed`), and returns how many ops ran.
 fn flush_batch(
     store: &dyn StateStore,
     ops: &mut Vec<Op>,
     kinds: &mut Vec<OpType>,
-    overall: &mut LatencyHistogram,
-    per_op: &mut [LatencyHistogram; 4],
-    hits: &mut u64,
-    misses: &mut u64,
+    m: &mut Measured,
 ) -> Result<u64, StoreError> {
     if ops.is_empty() {
         return Ok(0);
@@ -68,15 +66,16 @@ fn flush_batch(
     for (kind, res) in kinds.iter().zip(&results) {
         if *kind == OpType::Get {
             if matches!(res, BatchResult::Value(Some(_))) {
-                *hits += 1;
+                m.hits += 1;
             } else {
-                *misses += 1;
+                m.misses += 1;
             }
         }
-        overall.record(per_ns);
-        per_op[op_index(*kind)].record(per_ns);
+        m.overall.record(per_ns);
+        m.per_op[op_index(*kind)].record(per_ns);
     }
     let n = ops.len() as u64;
+    m.executed += n;
     ops.clear();
     kinds.clear();
     Ok(n)
@@ -162,6 +161,16 @@ pub struct RunReport {
     pub hits: u64,
     /// `get`s that found nothing.
     pub misses: u64,
+    /// Full overall latency histogram. Unlike [`RunReport::latency`]
+    /// (derived percentiles, for printing), the histogram is mergeable
+    /// and comparable — `gadget-report` runs its KS/Wasserstein
+    /// regression statistics on the decoded buckets.
+    #[serde(default)]
+    pub latency_hist: LatencyHistogram,
+    /// Full per-op-type latency histograms, keyed by op name; only ops
+    /// that actually ran appear.
+    #[serde(default)]
+    pub per_op_hist: Vec<(String, LatencyHistogram)>,
 }
 
 /// Percentile summary extracted from a histogram.
@@ -198,17 +207,31 @@ type ProgressFn<'a> = &'a mut dyn FnMut(u64, &LatencyHistogram, u64, u64);
 
 /// Raw measurements accumulated by one replay loop — one worker's worth
 /// in shard-affine mode, the whole run otherwise. Kept as histograms
-/// (not summaries) so per-thread results merge exactly.
-struct Measured {
-    overall: LatencyHistogram,
-    per_op: [LatencyHistogram; 4],
-    hits: u64,
-    misses: u64,
-    executed: u64,
+/// (not summaries) so per-thread results merge exactly and downstream
+/// consumers (`gadget-report`) get full distributions, not percentiles.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Overall latency histogram (ns).
+    pub overall: LatencyHistogram,
+    /// Per-op-type latency histograms, indexed like [`OpType::ALL`].
+    pub per_op: [LatencyHistogram; 4],
+    /// `get`s that found a value.
+    pub hits: u64,
+    /// `get`s that found nothing.
+    pub misses: u64,
+    /// Operations executed.
+    pub executed: u64,
+}
+
+impl Default for Measured {
+    fn default() -> Self {
+        Measured::new()
+    }
 }
 
 impl Measured {
-    fn new() -> Self {
+    /// Creates an empty measurement.
+    pub fn new() -> Self {
         Measured {
             overall: LatencyHistogram::new(),
             per_op: [
@@ -224,7 +247,7 @@ impl Measured {
     }
 
     /// Folds another worker's measurements into this one.
-    fn absorb(&mut self, other: &Measured) {
+    pub fn absorb(&mut self, other: &Measured) {
         self.overall.merge(&other.overall);
         for (mine, theirs) in self.per_op.iter_mut().zip(&other.per_op) {
             mine.merge(theirs);
@@ -234,7 +257,9 @@ impl Measured {
         self.executed += other.executed;
     }
 
-    fn into_report(self, store: &str, workload: &str, seconds: f64) -> RunReport {
+    /// Renders the measurements as a [`RunReport`], carrying both the
+    /// printable percentile summaries and the full histograms.
+    pub fn to_report(&self, store: &str, workload: &str, seconds: f64) -> RunReport {
         RunReport {
             store: store.to_string(),
             workload: workload.to_string(),
@@ -254,6 +279,13 @@ impl Measured {
                 .collect(),
             hits: self.hits,
             misses: self.misses,
+            latency_hist: self.overall.clone(),
+            per_op_hist: OpType::ALL
+                .iter()
+                .zip(self.per_op.iter())
+                .filter(|(_, h)| h.count() > 0)
+                .map(|(op, h)| (op.name().to_string(), h.clone()))
+                .collect(),
         }
     }
 }
@@ -415,7 +447,7 @@ impl TraceReplayer {
                 observe(store, &measured.overall, measured.hits, measured.misses),
             );
         }
-        Ok(measured.into_report(store.name(), workload, seconds))
+        Ok(measured.to_report(store.name(), workload, seconds))
     }
 
     /// Shard-affine parallel replay: partitions the trace by key shard
@@ -484,7 +516,7 @@ impl TraceReplayer {
                 observe(store, &merged.overall, merged.hits, merged.misses),
             );
         }
-        Ok(merged.into_report(store.name(), workload, seconds))
+        Ok(merged.to_report(store.name(), workload, seconds))
     }
 
     /// The measuring core shared by single-threaded and shard-affine
@@ -544,15 +576,7 @@ impl TraceReplayer {
                     // wakeup.
                     sleep_until(started + gap * m.executed as u32);
                 }
-                m.executed += flush_batch(
-                    store,
-                    &mut ops,
-                    &mut kinds,
-                    &mut m.overall,
-                    &mut m.per_op,
-                    &mut m.hits,
-                    &mut m.misses,
-                )?;
+                flush_batch(store, &mut ops, &mut kinds, &mut m)?;
                 if let Some(p) = progress.as_mut() {
                     p(m.executed, &m.overall, m.hits, m.misses);
                 }
@@ -654,21 +678,13 @@ fn run_online_inner(
         gadget_obs::trace::Category::Phase,
         gadget_obs::trace::phase::ONLINE,
     );
-    let mut overall = LatencyHistogram::new();
-    let mut per_op = [
-        LatencyHistogram::new(),
-        LatencyHistogram::new(),
-        LatencyHistogram::new(),
-        LatencyHistogram::new(),
-    ];
-    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut m = Measured::new();
     let mut buf: Vec<StateAccess> = Vec::with_capacity(64);
     // Pending micro-batch (only used when batch_size > 1). Accesses are
     // buffered across events and flushed whenever `batch_size` have
     // accumulated, so batching is independent of per-event fan-out.
     let mut ops: Vec<Op> = Vec::new();
     let mut kinds: Vec<OpType> = Vec::new();
-    let mut executed = 0u64;
     let mut watermark = 0;
     let started = Instant::now();
     for element in stream {
@@ -692,23 +708,16 @@ fn run_online_inner(
                 ops.push(replayer.materialize(access));
                 kinds.push(access.op);
                 if ops.len() >= batch_size {
-                    executed += flush_batch(
-                        store,
-                        &mut ops,
-                        &mut kinds,
-                        &mut overall,
-                        &mut per_op,
-                        &mut hits,
-                        &mut misses,
-                    )?;
+                    flush_batch(store, &mut ops, &mut kinds, &mut m)?;
                 }
             } else {
-                let ns = replayer.apply(store, access, &mut hits, &mut misses)?;
-                overall.record(ns);
-                executed += 1;
+                let ns = replayer.apply(store, access, &mut m.hits, &mut m.misses)?;
+                m.overall.record(ns);
+                m.per_op[op_index(access.op)].record(ns);
+                m.executed += 1;
             }
             if let Some(em) = emitter.as_deref_mut() {
-                em.poll(executed, || observe(store, &overall, hits, misses));
+                em.poll(m.executed, || observe(store, &m.overall, m.hits, m.misses));
             }
         }
     }
@@ -719,52 +728,22 @@ fn run_online_inner(
             ops.push(replayer.materialize(access));
             kinds.push(access.op);
             if ops.len() >= batch_size {
-                executed += flush_batch(
-                    store,
-                    &mut ops,
-                    &mut kinds,
-                    &mut overall,
-                    &mut per_op,
-                    &mut hits,
-                    &mut misses,
-                )?;
+                flush_batch(store, &mut ops, &mut kinds, &mut m)?;
             }
         } else {
-            let ns = replayer.apply(store, access, &mut hits, &mut misses)?;
-            overall.record(ns);
-            executed += 1;
+            let ns = replayer.apply(store, access, &mut m.hits, &mut m.misses)?;
+            m.overall.record(ns);
+            m.per_op[op_index(access.op)].record(ns);
+            m.executed += 1;
         }
     }
     // Drain the final partial batch.
-    executed += flush_batch(
-        store,
-        &mut ops,
-        &mut kinds,
-        &mut overall,
-        &mut per_op,
-        &mut hits,
-        &mut misses,
-    )?;
+    flush_batch(store, &mut ops, &mut kinds, &mut m)?;
     let seconds = started.elapsed().as_secs_f64();
     if let Some(em) = emitter {
-        em.finish(executed, observe(store, &overall, hits, misses));
+        em.finish(m.executed, observe(store, &m.overall, m.hits, m.misses));
     }
-
-    Ok(RunReport {
-        store: store.name().to_string(),
-        workload: workload.to_string(),
-        operations: executed,
-        seconds,
-        throughput: if seconds > 0.0 {
-            executed as f64 / seconds
-        } else {
-            0.0
-        },
-        latency: LatencySummary::from_histogram(&overall),
-        per_op: Vec::new(),
-        hits,
-        misses,
-    })
+    Ok(m.to_report(store.name(), workload, seconds))
 }
 
 /// Error from [`run_concurrent`]: the first worker failure plus the

@@ -1,0 +1,620 @@
+//! Statistical comparison of two run reports.
+//!
+//! The paper's methodology (§3.2) decides "are these two latency
+//! profiles genuinely different?" with a two-sample Kolmogorov–Smirnov
+//! test plus the Wasserstein-1 distance, and this module applies the
+//! same machinery to regression detection. The decision rule is
+//! deliberately two-factor:
+//!
+//! * the **KS test** answers *is the difference statistically real* —
+//!   but with thousands of samples it flags even a 1% shift, so a
+//!   rejection alone is evidence, not a verdict;
+//! * the **Wasserstein distance, normalized by the baseline mean**,
+//!   answers *is the difference big enough to care about* — it is the
+//!   average latency displacement in "fractions of a baseline op".
+//!
+//! A latency metric is only REGRESSED when the candidate is *slower*,
+//! the normalized Wasserstein shift exceeds the tolerance, **and** the
+//! KS test rejects at `alpha`. Slower-but-small or
+//! significant-but-tiny differences surface as WARN/PASS with the
+//! statistics printed, so same-seed re-runs (which always differ by
+//! timing noise) pass while a genuine 4× tail blowup cannot hide.
+
+use gadget_analysis::{ks_test, wasserstein_distance};
+use gadget_obs::{bucket_bounds, LogHistogram};
+use serde::{Serialize, Value};
+
+use crate::schema::RunReport;
+
+/// Maximum decoded samples per histogram side. Plenty of statistical
+/// power for the KS test while keeping comparisons O(1) in run length.
+const MAX_SAMPLES: usize = 4096;
+
+/// Relative-delta thresholds for the verdict.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Throughput may drop this many percent before REGRESSED.
+    pub throughput_pct: f64,
+    /// Counters may drift this many percent before WARN (counters never
+    /// regress a run on their own — they lack a direction convention).
+    pub counter_pct: f64,
+    /// Mean-normalized Wasserstein-1 shift allowed before a slower
+    /// latency distribution is REGRESSED (0.1 = 10% of baseline mean).
+    pub latency_rel: f64,
+    /// KS significance level.
+    pub alpha: f64,
+}
+
+impl Tolerance {
+    /// Maps a single user-facing percentage (the CLI's `--tolerance`)
+    /// onto all thresholds: throughput may drop `pct`%, counters may
+    /// drift 2·`pct`% (they are noisier), and latency may shift
+    /// `pct`/100 of the baseline mean.
+    pub fn from_pct(pct: f64) -> Self {
+        Tolerance {
+            throughput_pct: pct,
+            counter_pct: 2.0 * pct,
+            latency_rel: pct / 100.0,
+            alpha: 0.01,
+        }
+    }
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance::from_pct(10.0)
+    }
+}
+
+/// Per-metric verdict, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Status {
+    /// Within tolerance.
+    Pass,
+    /// Noteworthy drift, does not fail the comparison.
+    Warn,
+    /// Out of tolerance in the bad direction; fails the comparison.
+    Regressed,
+}
+
+impl Status {
+    /// Uppercase label used in tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Status::Pass => "PASS",
+            Status::Warn => "WARN",
+            Status::Regressed => "REGRESSED",
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct MetricComparison {
+    /// Metric name (`throughput`, `latency`, `latency/get`,
+    /// `counter/flushes`, ...).
+    pub metric: String,
+    /// Baseline value (mean latency in ns for histogram metrics).
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// Relative delta in percent, `(candidate - baseline) / baseline`.
+    pub delta_pct: f64,
+    /// KS statistic `D`, for histogram metrics.
+    pub ks_d: Option<f64>,
+    /// KS p-value, for histogram metrics.
+    pub ks_p: Option<f64>,
+    /// Wasserstein-1 distance in ns, for histogram metrics.
+    pub wasserstein: Option<f64>,
+    /// Verdict for this metric.
+    pub status: Status,
+    /// One-line human explanation of the verdict.
+    pub note: String,
+}
+
+/// Machine-readable outcome of comparing two reports.
+#[derive(Debug, Clone)]
+pub struct ComparisonReport {
+    /// Label of the baseline side (path or description).
+    pub baseline: String,
+    /// Label of the candidate side.
+    pub candidate: String,
+    /// Per-metric verdicts.
+    pub metrics: Vec<MetricComparison>,
+    /// Worst per-metric status.
+    pub status: Status,
+}
+
+impl ComparisonReport {
+    /// True when any metric regressed — callers should exit non-zero.
+    pub fn regressed(&self) -> bool {
+        self.status == Status::Regressed
+    }
+
+    /// Renders the human-readable verdict table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("baseline:  {}\n", self.baseline));
+        out.push_str(&format!("candidate: {}\n", self.candidate));
+        out.push_str(&format!(
+            "{:<20} {:>14} {:>14} {:>9} {:>10} {:>12}  {:<9} {}\n",
+            "metric", "baseline", "candidate", "delta", "ks-p", "w1(ns)", "status", "note"
+        ));
+        for m in &self.metrics {
+            let ks_p = m
+                .ks_p
+                .map(|p| format!("{p:.4}"))
+                .unwrap_or_else(|| "-".to_string());
+            let w1 = m
+                .wasserstein
+                .map(|w| format!("{w:.1}"))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{:<20} {:>14.1} {:>14.1} {:>8.1}% {:>10} {:>12}  {:<9} {}\n",
+                m.metric,
+                m.baseline,
+                m.candidate,
+                m.delta_pct,
+                ks_p,
+                w1,
+                m.status.label(),
+                m.note
+            ));
+        }
+        out.push_str(&format!("verdict: {}\n", self.status.label()));
+        out
+    }
+}
+
+impl Serialize for ComparisonReport {
+    fn to_value(&self) -> Value {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let opt = |v: Option<f64>| match v {
+                    Some(f) => Value::Float(f),
+                    None => Value::Null,
+                };
+                Value::Object(vec![
+                    ("metric".to_string(), m.metric.to_value()),
+                    ("baseline".to_string(), Value::Float(m.baseline)),
+                    ("candidate".to_string(), Value::Float(m.candidate)),
+                    ("delta_pct".to_string(), Value::Float(m.delta_pct)),
+                    ("ks_d".to_string(), opt(m.ks_d)),
+                    ("ks_p".to_string(), opt(m.ks_p)),
+                    ("wasserstein".to_string(), opt(m.wasserstein)),
+                    (
+                        "status".to_string(),
+                        m.status.label().to_string().to_value(),
+                    ),
+                    ("note".to_string(), m.note.to_value()),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("baseline".to_string(), self.baseline.to_value()),
+            ("candidate".to_string(), self.candidate.to_value()),
+            ("metrics".to_string(), Value::Array(metrics)),
+            (
+                "status".to_string(),
+                self.status.label().to_string().to_value(),
+            ),
+        ])
+    }
+}
+
+/// Decodes a log-bucketed histogram back into representative samples:
+/// each occupied bucket contributes its midpoint, with counts scaled
+/// proportionally so no side exceeds [`MAX_SAMPLES`].
+fn decode_samples(hist: &LogHistogram) -> Vec<f64> {
+    let total = hist.count();
+    if total == 0 {
+        return Vec::new();
+    }
+    // Ceil division keeps every bucket's share proportional while
+    // guaranteeing the cap; small buckets still contribute ≥1 sample.
+    let scale = total.div_ceil(MAX_SAMPLES as u64).max(1);
+    let mut samples = Vec::new();
+    for (floor, count) in hist.buckets() {
+        let (lo, hi) = bucket_bounds(floor);
+        let mid = (lo as f64 + hi as f64) / 2.0;
+        let n = count.div_ceil(scale);
+        for _ in 0..n {
+            samples.push(mid);
+        }
+    }
+    samples
+}
+
+/// Compares one pair of latency histograms.
+fn compare_histograms(
+    metric: &str,
+    baseline: &LogHistogram,
+    candidate: &LogHistogram,
+    tol: &Tolerance,
+) -> MetricComparison {
+    let base_mean = baseline.mean();
+    let cand_mean = candidate.mean();
+    let a = decode_samples(baseline);
+    let b = decode_samples(candidate);
+    if a.is_empty() || b.is_empty() {
+        return MetricComparison {
+            metric: metric.to_string(),
+            baseline: base_mean,
+            candidate: cand_mean,
+            delta_pct: 0.0,
+            ks_d: None,
+            ks_p: None,
+            wasserstein: None,
+            status: Status::Warn,
+            note: "one side has no samples".to_string(),
+        };
+    }
+    let ks = ks_test(&a, &b);
+    let w1 = wasserstein_distance(&a, &b);
+    let rel_w1 = if base_mean > 0.0 { w1 / base_mean } else { 0.0 };
+    let delta_pct = if base_mean > 0.0 {
+        (cand_mean - base_mean) / base_mean * 100.0
+    } else {
+        0.0
+    };
+    let slower = cand_mean > base_mean;
+    let (status, note) = if slower && rel_w1 > tol.latency_rel && ks.rejects(tol.alpha) {
+        (
+            Status::Regressed,
+            format!(
+                "slower by {:.0}% of baseline mean (limit {:.0}%), KS rejects",
+                rel_w1 * 100.0,
+                tol.latency_rel * 100.0
+            ),
+        )
+    } else if slower && rel_w1 > tol.latency_rel / 2.0 {
+        (
+            Status::Warn,
+            format!("slower by {:.0}% of baseline mean", rel_w1 * 100.0),
+        )
+    } else if ks.rejects(tol.alpha) {
+        (
+            Status::Pass,
+            "distributions differ (KS) but shift is within tolerance".to_string(),
+        )
+    } else {
+        (Status::Pass, String::new())
+    };
+    MetricComparison {
+        metric: metric.to_string(),
+        baseline: base_mean,
+        candidate: cand_mean,
+        delta_pct,
+        ks_d: Some(ks.d),
+        ks_p: Some(ks.p_value),
+        wasserstein: Some(w1),
+        status,
+        note,
+    }
+}
+
+/// Compares a scalar where *lower is worse* (throughput).
+fn compare_rate(metric: &str, baseline: f64, candidate: f64, tol_pct: f64) -> MetricComparison {
+    let delta_pct = if baseline > 0.0 {
+        (candidate - baseline) / baseline * 100.0
+    } else {
+        0.0
+    };
+    let (status, note) = if delta_pct < -tol_pct {
+        (
+            Status::Regressed,
+            format!("dropped {:.1}% (limit {:.0}%)", -delta_pct, tol_pct),
+        )
+    } else if delta_pct < -tol_pct / 2.0 {
+        (Status::Warn, format!("dropped {:.1}%", -delta_pct))
+    } else {
+        (Status::Pass, String::new())
+    };
+    MetricComparison {
+        metric: metric.to_string(),
+        baseline,
+        candidate,
+        delta_pct,
+        ks_d: None,
+        ks_p: None,
+        wasserstein: None,
+        status,
+        note,
+    }
+}
+
+/// Compares a directionless counter: drift beyond tolerance is WARN,
+/// never REGRESSED (more compactions may be better or worse — a human
+/// decides).
+fn compare_counter(metric: &str, baseline: f64, candidate: f64, tol_pct: f64) -> MetricComparison {
+    let delta_pct = if baseline > 0.0 {
+        (candidate - baseline) / baseline * 100.0
+    } else if candidate > 0.0 {
+        100.0
+    } else {
+        0.0
+    };
+    let (status, note) = if delta_pct.abs() > tol_pct {
+        (
+            Status::Warn,
+            format!("drifted {:.1}% (tolerance {:.0}%)", delta_pct, tol_pct),
+        )
+    } else {
+        (Status::Pass, String::new())
+    };
+    MetricComparison {
+        metric: metric.to_string(),
+        baseline,
+        candidate,
+        delta_pct,
+        ks_d: None,
+        ks_p: None,
+        wasserstein: None,
+        status,
+        note,
+    }
+}
+
+/// Diffs `candidate` against `baseline`.
+///
+/// Compares throughput, the overall latency histogram, every per-op
+/// histogram present on both sides, and every snapshot counter present
+/// on both sides. Store/workload mismatches produce an immediate
+/// REGRESSED entry — comparing apples to oranges is itself a failure.
+pub fn compare_reports(
+    baseline: &RunReport,
+    candidate: &RunReport,
+    baseline_label: &str,
+    candidate_label: &str,
+    tol: &Tolerance,
+) -> ComparisonReport {
+    let mut metrics = Vec::new();
+    if baseline.store != candidate.store || baseline.workload != candidate.workload {
+        metrics.push(MetricComparison {
+            metric: "identity".to_string(),
+            baseline: 0.0,
+            candidate: 0.0,
+            delta_pct: 0.0,
+            ks_d: None,
+            ks_p: None,
+            wasserstein: None,
+            status: Status::Regressed,
+            note: format!(
+                "baseline is {}/{}, candidate is {}/{}",
+                baseline.store, baseline.workload, candidate.store, candidate.workload
+            ),
+        });
+    }
+    metrics.push(compare_rate(
+        "throughput",
+        baseline.throughput,
+        candidate.throughput,
+        tol.throughput_pct,
+    ));
+    metrics.push(compare_histograms(
+        "latency",
+        &baseline.latency,
+        &candidate.latency,
+        tol,
+    ));
+    for (name, base_hist) in &baseline.per_op {
+        if let Some((_, cand_hist)) = candidate.per_op.iter().find(|(n, _)| n == name) {
+            metrics.push(compare_histograms(
+                &format!("latency/{name}"),
+                base_hist,
+                cand_hist,
+                tol,
+            ));
+        }
+    }
+    for (name, base_val) in &baseline.metrics.counters {
+        if let Some(cand_val) = candidate.metrics.counter(name) {
+            metrics.push(compare_counter(
+                &format!("counter/{name}"),
+                *base_val as f64,
+                cand_val as f64,
+                tol.counter_pct,
+            ));
+        }
+    }
+    let status = metrics
+        .iter()
+        .map(|m| m.status)
+        .max()
+        .unwrap_or(Status::Pass);
+    ComparisonReport {
+        baseline: baseline_label.to_string(),
+        candidate: candidate_label.to_string(),
+        metrics,
+        status,
+    }
+}
+
+/// Finds the baseline report in `dir` matching `store`/`workload`.
+///
+/// Scans every `*.json` in the directory, parses those that are valid
+/// reports, and picks the newest (by `created_unix_ms`) whose identity
+/// matches. Unparseable files are skipped — a baseline directory may
+/// hold other artifacts.
+pub fn find_baseline(
+    dir: &std::path::Path,
+    store: &str,
+    workload: &str,
+) -> Result<(std::path::PathBuf, RunReport), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut best: Option<(std::path::PathBuf, RunReport)> = None;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let Ok(report) = RunReport::load(&path) else {
+            continue;
+        };
+        if report.store != store || report.workload != workload {
+            continue;
+        }
+        let newer = match &best {
+            Some((_, b)) => report.meta.created_unix_ms > b.meta.created_unix_ms,
+            None => true,
+        };
+        if newer {
+            best = Some((path, report));
+        }
+    }
+    best.ok_or_else(|| {
+        format!(
+            "no baseline report for {store}/{workload} in {}",
+            dir.display()
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{RunMeta, SCHEMA_VERSION};
+    use gadget_obs::MetricsSnapshot;
+
+    fn report_with_latency(shift: u64, throughput: f64) -> RunReport {
+        let mut latency = LogHistogram::new();
+        for i in 0..2_000u64 {
+            latency.record(1_000 + (i % 97) * 10 + shift);
+        }
+        let mut metrics = MetricsSnapshot::new();
+        metrics.push_counter("flushes", 10 + shift / 1_000);
+        RunReport {
+            version: SCHEMA_VERSION,
+            store: "mem".to_string(),
+            workload: "unit".to_string(),
+            meta: RunMeta::default(),
+            operations: 2_000,
+            seconds: 1.0,
+            throughput,
+            hits: 0,
+            misses: 0,
+            latency: latency.clone(),
+            per_op: vec![("get".to_string(), latency)],
+            metrics,
+            attribution: None,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report_with_latency(0, 10_000.0);
+        let cmp = compare_reports(&a, &a.clone(), "a", "b", &Tolerance::default());
+        assert_eq!(cmp.status, Status::Pass, "{}", cmp.to_table());
+        assert!(!cmp.regressed());
+        let lat = cmp.metrics.iter().find(|m| m.metric == "latency").unwrap();
+        assert!(lat.ks_p.unwrap() > 0.99);
+        assert_eq!(lat.wasserstein.unwrap(), 0.0);
+    }
+
+    #[test]
+    fn small_noise_passes_large_shift_regresses() {
+        let base = report_with_latency(0, 10_000.0);
+        // ~2% mean shift: within the 10% default latency tolerance.
+        let noisy = report_with_latency(30, 10_000.0);
+        let cmp = compare_reports(&base, &noisy, "a", "b", &Tolerance::default());
+        assert_ne!(cmp.status, Status::Regressed, "{}", cmp.to_table());
+        // 4x mean shift: unambiguous regression.
+        let slow = report_with_latency(4_500, 10_000.0);
+        let cmp = compare_reports(&base, &slow, "a", "b", &Tolerance::default());
+        assert!(cmp.regressed(), "{}", cmp.to_table());
+        let lat = cmp.metrics.iter().find(|m| m.metric == "latency").unwrap();
+        assert_eq!(lat.status, Status::Regressed);
+        assert!(lat.ks_p.unwrap() < 0.01);
+        assert!(lat.wasserstein.unwrap() > 1_000.0);
+    }
+
+    #[test]
+    fn faster_candidate_never_regresses_latency() {
+        let base = report_with_latency(4_500, 10_000.0);
+        let fast = report_with_latency(0, 10_000.0);
+        let cmp = compare_reports(&base, &fast, "a", "b", &Tolerance::default());
+        let lat = cmp.metrics.iter().find(|m| m.metric == "latency").unwrap();
+        assert_ne!(lat.status, Status::Regressed, "{}", cmp.to_table());
+    }
+
+    #[test]
+    fn throughput_drop_regresses() {
+        let base = report_with_latency(0, 10_000.0);
+        let slow = report_with_latency(0, 7_000.0);
+        let cmp = compare_reports(&base, &slow, "a", "b", &Tolerance::from_pct(10.0));
+        assert!(cmp.regressed(), "{}", cmp.to_table());
+        let tp = cmp
+            .metrics
+            .iter()
+            .find(|m| m.metric == "throughput")
+            .unwrap();
+        assert_eq!(tp.status, Status::Regressed);
+        // A gain never regresses.
+        let fast = report_with_latency(0, 14_000.0);
+        let cmp = compare_reports(&base, &fast, "a", "b", &Tolerance::from_pct(10.0));
+        assert!(!cmp.regressed(), "{}", cmp.to_table());
+    }
+
+    #[test]
+    fn counter_drift_warns_but_does_not_fail() {
+        let mut base = report_with_latency(0, 10_000.0);
+        let mut cand = report_with_latency(0, 10_000.0);
+        base.metrics.push_counter("stalls", 10);
+        cand.metrics.push_counter("stalls", 100);
+        let cmp = compare_reports(&base, &cand, "a", "b", &Tolerance::default());
+        let c = cmp
+            .metrics
+            .iter()
+            .find(|m| m.metric == "counter/stalls")
+            .unwrap();
+        assert_eq!(c.status, Status::Warn);
+        assert!(!cmp.regressed(), "{}", cmp.to_table());
+    }
+
+    #[test]
+    fn mismatched_identity_regresses() {
+        let base = report_with_latency(0, 10_000.0);
+        let mut other = report_with_latency(0, 10_000.0);
+        other.store = "lsm".to_string();
+        let cmp = compare_reports(&base, &other, "a", "b", &Tolerance::default());
+        assert!(cmp.regressed());
+        assert_eq!(cmp.metrics[0].metric, "identity");
+    }
+
+    #[test]
+    fn decode_respects_sample_cap() {
+        let mut h = LogHistogram::new();
+        for i in 0..100_000u64 {
+            h.record(100 + i % 10_000);
+        }
+        let samples = decode_samples(&h);
+        assert!(!samples.is_empty());
+        // Ceil-scaling may land slightly under the cap per bucket but
+        // the total stays in the same order of magnitude.
+        assert!(samples.len() <= 2 * MAX_SAMPLES, "{}", samples.len());
+    }
+
+    #[test]
+    fn find_baseline_picks_matching_newest() {
+        let dir = std::env::temp_dir().join(format!("gadget-report-bl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut old = report_with_latency(0, 5_000.0);
+        old.meta.created_unix_ms = 1_000;
+        old.save(&dir.join("old.json")).unwrap();
+        let mut new = report_with_latency(0, 6_000.0);
+        new.meta.created_unix_ms = 2_000;
+        new.save(&dir.join("new.json")).unwrap();
+        let mut other = report_with_latency(0, 9_000.0);
+        other.workload = "other".to_string();
+        other.meta.created_unix_ms = 3_000;
+        other.save(&dir.join("other.json")).unwrap();
+        std::fs::write(dir.join("junk.json"), "not a report").unwrap();
+        let (path, report) = find_baseline(&dir, "mem", "unit").unwrap();
+        assert!(path.ends_with("new.json"));
+        assert_eq!(report.throughput, 6_000.0);
+        assert!(find_baseline(&dir, "mem", "absent").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

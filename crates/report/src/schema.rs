@@ -1,0 +1,399 @@
+//! The versioned `RunReport` wire schema.
+//!
+//! A report is the single artifact a measured execution leaves behind:
+//! enough provenance to know *what* ran (store, workload, config digest,
+//! git revision, machine shape) and enough distribution data to compare
+//! *how* it ran (full mergeable latency histograms, not just summary
+//! percentiles). Serialization is hand-written rather than derived so
+//! the field order is fixed, unknown fields are rejected, and the
+//! on-disk form stays byte-stable: serialize → deserialize →
+//! re-serialize is byte-identical, which the golden fixture under
+//! `tests/fixtures/` depends on.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use gadget_obs::{LogHistogram, MetricsSnapshot};
+
+/// Version stamped into every report. Bump on any wire-visible change;
+/// readers reject other versions rather than guessing.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Provenance of one measured execution.
+///
+/// Every field degrades to `"unknown"` / `0` rather than failing:
+/// reports must be producible from a dirty tree, a tarball export, or a
+/// CI runner without git. See [`crate::env::capture`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMeta {
+    /// Full commit hash, or `"unknown"` outside a git checkout.
+    pub git_sha: String,
+    /// `git describe --always --dirty`, or `"unknown"`.
+    pub git_describe: String,
+    /// FNV-1a digest of the run configuration (CLI flags, workload
+    /// parameters), or `"unknown"` when the producer has no config.
+    pub config_digest: String,
+    /// Logical CPUs visible to the process (0 if undeterminable).
+    pub cpu_count: u64,
+    /// Replay/driver worker threads the run was configured with.
+    pub threads: u64,
+    /// Store shard count.
+    pub shards: u64,
+    /// Micro-batch size.
+    pub batch_size: u64,
+    /// Wall-clock creation time, milliseconds since the Unix epoch
+    /// (0 if the clock is unavailable).
+    pub created_unix_ms: u64,
+}
+
+impl Default for RunMeta {
+    fn default() -> Self {
+        RunMeta {
+            git_sha: "unknown".to_string(),
+            git_describe: "unknown".to_string(),
+            config_digest: "unknown".to_string(),
+            cpu_count: 0,
+            threads: 1,
+            shards: 1,
+            batch_size: 1,
+            created_unix_ms: 0,
+        }
+    }
+}
+
+/// A complete, versioned record of one measured execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Schema version ([`SCHEMA_VERSION`] when produced by this build).
+    pub version: u32,
+    /// Store the run executed against (e.g. `"mem"`, `"lsm"`).
+    pub store: String,
+    /// Workload label (e.g. `"ycsb-a"`).
+    pub workload: String,
+    /// Provenance.
+    pub meta: RunMeta,
+    /// Operations executed.
+    pub operations: u64,
+    /// Wall-clock duration in seconds.
+    pub seconds: f64,
+    /// Operations per second.
+    pub throughput: f64,
+    /// `get`s that found a value.
+    pub hits: u64,
+    /// `get`s that found nothing.
+    pub misses: u64,
+    /// Overall latency histogram (nanoseconds, log-bucketed, mergeable).
+    pub latency: LogHistogram,
+    /// Per-op-type latency histograms, keyed by op name; only ops that
+    /// actually ran appear.
+    pub per_op: Vec<(String, LogHistogram)>,
+    /// Final store metrics snapshot (empty if the producer did not
+    /// collect metrics).
+    pub metrics: MetricsSnapshot,
+    /// Flattened tail-latency attribution table, when tracing was on.
+    pub attribution: Option<MetricsSnapshot>,
+}
+
+impl RunReport {
+    /// Lifts a replay-layer run result into a report.
+    ///
+    /// The replay [`gadget_replay::RunReport`] carries the measured
+    /// numbers and full histograms; `meta` supplies provenance the
+    /// replay layer cannot know (git state, config digest, machine
+    /// shape). Metrics and attribution start empty — callers that
+    /// collected them attach them afterwards.
+    pub fn from_run(run: &gadget_replay::RunReport, meta: RunMeta) -> Self {
+        RunReport {
+            version: SCHEMA_VERSION,
+            store: run.store.clone(),
+            workload: run.workload.clone(),
+            meta,
+            operations: run.operations,
+            seconds: run.seconds,
+            throughput: run.throughput,
+            hits: run.hits,
+            misses: run.misses,
+            latency: run.latency_hist.clone(),
+            per_op: run.per_op_hist.clone(),
+            metrics: MetricsSnapshot::new(),
+            attribution: None,
+        }
+    }
+
+    /// Serializes to pretty JSON with a trailing newline (the canonical
+    /// on-disk form).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serialization is infallible");
+        s.push('\n');
+        s
+    }
+
+    /// Parses a report from JSON, enforcing the schema version.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str::<RunReport>(text).map_err(|e| e.to_string())
+    }
+
+    /// Writes the canonical JSON form to `path`, creating parent
+    /// directories as needed.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads and parses a report from `path`.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        RunReport::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+const META_FIELDS: &[&str] = &[
+    "git_sha",
+    "git_describe",
+    "config_digest",
+    "cpu_count",
+    "threads",
+    "shards",
+    "batch_size",
+    "created_unix_ms",
+];
+
+impl Serialize for RunMeta {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("git_sha".to_string(), self.git_sha.to_value()),
+            ("git_describe".to_string(), self.git_describe.to_value()),
+            ("config_digest".to_string(), self.config_digest.to_value()),
+            ("cpu_count".to_string(), self.cpu_count.to_value()),
+            ("threads".to_string(), self.threads.to_value()),
+            ("shards".to_string(), self.shards.to_value()),
+            ("batch_size".to_string(), self.batch_size.to_value()),
+            (
+                "created_unix_ms".to_string(),
+                self.created_unix_ms.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for RunMeta {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        const CTX: &str = "RunMeta";
+        let members = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value, CTX))?;
+        reject_unknown(members, META_FIELDS, CTX)?;
+        let field = |name: &str| -> Result<&Value, Error> {
+            serde::find_field(members, name).ok_or_else(|| Error::missing_field(name, CTX))
+        };
+        Ok(RunMeta {
+            git_sha: String::from_value(field("git_sha")?)?,
+            git_describe: String::from_value(field("git_describe")?)?,
+            config_digest: String::from_value(field("config_digest")?)?,
+            cpu_count: u64::from_value(field("cpu_count")?)?,
+            threads: u64::from_value(field("threads")?)?,
+            shards: u64::from_value(field("shards")?)?,
+            batch_size: u64::from_value(field("batch_size")?)?,
+            created_unix_ms: u64::from_value(field("created_unix_ms")?)?,
+        })
+    }
+}
+
+const REPORT_FIELDS: &[&str] = &[
+    "version",
+    "store",
+    "workload",
+    "meta",
+    "operations",
+    "seconds",
+    "throughput",
+    "hits",
+    "misses",
+    "latency",
+    "per_op",
+    "metrics",
+    "attribution",
+];
+
+impl Serialize for RunReport {
+    fn to_value(&self) -> Value {
+        let per_op = self
+            .per_op
+            .iter()
+            .map(|(name, h)| (name.clone(), h.to_value()))
+            .collect();
+        let attribution = match &self.attribution {
+            Some(snap) => snap.to_value(),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            ("version".to_string(), self.version.to_value()),
+            ("store".to_string(), self.store.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("meta".to_string(), self.meta.to_value()),
+            ("operations".to_string(), self.operations.to_value()),
+            ("seconds".to_string(), self.seconds.to_value()),
+            ("throughput".to_string(), self.throughput.to_value()),
+            ("hits".to_string(), self.hits.to_value()),
+            ("misses".to_string(), self.misses.to_value()),
+            ("latency".to_string(), self.latency.to_value()),
+            ("per_op".to_string(), Value::Object(per_op)),
+            ("metrics".to_string(), self.metrics.to_value()),
+            ("attribution".to_string(), attribution),
+        ])
+    }
+}
+
+impl Deserialize for RunReport {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        const CTX: &str = "RunReport";
+        let members = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value, CTX))?;
+        reject_unknown(members, REPORT_FIELDS, CTX)?;
+        let field = |name: &str| -> Result<&Value, Error> {
+            serde::find_field(members, name).ok_or_else(|| Error::missing_field(name, CTX))
+        };
+        let version = u32::from_value(field("version")?)?;
+        if version != SCHEMA_VERSION {
+            return Err(Error::custom(format!(
+                "unsupported report version {version} (this build reads version {SCHEMA_VERSION})"
+            )));
+        }
+        let per_op_members = field("per_op")?
+            .as_object()
+            .ok_or_else(|| Error::custom("field `per_op` must be an object"))?;
+        let mut per_op = Vec::with_capacity(per_op_members.len());
+        for (name, v) in per_op_members {
+            per_op.push((name.clone(), LogHistogram::from_value(v)?));
+        }
+        let attribution = match field("attribution")? {
+            Value::Null => None,
+            other => Some(MetricsSnapshot::from_value(other)?),
+        };
+        Ok(RunReport {
+            version,
+            store: String::from_value(field("store")?)?,
+            workload: String::from_value(field("workload")?)?,
+            meta: RunMeta::from_value(field("meta")?)?,
+            operations: u64::from_value(field("operations")?)?,
+            seconds: f64::from_value(field("seconds")?)?,
+            throughput: f64::from_value(field("throughput")?)?,
+            hits: u64::from_value(field("hits")?)?,
+            misses: u64::from_value(field("misses")?)?,
+            latency: LogHistogram::from_value(field("latency")?)?,
+            per_op,
+            metrics: MetricsSnapshot::from_value(field("metrics")?)?,
+            attribution,
+        })
+    }
+}
+
+/// Errors if `members` holds any key outside `known` — schema drift is
+/// a hard error, not silently-ignored data.
+fn reject_unknown(members: &[(String, Value)], known: &[&str], context: &str) -> Result<(), Error> {
+    for (key, _) in members {
+        if !known.contains(&key.as_str()) {
+            return Err(Error::custom(format!(
+                "unknown field `{key}` in {context} (schema version {SCHEMA_VERSION})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_report() -> RunReport {
+        let mut latency = LogHistogram::new();
+        let mut get = LogHistogram::new();
+        let mut put = LogHistogram::new();
+        for i in 0..500u64 {
+            let ns = 200 + i * 7;
+            latency.record(ns);
+            if i % 2 == 0 {
+                get.record(ns);
+            } else {
+                put.record(ns);
+            }
+        }
+        let mut metrics = MetricsSnapshot::new();
+        metrics.push_counter("flushes", 3);
+        metrics.push_gauge("live_bytes", 4096);
+        RunReport {
+            version: SCHEMA_VERSION,
+            store: "mem".to_string(),
+            workload: "ycsb-a".to_string(),
+            meta: RunMeta {
+                git_sha: "0123abcd".to_string(),
+                git_describe: "v0.1.0-5-g0123abcd".to_string(),
+                config_digest: "deadbeefdeadbeef".to_string(),
+                cpu_count: 8,
+                threads: 2,
+                shards: 4,
+                batch_size: 64,
+                created_unix_ms: 1_700_000_000_000,
+            },
+            operations: 500,
+            seconds: 0.125,
+            throughput: 4000.0,
+            hits: 240,
+            misses: 10,
+            latency,
+            per_op: vec![("get".to_string(), get), ("put".to_string(), put)],
+            metrics,
+            attribution: None,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let report = sample_report();
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(report, back);
+        assert_eq!(json, back.to_json(), "re-serialization is byte-identical");
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let report = sample_report();
+        let json = report
+            .to_json()
+            .replace("\"version\"", "\"surprise\": 1,\n  \"version\"");
+        let err = RunReport::from_json(&json).unwrap_err();
+        assert!(err.contains("unknown field `surprise`"), "got: {err}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let report = sample_report();
+        let json = report
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 999");
+        let err = RunReport::from_json(&json).unwrap_err();
+        assert!(err.contains("unsupported report version 999"), "got: {err}");
+    }
+
+    #[test]
+    fn from_run_lifts_replay_output() {
+        let mut m = gadget_replay::Measured::new();
+        m.overall.record(1_000);
+        m.per_op[0].record(1_000);
+        m.hits = 1;
+        m.executed = 1;
+        let run = m.to_report("mem", "unit", 0.5);
+        let report = RunReport::from_run(&run, RunMeta::default());
+        assert_eq!(report.version, SCHEMA_VERSION);
+        assert_eq!(report.operations, 1);
+        assert_eq!(report.latency.count(), 1);
+        assert_eq!(report.per_op.len(), 1);
+        assert_eq!(report.per_op[0].0, "get");
+        assert_eq!(report.meta.git_sha, "unknown");
+    }
+}

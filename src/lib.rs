@@ -21,6 +21,8 @@
 //!   "real" traces for validating Gadget's simulation.
 //! * [`analysis`] — trace characterization (locality, amplification, TTL,
 //!   statistical tests).
+//! * [`report`] — versioned run reports and statistical perf-regression
+//!   comparison (KS + Wasserstein, PASS/WARN/REGRESSED verdicts).
 
 pub use gadget_analysis as analysis;
 pub use gadget_btree as btree;
@@ -32,5 +34,6 @@ pub use gadget_hashlog as hashlog;
 pub use gadget_kv as kv;
 pub use gadget_lsm as lsm;
 pub use gadget_replay as replay;
+pub use gadget_report as report;
 pub use gadget_types as types;
 pub use gadget_ycsb as ycsb;
