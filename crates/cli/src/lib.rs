@@ -118,6 +118,9 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "tune-cache" => cmd_tune_cache(&flags),
         "dataset" => cmd_dataset(&flags),
         "ycsb" => cmd_ycsb(&flags),
+        "serve" => cmd_serve(&flags),
+        "drive" => cmd_drive(&flags),
+        "stop" => cmd_stop(&flags),
         "stores" => cmd_stores(),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -155,6 +158,13 @@ pub fn usage() -> String {
      \x20 tune-cache --trace <trace> --hit-rate <0..1>   recommend an LRU capacity (paper 8)\n\
      \x20 dataset  --name <borg|taxi|azure> --events <n> --out <events.csv>\n\
      \x20 ycsb     --workload <A|B|C|D|F> --records <n> --ops <n> --out <trace>\n\
+     \x20 serve    --backend <mem|lsm|hashlog|btree|label>  serve any store over TCP (gadget-server)\n\
+     \x20          [--addr <host:port>] [--dir <path>] [--shards <n>] [--queue-depth <n>]\n\
+     \x20          [--metrics-addr <host:port>]           Prometheus text scrape endpoint\n\
+     \x20 drive    --addr <host:port> --trace <trace>    fan a trace across many client connections\n\
+     \x20          [--connections <n>] [--churn <0..1>] [--segment-ops <n>] [--seed <n>]\n\
+     \x20          [--rate <ops/s>] [--ops <n>] [--batch-size <n>] [--report-out <json>]\n\
+     \x20 stop     --addr <host:port>                    ask a running server to drain and exit\n\
      \x20 stores                                         list available store labels"
         .to_string()
 }
@@ -269,6 +279,14 @@ fn open_store_at(
         ),
         "mem" => std::sync::Arc::new(gadget_kv::MemStore::new()),
         other => {
+            // `net:<addr>` dials a running gadget-server: a *real*
+            // network store, so replay/online/concurrent measure actual
+            // wire latency. With `--shards N` this opens N connections.
+            if let Some(addr) = other.strip_prefix("net:") {
+                return Ok(std::sync::Arc::new(
+                    gadget_server::NetStore::connect(addr).map_err(|e| e.to_string())?,
+                ));
+            }
             // `remote-<label>` wraps any embedded store behind a synthetic
             // datacenter network (paper §8, external state management).
             if let Some(inner_label) = other.strip_prefix("remote-") {
@@ -304,6 +322,18 @@ fn replay_options(flags: &Flags) -> Result<ReplayOptions, String> {
         batch_size,
         replay_threads,
     })
+}
+
+/// How a run's operations reached the store, for report provenance:
+/// `"tcp"` when the label dials a gadget-server, `"embedded"` for
+/// in-process stores (including the simulated `remote-*` wrappers,
+/// which never leave the process).
+fn transport_for_label(label: &str) -> &'static str {
+    if label.starts_with("net:") {
+        "tcp"
+    } else {
+        "embedded"
+    }
 }
 
 /// `--shards` (default 1 = unsharded).
@@ -444,12 +474,18 @@ fn write_run_report(
     run: &gadget_replay::RunReport,
     store_metrics: Option<gadget_obs::MetricsSnapshot>,
     attribution: Option<&gadget_obs::trace::AttributionReport>,
+    transport: &str,
 ) -> Result<(), String> {
     let options = replay_options(flags)?;
     let mut meta = gadget_report::capture(&flags.canonical());
     meta.threads = options.replay_threads as u64;
     meta.shards = shard_count(flags)? as u64;
     meta.batch_size = options.batch_size as u64;
+    meta.transport = transport.to_string();
+    // A drive's parallelism is its connection count, not replay threads.
+    if let Some(connections) = flags.optional_parse::<u64>("connections")? {
+        meta.threads = connections;
+    }
     let mut report = gadget_report::RunReport::from_run(run, meta);
     if let Some(snapshot) = store_metrics {
         report.metrics = snapshot;
@@ -510,7 +546,14 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
         write_series(metrics_path, em.series())?;
     }
     if let Some(path) = flags.optional("report-out") {
-        write_run_report(path, flags, &report, store.metrics(), attribution.as_ref())?;
+        write_run_report(
+            path,
+            flags,
+            &report,
+            store.metrics(),
+            attribution.as_ref(),
+            transport_for_label(label),
+        )?;
     }
     print_report(&report);
     Ok(())
@@ -560,7 +603,14 @@ fn cmd_online(flags: &Flags) -> Result<(), String> {
         write_series(metrics_path, em.series())?;
     }
     if let Some(path) = flags.optional("report-out") {
-        write_run_report(path, flags, &report, store.metrics(), attribution.as_ref())?;
+        write_run_report(
+            path,
+            flags,
+            &report,
+            store.metrics(),
+            attribution.as_ref(),
+            transport_for_label(label),
+        )?;
     }
     print_report(&report);
     Ok(())
@@ -900,7 +950,14 @@ fn cmd_concurrent(flags: &Flags) -> Result<(), String> {
             if let Some(path) = flags.optional("report-out") {
                 for (i, report) in reports.iter().enumerate() {
                     let out = indexed_path(path, i);
-                    write_run_report(&out, flags, report, store.metrics(), None)?;
+                    write_run_report(
+                        &out,
+                        flags,
+                        report,
+                        store.metrics(),
+                        None,
+                        transport_for_label(label),
+                    )?;
                 }
             }
             Ok(())
@@ -986,6 +1043,104 @@ fn cmd_dataset(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Friendly backend aliases for `serve`: the class labels are a
+/// mouthful when all you want is "an LSM".
+fn backend_label(raw: &str) -> &str {
+    match raw {
+        "lsm" => "rocksdb-class",
+        "hashlog" => "faster-class",
+        "btree" => "berkeleydb-class",
+        other => other,
+    }
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let raw = flags
+        .optional("backend")
+        .or_else(|| flags.optional("store"))
+        .ok_or("missing required flag --backend (or --store)")?;
+    let label = backend_label(raw).to_string();
+    let addr = flags.optional("addr").unwrap_or("127.0.0.1:4547");
+    let store = open_store_sharded(&label, flags.optional("dir"), shard_count(flags)?)?;
+    let mut config = gadget_server::ServerConfig::default();
+    if let Some(depth) = flags.optional_parse::<usize>("queue-depth")? {
+        if depth == 0 {
+            return Err("--queue-depth must be at least 1".to_string());
+        }
+        config.queue_depth = depth;
+    }
+    let queue_depth = config.queue_depth;
+    let server = gadget_server::Server::start(addr, store, config).map_err(|e| e.to_string())?;
+    // Exact line first so scripts can scrape the resolved port.
+    println!("gadget-server listening on {}", server.local_addr());
+    println!("serving {label} (queue depth {queue_depth})");
+    let metrics = match flags.optional("metrics-addr") {
+        Some(maddr) => {
+            let endpoint = gadget_server::MetricsServer::start(maddr, server.snapshot_source())
+                .map_err(|e| format!("cannot bind metrics endpoint {maddr}: {e}"))?;
+            println!("metrics endpoint on http://{}", endpoint.local_addr());
+            Some(endpoint)
+        }
+        None => None,
+    };
+    println!("send `gadget stop --addr <addr>` to drain and exit");
+    // Blocks until a wire Shutdown frame triggers the drain.
+    server.join().map_err(|e| e.to_string())?;
+    if let Some(endpoint) = metrics {
+        endpoint.stop();
+    }
+    println!("gadget-server drained and stopped");
+    Ok(())
+}
+
+fn cmd_drive(flags: &Flags) -> Result<(), String> {
+    let addr = flags.required("addr")?;
+    let trace_path = flags.required("trace")?;
+    let connections = match flags.optional_parse::<usize>("connections")? {
+        Some(0) => return Err("--connections must be at least 1".to_string()),
+        Some(n) => n,
+        None => 8,
+    };
+    let churn: f64 = flags.optional_parse("churn")?.unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&churn) {
+        return Err("--churn must be a probability in [0, 1]".to_string());
+    }
+    let trace = Trace::load(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let options = gadget_server::DriveOptions {
+        connections,
+        churn,
+        segment_ops: flags.optional_parse("segment-ops")?.unwrap_or(1_000),
+        replay: replay_options(flags)?,
+        seed: flags.optional_parse("seed")?.unwrap_or(0x9ad9e),
+    };
+    let summary =
+        gadget_server::drive(addr, &trace, trace_path, &options).map_err(|e| e.to_string())?;
+    println!(
+        "drove {} ops over {} connections ({} reconnects, {} B out, {} B in)",
+        summary.report.operations,
+        summary.connections,
+        summary.reconnects,
+        summary.bytes_out,
+        summary.bytes_in
+    );
+    if let Some(path) = flags.optional("report-out") {
+        write_run_report(path, flags, &summary.report, None, None, "tcp")?;
+    }
+    print_report(&summary.report);
+    Ok(())
+}
+
+fn cmd_stop(flags: &Flags) -> Result<(), String> {
+    let addr = flags.required("addr")?;
+    let client = gadget_server::NetStore::connect(addr)
+        .map_err(|e| format!("cannot reach server at {addr}: {e}"))?;
+    client
+        .shutdown_server()
+        .map_err(|e| format!("shutdown handshake with {addr} failed: {e}"))?;
+    println!("server at {addr} acknowledged shutdown and is draining");
+    Ok(())
+}
+
 fn cmd_stores() -> Result<(), String> {
     println!("available store labels:");
     println!("  rocksdb-class     LSM tree with lazy merge operator (gadget-lsm)");
@@ -997,6 +1152,7 @@ fn cmd_stores() -> Result<(), String> {
     );
     println!("  mem               reference in-memory hash map (gadget-kv)");
     println!("  remote-<label>    any of the above behind a synthetic datacenter network");
+    println!("  net:<host:port>   a running `gadget serve` instance, over real TCP");
     Ok(())
 }
 
@@ -1006,6 +1162,14 @@ mod tests {
 
     fn strs(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Tests that measure latency (report compare's KS gate) and tests
+    /// that saturate cores (the loopback drive) perturb each other when
+    /// the harness runs them in parallel; both kinds take this lock.
+    fn timing_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     #[test]
@@ -1436,6 +1600,7 @@ mod tests {
 
     #[test]
     fn report_out_compare_passes_then_regresses_on_perturbation() {
+        let _serial = timing_lock();
         let dir = std::env::temp_dir().join(format!("gadget-cli-report-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let trace_path = dir.join("trace.gdt");
@@ -1569,6 +1734,126 @@ mod tests {
         assert!(dispatch(&strs(&["report", "frob"])).is_err());
         assert!(dispatch(&strs(&["report", "show"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_drive_stop_round_trip_over_loopback() {
+        let _serial = timing_lock();
+        let dir = std::env::temp_dir().join(format!("gadget-cli-net-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("ycsb.gdt");
+        dispatch(&strs(&[
+            "ycsb",
+            "--workload",
+            "A",
+            "--records",
+            "200",
+            "--ops",
+            "3000",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Spawn the server directly (cmd_serve blocks on join).
+        let server = gadget_server::Server::start(
+            "127.0.0.1:0",
+            std::sync::Arc::new(gadget_kv::MemStore::new()),
+            gadget_server::ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        // Drive with churn and a report; the report must carry the
+        // tcp transport and the connection count.
+        let report_path = dir.join("drive-report.json");
+        dispatch(&strs(&[
+            "drive",
+            "--addr",
+            &addr,
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--connections",
+            "8",
+            "--churn",
+            "0.2",
+            "--segment-ops",
+            "50",
+            "--report-out",
+            report_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report = gadget_report::RunReport::load(&report_path).unwrap();
+        assert_eq!(report.meta.transport, "tcp");
+        assert_eq!(report.meta.threads, 8);
+        assert_eq!(report.store, "net");
+        assert_eq!(report.operations, 3000);
+
+        // The replayer also works against the server via the net: label.
+        dispatch(&strs(&[
+            "replay",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--store",
+            &format!("net:{addr}"),
+            "--ops",
+            "500",
+        ]))
+        .unwrap();
+
+        // Stop drains the server and unblocks join().
+        dispatch(&strs(&["stop", "--addr", &addr])).unwrap();
+        server.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drive_against_unreachable_address_errors() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-unreach-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.gdt");
+        dispatch(&strs(&[
+            "ycsb",
+            "--workload",
+            "C",
+            "--records",
+            "10",
+            "--ops",
+            "100",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = dispatch(&strs(&[
+            "drive",
+            "--addr",
+            "127.0.0.1:1",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("i/o error"), "got: {err}");
+        // `stop` against nothing also fails loudly.
+        assert!(dispatch(&strs(&["stop", "--addr", "127.0.0.1:1"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drive_rejects_bad_flag_values() {
+        assert!(dispatch(&strs(&[
+            "drive",
+            "--addr",
+            "x",
+            "--trace",
+            "y",
+            "--connections",
+            "0"
+        ]))
+        .is_err());
+        assert!(dispatch(&strs(&[
+            "drive", "--addr", "x", "--trace", "y", "--churn", "1.5"
+        ]))
+        .is_err());
     }
 
     /// Writes a minimal valid report for tests that only need identity.

@@ -8,6 +8,18 @@
 //! modelling a disaggregated deployment where compute and state are
 //! decoupled (MillWheel/Pravega-style). Latency is busy-waited rather than
 //! slept so sub-millisecond RTTs remain accurate.
+//!
+//! This is a *simulated* network: no socket is opened, no bytes leave
+//! the process, and the delay model is exact and reproducible — ideal
+//! for controlled what-if studies ("how would this workload behave at
+//! 100us RTT?") where real-network jitter would drown the signal. For a
+//! *real* wire — TCP framing, kernel buffers, actual backpressure, and
+//! thousands of concurrent client connections — use `gadget-server`'s
+//! `NetStore`/`Server` pair instead, which speaks a length-prefixed
+//! binary protocol over loopback or a real network and reports measured
+//! (not modelled) latencies. The two are complementary: `RemoteStore`
+//! answers "what if the network were exactly like this", `gadget-server`
+//! answers "what does the network actually do".
 
 use std::time::{Duration, Instant};
 
@@ -266,5 +278,18 @@ mod tests {
         assert_eq!(p.delay_for(0), Duration::from_micros(50));
         assert_eq!(p.delay_for(1), Duration::from_micros(150));
         assert_eq!(p.delay_for(4096), Duration::from_micros(450));
+    }
+
+    #[test]
+    fn per_kb_charge_rounds_up_at_the_1024_byte_boundary() {
+        let p = NetworkProfile {
+            rtt: Duration::from_micros(50),
+            per_kb: Duration::from_micros(100),
+        };
+        // A partial KB is charged as a full KB (ceiling division): 1023
+        // and 1024 bytes both cost one per-KB unit; 1025 tips into two.
+        assert_eq!(p.delay_for(1023), Duration::from_micros(150));
+        assert_eq!(p.delay_for(1024), Duration::from_micros(150));
+        assert_eq!(p.delay_for(1025), Duration::from_micros(250));
     }
 }

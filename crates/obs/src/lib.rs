@@ -37,6 +37,7 @@
 
 pub mod emitter;
 pub mod hist;
+pub mod openmetrics;
 pub mod registry;
 pub mod snapshot;
 

@@ -1,0 +1,146 @@
+//! Prometheus / OpenMetrics text exposition of a [`MetricsSnapshot`].
+//!
+//! Renders the text format version 0.0.4 that every Prometheus-family
+//! scraper understands: `# TYPE` headers, one sample per line, and
+//! histograms as cumulative `le`-labelled bucket series plus `_sum` and
+//! `_count`. The renderer works from plain [`MetricsSnapshot`] values,
+//! so anything that can produce a snapshot — a live registry, a store's
+//! `metrics()` hook, a merged multi-connection aggregate — can be
+//! scraped without holding instrument handles.
+//!
+//! Conventions:
+//!
+//! * every series is prefixed `gadget_` so scrapes from mixed fleets
+//!   don't collide with other exporters;
+//! * names are sanitized to the metric charset `[a-zA-Z0-9_:]`
+//!   (anything else becomes `_`);
+//! * counters map to `counter`, gauges to `gauge`, and
+//!   [`LogHistogram`]s to `histogram`, with bucket upper bounds taken
+//!   from the log-bucket layout (the `le` of an occupied bucket is its
+//!   exclusive ceiling, which is the tightest bound the recording
+//!   resolution supports).
+
+use crate::hist::bucket_bounds;
+use crate::snapshot::MetricsSnapshot;
+
+/// Sanitizes `name` into the Prometheus metric-name charset and adds
+/// the `gadget_` prefix.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("gadget_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders `snap` as Prometheus text exposition format 0.0.4.
+///
+/// The output is deterministic for a given snapshot (sections are
+/// already name-sorted), ends with a trailing newline, and is directly
+/// servable as the body of a `/metrics` response with content type
+/// `text/plain; version=0.0.4`.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let name = metric_name(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let name = metric_name(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+    }
+    for (name, hist) in &snap.histograms {
+        let name = metric_name(name);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (floor, count) in hist.buckets() {
+            cumulative += count;
+            let le = bucket_bounds(floor).1;
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        let sum = hist.mean() * hist.count() as f64;
+        out.push_str(&format!("{name}_sum {sum}\n"));
+        out.push_str(&format!("{name}_count {}\n", hist.count()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+
+    #[test]
+    fn counters_and_gauges_render_with_type_headers() {
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("wal_fsyncs", 12);
+        snap.push_gauge("memtable_bytes", -7);
+        let text = render(&snap);
+        assert!(text.contains("# TYPE gadget_wal_fsyncs counter\n"));
+        assert!(text.contains("gadget_wal_fsyncs 12\n"));
+        assert!(text.contains("# TYPE gadget_memtable_bytes gauge\n"));
+        assert!(text.contains("gadget_memtable_bytes -7\n"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn names_are_sanitized_and_prefixed() {
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("lsm.l0-files", 3);
+        let text = render(&snap);
+        assert!(text.contains("gadget_lsm_l0_files 3\n"), "got:\n{text}");
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_sum_and_count() {
+        let mut h = LogHistogram::new();
+        h.record(10);
+        h.record(10);
+        h.record(5_000);
+        let mut snap = MetricsSnapshot::new();
+        snap.histograms.push(("get_ns".to_string(), h));
+        let text = render(&snap);
+        assert!(text.contains("# TYPE gadget_get_ns histogram\n"));
+        // Small values land in exact buckets: le for value 10 is 11.
+        assert!(
+            text.contains("gadget_get_ns_bucket{le=\"11\"} 2\n"),
+            "got:\n{text}"
+        );
+        // The +Inf bucket carries the total, cumulatively.
+        assert!(text.contains("gadget_get_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("gadget_get_ns_count 3\n"));
+        // Sum is approximate (bucketed) but must be present and positive.
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("gadget_get_ns_sum "))
+            .expect("sum line");
+        let sum: f64 = sum_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(sum > 0.0);
+    }
+
+    #[test]
+    fn bucket_counts_are_monotonic() {
+        let mut h = LogHistogram::new();
+        for i in 0..1_000u64 {
+            h.record(i * 37 + 1);
+        }
+        let mut snap = MetricsSnapshot::new();
+        snap.histograms.push(("ns".to_string(), h));
+        let text = render(&snap);
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("gadget_ns_bucket{le=\"") {
+                let count: u64 = rest.split("} ").nth(1).unwrap().parse().unwrap();
+                assert!(count >= last, "cumulative counts must not decrease");
+                last = count;
+            }
+        }
+        assert_eq!(last, 1_000);
+    }
+}

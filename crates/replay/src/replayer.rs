@@ -380,6 +380,30 @@ impl TraceReplayer {
         Ok(started.elapsed().as_nanos() as u64)
     }
 
+    /// Replays a plain slice of accesses against `store`, returning the
+    /// raw [`Measured`] aggregate instead of a full report.
+    ///
+    /// This is the building block for drivers that manage their own
+    /// partitioning and session lifecycle — `gadget-server`'s
+    /// multi-connection driver splits a trace across N connections and
+    /// replays each slice through its own `NetStore`, then merges the
+    /// per-connection `Measured`s with [`Measured::absorb`]. Honors
+    /// `batch_size`, `service_rate` pacing, and `max_ops` from
+    /// [`ReplayOptions`]; does not emit a replay phase span (callers
+    /// wrap the whole drive in their own phase).
+    pub fn replay_accesses(
+        &self,
+        accesses: &[StateAccess],
+        store: &dyn StateStore,
+    ) -> Result<Measured, StoreError> {
+        let limit = self.options.max_ops.unwrap_or(u64::MAX);
+        let pace = self
+            .options
+            .service_rate
+            .map(|rate| Duration::from_nanos((1e9 / rate) as u64));
+        self.run_accesses(accesses.iter(), store, limit, pace, Instant::now(), None)
+    }
+
     /// Replays `trace` against `store` and reports measurements.
     pub fn replay(
         &self,

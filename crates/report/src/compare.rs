@@ -371,7 +371,10 @@ pub fn compare_reports(
     tol: &Tolerance,
 ) -> ComparisonReport {
     let mut metrics = Vec::new();
-    if baseline.store != candidate.store || baseline.workload != candidate.workload {
+    if baseline.store != candidate.store
+        || baseline.workload != candidate.workload
+        || baseline.meta.transport != candidate.meta.transport
+    {
         metrics.push(MetricComparison {
             metric: "identity".to_string(),
             baseline: 0.0,
@@ -382,8 +385,13 @@ pub fn compare_reports(
             wasserstein: None,
             status: Status::Regressed,
             note: format!(
-                "baseline is {}/{}, candidate is {}/{}",
-                baseline.store, baseline.workload, candidate.store, candidate.workload
+                "baseline is {}/{} over {}, candidate is {}/{} over {}",
+                baseline.store,
+                baseline.workload,
+                baseline.meta.transport,
+                candidate.store,
+                candidate.workload,
+                candidate.meta.transport
             ),
         });
     }
@@ -581,6 +589,23 @@ mod tests {
         let cmp = compare_reports(&base, &other, "a", "b", &Tolerance::default());
         assert!(cmp.regressed());
         assert_eq!(cmp.metrics[0].metric, "identity");
+    }
+
+    #[test]
+    fn mismatched_transport_regresses() {
+        // Same store and workload, but one side was measured across the
+        // gadget-server wire: the latency curves are not comparable.
+        let base = report_with_latency(0, 10_000.0);
+        let mut other = report_with_latency(0, 10_000.0);
+        other.meta.transport = "tcp".to_string();
+        let cmp = compare_reports(&base, &other, "a", "b", &Tolerance::default());
+        assert!(cmp.regressed());
+        assert_eq!(cmp.metrics[0].metric, "identity");
+        assert!(
+            cmp.metrics[0].note.contains("tcp"),
+            "{}",
+            cmp.metrics[0].note
+        );
     }
 
     #[test]

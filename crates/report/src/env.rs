@@ -39,6 +39,7 @@ pub fn capture_in(dir: &Path, config: &str) -> RunMeta {
         threads: 1,
         shards: 1,
         batch_size: 1,
+        transport: "embedded".to_string(),
         created_unix_ms: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_millis() as u64)

@@ -40,6 +40,13 @@ pub struct RunMeta {
     pub shards: u64,
     /// Micro-batch size.
     pub batch_size: u64,
+    /// How operations reached the store: `"embedded"` for in-process
+    /// runs, `"tcp"` for runs driven through `gadget-server`'s wire
+    /// protocol. Part of a report's identity — comparing a client-side
+    /// latency curve against an embedded baseline would misattribute
+    /// the network to the store. Reports written before this field
+    /// existed deserialize as `"embedded"`, which is what they were.
+    pub transport: String,
     /// Wall-clock creation time, milliseconds since the Unix epoch
     /// (0 if the clock is unavailable).
     pub created_unix_ms: u64,
@@ -55,6 +62,7 @@ impl Default for RunMeta {
             threads: 1,
             shards: 1,
             batch_size: 1,
+            transport: "embedded".to_string(),
             created_unix_ms: 0,
         }
     }
@@ -158,6 +166,7 @@ const META_FIELDS: &[&str] = &[
     "threads",
     "shards",
     "batch_size",
+    "transport",
     "created_unix_ms",
 ];
 
@@ -171,6 +180,7 @@ impl Serialize for RunMeta {
             ("threads".to_string(), self.threads.to_value()),
             ("shards".to_string(), self.shards.to_value()),
             ("batch_size".to_string(), self.batch_size.to_value()),
+            ("transport".to_string(), self.transport.to_value()),
             (
                 "created_unix_ms".to_string(),
                 self.created_unix_ms.to_value(),
@@ -197,6 +207,13 @@ impl Deserialize for RunMeta {
             threads: u64::from_value(field("threads")?)?,
             shards: u64::from_value(field("shards")?)?,
             batch_size: u64::from_value(field("batch_size")?)?,
+            // Absent in reports written before the field existed (all of
+            // which were embedded runs), so missing means "embedded", not
+            // a parse error — committed baselines keep loading.
+            transport: match serde::find_field(members, "transport") {
+                Some(v) => String::from_value(v)?,
+                None => "embedded".to_string(),
+            },
             created_unix_ms: u64::from_value(field("created_unix_ms")?)?,
         })
     }
@@ -337,6 +354,7 @@ mod tests {
                 threads: 2,
                 shards: 4,
                 batch_size: 64,
+                transport: "embedded".to_string(),
                 created_unix_ms: 1_700_000_000_000,
             },
             operations: 500,
@@ -378,6 +396,21 @@ mod tests {
             .replace("\"version\": 1", "\"version\": 999");
         let err = RunReport::from_json(&json).unwrap_err();
         assert!(err.contains("unsupported report version 999"), "got: {err}");
+    }
+
+    #[test]
+    fn missing_transport_defaults_to_embedded() {
+        // Reports written before `transport` existed must keep loading
+        // (the committed perf-gate baselines are such reports).
+        let report = sample_report();
+        let json = report
+            .to_json()
+            .replace("    \"transport\": \"embedded\",\n", "");
+        assert!(!json.contains("transport"), "field removed from fixture");
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back.meta.transport, "embedded");
+        // Re-serialization writes the field explicitly from then on.
+        assert!(back.to_json().contains("\"transport\": \"embedded\""));
     }
 
     #[test]

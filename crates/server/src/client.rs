@@ -1,0 +1,250 @@
+//! [`NetStore`]: a [`StateStore`] backed by a gadget-server over TCP.
+//!
+//! Because `NetStore` *is* a `StateStore`, every existing consumer —
+//! the trace replayer, the streaming driver, the CLI's report plumbing
+//! — works against a remote server unmodified; pointing a benchmark at
+//! a network deployment is a constructor swap, not a code change. Each
+//! `NetStore` owns one connection and issues requests synchronously
+//! (one in flight at a time); fan-in comes from many `NetStore`s, as
+//! driven by [`crate::driver::drive`].
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown as SockShutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use bytes::Bytes;
+use gadget_kv::{BatchResult, OpTimers, StateStore, StoreError};
+use gadget_obs::{Counter, MetricsRegistry, MetricsSnapshot};
+use gadget_types::Op;
+
+use crate::wire::{self, Frame};
+
+/// One TCP connection's buffered halves.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Conn, StoreError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Conn {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+}
+
+/// A state store that forwards every operation to a gadget-server.
+pub struct NetStore {
+    addr: String,
+    conn: Mutex<Conn>,
+    next_id: AtomicU64,
+    metrics: MetricsRegistry,
+    timers: OpTimers,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    requests: Counter,
+    reconnects: Counter,
+}
+
+impl NetStore {
+    /// Connects to a running server at `addr` (`host:port`).
+    ///
+    /// Fails immediately — with the underlying socket error — if the
+    /// address is unreachable; there is no retry loop, so an
+    /// unreachable server is diagnosed at startup rather than midway
+    /// through a benchmark.
+    pub fn connect(addr: &str) -> Result<NetStore, StoreError> {
+        let conn = Conn::open(addr)?;
+        let metrics = MetricsRegistry::new();
+        Ok(NetStore {
+            addr: addr.to_string(),
+            conn: Mutex::new(conn),
+            next_id: AtomicU64::new(1),
+            timers: OpTimers::registered(&metrics, 0),
+            bytes_in: metrics.counter("net_bytes_in"),
+            bytes_out: metrics.counter("net_bytes_out"),
+            requests: metrics.counter("net_requests"),
+            reconnects: metrics.counter("net_reconnects"),
+            metrics,
+        })
+    }
+
+    /// The server address this store talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Number of reconnects performed (churn accounting).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.get()
+    }
+
+    /// Drops the current connection and dials a fresh one — the churn
+    /// primitive: session state on the old connection (socket buffers,
+    /// server-side threads) is torn down exactly as a departing client
+    /// would tear it down.
+    pub fn reconnect(&self) -> Result<(), StoreError> {
+        let mut conn = self.conn.lock().unwrap();
+        *conn = Conn::open(&self.addr)?;
+        self.reconnects.inc();
+        Ok(())
+    }
+
+    /// Asks the server to drain and exit; returns once the server has
+    /// acknowledged (at which point in-flight work is already answered
+    /// and the listener no longer accepts).
+    pub fn shutdown_server(&self) -> Result<(), StoreError> {
+        let mut conn = self.conn.lock().unwrap();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Shutdown { id };
+        wire::write_frame(&mut conn.writer, &frame)?;
+        conn.writer.flush()?;
+        match wire::read_frame(&mut conn.reader)? {
+            Frame::Shutdown { id: ack } if ack == id => {
+                // Politely close our half; the server is draining.
+                if let Ok(stream) = conn.writer.get_ref().try_clone() {
+                    let _ = stream.shutdown(SockShutdown::Both);
+                }
+                Ok(())
+            }
+            other => Err(StoreError::Corruption(format!(
+                "expected shutdown ack for {id}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends one request batch and awaits its reply.
+    fn call(&self, ops: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
+        let mut conn = self.conn.lock().unwrap();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let request = Frame::Request {
+            id,
+            ops: ops.to_vec(),
+        };
+        wire::write_frame(&mut conn.writer, &request)?;
+        conn.writer.flush().map_err(StoreError::Io)?;
+        self.bytes_out.add(request.encoded_len() as u64);
+        self.requests.inc();
+        let reply = wire::read_frame(&mut conn.reader)?;
+        self.bytes_in.add(reply.encoded_len() as u64);
+        match reply {
+            Frame::Response { id: got, results } => {
+                if got != id {
+                    return Err(StoreError::Corruption(format!(
+                        "response id {got} does not match request id {id}"
+                    )));
+                }
+                if results.len() != ops.len() {
+                    return Err(StoreError::Corruption(format!(
+                        "{} results for {} ops",
+                        results.len(),
+                        ops.len()
+                    )));
+                }
+                Ok(results)
+            }
+            Frame::Error {
+                id: got,
+                code,
+                message,
+            } => {
+                if got != id && got != 0 {
+                    return Err(StoreError::Corruption(format!(
+                        "error id {got} does not match request id {id}"
+                    )));
+                }
+                Err(wire::decode_store_error(code, message))
+            }
+            other => Err(StoreError::Corruption(format!(
+                "unexpected reply frame: {other:?}"
+            ))),
+        }
+    }
+
+    /// One-op convenience around [`NetStore::call`].
+    fn call_one(&self, op: Op) -> Result<BatchResult, StoreError> {
+        let mut results = self.call(std::slice::from_ref(&op))?;
+        Ok(results.pop().expect("length checked in call"))
+    }
+}
+
+impl StateStore for NetStore {
+    fn name(&self) -> &'static str {
+        "net"
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StoreError> {
+        match self
+            .timers
+            .get
+            .time(|| self.call_one(Op::get(key.to_vec())))?
+        {
+            BatchResult::Value(v) => Ok(v),
+            BatchResult::Applied => {
+                Err(StoreError::Corruption("write result for a get".to_string()))
+            }
+        }
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.timers
+            .put
+            .time(|| self.call_one(Op::put(key.to_vec(), value.to_vec())))?;
+        Ok(())
+    }
+
+    fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), StoreError> {
+        self.timers
+            .merge
+            .time(|| self.call_one(Op::merge(key.to_vec(), operand.to_vec())))?;
+        Ok(())
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+        self.timers
+            .delete
+            .time(|| self.call_one(Op::delete(key.to_vec())))?;
+        Ok(())
+    }
+
+    fn supports_scan(&self) -> bool {
+        false
+    }
+
+    fn supports_merge(&self) -> bool {
+        true
+    }
+
+    fn apply_batch(&self, batch: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
+        let started = Instant::now();
+        let results = self.call(batch)?;
+        self.timers
+            .record_batch(batch, started.elapsed().as_nanos() as u64);
+        Ok(results)
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        Some(self.metrics.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreachable_address_fails_fast_with_io_error() {
+        // Port 1 on loopback: nothing listens there.
+        let err = match NetStore::connect("127.0.0.1:1") {
+            Err(e) => e,
+            Ok(_) => panic!("connected to a port nothing listens on"),
+        };
+        assert!(matches!(err, StoreError::Io(_)), "got: {err:?}");
+    }
+}

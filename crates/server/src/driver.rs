@@ -1,0 +1,293 @@
+//! Multi-connection fan-in driver with session churn.
+//!
+//! Simulates a fleet of streaming workers hammering one state server:
+//! the trace is partitioned across N connections by key hash (every
+//! access to a given key stays on one connection, preserving the
+//! per-key ordering keyed streaming state relies on), each connection
+//! replays its slice through its own [`NetStore`], and at deterministic
+//! segment boundaries a connection may *churn* — drop its TCP session
+//! and dial a fresh one, the way autoscaled workers, rebalanced
+//! partitions, and flaky networks do in production. Per-connection
+//! latency histograms merge exactly ([`Measured::absorb`]), so the
+//! summary distribution is the true union of every connection's
+//! samples, not an average of averages.
+
+use gadget_kv::shard_of;
+use gadget_obs::trace::{phase, span, Category};
+use gadget_replay::{Measured, ReplayOptions, RunReport, TraceReplayer};
+use gadget_types::{StateAccess, Trace};
+
+use gadget_kv::{StateStore, StoreError};
+
+use crate::client::NetStore;
+
+/// Tunables for [`drive`].
+#[derive(Debug, Clone)]
+pub struct DriveOptions {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Probability, at each segment boundary, that a connection drops
+    /// its TCP session and reconnects. `0.0` disables churn; `0.1`
+    /// models a fairly turbulent fleet.
+    pub churn: f64,
+    /// Operations replayed between churn decision points.
+    pub segment_ops: usize,
+    /// Replay pacing/batching. `service_rate` is the *aggregate* target
+    /// across all connections (split evenly); `max_ops` caps the total
+    /// before partitioning; `replay_threads` is ignored (the connection
+    /// fan-out replaces it).
+    pub replay: ReplayOptions,
+    /// Seed for the deterministic churn coin-flips. Same seed, same
+    /// trace, same options → same reconnect schedule.
+    pub seed: u64,
+}
+
+impl Default for DriveOptions {
+    fn default() -> Self {
+        DriveOptions {
+            connections: 1,
+            churn: 0.0,
+            segment_ops: 1_000,
+            replay: ReplayOptions::default(),
+            seed: 0x9ad9e,
+        }
+    }
+}
+
+/// What a drive measured, beyond the standard replay report.
+#[derive(Debug, Clone)]
+pub struct DriveSummary {
+    /// Merged replay measurements (store name `"net"`).
+    pub report: RunReport,
+    /// Connections driven.
+    pub connections: usize,
+    /// Total reconnects across all connections (churn events).
+    pub reconnects: u64,
+    /// Wire bytes received by clients (responses).
+    pub bytes_in: u64,
+    /// Wire bytes sent by clients (requests).
+    pub bytes_out: u64,
+    /// Ops executed per connection, indexed by connection number.
+    pub per_connection_ops: Vec<u64>,
+}
+
+/// What one connection's worth of the drive produced.
+struct ConnOutcome {
+    measured: Measured,
+    reconnects: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    ops: u64,
+}
+
+/// splitmix64 step — the standard 64-bit mixer; deterministic churn
+/// decisions without pulling a rand dependency into the server crate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from the top 53 bits of a splitmix64 step.
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Drives `trace` against the server at `addr` over
+/// `options.connections` concurrent TCP sessions. `workload` labels
+/// the resulting report.
+///
+/// Fails fast if any connection cannot be established (unreachable
+/// address, server at fd limit) and propagates the first store error
+/// any connection hits; a clean return means every issued request was
+/// answered.
+pub fn drive(
+    addr: &str,
+    trace: &Trace,
+    workload: &str,
+    options: &DriveOptions,
+) -> Result<DriveSummary, StoreError> {
+    let connections = options.connections.max(1);
+    let _phase = span(Category::Phase, phase::DRIVE);
+
+    // Partition by key hash so per-key order survives the fan-out.
+    let limit = options.replay.max_ops.unwrap_or(u64::MAX);
+    let mut parts: Vec<Vec<StateAccess>> = vec![Vec::new(); connections];
+    for access in trace.iter().take(limit.min(usize::MAX as u64) as usize) {
+        parts[shard_of(&access.key.encode(), connections)].push(*access);
+    }
+
+    let per_conn_options = ReplayOptions {
+        service_rate: options.replay.service_rate.map(|r| r / connections as f64),
+        max_ops: None, // the partition is already limited
+        batch_size: options.replay.batch_size,
+        replay_threads: 1,
+    };
+    let segment_ops = options.segment_ops.max(1);
+
+    let started = std::time::Instant::now();
+    let outcomes: Vec<Result<ConnOutcome, StoreError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(conn_no, part)| {
+                let per_conn_options = per_conn_options.clone();
+                s.spawn(move || {
+                    drive_connection(addr, part, conn_no, options, per_conn_options, segment_ops)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(StoreError::Corruption(
+                        "drive connection thread panicked".to_string(),
+                    ))
+                })
+            })
+            .collect()
+    });
+    let seconds = started.elapsed().as_secs_f64();
+
+    let mut merged = Measured::new();
+    let mut reconnects = 0;
+    let mut bytes_in = 0;
+    let mut bytes_out = 0;
+    let mut per_connection_ops = Vec::with_capacity(connections);
+    for outcome in outcomes {
+        let conn = outcome?;
+        merged.absorb(&conn.measured);
+        reconnects += conn.reconnects;
+        bytes_in += conn.bytes_in;
+        bytes_out += conn.bytes_out;
+        per_connection_ops.push(conn.ops);
+    }
+
+    Ok(DriveSummary {
+        report: merged.to_report("net", workload, seconds),
+        connections,
+        reconnects,
+        bytes_in,
+        bytes_out,
+        per_connection_ops,
+    })
+}
+
+/// One connection's worth of the drive: replay the slice segment by
+/// segment, flipping the churn coin between segments.
+fn drive_connection(
+    addr: &str,
+    part: &[StateAccess],
+    conn_no: usize,
+    options: &DriveOptions,
+    replay_options: ReplayOptions,
+    segment_ops: usize,
+) -> Result<ConnOutcome, StoreError> {
+    let store = NetStore::connect(addr)?;
+    let replayer = TraceReplayer::new(replay_options);
+    let mut rng = options.seed ^ (conn_no as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    let mut measured = Measured::new();
+    for (i, segment) in part.chunks(segment_ops).enumerate() {
+        if i > 0 && options.churn > 0.0 && unit_f64(&mut rng) < options.churn {
+            store.reconnect()?;
+        }
+        measured.absorb(&replayer.replay_accesses(segment, &store)?);
+    }
+    let snap = store.metrics().unwrap_or_default();
+    let ops = measured.executed;
+    Ok(ConnOutcome {
+        measured,
+        reconnects: store.reconnects(),
+        bytes_in: snap.counter("net_bytes_in").unwrap_or(0),
+        bytes_out: snap.counter("net_bytes_out").unwrap_or(0),
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use gadget_kv::MemStore;
+    use gadget_types::StateKey;
+
+    use crate::server::{Server, ServerConfig};
+
+    use super::*;
+
+    fn synthetic_trace(ops: usize, keys: u64) -> Trace {
+        let mut trace = Trace::new();
+        for i in 0..ops {
+            let key = StateKey {
+                group: (i as u64) % keys,
+                ns: 0,
+            };
+            let ts = i as u64;
+            trace.push(match i % 3 {
+                0 => StateAccess::put(key, 64, ts),
+                1 => StateAccess::get(key, ts),
+                _ => StateAccess::delete(key, ts),
+            });
+        }
+        trace
+    }
+
+    #[test]
+    fn drive_replays_every_op_across_connections() {
+        let server = Server::start(
+            "127.0.0.1:0",
+            Arc::new(MemStore::new()),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let trace = synthetic_trace(600, 37);
+        let options = DriveOptions {
+            connections: 4,
+            ..DriveOptions::default()
+        };
+        let summary = drive(
+            &server.local_addr().to_string(),
+            &trace,
+            "synthetic",
+            &options,
+        )
+        .unwrap();
+        assert_eq!(summary.report.operations, 600);
+        assert_eq!(summary.per_connection_ops.iter().sum::<u64>(), 600);
+        assert_eq!(summary.connections, 4);
+        assert_eq!(summary.reconnects, 0, "no churn requested");
+        assert!(summary.bytes_in > 0 && summary.bytes_out > 0);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn churn_reconnects_deterministically_without_losing_ops() {
+        let server = Server::start(
+            "127.0.0.1:0",
+            Arc::new(MemStore::new()),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let trace = synthetic_trace(2_000, 101);
+        let options = DriveOptions {
+            connections: 3,
+            churn: 0.5,
+            segment_ops: 100,
+            seed: 42,
+            ..DriveOptions::default()
+        };
+        let a = drive(&addr, &trace, "synthetic", &options).unwrap();
+        let b = drive(&addr, &trace, "synthetic", &options).unwrap();
+        assert_eq!(a.report.operations, 2_000, "churn lost operations");
+        assert!(a.reconnects > 0, "p=0.5 over ~20 segments should churn");
+        assert_eq!(
+            a.reconnects, b.reconnects,
+            "same seed must give the same churn schedule"
+        );
+        server.stop().unwrap();
+    }
+}

@@ -1,0 +1,40 @@
+//! # gadget-server — network client/server mode for the gadget harness
+//!
+//! Everything else in the workspace benchmarks *embedded* state stores:
+//! the store lives in the benchmark process and an operation is a
+//! function call. This crate adds the other deployment shape the
+//! paper's §8 sketches — an *external* state service — as a real
+//! network subsystem rather than a simulation (for the simulated
+//! variant, see `gadget_kv::RemoteStore`):
+//!
+//! * [`wire`] — the length-prefixed, versioned binary protocol. Strict
+//!   decoding with typed errors; a malformed peer can't panic a server.
+//! * [`Server`] — a TCP front-end over any
+//!   [`StateStore`](gadget_kv::StateStore): thread-per-connection with
+//!   bounded per-connection request queues (backpressure degrades to
+//!   TCP flow control), graceful drain on shutdown, per-connection
+//!   metrics, and an optional Prometheus scrape endpoint
+//!   ([`MetricsServer`]).
+//! * [`NetStore`] — the client side, itself a
+//!   [`StateStore`](gadget_kv::StateStore): every existing consumer
+//!   (replayer, driver, CLI) can point at a server unmodified.
+//! * [`drive`] — massive connection fan-in: partitions a trace across N
+//!   concurrent connections (key-hash affine, preserving per-key
+//!   order), with deterministic session churn and exactly-merged
+//!   per-connection latency histograms.
+//!
+//! The crate stays std-only on purpose — sockets, threads, and bounded
+//! channels from the standard library are enough for tens of thousands
+//! of connections on loopback, and there is nothing to vendor or shim.
+
+pub mod client;
+pub mod driver;
+pub mod metrics_http;
+pub mod server;
+pub mod wire;
+
+pub use client::NetStore;
+pub use driver::{drive, DriveOptions, DriveSummary};
+pub use metrics_http::MetricsServer;
+pub use server::{Server, ServerConfig};
+pub use wire::{Frame, WireError};

@@ -1,0 +1,164 @@
+//! Minimal HTTP endpoint exposing metrics in Prometheus text format.
+//!
+//! `gadget serve --metrics-addr 127.0.0.1:9100` starts one of these
+//! alongside the wire-protocol listener; `curl` or any Prometheus
+//! scraper then reads the merged server + store snapshot from any
+//! path. The HTTP support is deliberately tiny — read one request,
+//! answer `200` with `text/plain; version=0.0.4`, close — because the
+//! only client that matters speaks exactly that much HTTP.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use gadget_obs::{openmetrics, MetricsSnapshot};
+
+/// Produces the snapshot served on each scrape.
+pub type SnapshotFn = dyn Fn() -> MetricsSnapshot + Send + Sync;
+
+/// A running metrics endpoint.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and serves `source()` to every HTTP request.
+    pub fn start(addr: impl ToSocketAddrs, source: Arc<SnapshotFn>) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("gadget-metrics".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        let _ = serve_one(stream, &source);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the endpoint and waits for its thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Answers one scrape: drain the request head, write the exposition.
+fn serve_one(mut stream: TcpStream, source: &Arc<SnapshotFn>) -> io::Result<()> {
+    // Read until the end of the request head (or the peer stops
+    // sending). The request itself is irrelevant: every path serves
+    // the same document, exactly like a single-purpose exporter.
+    let mut head = [0u8; 1024];
+    let mut read = 0;
+    while read < head.len() {
+        let n = stream.read(&mut head[read..])?;
+        if n == 0 {
+            break;
+        }
+        read += n;
+        if head[..read].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let body = openmetrics::render(&source());
+    let response = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scrapes `addr` with a raw HTTP GET, returning (status line, body).
+    fn scrape(addr: SocketAddr) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+        let status = head.lines().next().unwrap().to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn scrape_parses_as_prometheus_exposition() {
+        let server = MetricsServer::start("127.0.0.1:0", {
+            Arc::new(|| {
+                let mut snap = MetricsSnapshot::new();
+                snap.push_counter("net_requests", 42);
+                snap.push_gauge("net_active_connections", 3);
+                snap
+            })
+        })
+        .unwrap();
+
+        let (status, body) = scrape(server.local_addr());
+        assert_eq!(status, "HTTP/1.1 200 OK");
+
+        // Parse the exposition: every non-comment line must be
+        // `name[{labels}] value`, and our series must be present.
+        let mut series = std::collections::HashMap::new();
+        for line in body.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (name, value) = line.split_once(' ').expect("sample line shape");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "_:{}=\"+.".contains(c)),
+                "bad metric name: {name}"
+            );
+            series.insert(name.to_string(), value.to_string());
+        }
+        assert_eq!(
+            series.get("gadget_net_requests").map(String::as_str),
+            Some("42")
+        );
+        assert_eq!(
+            series
+                .get("gadget_net_active_connections")
+                .map(String::as_str),
+            Some("3")
+        );
+        assert!(body.contains("# TYPE gadget_net_requests counter"));
+
+        // Scrapes are repeatable (fresh connection each time).
+        let (status, _) = scrape(server.local_addr());
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        server.stop();
+    }
+}

@@ -1,0 +1,481 @@
+//! The gadget network server: a TCP front-end over any [`StateStore`].
+//!
+//! Threading model: one accept thread, plus a **reader** and a
+//! **worker** thread per connection. The reader decodes frames off the
+//! socket into a bounded queue; the worker drains the queue, applies
+//! each batch to the store, and writes replies in arrival order. The
+//! queue (`queue_depth` frames) is the backpressure mechanism: when a
+//! connection has that many requests in flight the reader blocks, the
+//! kernel receive buffer fills, and the client's writes stall — flow
+//! control degrades to TCP's own, and server memory per connection
+//! stays bounded no matter how fast the client pipelines.
+//!
+//! Shutdown is a drain, not a drop: the listener stops accepting, every
+//! connection's *read* side is shut down (readers see EOF and stop
+//! enqueueing), and workers finish answering everything already queued
+//! before exiting — a request that was accepted is always answered.
+//! Shutdown triggers are [`Server::shutdown`] (in-process) and the wire
+//! `Shutdown` frame (remote, acked before the drain starts).
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use gadget_kv::{StateStore, StoreError};
+use gadget_obs::trace::{span, Category};
+use gadget_obs::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+
+use crate::wire::{self, Frame, WireError};
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-connection bound on decoded-but-unanswered requests. When
+    /// full, the connection's reader stops pulling from the socket and
+    /// backpressure propagates to the client via TCP flow control.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { queue_depth: 64 }
+    }
+}
+
+/// What a reader hands its worker: a decoded frame, or proof that the
+/// peer is speaking garbage (answered once, then the connection dies).
+enum ConnEvent {
+    Frame(Frame),
+    Malformed(WireError),
+}
+
+/// State shared by the accept loop, connection threads, and the handle.
+struct Shared {
+    store: Arc<dyn StateStore>,
+    addr: SocketAddr,
+    queue_depth: usize,
+    shutting_down: AtomicBool,
+    next_conn_id: AtomicU64,
+    /// Read-half clones of live connections, by id; shut down to make
+    /// readers see EOF during drain. Entries are removed as connections
+    /// close so churn does not leak file descriptors.
+    live: Mutex<HashMap<u64, TcpStream>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    metrics: MetricsRegistry,
+    connections: Counter,
+    active: Gauge,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    requests: Counter,
+    ops: Counter,
+    inflight: Gauge,
+}
+
+impl Shared {
+    /// Server-side metrics merged with the fronted store's own.
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        if let Some(store) = self.store.metrics() {
+            snap.merge(&store);
+        }
+        for (name, value) in self.store.internal_counters() {
+            snap.push_counter(&name, value);
+        }
+        snap
+    }
+
+    /// Starts the drain exactly once: stop the accept loop and EOF
+    /// every connection's read side. Idempotent and callable from any
+    /// thread (including a connection's own worker).
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection to
+        // ourselves; the loop re-checks the flag after every accept.
+        let _ = TcpStream::connect(self.addr);
+        let live = self.live.lock().unwrap();
+        for stream in live.values() {
+            let _ = stream.shutdown(SockShutdown::Read);
+        }
+    }
+}
+
+/// A running gadget server. Dropping the handle without calling
+/// [`Server::stop`] leaves the server running until process exit.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `store`.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        store: Arc<dyn StateStore>,
+        config: ServerConfig,
+    ) -> Result<Server, StoreError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = MetricsRegistry::new();
+        let shared = Arc::new(Shared {
+            store,
+            addr,
+            queue_depth: config.queue_depth.max(1),
+            shutting_down: AtomicBool::new(false),
+            next_conn_id: AtomicU64::new(0),
+            live: Mutex::new(HashMap::new()),
+            threads: Mutex::new(Vec::new()),
+            connections: metrics.counter("net_connections"),
+            active: metrics.gauge("net_active_connections"),
+            bytes_in: metrics.counter("net_bytes_in"),
+            bytes_out: metrics.counter("net_bytes_out"),
+            requests: metrics.counter("net_requests"),
+            ops: metrics.counter("net_ops"),
+            inflight: metrics.gauge("net_inflight"),
+            metrics,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("gadget-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(StoreError::Io)?;
+        Ok(Server {
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Server-side metrics merged with the fronted store's own.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// A cloneable metrics source that outlives this handle — what a
+    /// [`crate::MetricsServer`] scrapes while the server runs.
+    pub fn snapshot_source(&self) -> Arc<dyn Fn() -> MetricsSnapshot + Send + Sync> {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move || shared.snapshot())
+    }
+
+    /// Begins the graceful drain without waiting for it to finish.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether a drain has been triggered (locally or over the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Drains and waits for every connection to finish, then flushes
+    /// the underlying store.
+    pub fn stop(self) -> Result<(), StoreError> {
+        self.shared.begin_shutdown();
+        self.join()
+    }
+
+    /// Blocks until the server shuts down (via [`Server::shutdown`] or
+    /// a wire `Shutdown` frame), then completes the drain.
+    pub fn join(mut self) -> Result<(), StoreError> {
+        // The accept thread exits only after a drain has begun and all
+        // connection threads have been joined, so waiting on it both
+        // waits for the trigger and finishes the cleanup.
+        if let Some(h) = self.accept_thread.take() {
+            h.join()
+                .map_err(|_| StoreError::Corruption("accept thread panicked".to_string()))?;
+        }
+        self.shared.store.flush()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+        shared.connections.inc();
+        shared.active.add(1);
+        if let Ok(read_half) = stream.try_clone() {
+            shared.live.lock().unwrap().insert(conn_id, read_half);
+        }
+        spawn_connection(&shared, conn_id, stream);
+    }
+    // Drain: join every connection thread so `stop` returning means no
+    // request is still in flight anywhere.
+    let threads = std::mem::take(&mut *shared.threads.lock().unwrap());
+    for t in threads {
+        let _ = t.join();
+    }
+}
+
+fn spawn_connection(shared: &Arc<Shared>, conn_id: u64, stream: TcpStream) {
+    let (tx, rx) = sync_channel::<ConnEvent>(shared.queue_depth);
+    let reader_shared = Arc::clone(shared);
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            shared.active.add(-1);
+            shared.live.lock().unwrap().remove(&conn_id);
+            return;
+        }
+    };
+    // Small stacks: with thousands of connections (two threads each)
+    // the default 8 MiB stacks would reserve absurd address space.
+    let reader = std::thread::Builder::new()
+        .name(format!("gadget-conn-{conn_id}-r"))
+        .stack_size(256 * 1024)
+        .spawn(move || reader_loop(reader_stream, tx, reader_shared));
+    let worker_shared = Arc::clone(shared);
+    let worker = std::thread::Builder::new()
+        .name(format!("gadget-conn-{conn_id}-w"))
+        .stack_size(256 * 1024)
+        .spawn(move || worker_loop(stream, rx, conn_id, worker_shared));
+    let mut threads = shared.threads.lock().unwrap();
+    if let Ok(h) = reader {
+        threads.push(h);
+    }
+    if let Ok(h) = worker {
+        threads.push(h);
+    }
+}
+
+/// Pulls frames off the socket into the bounded queue. Exits on EOF,
+/// socket error, or the first malformed frame (forwarded so the worker
+/// can answer it before closing).
+fn reader_loop(stream: TcpStream, tx: SyncSender<ConnEvent>, shared: Arc<Shared>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match wire::read_frame(&mut reader) {
+            Ok(frame) => {
+                shared.bytes_in.add(frame.encoded_len() as u64);
+                shared.inflight.add(1);
+                if tx.send(ConnEvent::Frame(frame)).is_err() {
+                    shared.inflight.add(-1);
+                    break;
+                }
+            }
+            Err(WireError::Truncated) => break, // EOF / drain
+            Err(WireError::Io(_)) => break,
+            Err(e) => {
+                let _ = tx.send(ConnEvent::Malformed(e));
+                break;
+            }
+        }
+    }
+    // Dropping `tx` lets the worker drain the queue and exit.
+}
+
+/// Applies queued requests to the store and writes replies in order.
+fn worker_loop(stream: TcpStream, rx: Receiver<ConnEvent>, conn_id: u64, shared: Arc<Shared>) {
+    let mut writer = BufWriter::new(stream);
+    while let Ok(event) = rx.recv() {
+        let reply = match event {
+            ConnEvent::Frame(Frame::Request { id, ops }) => {
+                shared.requests.inc();
+                shared.ops.add(ops.len() as u64);
+                let result = {
+                    let _span = span(Category::NetRequest, conn_id);
+                    shared.store.apply_batch(&ops)
+                };
+                match result {
+                    Ok(results) => Frame::Response { id, results },
+                    Err(e) => {
+                        let (code, message) = wire::encode_store_error(&e);
+                        Frame::Error { id, code, message }
+                    }
+                }
+            }
+            ConnEvent::Frame(Frame::Shutdown { id }) => {
+                // Ack first so the requester sees the drain begin, then
+                // trigger it (which EOFs our own reader too).
+                let ack = Frame::Shutdown { id };
+                shared.inflight.add(-1);
+                if wire::write_frame(&mut writer, &ack).is_ok() {
+                    shared.bytes_out.add(ack.encoded_len() as u64);
+                    let _ = writer.flush();
+                }
+                shared.begin_shutdown();
+                continue;
+            }
+            ConnEvent::Frame(other) => {
+                // Clients must not send server-kind frames.
+                let id = other.id();
+                Frame::Error {
+                    id,
+                    code: wire::ErrorCode::InvalidArgument,
+                    message: "unexpected frame kind from client".to_string(),
+                }
+            }
+            ConnEvent::Malformed(e) => {
+                let reply = Frame::Error {
+                    id: 0,
+                    code: wire::ErrorCode::InvalidArgument,
+                    message: format!("malformed frame: {e}"),
+                };
+                if wire::write_frame(&mut writer, &reply).is_ok() {
+                    shared.bytes_out.add(reply.encoded_len() as u64);
+                    let _ = writer.flush();
+                }
+                break;
+            }
+        };
+        shared.inflight.add(-1);
+        if wire::write_frame(&mut writer, &reply).is_err() {
+            break;
+        }
+        shared.bytes_out.add(reply.encoded_len() as u64);
+        if writer.flush().is_err() {
+            break;
+        }
+    }
+    shared.active.add(-1);
+    shared.live.lock().unwrap().remove(&conn_id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gadget_kv::MemStore;
+
+    use crate::client::NetStore;
+
+    fn serve_mem() -> Server {
+        Server::start(
+            "127.0.0.1:0",
+            Arc::new(MemStore::new()),
+            ServerConfig::default(),
+        )
+        .expect("bind loopback")
+    }
+
+    #[test]
+    fn serves_basic_operations_over_loopback() {
+        let server = serve_mem();
+        let store = NetStore::connect(&server.local_addr().to_string()).unwrap();
+        store.put(b"k", b"v").unwrap();
+        assert_eq!(store.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        store.merge(b"k", b"w").unwrap();
+        assert_eq!(store.get(b"k").unwrap().as_deref(), Some(&b"vw"[..]));
+        store.delete(b"k").unwrap();
+        assert_eq!(store.get(b"k").unwrap(), None);
+        server.stop().unwrap();
+    }
+
+    /// A store whose writes always fail, for error-path testing.
+    struct RejectingStore(MemStore);
+
+    impl StateStore for RejectingStore {
+        fn name(&self) -> &'static str {
+            "rejecting"
+        }
+        fn get(&self, key: &[u8]) -> Result<Option<bytes::Bytes>, StoreError> {
+            self.0.get(key)
+        }
+        fn put(&self, _key: &[u8], _value: &[u8]) -> Result<(), StoreError> {
+            Err(StoreError::InvalidArgument("writes rejected".to_string()))
+        }
+        fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), StoreError> {
+            self.0.merge(key, operand)
+        }
+        fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+            self.0.delete(key)
+        }
+    }
+
+    #[test]
+    fn server_errors_come_back_typed() {
+        let server = Server::start(
+            "127.0.0.1:0",
+            Arc::new(RejectingStore(MemStore::new())),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let store = NetStore::connect(&server.local_addr().to_string()).unwrap();
+        let err = store.put(b"k", b"v").unwrap_err();
+        assert!(
+            matches!(err, StoreError::InvalidArgument(_)),
+            "got: {err:?}"
+        );
+        // The connection survives an application-level error.
+        assert_eq!(store.get(b"k").unwrap(), None);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn many_concurrent_connections_see_consistent_state() {
+        let server = serve_mem();
+        let addr = server.local_addr().to_string();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let addr = &addr;
+                s.spawn(move || {
+                    let store = NetStore::connect(addr).unwrap();
+                    for i in 0..50 {
+                        let key = format!("t{t}-k{i}");
+                        store.put(key.as_bytes(), key.as_bytes()).unwrap();
+                        assert_eq!(
+                            store.get(key.as_bytes()).unwrap().as_deref(),
+                            Some(key.as_bytes())
+                        );
+                    }
+                });
+            }
+        });
+        let snap = server.metrics();
+        assert_eq!(snap.counter("net_connections"), Some(8));
+        assert!(snap.counter("net_requests").unwrap() >= 8 * 100);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn wire_shutdown_drains_and_unblocks_join() {
+        let server = serve_mem();
+        let addr = server.local_addr().to_string();
+        let store = NetStore::connect(&addr).unwrap();
+        store.put(b"a", b"1").unwrap();
+        store.shutdown_server().unwrap();
+        // join() returns because the wire frame triggered the drain.
+        server.join().unwrap();
+        // New connections are refused or die immediately after drain.
+        let refused = match NetStore::connect(&addr) {
+            Err(_) => true,
+            Ok(s) => s.put(b"b", b"2").is_err(),
+        };
+        assert!(refused, "server still serving after shutdown");
+    }
+
+    #[test]
+    fn malformed_bytes_get_an_error_frame_not_a_crash() {
+        use std::io::{Read, Write};
+        let server = serve_mem();
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        raw.flush().unwrap();
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf).ok();
+        let frame = wire::decode(&buf).expect("server answered with a frame");
+        assert!(
+            matches!(frame, Frame::Error { .. }),
+            "expected error frame, got {frame:?}"
+        );
+        // The server is still healthy for well-formed clients.
+        let store = NetStore::connect(&server.local_addr().to_string()).unwrap();
+        store.put(b"x", b"y").unwrap();
+        server.stop().unwrap();
+    }
+}

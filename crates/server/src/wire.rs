@@ -1,0 +1,583 @@
+//! The gadget wire protocol: length-prefixed, versioned binary frames.
+//!
+//! Every message on a gadget-server connection is one frame:
+//!
+//! ```text
+//! +--------+---------+------+------------+-------------+----------+
+//! | magic  | version | kind | request id | payload len | payload  |
+//! | u16 LE |   u8    |  u8  |   u64 LE   |   u32 LE    | N bytes  |
+//! +--------+---------+------+------------+-------------+----------+
+//! ```
+//!
+//! The 16-byte header is fixed; the payload layout depends on `kind`:
+//!
+//! * **Request** — `u32` op count, then each op as a tag byte
+//!   (0=get, 1=put, 2=merge, 3=delete), `u32` key length, key bytes,
+//!   and for put/merge a `u32` payload length plus payload bytes.
+//! * **Response** — `u32` result count, then each result as a tag byte:
+//!   0=applied, 1=value-absent, 2=value-present followed by `u32`
+//!   length and the value bytes. Results are positional: entry `i`
+//!   answers op `i` of the request with the same id.
+//! * **Error** — error code byte (see [`ErrorCode`]), `u32` message
+//!   length, UTF-8 message bytes. An error answers the *whole* request:
+//!   batches are transactional at the wire level, matching
+//!   `StateStore::apply_batch`'s all-or-error contract.
+//! * **Shutdown** — empty payload. Sent by a client to ask the server
+//!   to drain and exit; the server acks with a `Shutdown` frame
+//!   carrying the same id before closing.
+//!
+//! Integers are little-endian throughout. Decoding is strict: wrong
+//! magic, unknown version/kind/tag, oversized payloads, short buffers,
+//! and trailing bytes are all *typed* [`WireError`]s — a malformed or
+//! hostile peer can never panic the process, only produce an error.
+
+use std::io::{self, Read, Write};
+
+use bytes::Bytes;
+use gadget_kv::{BatchResult, StoreError};
+use gadget_types::Op;
+
+/// Frame magic: `"SG"` little-endian. Catches cross-protocol traffic
+/// (HTTP, TLS, stray redis-cli) before any length field is trusted.
+pub const MAGIC: u16 = 0x4753;
+
+/// Current protocol version. Bump on any layout change; servers and
+/// clients reject frames from other versions outright.
+pub const VERSION: u8 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Upper bound on a frame payload (32 MiB). A length prefix above this
+/// is rejected before allocation, so a corrupt or malicious length
+/// field cannot OOM the server.
+pub const MAX_PAYLOAD: u32 = 32 * 1024 * 1024;
+
+/// Frame kind discriminants on the wire.
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+const KIND_ERROR: u8 = 3;
+const KIND_SHUTDOWN: u8 = 4;
+
+/// Store-error category carried in an Error frame.
+///
+/// Mirrors [`StoreError`]'s variants so the client can resurface a
+/// server-side failure as the same typed error the embedded store
+/// would have returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// `StoreError::Io`.
+    Io = 0,
+    /// `StoreError::Corruption`.
+    Corruption = 1,
+    /// `StoreError::Closed`.
+    Closed = 2,
+    /// `StoreError::InvalidArgument`.
+    InvalidArgument = 3,
+    /// `StoreError::Unsupported`.
+    Unsupported = 4,
+}
+
+impl ErrorCode {
+    fn from_wire(raw: u8) -> Result<Self, WireError> {
+        match raw {
+            0 => Ok(ErrorCode::Io),
+            1 => Ok(ErrorCode::Corruption),
+            2 => Ok(ErrorCode::Closed),
+            3 => Ok(ErrorCode::InvalidArgument),
+            4 => Ok(ErrorCode::Unsupported),
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+}
+
+/// Splits a [`StoreError`] into its wire form.
+pub fn encode_store_error(e: &StoreError) -> (ErrorCode, String) {
+    match e {
+        StoreError::Io(e) => (ErrorCode::Io, e.to_string()),
+        StoreError::Corruption(m) => (ErrorCode::Corruption, m.clone()),
+        StoreError::Closed => (ErrorCode::Closed, String::new()),
+        StoreError::InvalidArgument(m) => (ErrorCode::InvalidArgument, m.clone()),
+        StoreError::Unsupported(m) => (ErrorCode::Unsupported, m.to_string()),
+    }
+}
+
+/// Rebuilds a [`StoreError`] from its wire form.
+///
+/// Lossless except for `Unsupported`, whose embedded message type
+/// (`&'static str`) cannot carry a runtime string; the wire message is
+/// folded into a fixed text there.
+pub fn decode_store_error(code: ErrorCode, message: String) -> StoreError {
+    match code {
+        ErrorCode::Io => StoreError::Io(io::Error::other(message)),
+        ErrorCode::Corruption => StoreError::Corruption(message),
+        ErrorCode::Closed => StoreError::Closed,
+        ErrorCode::InvalidArgument => StoreError::InvalidArgument(message),
+        ErrorCode::Unsupported => {
+            StoreError::Unsupported("operation not supported by remote store")
+        }
+    }
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: apply this op batch.
+    Request {
+        /// Client-chosen id echoed in the reply.
+        id: u64,
+        /// Operations to apply, in order.
+        ops: Vec<Op>,
+    },
+    /// Server → client: per-op results for the request with this id.
+    Response {
+        /// Echoed request id.
+        id: u64,
+        /// One result per op, positionally.
+        results: Vec<BatchResult>,
+    },
+    /// Server → client: the whole batch failed.
+    Error {
+        /// Echoed request id.
+        id: u64,
+        /// Error category.
+        code: ErrorCode,
+        /// Human-readable detail (may be empty).
+        message: String,
+    },
+    /// Drain-and-exit handshake (client request and server ack).
+    Shutdown {
+        /// Request id (echoed in the ack).
+        id: u64,
+    },
+}
+
+/// Typed decode/transport failures. Never panics, never allocates
+/// unboundedly — every arm is produced *before* trusting wire data.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream ended inside a frame (or a length field promised more
+    /// bytes than were present).
+    Truncated,
+    /// First two bytes were not [`MAGIC`].
+    BadMagic(u16),
+    /// Frame from an unknown protocol version.
+    BadVersion(u8),
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// Unknown op/result/error tag byte inside a payload.
+    BadTag(u8),
+    /// Payload length field exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// Payload decoded cleanly but left this many unread bytes.
+    Trailing(usize),
+    /// Underlying socket/file error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::BadTag(t) => write!(f, "unknown payload tag {t}"),
+            WireError::Oversized(n) => write!(f, "payload length {n} exceeds {MAX_PAYLOAD}"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after payload"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+impl From<WireError> for StoreError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(e) => StoreError::Io(e),
+            other => StoreError::Corruption(format!("wire protocol: {other}")),
+        }
+    }
+}
+
+// ---- encoding ----------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut p = Vec::new();
+    match frame {
+        Frame::Request { ops, .. } => {
+            put_u32(&mut p, ops.len() as u32);
+            for op in ops {
+                match op {
+                    Op::Get { key } => {
+                        p.push(0);
+                        put_bytes(&mut p, key);
+                    }
+                    Op::Put { key, value } => {
+                        p.push(1);
+                        put_bytes(&mut p, key);
+                        put_bytes(&mut p, value);
+                    }
+                    Op::Merge { key, operand } => {
+                        p.push(2);
+                        put_bytes(&mut p, key);
+                        put_bytes(&mut p, operand);
+                    }
+                    Op::Delete { key } => {
+                        p.push(3);
+                        put_bytes(&mut p, key);
+                    }
+                }
+            }
+        }
+        Frame::Response { results, .. } => {
+            put_u32(&mut p, results.len() as u32);
+            for r in results {
+                match r {
+                    BatchResult::Applied => p.push(0),
+                    BatchResult::Value(None) => p.push(1),
+                    BatchResult::Value(Some(v)) => {
+                        p.push(2);
+                        put_bytes(&mut p, v);
+                    }
+                }
+            }
+        }
+        Frame::Error { code, message, .. } => {
+            p.push(*code as u8);
+            put_bytes(&mut p, message.as_bytes());
+        }
+        Frame::Shutdown { .. } => {}
+    }
+    p
+}
+
+impl Frame {
+    /// The id carried in the header, for any kind.
+    pub fn id(&self) -> u64 {
+        match self {
+            Frame::Request { id, .. }
+            | Frame::Response { id, .. }
+            | Frame::Error { id, .. }
+            | Frame::Shutdown { id } => *id,
+        }
+    }
+
+    /// Canonical byte encoding: header plus payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = encode_payload(self);
+        let kind = match self {
+            Frame::Request { .. } => KIND_REQUEST,
+            Frame::Response { .. } => KIND_RESPONSE,
+            Frame::Error { .. } => KIND_ERROR,
+            Frame::Shutdown { .. } => KIND_SHUTDOWN,
+        };
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(VERSION);
+        out.push(kind);
+        out.extend_from_slice(&self.id().to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Exact on-wire size of this frame's canonical encoding.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + encode_payload(self).len()
+    }
+}
+
+// ---- decoding ----------------------------------------------------------
+
+/// Byte-slice cursor used by the payload decoders.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let end = self.pos.checked_add(4).ok_or(WireError::Truncated)?;
+        let raw = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(raw.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u32()? as usize;
+        let end = self.pos.checked_add(len).ok_or(WireError::Truncated)?;
+        let raw = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(raw)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Frame, WireError> {
+    let mut c = Cursor::new(payload);
+    let frame = match kind {
+        KIND_REQUEST => {
+            let count = c.u32()? as usize;
+            // An op is at least 5 bytes (tag + empty-key length), so a
+            // count beyond payload/5 is provably a lie — reject before
+            // reserving capacity for it.
+            if count > payload.len() / 5 + 1 {
+                return Err(WireError::Truncated);
+            }
+            let mut ops = Vec::with_capacity(count);
+            for _ in 0..count {
+                let tag = c.u8()?;
+                let key = Bytes::copy_from_slice(c.bytes()?);
+                ops.push(match tag {
+                    0 => Op::Get { key },
+                    1 => Op::Put {
+                        key,
+                        value: Bytes::copy_from_slice(c.bytes()?),
+                    },
+                    2 => Op::Merge {
+                        key,
+                        operand: Bytes::copy_from_slice(c.bytes()?),
+                    },
+                    3 => Op::Delete { key },
+                    other => return Err(WireError::BadTag(other)),
+                });
+            }
+            Frame::Request { id, ops }
+        }
+        KIND_RESPONSE => {
+            let count = c.u32()? as usize;
+            if count > payload.len() + 1 {
+                return Err(WireError::Truncated);
+            }
+            let mut results = Vec::with_capacity(count);
+            for _ in 0..count {
+                results.push(match c.u8()? {
+                    0 => BatchResult::Applied,
+                    1 => BatchResult::Value(None),
+                    2 => BatchResult::Value(Some(Bytes::copy_from_slice(c.bytes()?))),
+                    other => return Err(WireError::BadTag(other)),
+                });
+            }
+            Frame::Response { id, results }
+        }
+        KIND_ERROR => {
+            let code = ErrorCode::from_wire(c.u8()?)?;
+            let message = String::from_utf8_lossy(c.bytes()?).into_owned();
+            Frame::Error { id, code, message }
+        }
+        KIND_SHUTDOWN => Frame::Shutdown { id },
+        other => return Err(WireError::BadKind(other)),
+    };
+    if c.remaining() != 0 {
+        return Err(WireError::Trailing(c.remaining()));
+    }
+    Ok(frame)
+}
+
+/// Decodes one frame from a complete byte buffer.
+///
+/// The buffer must contain exactly one frame; leftover bytes after the
+/// declared payload are a [`WireError::Trailing`] error. This is the
+/// strict-parsing entry the proptests hammer; [`read_frame`] is the
+/// streaming equivalent.
+pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let magic = u16::from_le_bytes([buf[0], buf[1]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if buf[2] != VERSION {
+        return Err(WireError::BadVersion(buf[2]));
+    }
+    let kind = buf[3];
+    let id = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let len = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    let body = &buf[HEADER_LEN..];
+    match body.len().cmp(&(len as usize)) {
+        std::cmp::Ordering::Less => Err(WireError::Truncated),
+        std::cmp::Ordering::Greater => Err(WireError::Trailing(body.len() - len as usize)),
+        std::cmp::Ordering::Equal => decode_payload(kind, id, body),
+    }
+}
+
+/// Reads one frame from a stream.
+///
+/// A clean EOF *before the first header byte* maps to
+/// [`WireError::Truncated`] too — callers treat it as connection end.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let magic = u16::from_le_bytes([header[0], header[1]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if header[2] != VERSION {
+        return Err(WireError::BadVersion(header[2]));
+    }
+    let kind = header[3];
+    let id = u64::from_le_bytes(header[4..12].try_into().unwrap());
+    let len = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode_payload(kind, id, &payload)
+}
+
+/// Writes a frame's canonical encoding to a stream (no flush).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&frame.encode())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Request {
+                id: 7,
+                ops: vec![
+                    Op::get(b"k1".to_vec()),
+                    Op::put(b"k2".to_vec(), b"v".to_vec()),
+                    Op::merge(b"k3".to_vec(), vec![0u8; 100]),
+                    Op::delete(b"".to_vec()),
+                ],
+            },
+            Frame::Response {
+                id: 7,
+                results: vec![
+                    BatchResult::Value(None),
+                    BatchResult::Applied,
+                    BatchResult::Value(Some(Bytes::copy_from_slice(b"abc"))),
+                ],
+            },
+            Frame::Error {
+                id: 9,
+                code: ErrorCode::InvalidArgument,
+                message: "empty key".to_string(),
+            },
+            Frame::Shutdown { id: u64::MAX },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip_byte_identically() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            assert_eq!(bytes.len(), frame.encoded_len());
+            let decoded = decode(&bytes).expect("own encoding decodes");
+            assert_eq!(decoded, frame);
+            assert_eq!(decoded.encode(), bytes, "re-encoding is byte-identical");
+        }
+    }
+
+    #[test]
+    fn streaming_read_matches_buffer_decode() {
+        let mut stream = Vec::new();
+        for frame in sample_frames() {
+            stream.extend_from_slice(&frame.encode());
+        }
+        let mut r = io::Cursor::new(stream);
+        for expected in sample_frames() {
+            assert_eq!(read_frame(&mut r).unwrap(), expected);
+        }
+        assert!(matches!(read_frame(&mut r), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn malformed_frames_produce_typed_errors() {
+        let good = sample_frames().remove(0).encode();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = 0xFF;
+        assert!(matches!(decode(&bad_magic), Err(WireError::BadMagic(_))));
+
+        let mut bad_version = good.clone();
+        bad_version[2] = 99;
+        assert!(matches!(
+            decode(&bad_version),
+            Err(WireError::BadVersion(99))
+        ));
+
+        let mut bad_kind = good.clone();
+        bad_kind[3] = 200;
+        assert!(matches!(decode(&bad_kind), Err(WireError::BadKind(200))));
+
+        assert!(matches!(
+            decode(&good[..good.len() - 1]),
+            Err(WireError::Truncated)
+        ));
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(decode(&trailing), Err(WireError::Trailing(1))));
+
+        let mut oversized = good.clone();
+        oversized[12..16].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(decode(&oversized), Err(WireError::Oversized(_))));
+    }
+
+    #[test]
+    fn store_errors_survive_the_wire() {
+        let cases = vec![
+            StoreError::Corruption("bad block".to_string()),
+            StoreError::Closed,
+            StoreError::InvalidArgument("empty key".to_string()),
+        ];
+        for e in cases {
+            let (code, msg) = encode_store_error(&e);
+            let back = decode_store_error(code, msg);
+            assert_eq!(format!("{e}"), format!("{back}"));
+        }
+        // Io and Unsupported preserve category (message may be rewrapped).
+        let (code, msg) = encode_store_error(&StoreError::Io(io::Error::other("boom")));
+        assert!(matches!(decode_store_error(code, msg), StoreError::Io(_)));
+        let (code, msg) = encode_store_error(&StoreError::Unsupported("scan"));
+        assert!(matches!(
+            decode_store_error(code, msg),
+            StoreError::Unsupported(_)
+        ));
+    }
+}

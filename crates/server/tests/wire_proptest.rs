@@ -1,0 +1,142 @@
+//! Wire-protocol robustness properties.
+//!
+//! Two invariants hold for every frame the protocol can express:
+//!
+//! 1. **Canonical round-trip** — `decode(frame.encode())` returns an
+//!    equal frame, and re-encoding it reproduces the original bytes
+//!    exactly. The encoding is a bijection on its image, which is what
+//!    lets the equivalence tests compare server and embedded runs
+//!    without worrying about codec drift.
+//! 2. **Strict rejection** — truncations, trailing garbage, flipped
+//!    version/kind/tag bytes, and oversized length fields all come back
+//!    as typed [`WireError`]s. Decoding arbitrary attacker-controlled
+//!    bytes must never panic or allocate unboundedly.
+
+use bytes::Bytes;
+use gadget_kv::BatchResult;
+use gadget_server::wire::{self, ErrorCode, Frame, WireError, MAX_PAYLOAD};
+use gadget_types::Op;
+use proptest::prelude::*;
+
+/// (kind, key, payload length) triples decoded into ops; payload bytes
+/// derive from the op index so the strategy stays cheap.
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..4, 0u8..64, 0u8..48), 0..40).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (kind, key, len))| {
+                let key = vec![key, (i % 251) as u8];
+                let payload = vec![(i * 17 + 3) as u8; len as usize];
+                match kind {
+                    0 => Op::get(key),
+                    1 => Op::put(key, payload),
+                    2 => Op::merge(key, payload),
+                    _ => Op::delete(key),
+                }
+            })
+            .collect()
+    })
+}
+
+/// (tag, value length) pairs decoded into batch results.
+fn results() -> impl Strategy<Value = Vec<BatchResult>> {
+    proptest::collection::vec((0u8..3, 0u8..48), 0..40).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (tag, len))| match tag {
+                0 => BatchResult::Applied,
+                1 => BatchResult::Value(None),
+                _ => BatchResult::Value(Some(Bytes::from(vec![(i * 13) as u8; len as usize]))),
+            })
+            .collect()
+    })
+}
+
+/// One frame of any kind, with ids across the u64 range.
+fn frames() -> impl Strategy<Value = Frame> {
+    (0u8..4, any::<u64>(), ops(), results(), 0u8..5, 0u8..40).prop_map(
+        |(kind, id, ops, results, code, msg_len)| match kind {
+            0 => Frame::Request { id, ops },
+            1 => Frame::Response { id, results },
+            2 => Frame::Error {
+                id,
+                code: match code {
+                    0 => ErrorCode::Io,
+                    1 => ErrorCode::Corruption,
+                    2 => ErrorCode::Closed,
+                    3 => ErrorCode::InvalidArgument,
+                    _ => ErrorCode::Unsupported,
+                },
+                message: "e".repeat(msg_len as usize),
+            },
+            _ => Frame::Shutdown { id },
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_is_byte_identical(frame in frames()) {
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), frame.encoded_len());
+        let decoded = wire::decode(&bytes).expect("canonical encoding decodes");
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn truncation_at_any_point_is_a_typed_error(frame in frames(), cut_ppm in 0u32..1_000_000) {
+        let bytes = frame.encode();
+        // Cut somewhere strictly inside the frame.
+        let cut = (bytes.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        let err = wire::decode(&bytes[..cut.min(bytes.len() - 1)]).unwrap_err();
+        prop_assert!(
+            matches!(err, WireError::Truncated),
+            "cut at {} of {}: {:?}", cut, bytes.len(), err
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected(frame in frames(), extra in 1u8..32) {
+        let mut bytes = frame.encode();
+        bytes.extend(std::iter::repeat_n(0xAB, extra as usize));
+        let err = wire::decode(&bytes).unwrap_err();
+        prop_assert!(matches!(err, WireError::Trailing(_)), "{err:?}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected(frame in frames(), version in 0u8..255) {
+        if version == wire::VERSION {
+            continue;
+        }
+        let mut bytes = frame.encode();
+        bytes[2] = version;
+        let err = wire::decode(&bytes).unwrap_err();
+        prop_assert!(matches!(err, WireError::BadVersion(v) if v == version), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation(frame in frames(), over in 1u32..1_000) {
+        let mut bytes = frame.encode();
+        bytes[12..16].copy_from_slice(&(MAX_PAYLOAD + over).to_le_bytes());
+        let err = wire::decode(&bytes).unwrap_err();
+        prop_assert!(matches!(err, WireError::Oversized(_)), "{err:?}");
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any outcome is fine; panicking or aborting is not.
+        let _ = wire::decode(&noise);
+    }
+
+    #[test]
+    fn flipped_byte_never_panics(frame in frames(), pos_ppm in 0u32..1_000_000, xor in 1u8..=255) {
+        let mut bytes = frame.encode();
+        let pos = (bytes.len() as u64 * pos_ppm as u64 / 1_000_000) as usize;
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] ^= xor;
+        // Either it still decodes (flip hit payload filler) or it is a
+        // typed error — never a panic.
+        let _ = wire::decode(&bytes);
+    }
+}

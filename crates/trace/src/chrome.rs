@@ -23,6 +23,7 @@ fn arg_key(cat: Category) -> &'static str {
         Category::HashlogGc => "bytes",
         Category::PageWriteback => "page",
         Category::Phase => "phase_id",
+        Category::NetRequest => "conn",
         _ => "arg",
     }
 }

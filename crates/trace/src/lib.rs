@@ -69,10 +69,15 @@ pub enum Category {
     PageWriteback = 10,
     /// Driver/replayer phase (arg: one of the [`phase`] constants).
     Phase = 11,
+    /// `gadget-server` request handled over the wire (arg: connection
+    /// id), recorded by the connection worker around each op batch so a
+    /// timeline shows which connections were in flight when a client op
+    /// went slow.
+    NetRequest = 12,
 }
 
 /// All categories, in discriminant order.
-pub const CATEGORIES: [Category; 12] = [
+pub const CATEGORIES: [Category; 13] = [
     Category::OpGet,
     Category::OpPut,
     Category::OpMerge,
@@ -85,6 +90,7 @@ pub const CATEGORIES: [Category; 12] = [
     Category::HashlogGc,
     Category::PageWriteback,
     Category::Phase,
+    Category::NetRequest,
 ];
 
 impl Category {
@@ -103,6 +109,7 @@ impl Category {
             Category::HashlogGc => "hashlog_gc",
             Category::PageWriteback => "page_writeback",
             Category::Phase => "phase",
+            Category::NetRequest => "net_request",
         }
     }
 

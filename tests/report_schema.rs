@@ -37,6 +37,7 @@ fn golden_report() -> RunReport {
             threads: 2,
             shards: 4,
             batch_size: 64,
+            transport: "embedded".to_string(),
             created_unix_ms: 1_750_000_000_000,
         },
     );
