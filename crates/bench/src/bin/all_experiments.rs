@@ -29,6 +29,7 @@ fn main() {
     experiments::fig14::run(&scale);
     experiments::ext_external::run(&scale);
     experiments::ext_cache_tuning::run(&scale);
+    experiments::ext_sweep::run(&scale);
     println!(
         "\nfull suite completed in {:.1}s",
         t0.elapsed().as_secs_f64()

@@ -1,0 +1,7 @@
+//! Regenerates the open-loop rate-sweep curves (see DESIGN.md for the
+//! experiment index).
+
+fn main() {
+    let scale = gadget_bench::Scale::from_args();
+    gadget_bench::experiments::ext_sweep::run(&scale);
+}

@@ -1,0 +1,171 @@
+//! Rate sweep (companion to fig12's YCSB baseline): open-loop
+//! latency–throughput curves with knee detection.
+//!
+//! Where fig12 measures each store flat-out (closed loop, one point
+//! per store), this experiment walks a geometric ladder of offered
+//! Poisson rates over the YCSB-A core workload and records the whole
+//! curve — achieved rate and intended-time (coordinated-omission-safe)
+//! latency at every rung, plus the knee: the highest offered rate the
+//! store sustains. The contrast pair is deliberately extreme: an
+//! in-memory hash store against a 4-shard RocksDB-class LSM.
+//!
+//! With `--reports DIR` each store's curve is saved as a versioned
+//! `SweepReport` that `gadget report show` renders and
+//! `gadget report compare` gates across revisions.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gadget_kv::{MemStore, ShardedStore, StateStore};
+use gadget_lsm::{LsmConfig, LsmStore};
+use gadget_replay::{run_sweep, ReplayOptions, SweepOptions, TraceReplayer};
+use gadget_ycsb::{CoreWorkload, YcsbConfig};
+use serde::Serialize;
+
+use crate::{fresh_dir, kops, print_table, us, Scale, SharedStore};
+
+/// One rung of one store's curve.
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// Store label (`mem`, `lsm-4shard`).
+    pub store: String,
+    /// Offered rate in ops/s.
+    pub offered: f64,
+    /// Achieved rate in ops/s.
+    pub achieved: f64,
+    /// Whether the store sustained this rung.
+    pub sustainable: bool,
+    /// Intended-time p50 latency in ns.
+    pub p50_ns: u64,
+    /// Intended-time p99 latency in ns.
+    pub p99_ns: u64,
+    /// Whether this rung is the store's knee.
+    pub knee: bool,
+}
+
+fn sweep_options(scale: &Scale) -> SweepOptions {
+    SweepOptions {
+        seed: scale.seed,
+        start_rate: 4_000.0,
+        max_rate: 1_024_000.0,
+        // Short rungs keep the low rates from dominating wall time
+        // (a rung's duration is ops_per_step / offered_rate).
+        ops_per_step: (scale.ops / 50).clamp(1_000, 20_000),
+        batch_size: scale.batch,
+        // Throughput-only sustainability: CI machines jitter intended
+        // latency far more than they jitter paced throughput.
+        sustainable_fraction: 0.9,
+        p99_bound_ns: 0,
+        ..SweepOptions::default()
+    }
+}
+
+/// One curve subject: a label, its shard count, and the store.
+type Subject = (&'static str, u64, Arc<dyn StateStore>);
+
+/// The two curve subjects: a keyspace store with no I/O at all, and a
+/// shard-parallel LSM doing real compaction work. Returns the LSM's
+/// scratch directory so the caller can clean it up once both sweeps
+/// are done.
+fn subjects(shrink: usize) -> (Vec<Subject>, PathBuf) {
+    let shrink = shrink.max(1);
+    let lsm_dir = fresh_dir("ext-sweep-lsm");
+    let sharded = ShardedStore::from_factory(4, |shard| {
+        let cfg = LsmConfig {
+            memtable_bytes: (128 << 20) / shrink,
+            block_cache_bytes: (64 << 20) / shrink,
+            l1_target_bytes: ((256 << 20) / shrink) as u64,
+            target_file_bytes: (64 << 20) / shrink,
+            ..LsmConfig::paper_rocksdb()
+        };
+        LsmStore::open(lsm_dir.join(format!("shard-{shard}")), cfg)
+            .map(|s| Arc::new(s) as Arc<dyn StateStore>)
+    })
+    .expect("open sharded lsm");
+    (
+        vec![
+            ("mem", 1, Arc::new(MemStore::new())),
+            ("lsm-4shard", 4, Arc::new(sharded)),
+        ],
+        lsm_dir,
+    )
+}
+
+/// Runs both sweeps.
+pub fn compute(scale: &Scale) -> Vec<Row> {
+    let opts = sweep_options(scale);
+    let cfg = YcsbConfig::core(CoreWorkload::A, 1_000, opts.ops_per_step);
+    let trace = cfg.generate();
+    let mut rows = Vec::new();
+    let (stores, lsm_dir) = subjects(64);
+    for (label, shards, store) in stores {
+        let shared = SharedStore(store.clone());
+        TraceReplayer::new(ReplayOptions::default())
+            .preload(&shared, cfg.preload_keys(), cfg.value_size)
+            .expect("preload");
+        let outcome = run_sweep(&trace, &shared, "ycsb-a", &opts, None).expect("sweep");
+        let knee_rate = outcome.knee.map(|k| outcome.steps[k].offered);
+        for step in &outcome.steps {
+            rows.push(Row {
+                store: label.to_string(),
+                offered: step.offered,
+                achieved: step.achieved,
+                sustainable: step.sustainable,
+                p50_ns: step.run.latency.p50_ns,
+                p99_ns: step.run.latency.p99_ns,
+                knee: Some(step.offered) == knee_rate,
+            });
+        }
+        if let Some(dir) = &scale.reports {
+            let mut meta = gadget_report::capture(&format!(
+                "ext_sweep store={label} workload=ycsb-a ops_per_step={} seed={}",
+                opts.ops_per_step, opts.seed
+            ));
+            meta.shards = shards;
+            meta.batch_size = opts.batch_size as u64;
+            meta.arrival = opts.arrival.name().to_string();
+            let mut report = gadget_report::SweepReport::from_sweep(&outcome, &opts, meta);
+            report.store = label.to_string();
+            let path = dir.join(format!("ext-sweep-ycsb-a-{label}.json"));
+            match report.save(&path) {
+                Ok(()) => println!("(sweep report saved to {})", path.display()),
+                Err(e) => eprintln!("could not write {}: {e}", path.display()),
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&lsm_dir);
+    rows
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) {
+    let rows = compute(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.store.clone(),
+                kops(r.offered),
+                kops(r.achieved),
+                if r.sustainable { "yes" } else { "NO" }.to_string(),
+                us(r.p50_ns),
+                us(r.p99_ns),
+                if r.knee { "<- knee" } else { "" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Rate sweep: open-loop latency-throughput curves (mem vs 4-shard LSM)",
+        &[
+            "store",
+            "offered Kops/s",
+            "achieved Kops/s",
+            "sust",
+            "p50 us",
+            "p99 us",
+            "",
+        ],
+        &table,
+    );
+    crate::dump_json("ext_sweep", &rows);
+}

@@ -5,6 +5,7 @@
 
 pub mod ext_cache_tuning;
 pub mod ext_external;
+pub mod ext_sweep;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

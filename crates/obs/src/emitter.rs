@@ -6,6 +6,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Error, Serialize, Value};
 
+use crate::live::{flatten_registries, SharedSnapshot};
 use crate::snapshot::MetricsSnapshot;
 
 /// One sample of every observed registry at one moment of a run.
@@ -130,6 +131,7 @@ pub struct SnapshotEmitter {
     next: u64,
     started: Instant,
     series: MetricsSeries,
+    live: Option<SharedSnapshot>,
 }
 
 impl SnapshotEmitter {
@@ -145,7 +147,16 @@ impl SnapshotEmitter {
                 interval_ops: interval,
                 points: Vec::new(),
             },
+            live: None,
         }
+    }
+
+    /// Publishes every recorded sample (flattened, component-prefixed)
+    /// into `sink` as well — this is how a live `/metrics` endpoint
+    /// sees mid-run state without touching the hot loop.
+    pub fn with_live_sink(mut self, sink: SharedSnapshot) -> Self {
+        self.live = Some(sink);
+        self
     }
 
     /// Records a sample if `ops` has crossed the next threshold.
@@ -169,6 +180,9 @@ impl SnapshotEmitter {
     }
 
     fn take(&mut self, ops: u64, registries: Vec<(String, MetricsSnapshot)>) {
+        if let Some(sink) = &self.live {
+            sink.publish(flatten_registries(&registries));
+        }
         self.series.points.push(SnapshotPoint {
             ops,
             wall_ms: self.started.elapsed().as_millis() as u64,
@@ -311,6 +325,18 @@ mod tests {
         let json = serde_json::to_string(emitter.series()).unwrap();
         let back: MetricsSeries = serde_json::from_str(&json).unwrap();
         assert!(back.points[0].registry("trace_attribution").is_some());
+    }
+
+    #[test]
+    fn live_sink_sees_every_sample() {
+        let sink = crate::live::SharedSnapshot::new();
+        let mut emitter = SnapshotEmitter::every(10).with_live_sink(sink.clone());
+        emitter.poll(10, || one_registry(10));
+        assert_eq!(sink.get().counter("store_ops"), Some(10));
+        emitter.poll(20, || one_registry(20));
+        assert_eq!(sink.get().counter("store_ops"), Some(20));
+        emitter.finish(25, one_registry(25));
+        assert_eq!(sink.get().counter("store_ops"), Some(25));
     }
 
     #[test]

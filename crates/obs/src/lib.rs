@@ -37,6 +37,7 @@
 
 pub mod emitter;
 pub mod hist;
+pub mod live;
 pub mod openmetrics;
 pub mod registry;
 pub mod snapshot;
@@ -47,6 +48,7 @@ pub use gadget_trace as trace;
 
 pub use emitter::{MetricsSeries, SnapshotEmitter, SnapshotPoint};
 pub use hist::{bucket_bounds, AtomicHistogram, LogHistogram};
+pub use live::{flatten_registries, SharedSnapshot};
 pub use registry::{Counter, Gauge, MetricsRegistry, Timer};
 pub use snapshot::MetricsSnapshot;
 

@@ -1,0 +1,127 @@
+//! Live metrics publication: the bridge between the sampling side
+//! (replayer, sweep driver) and the serving side (the `/metrics` HTTP
+//! endpoint).
+//!
+//! The scrape endpoint needs a *current* snapshot on demand, from a
+//! different thread than the one driving the benchmark. Rather than
+//! teaching the hot loop about sockets, the loop publishes into a
+//! [`SharedSnapshot`] whenever it samples anyway (the
+//! [`SnapshotEmitter`](crate::emitter::SnapshotEmitter) tick), and the
+//! endpoint's handler clones the latest value out. One mutex, touched
+//! once per sampling interval — invisible at benchmark rates.
+
+use std::sync::{Arc, Mutex};
+
+use crate::snapshot::MetricsSnapshot;
+
+/// A cloneable handle to the most recently published snapshot.
+///
+/// Starts empty; [`get`](SharedSnapshot::get) returns an empty snapshot
+/// until the first [`publish`](SharedSnapshot::publish).
+#[derive(Debug, Clone, Default)]
+pub struct SharedSnapshot {
+    latest: Arc<Mutex<MetricsSnapshot>>,
+}
+
+impl SharedSnapshot {
+    /// Creates an empty handle.
+    pub fn new() -> Self {
+        SharedSnapshot::default()
+    }
+
+    /// Replaces the published snapshot.
+    pub fn publish(&self, snapshot: MetricsSnapshot) {
+        *self.latest.lock().unwrap_or_else(|e| e.into_inner()) = snapshot;
+    }
+
+    /// Clones the latest published snapshot.
+    pub fn get(&self) -> MetricsSnapshot {
+        self.latest
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+/// Folds per-component registries into one flat snapshot, prefixing
+/// every metric with its component (`store_wal_fsyncs`,
+/// `replayer_scheduler_lag_ns`). This is the shape the OpenMetrics
+/// endpoint serves: one namespace, stable names, no nested objects.
+pub fn flatten_registries(registries: &[(String, MetricsSnapshot)]) -> MetricsSnapshot {
+    let mut flat = MetricsSnapshot::new();
+    for (component, snap) in registries {
+        for (name, v) in &snap.counters {
+            flat.push_counter(&format!("{component}_{name}"), *v);
+        }
+        for (name, v) in &snap.gauges {
+            flat.push_gauge(&format!("{component}_{name}"), *v);
+        }
+        for (name, h) in &snap.histograms {
+            flat.histograms
+                .push((format!("{component}_{name}"), h.clone()));
+        }
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+
+    #[test]
+    fn shared_snapshot_starts_empty_and_tracks_publishes() {
+        let shared = SharedSnapshot::new();
+        assert!(shared.get().counters.is_empty());
+
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("ops", 7);
+        shared.publish(snap);
+        assert_eq!(shared.get().counter("ops"), Some(7));
+
+        // A clone of the handle observes later publishes.
+        let other = shared.clone();
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("ops", 9);
+        shared.publish(snap);
+        assert_eq!(other.get().counter("ops"), Some(9));
+    }
+
+    #[test]
+    fn shared_snapshot_is_readable_across_threads() {
+        let shared = SharedSnapshot::new();
+        let writer = shared.clone();
+        let handle = std::thread::spawn(move || {
+            let mut snap = MetricsSnapshot::new();
+            snap.push_gauge("achieved_rate", 4_321);
+            writer.publish(snap);
+        });
+        handle.join().unwrap();
+        assert_eq!(shared.get().gauge("achieved_rate"), Some(4_321));
+    }
+
+    #[test]
+    fn flatten_prefixes_by_component() {
+        let mut store = MetricsSnapshot::new();
+        store.push_counter("wal_fsyncs", 3);
+        store.push_gauge("memtable_bytes", 1_024);
+        let mut replayer = MetricsSnapshot::new();
+        replayer.push_counter("ops", 500);
+        let mut lag = LogHistogram::new();
+        lag.record(1_000);
+        replayer
+            .histograms
+            .push(("scheduler_lag_ns".to_string(), lag));
+
+        let flat = flatten_registries(&[
+            ("store".to_string(), store),
+            ("replayer".to_string(), replayer),
+        ]);
+        assert_eq!(flat.counter("store_wal_fsyncs"), Some(3));
+        assert_eq!(flat.gauge("store_memtable_bytes"), Some(1_024));
+        assert_eq!(flat.counter("replayer_ops"), Some(500));
+        assert_eq!(flat.histograms.len(), 1);
+        assert_eq!(flat.histograms[0].0, "replayer_scheduler_lag_ns");
+        assert_eq!(flat.histograms[0].1.count(), 1);
+    }
+}

@@ -16,12 +16,22 @@
 //! * [`TraceReplayer::replay_observed`] / [`run_online_observed`] — the
 //!   same runs with periodic metrics sampling into a
 //!   [`SnapshotEmitter`](gadget_obs::SnapshotEmitter) time series.
+//! * [`openloop`] — coordinated-omission-safe pacing: seeded
+//!   constant-rate and Poisson arrival schedules whose latency is
+//!   anchored to each op's *intended* arrival time.
+//! * [`run_sweep`] — the service-rate observatory: walks offered load
+//!   up a geometric ladder (plus bisection refinement) and finds the
+//!   knee — the highest offered rate the store sustains.
 
 pub mod histogram;
+pub mod openloop;
 pub mod replayer;
+pub mod sweep;
 
 pub use histogram::LatencyHistogram;
+pub use openloop::{ArrivalMode, Pacer};
 pub use replayer::{
     run_concurrent, run_online, run_online_observed, run_online_observed_with, run_online_with,
-    ConcurrentRunError, Measured, ReplayOptions, RunReport, TraceReplayer,
+    ConcurrentRunError, Measured, ReplayOptions, RunReport, TraceReplayer, DEFAULT_ARRIVAL_SEED,
 };
+pub use sweep::{run_sweep, RateStep, SweepOptions, SweepOutcome};

@@ -12,6 +12,12 @@ use gadget_obs::{MetricsSnapshot, SnapshotEmitter};
 use gadget_types::{Op, OpType, StateAccess, Trace};
 
 use crate::histogram::LatencyHistogram;
+use crate::openloop::{ArrivalMode, Pacer};
+
+/// Default seed for open-loop arrival schedules (Poisson draws). A
+/// fixed default keeps bare `--arrival poisson` runs reproducible;
+/// decorrelate deliberately with [`ReplayOptions::arrival_seed`].
+pub const DEFAULT_ARRIVAL_SEED: u64 = 0x9ad9e;
 
 /// Histogram slot for an op type (`per_op` arrays are indexed this way).
 fn op_index(op: OpType) -> usize {
@@ -51,11 +57,18 @@ fn sleep_until(deadline: Instant) {
 /// each op the amortized batch latency and classifying get results into
 /// hits/misses. Clears `ops`/`kinds`, folds the measurements into `m`
 /// (including `executed`), and returns how many ops ran.
+///
+/// Under open-loop pacing, `waits` carries each op's scheduler lag —
+/// how long past its intended arrival the batch was released — and the
+/// recorded latency becomes `wait + amortized service`, so a batch that
+/// drains late charges every op its full queueing delay. `None` keeps
+/// the closed-loop behaviour (service time only).
 fn flush_batch(
     store: &dyn StateStore,
     ops: &mut Vec<Op>,
     kinds: &mut Vec<OpType>,
     m: &mut Measured,
+    waits: Option<&[u64]>,
 ) -> Result<u64, StoreError> {
     if ops.is_empty() {
         return Ok(0);
@@ -63,7 +76,7 @@ fn flush_batch(
     let started = Instant::now();
     let results = store.apply_batch(ops)?;
     let per_ns = started.elapsed().as_nanos() as u64 / ops.len() as u64;
-    for (kind, res) in kinds.iter().zip(&results) {
+    for (i, (kind, res)) in kinds.iter().zip(&results).enumerate() {
         if *kind == OpType::Get {
             if matches!(res, BatchResult::Value(Some(_))) {
                 m.hits += 1;
@@ -71,8 +84,19 @@ fn flush_batch(
                 m.misses += 1;
             }
         }
-        m.overall.record(per_ns);
-        m.per_op[op_index(*kind)].record(per_ns);
+        match waits {
+            Some(w) => {
+                let wait = w.get(i).copied().unwrap_or(0);
+                m.overall.record(wait + per_ns);
+                m.per_op[op_index(*kind)].record(wait + per_ns);
+                m.lag.record(wait);
+                m.service.record(per_ns);
+            }
+            None => {
+                m.overall.record(per_ns);
+                m.per_op[op_index(*kind)].record(per_ns);
+            }
+        }
     }
     let n = ops.len() as u64;
     m.executed += n;
@@ -82,20 +106,41 @@ fn flush_batch(
 }
 
 /// Assembles the per-tick observation: the store's internal metrics plus
-/// the replayer's own progress counters and latency histogram.
+/// the replayer's own progress counters and latency histogram. Open-loop
+/// runs additionally expose the scheduler-lag and service-time
+/// histograms, and paced runs the offered vs achieved rate gauges, so a
+/// Prometheus scrape sees the same queueing picture the report records.
 fn observe(
     store: &dyn StateStore,
-    overall: &LatencyHistogram,
-    hits: u64,
-    misses: u64,
+    m: &Measured,
+    offered: Option<f64>,
+    started: Instant,
 ) -> Vec<(String, MetricsSnapshot)> {
     let mut replayer = MetricsSnapshot::new();
-    replayer.push_counter("ops", overall.count());
-    replayer.push_counter("hits", hits);
-    replayer.push_counter("misses", misses);
+    replayer.push_counter("ops", m.overall.count());
+    replayer.push_counter("hits", m.hits);
+    replayer.push_counter("misses", m.misses);
     replayer
         .histograms
-        .push(("latency_ns".to_string(), overall.clone()));
+        .push(("latency_ns".to_string(), m.overall.clone()));
+    if m.lag.count() > 0 {
+        replayer
+            .histograms
+            .push(("scheduler_lag_ns".to_string(), m.lag.clone()));
+        replayer
+            .histograms
+            .push(("service_ns".to_string(), m.service.clone()));
+    }
+    if let Some(rate) = offered {
+        replayer.push_gauge("offered_rate", rate.round() as i64);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    if elapsed > 0.0 && m.executed > 0 {
+        replayer.push_gauge(
+            "achieved_rate",
+            (m.executed as f64 / elapsed).round() as i64,
+        );
+    }
     vec![
         ("store".to_string(), store.metrics().unwrap_or_default()),
         ("replayer".to_string(), replayer),
@@ -127,6 +172,18 @@ pub struct ReplayOptions {
     /// same shard count (thread `i` then only ever touches shard `i`),
     /// but is correct against any store.
     pub replay_threads: usize,
+    /// Arrival model for paced replay (ignored without a
+    /// `service_rate`). [`ArrivalMode::Closed`] (the default) keeps the
+    /// historical closed-loop behaviour: latency is measured from send
+    /// time. The open modes ([`ArrivalMode::Constant`],
+    /// [`ArrivalMode::Poisson`]) precompute an intended arrival schedule
+    /// and anchor every op's latency to its intended arrival, so a
+    /// stalled store accrues the full queueing penalty (no coordinated
+    /// omission).
+    pub arrival: ArrivalMode,
+    /// Seed for the Poisson arrival schedule (deterministic per seed;
+    /// ignored by the other modes).
+    pub arrival_seed: u64,
 }
 
 impl Default for ReplayOptions {
@@ -136,6 +193,8 @@ impl Default for ReplayOptions {
             max_ops: None,
             batch_size: 1,
             replay_threads: 1,
+            arrival: ArrivalMode::Closed,
+            arrival_seed: DEFAULT_ARRIVAL_SEED,
         }
     }
 }
@@ -171,6 +230,24 @@ pub struct RunReport {
     /// that actually ran appear.
     #[serde(default)]
     pub per_op_hist: Vec<(String, LatencyHistogram)>,
+    /// Scheduler-lag histogram: how far past each op's *intended*
+    /// arrival it was actually sent. Empty outside open-loop runs.
+    #[serde(default)]
+    pub lag_hist: LatencyHistogram,
+    /// Pure service-time histogram (send → completion). In open-loop
+    /// runs this is what closed-loop measurement *would* have reported;
+    /// the gap between it and [`RunReport::latency_hist`] is the
+    /// coordinated-omission error. Empty outside open-loop runs.
+    #[serde(default)]
+    pub service_hist: LatencyHistogram,
+    /// Offered load in ops/s when the run was paced (`None` = full
+    /// speed).
+    #[serde(default)]
+    pub offered_rate: Option<f64>,
+    /// Arrival model name (`closed`, `constant`, `poisson`); `None` on
+    /// reports from before arrival modes existed.
+    #[serde(default)]
+    pub arrival: Option<String>,
 }
 
 /// Percentile summary extracted from a histogram.
@@ -202,8 +279,8 @@ impl LatencySummary {
 }
 
 /// Mid-run progress callback fed by the measuring core after every op
-/// or batch: `(executed, overall histogram, hits, misses)`.
-type ProgressFn<'a> = &'a mut dyn FnMut(u64, &LatencyHistogram, u64, u64);
+/// or batch with the full measurement state so far.
+type ProgressFn<'a> = &'a mut dyn FnMut(&Measured);
 
 /// Raw measurements accumulated by one replay loop — one worker's worth
 /// in shard-affine mode, the whole run otherwise. Kept as histograms
@@ -221,6 +298,12 @@ pub struct Measured {
     pub misses: u64,
     /// Operations executed.
     pub executed: u64,
+    /// Scheduler lag per op (intended arrival → send). Only populated
+    /// by open-loop pacing; empty otherwise.
+    pub lag: LatencyHistogram,
+    /// Pure service time per op (send → completion). Only populated by
+    /// open-loop pacing (closed-loop runs record it as `overall`).
+    pub service: LatencyHistogram,
 }
 
 impl Default for Measured {
@@ -243,6 +326,8 @@ impl Measured {
             hits: 0,
             misses: 0,
             executed: 0,
+            lag: LatencyHistogram::new(),
+            service: LatencyHistogram::new(),
         }
     }
 
@@ -255,6 +340,8 @@ impl Measured {
         self.hits += other.hits;
         self.misses += other.misses;
         self.executed += other.executed;
+        self.lag.merge(&other.lag);
+        self.service.merge(&other.service);
     }
 
     /// Renders the measurements as a [`RunReport`], carrying both the
@@ -286,6 +373,10 @@ impl Measured {
                 .filter(|(_, h)| h.count() > 0)
                 .map(|(op, h)| (op.name().to_string(), h.clone()))
                 .collect(),
+            lag_hist: self.lag.clone(),
+            service_hist: self.service.clone(),
+            offered_rate: None,
+            arrival: None,
         }
     }
 }
@@ -396,12 +487,51 @@ impl TraceReplayer {
         accesses: &[StateAccess],
         store: &dyn StateStore,
     ) -> Result<Measured, StoreError> {
+        let mut pacer = self.pacer(Instant::now());
+        self.replay_accesses_paced(accesses, store, &mut pacer)
+    }
+
+    /// Like [`replay_accesses`](TraceReplayer::replay_accesses), but
+    /// pacing against a caller-owned [`Pacer`], so a driver that replays
+    /// in segments (e.g. `gadget-server`'s connection loop, which flips
+    /// a churn coin between segments) keeps one absolute schedule across
+    /// all of them instead of re-anchoring — and, in open-loop modes,
+    /// charges ops their intended-arrival latency across segment
+    /// boundaries too.
+    pub fn replay_accesses_paced(
+        &self,
+        accesses: &[StateAccess],
+        store: &dyn StateStore,
+        pacer: &mut Pacer,
+    ) -> Result<Measured, StoreError> {
         let limit = self.options.max_ops.unwrap_or(u64::MAX);
-        let pace = self
-            .options
-            .service_rate
-            .map(|rate| Duration::from_nanos((1e9 / rate) as u64));
-        self.run_accesses(accesses.iter(), store, limit, pace, Instant::now(), None)
+        self.run_accesses(accesses.iter(), store, limit, pacer, None)
+    }
+
+    /// Builds the arrival pacer these options describe, anchored at
+    /// `anchor` (usually the replay start instant).
+    pub fn pacer(&self, anchor: Instant) -> Pacer {
+        Pacer::new(
+            self.options.arrival,
+            self.options.service_rate,
+            self.options.arrival_seed,
+            anchor,
+        )
+    }
+
+    /// Per-worker pacer for shard-affine replay: the aggregate rate is
+    /// split evenly and the Poisson seed decorrelated per worker, so
+    /// the union of the workers' schedules approximates the requested
+    /// aggregate arrival process.
+    fn worker_pacer(&self, worker: usize, threads: usize, anchor: Instant) -> Pacer {
+        Pacer::new(
+            self.options.arrival,
+            self.options.service_rate.map(|r| r / threads as f64),
+            self.options
+                .arrival_seed
+                .wrapping_add((worker as u64).wrapping_mul(0xA076_1D64_78BD_642F)),
+            anchor,
+        )
     }
 
     /// Replays `trace` against `store` and reports measurements.
@@ -438,40 +568,39 @@ impl TraceReplayer {
             return self.replay_shard_affine(trace, store, workload, threads, emitter);
         }
         let limit = self.options.max_ops.unwrap_or(u64::MAX);
-        let pace = self
-            .options
-            .service_rate
-            .map(|rate| Duration::from_nanos((1e9 / rate) as u64));
+        let offered = self.options.service_rate;
 
         let _phase = gadget_obs::trace::span(
             gadget_obs::trace::Category::Phase,
             gadget_obs::trace::phase::REPLAY,
         );
         let started = Instant::now();
+        let mut pacer = self.pacer(started);
         let measured = {
-            let mut progress =
-                |executed: u64, overall: &LatencyHistogram, hits: u64, misses: u64| {
-                    if let Some(em) = emitter.as_deref_mut() {
-                        em.poll(executed, || observe(store, overall, hits, misses));
-                    }
-                };
-            self.run_accesses(
-                trace.iter(),
-                store,
-                limit,
-                pace,
-                started,
-                Some(&mut progress),
-            )?
+            let mut progress = |m: &Measured| {
+                if let Some(em) = emitter.as_deref_mut() {
+                    em.poll(m.executed, || observe(store, m, offered, started));
+                }
+            };
+            self.run_accesses(trace.iter(), store, limit, &mut pacer, Some(&mut progress))?
         };
         let seconds = started.elapsed().as_secs_f64();
         if let Some(em) = emitter {
             em.finish(
                 measured.executed,
-                observe(store, &measured.overall, measured.hits, measured.misses),
+                observe(store, &measured, offered, started),
             );
         }
-        Ok(measured.to_report(store.name(), workload, seconds))
+        let mut report = measured.to_report(store.name(), workload, seconds);
+        self.stamp(&mut report);
+        Ok(report)
+    }
+
+    /// Stamps a report with the arrival model and offered rate this
+    /// replayer was configured with.
+    fn stamp(&self, report: &mut RunReport) {
+        report.arrival = Some(self.options.arrival.name().to_string());
+        report.offered_rate = self.options.service_rate;
     }
 
     /// Shard-affine parallel replay: partitions the trace by key shard
@@ -499,10 +628,6 @@ impl TraceReplayer {
         for access in trace.iter().take(limit) {
             parts[gadget_kv::shard_of(&access.key.encode(), threads)].push(*access);
         }
-        let pace = self
-            .options
-            .service_rate
-            .map(|rate| Duration::from_nanos((1e9 * threads as f64 / rate) as u64));
 
         let _phase = gadget_obs::trace::span(
             gadget_obs::trace::Category::Phase,
@@ -520,7 +645,8 @@ impl TraceReplayer {
                         let _shard = gadget_obs::trace::shard_scope(shard as u64);
                         // The op cap was applied while partitioning, so
                         // each worker drains its whole subsequence.
-                        self.run_accesses(part.iter(), store, u64::MAX, pace, started, None)
+                        let mut pacer = self.worker_pacer(shard, threads, started);
+                        self.run_accesses(part.iter(), store, u64::MAX, &mut pacer, None)
                     })
                 })
                 .collect();
@@ -537,24 +663,32 @@ impl TraceReplayer {
         if let Some(em) = emitter {
             em.finish(
                 merged.executed,
-                observe(store, &merged.overall, merged.hits, merged.misses),
+                observe(store, &merged, self.options.service_rate, started),
             );
         }
-        Ok(merged.to_report(store.name(), workload, seconds))
+        let mut report = merged.to_report(store.name(), workload, seconds);
+        self.stamp(&mut report);
+        Ok(report)
     }
 
     /// The measuring core shared by single-threaded and shard-affine
     /// replay: drains `accesses` (op-by-op, or in `batch_size` chunks
-    /// through [`StateStore::apply_batch`]), pacing each op against
-    /// `started` when `pace` is set and invoking `progress` after every
-    /// op or batch so callers can sample metrics mid-run.
+    /// through [`StateStore::apply_batch`]), pacing each op against the
+    /// pacer's absolute arrival schedule and invoking `progress` after
+    /// every op or batch so callers can sample metrics mid-run.
+    ///
+    /// Pacing is anchored to the schedule start, never the previous
+    /// op's send time, so error cannot accumulate over a run. In
+    /// closed-loop mode op `i` may not start before its schedule slot
+    /// and its latency is the service time; in open-loop mode latency
+    /// is `send − intended arrival + service`, charging every op the
+    /// queueing delay a stalled store inflicted on it.
     fn run_accesses<'t>(
         &self,
         accesses: impl Iterator<Item = &'t StateAccess>,
         store: &dyn StateStore,
         limit: u64,
-        pace: Option<Duration>,
-        started: Instant,
+        pacer: &mut Pacer,
         mut progress: Option<ProgressFn<'_>>,
     ) -> Result<Measured, StoreError> {
         let mut m = Measured::new();
@@ -564,22 +698,42 @@ impl TraceReplayer {
                 if m.executed >= limit {
                     break;
                 }
-                if let Some(gap) = pace {
-                    // Closed-loop pacing against the absolute schedule: op
-                    // `i` may not start before `started + i * gap`.
-                    sleep_until(started + gap * m.executed as u32);
+                let deadline = pacer.next_deadline();
+                if let Some(d) = deadline {
+                    sleep_until(d);
                 }
-                let ns = self.apply(store, access, &mut m.hits, &mut m.misses)?;
-                m.overall.record(ns);
-                m.per_op[op_index(access.op)].record(ns);
+                let lag_ns = match deadline {
+                    // `sleep_until` never returns early, so `now` is at
+                    // or past the deadline; the saturation only guards
+                    // clock weirdness.
+                    Some(d) if pacer.open_loop() => {
+                        Some(Instant::now().saturating_duration_since(d).as_nanos() as u64)
+                    }
+                    _ => None,
+                };
+                let service_ns = self.apply(store, access, &mut m.hits, &mut m.misses)?;
+                match lag_ns {
+                    Some(lag) => {
+                        m.overall.record(lag + service_ns);
+                        m.per_op[op_index(access.op)].record(lag + service_ns);
+                        m.lag.record(lag);
+                        m.service.record(service_ns);
+                    }
+                    None => {
+                        m.overall.record(service_ns);
+                        m.per_op[op_index(access.op)].record(service_ns);
+                    }
+                }
                 m.executed += 1;
                 if let Some(p) = progress.as_mut() {
-                    p(m.executed, &m.overall, m.hits, m.misses);
+                    p(&m);
                 }
             }
         } else {
             let mut ops: Vec<Op> = Vec::with_capacity(batch_size);
             let mut kinds: Vec<OpType> = Vec::with_capacity(batch_size);
+            let mut deadlines: Vec<Instant> = Vec::with_capacity(batch_size);
+            let mut waits: Vec<u64> = Vec::with_capacity(batch_size);
             let mut iter = accesses;
             loop {
                 while ops.len() < batch_size && m.executed + (ops.len() as u64) < limit {
@@ -587,6 +741,9 @@ impl TraceReplayer {
                         Some(access) => {
                             ops.push(self.materialize(access));
                             kinds.push(access.op);
+                            if let Some(d) = pacer.next_deadline() {
+                                deadlines.push(d);
+                            }
                         }
                         None => break,
                     }
@@ -594,15 +751,32 @@ impl TraceReplayer {
                 if ops.is_empty() {
                     break;
                 }
-                if let Some(gap) = pace {
-                    // The whole batch is released at its first op's slot,
-                    // modelling a poll loop that drains a micro-batch per
-                    // wakeup.
-                    sleep_until(started + gap * m.executed as u32);
-                }
-                flush_batch(store, &mut ops, &mut kinds, &mut m)?;
+                let batch_waits = if deadlines.is_empty() {
+                    None
+                } else if pacer.open_loop() {
+                    // The batch drains once every op in it has arrived;
+                    // each op then waited from its own intended arrival
+                    // to that release.
+                    sleep_until(*deadlines.last().unwrap());
+                    let release = Instant::now();
+                    waits.clear();
+                    waits.extend(
+                        deadlines
+                            .iter()
+                            .map(|d| release.saturating_duration_since(*d).as_nanos() as u64),
+                    );
+                    Some(waits.as_slice())
+                } else {
+                    // Closed loop: the whole batch is released at its
+                    // first op's slot, modelling a poll loop that drains
+                    // a micro-batch per wakeup.
+                    sleep_until(deadlines[0]);
+                    None
+                };
+                flush_batch(store, &mut ops, &mut kinds, &mut m, batch_waits)?;
+                deadlines.clear();
                 if let Some(p) = progress.as_mut() {
-                    p(m.executed, &m.overall, m.hits, m.misses);
+                    p(&m);
                 }
             }
         }
@@ -732,7 +906,7 @@ fn run_online_inner(
                 ops.push(replayer.materialize(access));
                 kinds.push(access.op);
                 if ops.len() >= batch_size {
-                    flush_batch(store, &mut ops, &mut kinds, &mut m)?;
+                    flush_batch(store, &mut ops, &mut kinds, &mut m, None)?;
                 }
             } else {
                 let ns = replayer.apply(store, access, &mut m.hits, &mut m.misses)?;
@@ -741,7 +915,7 @@ fn run_online_inner(
                 m.executed += 1;
             }
             if let Some(em) = emitter.as_deref_mut() {
-                em.poll(m.executed, || observe(store, &m.overall, m.hits, m.misses));
+                em.poll(m.executed, || observe(store, &m, None, started));
             }
         }
     }
@@ -752,7 +926,7 @@ fn run_online_inner(
             ops.push(replayer.materialize(access));
             kinds.push(access.op);
             if ops.len() >= batch_size {
-                flush_batch(store, &mut ops, &mut kinds, &mut m)?;
+                flush_batch(store, &mut ops, &mut kinds, &mut m, None)?;
             }
         } else {
             let ns = replayer.apply(store, access, &mut m.hits, &mut m.misses)?;
@@ -762,10 +936,10 @@ fn run_online_inner(
         }
     }
     // Drain the final partial batch.
-    flush_batch(store, &mut ops, &mut kinds, &mut m)?;
+    flush_batch(store, &mut ops, &mut kinds, &mut m, None)?;
     let seconds = started.elapsed().as_secs_f64();
     if let Some(em) = emitter {
-        em.finish(m.executed, observe(store, &m.overall, m.hits, m.misses));
+        em.finish(m.executed, observe(store, &m, None, started));
     }
     Ok(m.to_report(store.name(), workload, seconds))
 }

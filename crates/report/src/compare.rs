@@ -43,6 +43,9 @@ pub struct Tolerance {
     pub latency_rel: f64,
     /// KS significance level.
     pub alpha: f64,
+    /// A sweep's knee (max sustainable offered rate) may shift down
+    /// this many percent before the curve comparison is REGRESSED.
+    pub knee_pct: f64,
 }
 
 impl Tolerance {
@@ -56,6 +59,7 @@ impl Tolerance {
             counter_pct: 2.0 * pct,
             latency_rel: pct / 100.0,
             alpha: 0.01,
+            knee_pct: pct,
         }
     }
 }
@@ -228,7 +232,7 @@ fn decode_samples(hist: &LogHistogram) -> Vec<f64> {
 }
 
 /// Compares one pair of latency histograms.
-fn compare_histograms(
+pub(crate) fn compare_histograms(
     metric: &str,
     baseline: &LogHistogram,
     candidate: &LogHistogram,
@@ -296,7 +300,12 @@ fn compare_histograms(
 }
 
 /// Compares a scalar where *lower is worse* (throughput).
-fn compare_rate(metric: &str, baseline: f64, candidate: f64, tol_pct: f64) -> MetricComparison {
+pub(crate) fn compare_rate(
+    metric: &str,
+    baseline: f64,
+    candidate: f64,
+    tol_pct: f64,
+) -> MetricComparison {
     let delta_pct = if baseline > 0.0 {
         (candidate - baseline) / baseline * 100.0
     } else {
@@ -374,6 +383,7 @@ pub fn compare_reports(
     if baseline.store != candidate.store
         || baseline.workload != candidate.workload
         || baseline.meta.transport != candidate.meta.transport
+        || baseline.meta.arrival != candidate.meta.arrival
     {
         metrics.push(MetricComparison {
             metric: "identity".to_string(),
@@ -385,13 +395,15 @@ pub fn compare_reports(
             wasserstein: None,
             status: Status::Regressed,
             note: format!(
-                "baseline is {}/{} over {}, candidate is {}/{} over {}",
+                "baseline is {}/{} over {} ({} arrivals), candidate is {}/{} over {} ({} arrivals)",
                 baseline.store,
                 baseline.workload,
                 baseline.meta.transport,
+                baseline.meta.arrival,
                 candidate.store,
                 candidate.workload,
-                candidate.meta.transport
+                candidate.meta.transport,
+                candidate.meta.arrival
             ),
         });
     }
@@ -505,9 +517,27 @@ mod tests {
             misses: 0,
             latency: latency.clone(),
             per_op: vec![("get".to_string(), latency)],
+            lag: LogHistogram::new(),
             metrics,
             attribution: None,
         }
+    }
+
+    #[test]
+    fn mismatched_arrival_regresses() {
+        // A closed-loop curve and an open-loop curve measure different
+        // quantities; gating one against the other is meaningless.
+        let base = report_with_latency(0, 10_000.0);
+        let mut other = report_with_latency(0, 10_000.0);
+        other.meta.arrival = "poisson".to_string();
+        let cmp = compare_reports(&base, &other, "a", "b", &Tolerance::default());
+        assert!(cmp.regressed());
+        assert_eq!(cmp.metrics[0].metric, "identity");
+        assert!(
+            cmp.metrics[0].note.contains("poisson"),
+            "{}",
+            cmp.metrics[0].note
+        );
     }
 
     #[test]

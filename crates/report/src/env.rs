@@ -40,6 +40,8 @@ pub fn capture_in(dir: &Path, config: &str) -> RunMeta {
         shards: 1,
         batch_size: 1,
         transport: "embedded".to_string(),
+        arrival: "closed".to_string(),
+        offered_rate: 0.0,
         created_unix_ms: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_millis() as u64)

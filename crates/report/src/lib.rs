@@ -24,9 +24,13 @@
 pub mod compare;
 pub mod env;
 pub mod schema;
+pub mod sweep;
 
 pub use compare::{
     compare_reports, find_baseline, ComparisonReport, MetricComparison, Status, Tolerance,
 };
 pub use env::{capture, capture_in, fnv1a_hex};
 pub use schema::{RunMeta, RunReport, SCHEMA_VERSION};
+pub use sweep::{
+    compare_sweeps, find_sweep_baseline, KneePoint, SweepReport, SweepStep, SWEEP_SCHEMA_VERSION,
+};

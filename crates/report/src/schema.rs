@@ -47,6 +47,16 @@ pub struct RunMeta {
     /// the network to the store. Reports written before this field
     /// existed deserialize as `"embedded"`, which is what they were.
     pub transport: String,
+    /// Arrival model the run was paced with: `"closed"` (send-time
+    /// latency, the historical behaviour), `"constant"`, or
+    /// `"poisson"` (open-loop, intended-time latency). Part of a
+    /// report's identity — closed- and open-loop latency curves answer
+    /// different questions. Reports from before arrival modes existed
+    /// deserialize as `"closed"`, which is what they were.
+    pub arrival: String,
+    /// Offered load in ops/s when the run was paced; `0` for
+    /// full-speed runs (and for reports predating the field).
+    pub offered_rate: f64,
     /// Wall-clock creation time, milliseconds since the Unix epoch
     /// (0 if the clock is unavailable).
     pub created_unix_ms: u64,
@@ -63,6 +73,8 @@ impl Default for RunMeta {
             shards: 1,
             batch_size: 1,
             transport: "embedded".to_string(),
+            arrival: "closed".to_string(),
+            offered_rate: 0.0,
             created_unix_ms: 0,
         }
     }
@@ -94,6 +106,10 @@ pub struct RunReport {
     /// Per-op-type latency histograms, keyed by op name; only ops that
     /// actually ran appear.
     pub per_op: Vec<(String, LogHistogram)>,
+    /// Scheduler-lag histogram (intended arrival → send) from open-loop
+    /// runs; empty for closed-loop and full-speed runs, and for reports
+    /// predating open-loop support.
+    pub lag: LogHistogram,
     /// Final store metrics snapshot (empty if the producer did not
     /// collect metrics).
     pub metrics: MetricsSnapshot,
@@ -110,6 +126,15 @@ impl RunReport {
     /// shape). Metrics and attribution start empty — callers that
     /// collected them attach them afterwards.
     pub fn from_run(run: &gadget_replay::RunReport, meta: RunMeta) -> Self {
+        let mut meta = meta;
+        // The replay layer knows how the run was paced; fold that into
+        // the provenance unless the caller already set it.
+        if let Some(arrival) = &run.arrival {
+            meta.arrival = arrival.clone();
+        }
+        if let Some(rate) = run.offered_rate {
+            meta.offered_rate = rate;
+        }
         RunReport {
             version: SCHEMA_VERSION,
             store: run.store.clone(),
@@ -122,6 +147,7 @@ impl RunReport {
             misses: run.misses,
             latency: run.latency_hist.clone(),
             per_op: run.per_op_hist.clone(),
+            lag: run.lag_hist.clone(),
             metrics: MetricsSnapshot::new(),
             attribution: None,
         }
@@ -167,6 +193,8 @@ const META_FIELDS: &[&str] = &[
     "shards",
     "batch_size",
     "transport",
+    "arrival",
+    "offered_rate",
     "created_unix_ms",
 ];
 
@@ -181,6 +209,8 @@ impl Serialize for RunMeta {
             ("shards".to_string(), self.shards.to_value()),
             ("batch_size".to_string(), self.batch_size.to_value()),
             ("transport".to_string(), self.transport.to_value()),
+            ("arrival".to_string(), self.arrival.to_value()),
+            ("offered_rate".to_string(), self.offered_rate.to_value()),
             (
                 "created_unix_ms".to_string(),
                 self.created_unix_ms.to_value(),
@@ -214,6 +244,16 @@ impl Deserialize for RunMeta {
                 Some(v) => String::from_value(v)?,
                 None => "embedded".to_string(),
             },
+            // Absent in reports predating open-loop pacing, all of
+            // which were closed-loop full-speed runs.
+            arrival: match serde::find_field(members, "arrival") {
+                Some(v) => String::from_value(v)?,
+                None => "closed".to_string(),
+            },
+            offered_rate: match serde::find_field(members, "offered_rate") {
+                Some(v) => f64::from_value(v)?,
+                None => 0.0,
+            },
             created_unix_ms: u64::from_value(field("created_unix_ms")?)?,
         })
     }
@@ -231,6 +271,7 @@ const REPORT_FIELDS: &[&str] = &[
     "misses",
     "latency",
     "per_op",
+    "lag",
     "metrics",
     "attribution",
 ];
@@ -258,6 +299,7 @@ impl Serialize for RunReport {
             ("misses".to_string(), self.misses.to_value()),
             ("latency".to_string(), self.latency.to_value()),
             ("per_op".to_string(), Value::Object(per_op)),
+            ("lag".to_string(), self.lag.to_value()),
             ("metrics".to_string(), self.metrics.to_value()),
             ("attribution".to_string(), attribution),
         ])
@@ -303,6 +345,12 @@ impl Deserialize for RunReport {
             misses: u64::from_value(field("misses")?)?,
             latency: LogHistogram::from_value(field("latency")?)?,
             per_op,
+            // Absent in reports predating open-loop pacing → no lag
+            // was recorded.
+            lag: match serde::find_field(members, "lag") {
+                Some(v) => LogHistogram::from_value(v)?,
+                None => LogHistogram::new(),
+            },
             metrics: MetricsSnapshot::from_value(field("metrics")?)?,
             attribution,
         })
@@ -311,7 +359,11 @@ impl Deserialize for RunReport {
 
 /// Errors if `members` holds any key outside `known` — schema drift is
 /// a hard error, not silently-ignored data.
-fn reject_unknown(members: &[(String, Value)], known: &[&str], context: &str) -> Result<(), Error> {
+pub(crate) fn reject_unknown(
+    members: &[(String, Value)],
+    known: &[&str],
+    context: &str,
+) -> Result<(), Error> {
     for (key, _) in members {
         if !known.contains(&key.as_str()) {
             return Err(Error::custom(format!(
@@ -355,6 +407,8 @@ mod tests {
                 shards: 4,
                 batch_size: 64,
                 transport: "embedded".to_string(),
+                arrival: "poisson".to_string(),
+                offered_rate: 5_000.0,
                 created_unix_ms: 1_700_000_000_000,
             },
             operations: 500,
@@ -364,6 +418,13 @@ mod tests {
             misses: 10,
             latency,
             per_op: vec![("get".to_string(), get), ("put".to_string(), put)],
+            lag: {
+                let mut lag = LogHistogram::new();
+                for i in 0..500u64 {
+                    lag.record(50 + i * 3);
+                }
+                lag
+            },
             metrics,
             attribution: None,
         }
@@ -411,6 +472,28 @@ mod tests {
         assert_eq!(back.meta.transport, "embedded");
         // Re-serialization writes the field explicitly from then on.
         assert!(back.to_json().contains("\"transport\": \"embedded\""));
+    }
+
+    #[test]
+    fn missing_openloop_fields_default_sensibly() {
+        // Reports written before open-loop pacing existed carry no
+        // arrival, offered_rate, or lag — they were closed-loop
+        // full-speed runs and must keep loading as exactly that.
+        let j = sample_report().to_json();
+        // Drop the multi-line "lag" object wholesale, then the scalar
+        // fields by line.
+        let start = j.find("  \"lag\":").unwrap();
+        let end = j[start..].find("\n  \"metrics\"").unwrap() + start;
+        let json = format!("{}{}", &j[..start], &j[end + 1..])
+            .replace("    \"arrival\": \"poisson\",\n", "")
+            .replace("    \"offered_rate\": 5000,\n", "");
+        assert!(!json.contains("\"arrival\""), "field removed");
+        assert!(!json.contains("\"offered_rate\""), "field removed");
+        assert!(!json.contains("\"lag\""), "field removed");
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back.meta.arrival, "closed");
+        assert_eq!(back.meta.offered_rate, 0.0);
+        assert_eq!(back.lag.count(), 0);
     }
 
     #[test]

@@ -124,6 +124,8 @@ pub fn drive(
         max_ops: None, // the partition is already limited
         batch_size: options.replay.batch_size,
         replay_threads: 1,
+        arrival: options.replay.arrival,
+        arrival_seed: options.replay.arrival_seed,
     };
     let segment_ops = options.segment_ops.max(1);
 
@@ -133,7 +135,13 @@ pub fn drive(
             .iter()
             .enumerate()
             .map(|(conn_no, part)| {
-                let per_conn_options = per_conn_options.clone();
+                let mut per_conn_options = per_conn_options.clone();
+                // Decorrelate the Poisson streams: identical seeds
+                // would make every connection's arrival bursts land in
+                // lockstep, an aggregate no real fleet produces.
+                per_conn_options.arrival_seed = per_conn_options
+                    .arrival_seed
+                    .wrapping_add((conn_no as u64).wrapping_mul(0xA076_1D64_78BD_642F));
                 s.spawn(move || {
                     drive_connection(addr, part, conn_no, options, per_conn_options, segment_ops)
                 })
@@ -166,8 +174,11 @@ pub fn drive(
         per_connection_ops.push(conn.ops);
     }
 
+    let mut report = merged.to_report("net", workload, seconds);
+    report.arrival = Some(options.replay.arrival.name().to_string());
+    report.offered_rate = options.replay.service_rate;
     Ok(DriveSummary {
-        report: merged.to_report("net", workload, seconds),
+        report,
         connections,
         reconnects,
         bytes_in,
@@ -190,11 +201,17 @@ fn drive_connection(
     let replayer = TraceReplayer::new(replay_options);
     let mut rng = options.seed ^ (conn_no as u64).wrapping_mul(0xA076_1D64_78BD_642F);
     let mut measured = Measured::new();
+    // One pacer across every segment: the arrival schedule is anchored
+    // once per connection, so pacing stays on the absolute schedule (no
+    // per-segment re-anchor drift) and, in open-loop modes, ops delayed
+    // by a churn reconnect are charged the full wait from their
+    // intended arrival.
+    let mut pacer = replayer.pacer(std::time::Instant::now());
     for (i, segment) in part.chunks(segment_ops).enumerate() {
         if i > 0 && options.churn > 0.0 && unit_f64(&mut rng) < options.churn {
             store.reconnect()?;
         }
-        measured.absorb(&replayer.replay_accesses(segment, &store)?);
+        measured.absorb(&replayer.replay_accesses_paced(segment, &store, &mut pacer)?);
     }
     let snap = store.metrics().unwrap_or_default();
     let ops = measured.executed;

@@ -35,6 +35,6 @@ pub mod wire;
 
 pub use client::NetStore;
 pub use driver::{drive, DriveOptions, DriveSummary};
-pub use metrics_http::MetricsServer;
+pub use metrics_http::{MetricsServer, SnapshotFn};
 pub use server::{Server, ServerConfig};
 pub use wire::{Frame, WireError};

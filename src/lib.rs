@@ -33,7 +33,9 @@ pub use gadget_flinksim as flinksim;
 pub use gadget_hashlog as hashlog;
 pub use gadget_kv as kv;
 pub use gadget_lsm as lsm;
+pub use gadget_obs as obs;
 pub use gadget_replay as replay;
 pub use gadget_report as report;
+pub use gadget_server as server;
 pub use gadget_types as types;
 pub use gadget_ycsb as ycsb;

@@ -26,7 +26,13 @@ fn golden_report() -> RunReport {
     m.hits = 400;
     m.misses = 34;
     m.executed = 1_000;
-    let run = m.to_report("mem", "ycsb-a", 0.25);
+    for i in 0..1_000u64 {
+        m.lag.record(40 + (i % 97) * 3);
+        m.service.record(210 + (i % 211) * 13);
+    }
+    let mut run = m.to_report("mem", "ycsb-a", 0.25);
+    run.arrival = Some("poisson".to_string());
+    run.offered_rate = Some(5_000.0);
     let mut report = RunReport::from_run(
         &run,
         RunMeta {
@@ -38,6 +44,8 @@ fn golden_report() -> RunReport {
             shards: 4,
             batch_size: 64,
             transport: "embedded".to_string(),
+            arrival: "closed".to_string(),
+            offered_rate: 0.0,
             created_unix_ms: 1_750_000_000_000,
         },
     );
