@@ -38,8 +38,9 @@ fn sharded_sync_lsm(tag: &str, shards: usize) -> (PathBuf, ShardedStore) {
             .expect("clock before epoch")
             .as_nanos()
     ));
-    let store = ShardedStore::from_factory(shards, |shard| {
-        let dir = base.join(format!("shard-{shard}"));
+    let factory_base = base.clone();
+    let store = ShardedStore::from_factory(shards, move |shard| {
+        let dir = factory_base.join(format!("shard-{shard}"));
         std::fs::create_dir_all(&dir).map_err(StoreError::Io)?;
         let cfg = LsmConfig {
             wal_sync: true,

@@ -70,7 +70,8 @@ type Subject = (&'static str, u64, Arc<dyn StateStore>);
 fn subjects(shrink: usize) -> (Vec<Subject>, PathBuf) {
     let shrink = shrink.max(1);
     let lsm_dir = fresh_dir("ext-sweep-lsm");
-    let sharded = ShardedStore::from_factory(4, |shard| {
+    let factory_dir = lsm_dir.clone();
+    let sharded = ShardedStore::from_factory(4, move |shard| {
         let cfg = LsmConfig {
             memtable_bytes: (128 << 20) / shrink,
             block_cache_bytes: (64 << 20) / shrink,
@@ -78,7 +79,7 @@ fn subjects(shrink: usize) -> (Vec<Subject>, PathBuf) {
             target_file_bytes: (64 << 20) / shrink,
             ..LsmConfig::paper_rocksdb()
         };
-        LsmStore::open(lsm_dir.join(format!("shard-{shard}")), cfg)
+        LsmStore::open(factory_dir.join(format!("shard-{shard}")), cfg)
             .map(|s| Arc::new(s) as Arc<dyn StateStore>)
     })
     .expect("open sharded lsm");

@@ -124,6 +124,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "ycsb" => cmd_ycsb(&flags),
         "serve" => cmd_serve(&flags),
         "drive" => cmd_drive(&flags),
+        "reshard" => cmd_reshard(&flags),
         "stop" => cmd_stop(&flags),
         "stores" => cmd_stores(),
         "help" | "--help" | "-h" => {
@@ -144,6 +145,7 @@ pub fn usage() -> String {
      \x20          [--arrival closed|constant|poisson]    open-loop pacing (intended-time latency; needs --rate)\n\
      \x20          [--arrival-seed <n>]                   arrival-schedule seed (poisson)\n\
      \x20          [--shards <n>] [--replay-threads <n>]  keyspace-sharded store / shard-affine threads\n\
+     \x20          [--reshard-at <frac>:<from>:<to>]      live shard split/migration mid-replay (needs --shards)\n\
      \x20          [--metrics <json>] [--every <ops>]\n\
      \x20          [--metrics-addr <host:port>]           live Prometheus scrape endpoint during the run\n\
      \x20          [--trace-out <json>]                   span timeline (Chrome/Perfetto) + tail attribution\n\
@@ -162,6 +164,7 @@ pub fn usage() -> String {
      \x20          compare <candidate.json> --baseline <dir>  ...against the newest matching baseline;\n\
      \x20                                                 sweep reports gate the whole curve + knee shift\n\
      \x20          [--tolerance <pct>] [--rate-tolerance <pct>] [--knee-tolerance <pct>] [--out <json>]\n\
+     \x20          [--allow-topology-change]              tolerate mismatched partition-map digests\n\
      \x20 observe  --config <json> --metrics <json>      run the workload on every store, sampling\n\
      \x20          [--stores <a,b,..>] [--every <ops>]    internal metrics into a JSON time series\n\
      \x20 analyze  --trace <trace>                       characterize a trace (composition, locality, TTL)\n\
@@ -179,6 +182,9 @@ pub fn usage() -> String {
      \x20          [--connections <n>] [--churn <0..1>] [--segment-ops <n>] [--seed <n>]\n\
      \x20          [--rate <ops/s>] [--arrival constant|poisson] [--arrival-seed <n>]\n\
      \x20          [--ops <n>] [--batch-size <n>] [--report-out <json>]\n\
+     \x20          [--reshard-at <frac>:<from>:<to>]      live reshard on the server mid-drive\n\
+     \x20 reshard  --addr <host:port> --from <n> --to <n>  fire one live shard split/migration now\n\
+     \x20          [--at-op <n>]                          op index recorded on the event\n\
      \x20 stop     --addr <host:port>                    ask a running server to drain and exit\n\
      \x20 stores                                         list available store labels"
         .to_string()
@@ -231,20 +237,43 @@ fn open_store_sharded(
     dir: Option<&str>,
     shards: usize,
 ) -> Result<std::sync::Arc<dyn gadget_kv::StateStore>, String> {
+    let (store, _) = open_store_maybe_sharded(label, dir, shards)?;
+    Ok(store)
+}
+
+/// [`open_store_sharded`], also handing back the concrete
+/// [`ShardedStore`] when one was built — the handle live topology
+/// changes (`--reshard-at`, the server's `reshard` frame) operate on.
+/// `None` for unsharded stores. The retained factory is `'static`
+/// (owned label and base dir), so `split_shard` can build brand-new
+/// shards — each in its own `shard-<i>` subdirectory — long after this
+/// function returns.
+type MaybeSharded = (
+    std::sync::Arc<dyn gadget_kv::StateStore>,
+    Option<std::sync::Arc<gadget_kv::ShardedStore>>,
+);
+
+fn open_store_maybe_sharded(
+    label: &str,
+    dir: Option<&str>,
+    shards: usize,
+) -> Result<MaybeSharded, String> {
     if shards <= 1 {
-        return open_store(label, dir);
+        return Ok((open_store(label, dir)?, None));
     }
     let base = store_dir(dir);
-    let sharded = gadget_kv::ShardedStore::from_factory(shards, |shard| {
+    let label = label.to_string();
+    let sharded = gadget_kv::ShardedStore::from_factory(shards, move |shard| {
         open_store_at(
-            label,
+            &label,
             &base.join(format!("shard-{shard}")),
             Some(shard as u64),
         )
         .map_err(gadget_kv::StoreError::InvalidArgument)
     })
     .map_err(|e| e.to_string())?;
-    Ok(std::sync::Arc::new(sharded))
+    let sharded = std::sync::Arc::new(sharded);
+    Ok((sharded.clone(), Some(sharded)))
 }
 
 /// Builds one store instance in exactly `dir`. `shard` tags LSM
@@ -524,6 +553,45 @@ fn export_trace(
 /// finished measured run: provenance from the environment and flags,
 /// measurements from the replay layer, plus the store's final metrics
 /// snapshot and (when tracing was on) the tail-latency attribution.
+/// A run's final partition topology, for report provenance: the
+/// partition-map digest (hex) plus every reshard completed mid-run.
+struct TopologyStamp {
+    digest: String,
+    events: Vec<gadget_report::ReshardRecord>,
+}
+
+impl TopologyStamp {
+    /// Reads the stamp off a live [`gadget_kv::ShardedStore`].
+    fn of_store(store: &gadget_kv::ShardedStore) -> TopologyStamp {
+        TopologyStamp {
+            digest: store.partition_digest(),
+            events: store.reshard_events().iter().map(reshard_record).collect(),
+        }
+    }
+
+    /// Reads the stamp off a driven server's topology answer.
+    fn of_topology(topology: &gadget_server::Topology) -> TopologyStamp {
+        TopologyStamp {
+            digest: topology.digest_hex(),
+            events: topology.events.iter().map(reshard_record).collect(),
+        }
+    }
+}
+
+/// Lifts a store-layer reshard event into the report schema's record.
+fn reshard_record(e: &gadget_kv::ReshardEvent) -> gadget_report::ReshardRecord {
+    gadget_report::ReshardRecord {
+        at_op: e.at_op,
+        from: e.from as u64,
+        to: e.to as u64,
+        slots: e.slots as u64,
+        keys: e.keys,
+        pause_us: e.pause_us,
+        copy_us: e.copy_us,
+        map_version: e.map_version,
+    }
+}
+
 fn write_run_report(
     path: &str,
     flags: &Flags,
@@ -531,6 +599,7 @@ fn write_run_report(
     store_metrics: Option<gadget_obs::MetricsSnapshot>,
     attribution: Option<&gadget_obs::trace::AttributionReport>,
     transport: &str,
+    topology: Option<TopologyStamp>,
 ) -> Result<(), String> {
     let options = replay_options(flags)?;
     let mut meta = gadget_report::capture(&flags.canonical());
@@ -541,6 +610,15 @@ fn write_run_report(
     // A drive's parallelism is its connection count, not replay threads.
     if let Some(connections) = flags.optional_parse::<u64>("connections")? {
         meta.threads = connections;
+    }
+    if let Some(topology) = topology {
+        meta.partition_digest = topology.digest;
+        // The final shard count may differ from `--shards` after a
+        // mid-run split; the event trail says why.
+        if let Some(last) = topology.events.last() {
+            meta.shards = meta.shards.max(last.to + 1);
+        }
+        meta.reshard_events = topology.events;
     }
     let mut report = gadget_report::RunReport::from_run(run, meta);
     if let Some(snapshot) = store_metrics {
@@ -569,15 +647,41 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
     // Validate flags before the (possibly slow) trace load.
     let replayer = TraceReplayer::new(replay_options(flags)?);
     let trace = Trace::load(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
-    let store = open_store_sharded(label, flags.optional("dir"), shard_count(flags)?)?;
+    let (store, sharded) =
+        open_store_maybe_sharded(label, flags.optional("dir"), shard_count(flags)?)?;
+    // `--reshard-at frac:from:to` arms a live topology change at that
+    // fraction of the replayed ops: the migration runs on a background
+    // thread while the replay keeps issuing traffic, so the latency
+    // histogram records the elasticity cost from the foreground's view.
+    let resharding = match flags.optional("reshard-at") {
+        Some(spec) => {
+            let Some(sharded) = sharded.clone() else {
+                return Err(
+                    "--reshard-at needs a sharded embedded store (--shards 2 or more)".to_string(),
+                );
+            };
+            let total_ops = flags
+                .optional_parse::<u64>("ops")?
+                .map_or(trace.len() as u64, |n| n.min(trace.len() as u64));
+            let plan = gadget_replay::ReshardPlan::parse(spec, total_ops)?;
+            Some(std::sync::Arc::new(gadget_replay::ReshardingStore::new(
+                sharded, plan,
+            )))
+        }
+        None => None,
+    };
+    let op_store: std::sync::Arc<dyn gadget_kv::StateStore> = match &resharding {
+        Some(r) => r.clone(),
+        None => store.clone(),
+    };
     // `--trace` is the *input* .gdt here, so the span-timeline output
     // flag is `--trace-out`. Tracing needs the ObservedStore wrapper
     // (its sampler emits the foreground op spans); untraced runs keep
     // the raw store.
     let trace_out = flags.optional("trace-out");
     let run_store: Box<dyn gadget_kv::StateStore> = match trace_out {
-        Some(_) => Box::new(gadget_kv::ObservedStore::new(ArcStore(store.clone()))),
-        None => Box::new(ArcStore(store.clone())),
+        Some(_) => Box::new(gadget_kv::ObservedStore::new(ArcStore(op_store.clone()))),
+        None => Box::new(ArcStore(op_store)),
     };
     let session = trace_out.map(|_| gadget_obs::trace::start_session());
     // `--metrics-addr` needs an emitter too: its endpoint serves the
@@ -602,6 +706,28 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
         Some(em) => replayer.replay_observed(&trace, run_store.as_ref(), trace_path, em),
     }
     .map_err(|e| e.to_string())?;
+    if let Some(resharding) = &resharding {
+        match resharding.finish() {
+            Some(Ok(event)) => println!(
+                "reshard at op {}: shard {} -> {}, {} slots, {} keys, \
+                 pause {}us, copy {}us (map v{})",
+                event.at_op,
+                event.from,
+                event.to,
+                event.slots,
+                event.keys,
+                event.pause_us,
+                event.copy_us,
+                event.map_version
+            ),
+            Some(Err(e)) => return Err(format!("mid-replay reshard failed: {e}")),
+            None => {
+                return Err(
+                    "--reshard-at never fired: the replay ended before the planned op".to_string(),
+                )
+            }
+        }
+    }
     let mut attribution = None;
     if let Some(out) = trace_out {
         let log = session
@@ -620,6 +746,7 @@ fn cmd_replay(flags: &Flags) -> Result<(), String> {
             store.metrics(),
             attribution.as_ref(),
             transport_for_label(label),
+            sharded.as_deref().map(TopologyStamp::of_store),
         )?;
     }
     if let Some(endpoint) = endpoint {
@@ -640,7 +767,8 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
         .or_else(|| flags.optional("store"))
         .ok_or("missing required flag --backend (or --store)")?;
     let label = backend_label(raw).to_string();
-    let store = open_store_sharded(&label, flags.optional("dir"), shard_count(flags)?)?;
+    let (store, sharded) =
+        open_store_maybe_sharded(&label, flags.optional("dir"), shard_count(flags)?)?;
 
     let mut opts = SweepOptions {
         arrival: flags
@@ -794,6 +922,10 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
     meta.batch_size = opts.batch_size as u64;
     meta.transport = transport_for_label(&label).to_string();
     meta.arrival = opts.arrival.name().to_string();
+    if let Some(stamp) = sharded.as_deref().map(TopologyStamp::of_store) {
+        meta.partition_digest = stamp.digest;
+        meta.reshard_events = stamp.events;
+    }
     let sweep = gadget_report::SweepReport::from_sweep(&outcome, &opts, meta);
 
     match &sweep.knee {
@@ -874,6 +1006,7 @@ fn cmd_online(flags: &Flags) -> Result<(), String> {
             store.metrics(),
             attribution.as_ref(),
             transport_for_label(label),
+            None,
         )?;
     }
     if let Some(endpoint) = endpoint {
@@ -1067,12 +1200,22 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
 /// pairs.
 fn cmd_report(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: gadget report show <report.json>\n\
-         \x20      gadget report compare <baseline.json> <candidate.json> [--tolerance <pct>] [--rate-tolerance <pct>] [--knee-tolerance <pct>] [--out <json>]\n\
-         \x20      gadget report compare <candidate.json> --baseline <dir> [--tolerance <pct>] [--rate-tolerance <pct>] [--knee-tolerance <pct>] [--out <json>]";
+         \x20      gadget report compare <baseline.json> <candidate.json> [--tolerance <pct>] [--rate-tolerance <pct>] [--knee-tolerance <pct>] [--allow-topology-change] [--out <json>]\n\
+         \x20      gadget report compare <candidate.json> --baseline <dir> [--tolerance <pct>] [--rate-tolerance <pct>] [--knee-tolerance <pct>] [--allow-topology-change] [--out <json>]";
     let Some(action) = args.first() else {
         return Err(USAGE.to_string());
     };
-    let rest = &args[1..];
+    // `--allow-topology-change` is the one valueless flag in the CLI
+    // (a policy switch, not a parameter), so it is peeled off before
+    // the strict `--key value` parser sees the rest.
+    let mut rest: Vec<String> = args[1..].to_vec();
+    let allow_topology_change = match rest.iter().position(|a| a == "--allow-topology-change") {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    };
     let split = rest
         .iter()
         .position(|a| a.starts_with("--"))
@@ -1096,6 +1239,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
                 Some(_) => return Err("--tolerance must be positive".to_string()),
                 None => gadget_report::Tolerance::default(),
             };
+            tolerance.allow_topology_change = allow_topology_change;
             if let Some(pct) = flags.optional_parse::<f64>("knee-tolerance")? {
                 if pct <= 0.0 {
                     return Err("--knee-tolerance must be positive".to_string());
@@ -1221,6 +1365,7 @@ fn print_sweep_summary(path: &str, sweep: &gadget_report::SweepReport) {
     );
     let m = &sweep.meta;
     println!("revision:   {} ({})", m.git_describe, m.git_sha);
+    print_topology_meta(m);
     println!(
         "criteria:   achieved >= {:.0}% of offered{}",
         sweep.sustainable_fraction * 100.0,
@@ -1292,6 +1437,7 @@ fn print_run_report_summary(path: &str, report: &gadget_report::RunReport) {
             hist.percentile(99.9)
         );
     }
+    print_topology_meta(m);
     println!(
         "metrics:    {} counters, {} gauges, {} histograms{}",
         report.metrics.counters.len(),
@@ -1303,6 +1449,27 @@ fn print_run_report_summary(path: &str, report: &gadget_report::RunReport) {
             ""
         }
     );
+}
+
+/// Renders a report's partition topology (`gadget report show`): the
+/// partition-map digest and, one line each, every live reshard the run
+/// absorbed. Silent for static-topology reports with no recorded map.
+fn print_topology_meta(m: &gadget_report::RunMeta) {
+    if m.partition_digest != "unknown" || !m.reshard_events.is_empty() {
+        println!(
+            "topology:   partition map {} ({} reshard event{})",
+            m.partition_digest,
+            m.reshard_events.len(),
+            if m.reshard_events.len() == 1 { "" } else { "s" }
+        );
+    }
+    for e in &m.reshard_events {
+        println!(
+            "  reshard @op {}: shard {} -> {}, {} slots, {} keys, \
+             pause {}us, copy {}us (map v{})",
+            e.at_op, e.from, e.to, e.slots, e.keys, e.pause_us, e.copy_us, e.map_version
+        );
+    }
 }
 
 fn cmd_concurrent(flags: &Flags) -> Result<(), String> {
@@ -1347,6 +1514,7 @@ fn cmd_concurrent(flags: &Flags) -> Result<(), String> {
                         store.metrics(),
                         None,
                         transport_for_label(label),
+                        None,
                     )?;
                 }
             }
@@ -1451,7 +1619,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         .ok_or("missing required flag --backend (or --store)")?;
     let label = backend_label(raw).to_string();
     let addr = flags.optional("addr").unwrap_or("127.0.0.1:4547");
-    let store = open_store_sharded(&label, flags.optional("dir"), shard_count(flags)?)?;
+    let (store, sharded) =
+        open_store_maybe_sharded(&label, flags.optional("dir"), shard_count(flags)?)?;
     let mut config = gadget_server::ServerConfig::default();
     if let Some(depth) = flags.optional_parse::<usize>("queue-depth")? {
         if depth == 0 {
@@ -1460,10 +1629,23 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         config.queue_depth = depth;
     }
     let queue_depth = config.queue_depth;
-    let server = gadget_server::Server::start(addr, store, config).map_err(|e| e.to_string())?;
+    // A sharded store is served through the reshard-aware front so wire
+    // `reshard`/`topology` control frames reach it.
+    let server = match &sharded {
+        Some(sharded) => gadget_server::Server::start_sharded(addr, sharded.clone(), config),
+        None => gadget_server::Server::start(addr, store, config),
+    }
+    .map_err(|e| e.to_string())?;
     // Exact line first so scripts can scrape the resolved port.
     println!("gadget-server listening on {}", server.local_addr());
     println!("serving {label} (queue depth {queue_depth})");
+    if let Some(sharded) = &sharded {
+        println!(
+            "sharded across {} shards (partition map {}); live `gadget reshard` enabled",
+            sharded.shard_count(),
+            sharded.partition_digest()
+        );
+    }
     let metrics = match flags.optional("metrics-addr") {
         Some(maddr) => {
             let endpoint = gadget_server::MetricsServer::start(maddr, server.snapshot_source())
@@ -1496,12 +1678,40 @@ fn cmd_drive(flags: &Flags) -> Result<(), String> {
         return Err("--churn must be a probability in [0, 1]".to_string());
     }
     let trace = Trace::load(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    // `--reshard-at frac:from:to` fires a live reshard on the *server*
+    // (over a dedicated control connection) once the fleet has issued
+    // that fraction of the total ops.
+    let reshard_at = match flags.optional("reshard-at") {
+        Some(spec) => {
+            let parts: Vec<&str> = spec.split(':').collect();
+            let [frac, from, to] = parts.as_slice() else {
+                return Err(format!(
+                    "--reshard-at '{spec}' is not of the form <op-frac>:<from>:<to>"
+                ));
+            };
+            let frac: f64 = frac
+                .parse()
+                .map_err(|_| format!("--reshard-at op fraction '{frac}' is not a number"))?;
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(format!("--reshard-at op fraction {frac} outside 0.0..=1.0"));
+            }
+            let from: u32 = from
+                .parse()
+                .map_err(|_| format!("--reshard-at source shard '{from}' is not an index"))?;
+            let to: u32 = to
+                .parse()
+                .map_err(|_| format!("--reshard-at target shard '{to}' is not an index"))?;
+            Some(gadget_server::ReshardTrigger { frac, from, to })
+        }
+        None => None,
+    };
     let options = gadget_server::DriveOptions {
         connections,
         churn,
         segment_ops: flags.optional_parse("segment-ops")?.unwrap_or(1_000),
         replay: replay_options(flags)?,
         seed: flags.optional_parse("seed")?.unwrap_or(0x9ad9e),
+        reshard_at,
     };
     let summary =
         gadget_server::drive(addr, &trace, trace_path, &options).map_err(|e| e.to_string())?;
@@ -1513,10 +1723,66 @@ fn cmd_drive(flags: &Flags) -> Result<(), String> {
         summary.bytes_out,
         summary.bytes_in
     );
+    if let Some(event) = &summary.reshard {
+        println!(
+            "reshard at op {}: shard {} -> {}, {} slots, {} keys, \
+             pause {}us, copy {}us (map v{})",
+            event.at_op,
+            event.from,
+            event.to,
+            event.slots,
+            event.keys,
+            event.pause_us,
+            event.copy_us,
+            event.map_version
+        );
+    }
     if let Some(path) = flags.optional("report-out") {
-        write_run_report(path, flags, &summary.report, None, None, "tcp")?;
+        let topology = summary.topology.as_ref().map(TopologyStamp::of_topology);
+        write_run_report(path, flags, &summary.report, None, None, "tcp", topology)?;
     }
     print_report(&summary.report);
+    Ok(())
+}
+
+/// `gadget reshard`: fire one live shard split / slot migration on a
+/// running server, over the wire. Blocks until the migration completes
+/// and prints what it did — the manual (and CI) counterpart of `drive
+/// --reshard-at`.
+fn cmd_reshard(flags: &Flags) -> Result<(), String> {
+    let addr = flags.required("addr")?;
+    let from: u32 = flags
+        .optional_parse("from")?
+        .ok_or("missing required flag --from")?;
+    let to: u32 = flags
+        .optional_parse("to")?
+        .ok_or("missing required flag --to")?;
+    let at_op: u64 = flags.optional_parse("at-op")?.unwrap_or(0);
+    let client = gadget_server::NetStore::connect(addr)
+        .map_err(|e| format!("cannot reach server at {addr}: {e}"))?;
+    let event = client
+        .reshard(from, to, at_op)
+        .map_err(|e| format!("reshard on {addr} failed: {e}"))?;
+    println!(
+        "reshard done: shard {} -> {}, {} slots, {} keys, pause {}us, copy {}us (map v{})",
+        event.from,
+        event.to,
+        event.slots,
+        event.keys,
+        event.pause_us,
+        event.copy_us,
+        event.map_version
+    );
+    let topology = client
+        .topology()
+        .map_err(|e| format!("topology query on {addr} failed: {e}"))?;
+    println!(
+        "topology: {} shards, partition map {} (v{}), {} reshard event(s)",
+        topology.shards,
+        topology.digest_hex(),
+        topology.map_version,
+        topology.events.len()
+    );
     Ok(())
 }
 
@@ -2437,6 +2703,116 @@ mod tests {
         assert_eq!(report.meta.arrival, "constant");
         assert_eq!(report.meta.offered_rate, 20_000.0);
         assert!(report.lag.count() > 0, "scheduler lag in the report");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_reshard_at_splits_and_stamps_the_report() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-reshard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.gdt");
+        dispatch(&strs(&[
+            "ycsb",
+            "--workload",
+            "A",
+            "--records",
+            "150",
+            "--ops",
+            "3000",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report_path = dir.join("resharded.json");
+        dispatch(&strs(&[
+            "replay",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--store",
+            "mem",
+            "--shards",
+            "2",
+            "--reshard-at",
+            "0.3:0:2",
+            "--report-out",
+            report_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report = gadget_report::RunReport::load(&report_path).unwrap();
+        assert_ne!(report.meta.partition_digest, "unknown");
+        assert_eq!(report.meta.reshard_events.len(), 1, "one split recorded");
+        let e = &report.meta.reshard_events[0];
+        assert_eq!((e.from, e.to), (0, 2), "split 0 into brand-new shard 2");
+        assert!(e.slots > 0 && e.map_version == 2);
+        assert_eq!(report.meta.shards, 3, "final shard count after the split");
+        // `report show` renders the event without erroring.
+        dispatch(&strs(&["report", "show", report_path.to_str().unwrap()])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reshard_at_rejects_unsharded_and_malformed_specs() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-rsbad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.gdt");
+        dispatch(&strs(&[
+            "ycsb",
+            "--workload",
+            "C",
+            "--records",
+            "50",
+            "--ops",
+            "200",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let base = strs(&["replay", "--trace", trace_path.to_str().unwrap()]);
+        let run = |extra: &[&str]| {
+            let mut args = base.clone();
+            args.extend(strs(extra));
+            dispatch(&args)
+        };
+        let err = run(&["--store", "mem", "--reshard-at", "0.5:0:1"]).unwrap_err();
+        assert!(err.contains("sharded"), "got: {err}");
+        let err = run(&["--store", "mem", "--shards", "2", "--reshard-at", "0.5:0"]).unwrap_err();
+        assert!(err.contains("op-frac"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_compare_gates_topology_change_behind_flag() {
+        let dir = std::env::temp_dir().join(format!("gadget-cli-topo-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |name: &str, digest: &str| {
+            let mut m = gadget_replay::Measured::new();
+            for i in 0..200 {
+                m.overall.record(500 + i % 40);
+                m.per_op[0].record(500 + i % 40);
+            }
+            m.executed = 200;
+            let run = m.to_report("mem", "unit", 0.01);
+            let meta = gadget_report::RunMeta {
+                partition_digest: digest.to_string(),
+                ..Default::default()
+            };
+            let report = gadget_report::RunReport::from_run(&run, meta);
+            let path = dir.join(name);
+            report.save(&path).unwrap();
+            path.to_str().unwrap().to_string()
+        };
+        let a = mk("a.json", "aaaaaaaaaaaaaaaa");
+        let b = mk("b.json", "bbbbbbbbbbbbbbbb");
+        let err = dispatch(&strs(&["report", "compare", &a, &b])).unwrap_err();
+        assert!(err.contains("topology"), "got: {err}");
+        dispatch(&strs(&[
+            "report",
+            "compare",
+            &a,
+            &b,
+            "--allow-topology-change",
+        ]))
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -17,6 +17,12 @@ pub enum StoreError {
     /// The store does not implement the requested operation (e.g. range
     /// scans on a hash-indexed store).
     Unsupported(&'static str),
+    /// The store was *constructed* wrong (zero shards, a slot table
+    /// whose assignments point past the shard vector, a split without a
+    /// shard factory). Distinct from [`StoreError::InvalidArgument`],
+    /// which covers malformed *requests* against a well-formed store:
+    /// a `Config` error means no request could ever succeed.
+    Config(String),
 }
 
 impl fmt::Display for StoreError {
@@ -27,6 +33,7 @@ impl fmt::Display for StoreError {
             StoreError::Closed => write!(f, "store is closed"),
             StoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             StoreError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            StoreError::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }
 }
@@ -62,6 +69,9 @@ mod tests {
             .to_string()
             .contains("empty key"));
         assert!(StoreError::Unsupported("scan").to_string().contains("scan"));
+        assert!(StoreError::Config("zero shards".into())
+            .to_string()
+            .contains("zero shards"));
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl<S: StateStore> InstrumentedStore<S> {
     fn record(&self, op: OpType, key: &[u8], value_size: u32) {
         let state_key = match StateKey::decode(key) {
             Some(k) => k,
-            None => StateKey::plain(hash_bytes(key)),
+            None => StateKey::plain(crate::hash::fnv1a(key)),
         };
         let ts = *self.clock.lock();
         self.trace.lock().push(StateAccess {
@@ -75,17 +75,6 @@ impl<S: StateStore> InstrumentedStore<S> {
             ts,
         });
     }
-}
-
-/// FNV-1a over arbitrary key bytes, for keys that are not encoded
-/// [`StateKey`]s.
-fn hash_bytes(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
 }
 
 impl<S: StateStore> StateStore for InstrumentedStore<S> {

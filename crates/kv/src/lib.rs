@@ -21,6 +21,11 @@
 //! * [`ShardedStore`] — hash-partitions the keyspace across N inner
 //!   stores so independent shard locks, WALs, and background workers can
 //!   use multiple cores; batches split per shard and apply in parallel.
+//!   Routing goes through a pluggable [`Router`] (by default the
+//!   versioned [`SlotTable`]), and the topology can change *live*:
+//!   [`ShardedStore::split_shard`] / [`ShardedStore::migrate_slots`]
+//!   move hash slots between shards under traffic with a double-apply
+//!   transfer window and an atomic map flip.
 //!
 //! Every store exposes [`StateStore::metrics`], returning a
 //! [`MetricsSnapshot`](gadget_obs::MetricsSnapshot) of its internals
@@ -28,17 +33,21 @@
 //! `--metrics` time-series emitter.
 
 pub mod error;
+pub mod hash;
 pub mod instrument;
 pub mod mem;
 pub mod observed;
 pub mod remote;
+pub mod router;
 pub mod sharded;
 pub mod store;
 
 pub use error::StoreError;
+pub use hash::fnv1a;
 pub use instrument::InstrumentedStore;
 pub use mem::MemStore;
 pub use observed::{ObservedStore, OpTimers};
 pub use remote::{NetworkProfile, RemoteStore};
+pub use router::{digest_hex, slot_of_key, ReshardEvent, Router, SlotTable, SLOTS};
 pub use sharded::{shard_of, ShardedStore};
 pub use store::{apply_ops_serially, BatchResult, StateStore, StoreCounters};

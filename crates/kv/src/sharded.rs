@@ -1,52 +1,87 @@
-//! Hash-sharded store composition.
+//! Hash-sharded store composition with a live-reshardable topology.
 //!
 //! [`ShardedStore`] partitions the keyspace across N inner
-//! [`StateStore`] instances by key hash. Every store in the workspace
-//! funnels writes through one coarse lock (the LSM's `WriteState`
-//! mutex, the B+Tree's tree mutex), so a single instance cannot use
-//! more than ~1 core of write bandwidth no matter how many client
-//! threads it has. Sharding multiplies the whole stack: N independent
-//! locks, N WALs fsyncing in parallel, N background flush/compaction
-//! workers — while the routing invariant (one shard owns a key forever)
-//! preserves per-key operation order, which is all the dataflow model
-//! requires.
+//! [`StateStore`] instances. Every store in the workspace funnels
+//! writes through one coarse lock (the LSM's `WriteState` mutex, the
+//! B+Tree's tree mutex), so a single instance cannot use more than ~1
+//! core of write bandwidth no matter how many client threads it has.
+//! Sharding multiplies the whole stack: N independent locks, N WALs
+//! fsyncing in parallel, N background flush/compaction workers — while
+//! the routing invariant (one shard owns a key at any instant, and
+//! ownership only changes at an atomic map flip) preserves per-key
+//! operation order, which is all the dataflow model requires.
 //!
-//! The router is FNV-1a over the key bytes modulo the shard count, the
-//! same hash family the hash-log store and the trace instrumentation
-//! use. Routing is deterministic across runs, so a sharded store's
-//! on-disk layout (`shard-0/`, `shard-1/`, …) recovers shard-by-shard:
-//! each inner store replays its own WAL with no cross-shard
-//! coordination.
+//! Routing goes through a pluggable [`Router`] — by default the
+//! versioned [`SlotTable`] with the identity assignment, which for any
+//! shard count dividing [`SLOTS`] routes bit-for-bit like the legacy
+//! `fnv1a(key) % N` modulo (so existing on-disk layouts recover
+//! unchanged). The router lives behind an epoch pointer
+//! (`RwLock<Arc<dyn Router>>`): every operation pins one coherent
+//! epoch for its duration, and a topology change installs a whole new
+//! map in one pointer swap.
+//!
+//! # Live migration
+//!
+//! [`ShardedStore::migrate_slots`] moves a set of slots to another
+//! shard while traffic keeps flowing:
+//!
+//! 1. **Open the transfer window.** A migration record (slot set +
+//!    target) is installed under the `migration` write lock, which
+//!    waits for in-flight operations — so every write issued before
+//!    the window opened is visible to the copier.
+//! 2. **Double-apply.** While the window is open, writes to migrating
+//!    slots apply to *both* the current owner and the target, under
+//!    the migration serial lock. Reads keep going to the current owner
+//!    alone: it stays authoritative until the flip.
+//! 3. **Copy.** The copier snapshots the source's key list, then
+//!    copies values in small chunks, re-reading each key under the
+//!    same serial lock. Serializing the copier chunks and the
+//!    double-applied writes makes the transfer linearizable: whichever
+//!    order a copy and a concurrent write land in, the target ends up
+//!    with the source's latest value. Each chunk is a
+//!    `SlotMigration` trace span — the contention the window inflicts
+//!    on foreground writes shows up in >p99 attribution.
+//! 4. **Flip.** Under the serial lock, a successor [`SlotTable`] with
+//!    the slots reassigned is swapped in and the window is closed. The
+//!    flip duration is recorded as the migration's pause time.
+//! 5. **Cleanup.** The moved keys are deleted from the old owner
+//!    (nothing routes there anymore).
+//!
+//! Scans always filter each shard's results through the current map
+//! (`route(key) == shard`), so in-window duplicates on the target and
+//! not-yet-cleaned leftovers on the source are invisible.
 //!
 //! Every routed call runs inside a [`trace::shard_scope`], so sampled
 //! op spans (and WAL fsyncs performed on the calling thread) carry the
 //! shard id and tail-latency attribution can blame a hot shard.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::Bytes;
 use gadget_obs::trace;
 use gadget_obs::MetricsSnapshot;
 use gadget_types::Op;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::StoreError;
+use crate::hash::fnv1a;
+use crate::router::{slot_of_key, ReshardEvent, Router, SlotTable, SLOTS};
 use crate::store::{BatchResult, StateStore};
 
-/// FNV-1a shard router: which of `shards` owns `key`.
+/// FNV-1a modulo router: which of `shards` owns `key`.
 ///
-/// Deterministic and stable across processes; used by the store itself
-/// and by shard-affine replay threads, which must agree on ownership.
+/// Deterministic and stable across processes. This remains the
+/// canonical *static* partitioner — shard-affine replay threads and
+/// the server driver's connection fan-out use it directly — and the
+/// identity [`SlotTable`] reproduces it exactly for shard counts that
+/// divide [`SLOTS`].
 pub fn shard_of(key: &[u8], shards: usize) -> usize {
     debug_assert!(shards > 0);
     if shards <= 1 {
         return 0;
     }
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in key {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    (h % shards as u64) as usize
+    (fnv1a(key) % shards as u64) as usize
 }
 
 /// Below this batch size, splitting across worker threads costs more
@@ -54,9 +89,54 @@ pub fn shard_of(key: &[u8], shards: usize) -> usize {
 /// one group-commit per shard).
 const PARALLEL_BATCH_MIN: usize = 8;
 
-/// A store that hash-partitions the keyspace over N inner stores.
+/// Keys copied per serialized migration chunk. Small enough that
+/// foreground writes blocked on the serial lock wait one chunk at
+/// most, large enough to amortize the lock handoff.
+const COPY_CHUNK: usize = 128;
+
+/// Inclusive upper bound handed to inner-store scans when the copier
+/// and cleanup passes enumerate a shard. Covers every key the harness
+/// produces (16-byte `StateKey` encodings, short test keys); keys
+/// longer than 64 bytes of `0xff` would escape migration.
+const SCAN_HI: [u8; 64] = [0xff; 64];
+
+/// Builds shard `index` on demand, so a split can add a shard (with
+/// its own directory, for disk-backed stores) mid-run.
+type ShardFactory = Box<dyn Fn(usize) -> Result<Arc<dyn StateStore>, StoreError> + Send + Sync>;
+
+/// An open transfer window: writes to these slots double-apply to
+/// `to` until the map flip closes the window.
+struct MigrationState {
+    /// `migrating[slot]` — is this slot inside the window?
+    migrating: Vec<bool>,
+    /// Target shard receiving the slots.
+    to: usize,
+}
+
+/// A store that hash-partitions the keyspace over N inner stores and
+/// can rebalance that partition while serving traffic.
 pub struct ShardedStore {
-    shards: Vec<Arc<dyn StateStore>>,
+    /// Inner shards. Grows (never shrinks) under the write lock when a
+    /// split adds a shard; operations hold the read lock.
+    shards: RwLock<Vec<Arc<dyn StateStore>>>,
+    /// The epoch pointer: the current partition map. Swapped whole on
+    /// a topology change; operations clone the `Arc` and route against
+    /// one coherent epoch.
+    router: RwLock<Arc<dyn Router>>,
+    /// The open transfer window, if a migration is in flight. Ops hold
+    /// the read lock for their duration, so installing (or clearing)
+    /// the window is a barrier against in-flight operations.
+    migration: RwLock<Option<MigrationState>>,
+    /// Serializes double-applied writes, copier chunks, and the map
+    /// flip. Lock order: `serial` before `migration` before `router`
+    /// before `shards`; never acquire leftward while holding
+    /// rightward.
+    serial: Mutex<()>,
+    /// Completed migrations, oldest first.
+    events: Mutex<Vec<ReshardEvent>>,
+    /// Builds new shards for splits; absent when constructed from
+    /// pre-built stores.
+    factory: Option<ShardFactory>,
     name: &'static str,
 }
 
@@ -64,7 +144,8 @@ impl std::fmt::Debug for ShardedStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedStore")
             .field("name", &self.name)
-            .field("shards", &self.shards.len())
+            .field("shards", &self.shards.read().len())
+            .field("map_version", &self.router.read().version())
             .finish()
     }
 }
@@ -72,84 +153,422 @@ impl std::fmt::Debug for ShardedStore {
 impl ShardedStore {
     /// Builds a sharded store from `shards` instances produced by
     /// `factory` (called with the shard index, so disk-backed stores
-    /// can give each shard its own directory).
+    /// can give each shard its own directory). The factory is retained:
+    /// [`ShardedStore::split_shard`] calls it with the next index to
+    /// grow the topology mid-run.
     ///
-    /// Fails with [`StoreError::InvalidArgument`] when `shards == 0`,
-    /// or with the first factory error.
-    pub fn from_factory<F>(shards: usize, mut factory: F) -> Result<ShardedStore, StoreError>
+    /// # Invariant
+    /// A sharded store routes over at least one shard — `shards == 0`
+    /// is a construction error ([`StoreError::Config`]), as is a shard
+    /// count that cannot be addressed by the slot table (`> 65536`).
+    /// The first factory error is propagated as-is.
+    pub fn from_factory<F>(shards: usize, factory: F) -> Result<ShardedStore, StoreError>
     where
-        F: FnMut(usize) -> Result<Arc<dyn StateStore>, StoreError>,
+        F: Fn(usize) -> Result<Arc<dyn StateStore>, StoreError> + Send + Sync + 'static,
     {
-        if shards == 0 {
-            return Err(StoreError::InvalidArgument(
-                "shard count must be at least 1".to_string(),
-            ));
-        }
-        let stores = (0..shards).map(&mut factory).collect::<Result<_, _>>()?;
-        ShardedStore::from_stores(stores)
+        Self::check_shard_count(shards)?;
+        let stores = (0..shards).map(&factory).collect::<Result<_, _>>()?;
+        let mut store = ShardedStore::from_stores(stores)?;
+        store.factory = Some(Box::new(factory));
+        Ok(store)
     }
 
-    /// Builds a sharded store over pre-built instances.
+    /// Builds a sharded store over pre-built instances with the
+    /// identity slot table. Without a factory, splits are unavailable
+    /// (migrations between the existing shards still work).
+    ///
+    /// # Invariant
+    /// At least one store is required; an empty vector is a
+    /// construction error ([`StoreError::Config`]).
     pub fn from_stores(stores: Vec<Arc<dyn StateStore>>) -> Result<ShardedStore, StoreError> {
-        if stores.is_empty() {
-            return Err(StoreError::InvalidArgument(
-                "shard count must be at least 1".to_string(),
-            ));
+        Self::check_shard_count(stores.len())?;
+        let router: Arc<dyn Router> = Arc::new(SlotTable::identity(stores.len()));
+        Self::from_stores_with_router(stores, router)
+    }
+
+    /// Builds a sharded store over pre-built instances routed by a
+    /// caller-supplied partition map — the pluggability seam.
+    ///
+    /// # Invariant
+    /// `router.shards()` must equal `stores.len()`; a mismatched map
+    /// is a construction error ([`StoreError::Config`]).
+    pub fn from_stores_with_router(
+        stores: Vec<Arc<dyn StateStore>>,
+        router: Arc<dyn Router>,
+    ) -> Result<ShardedStore, StoreError> {
+        Self::check_shard_count(stores.len())?;
+        if router.shards() != stores.len() {
+            return Err(StoreError::Config(format!(
+                "partition map routes over {} shards but {} stores were supplied",
+                router.shards(),
+                stores.len()
+            )));
         }
         let name = stores[0].name();
         Ok(ShardedStore {
-            shards: stores,
+            shards: RwLock::new(stores),
+            router: RwLock::new(router),
+            migration: RwLock::new(None),
+            serial: Mutex::new(()),
+            events: Mutex::new(Vec::new()),
+            factory: None,
             name,
         })
     }
 
-    /// Number of shards.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
+    fn check_shard_count(shards: usize) -> Result<(), StoreError> {
+        if shards == 0 {
+            return Err(StoreError::Config(
+                "shard count must be at least 1".to_string(),
+            ));
+        }
+        if shards > u16::MAX as usize + 1 {
+            return Err(StoreError::Config(format!(
+                "shard count {shards} exceeds the slot table's addressable maximum (65536)"
+            )));
+        }
+        Ok(())
     }
 
-    /// The shard that owns `key`.
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.read().len()
+    }
+
+    /// The current partition map epoch.
+    pub fn router(&self) -> Arc<dyn Router> {
+        self.router.read().clone()
+    }
+
+    /// Hex digest of the current partition map (see
+    /// [`Router::digest`]); what reports record as topology
+    /// provenance.
+    pub fn partition_digest(&self) -> String {
+        crate::router::digest_hex(self.router().as_ref())
+    }
+
+    /// Completed migrations, oldest first.
+    pub fn reshard_events(&self) -> Vec<ReshardEvent> {
+        self.events.lock().clone()
+    }
+
+    /// The shard that owns `key` under the current map.
     pub fn shard_for_key(&self, key: &[u8]) -> usize {
-        shard_of(key, self.shards.len())
+        self.router.read().route(key)
     }
 
     /// Direct access to one shard (tests and diagnostics).
-    pub fn shard(&self, index: usize) -> &Arc<dyn StateStore> {
-        &self.shards[index]
+    pub fn shard(&self, index: usize) -> Arc<dyn StateStore> {
+        self.shards.read()[index].clone()
     }
 
-    /// Splits `batch` into per-shard sub-batches, preserving both the
-    /// relative op order within each shard and the original positions
-    /// for result re-stitching.
-    fn partition(&self, batch: &[Op]) -> Vec<(usize, Vec<usize>, Vec<Op>)> {
-        let n = self.shards.len();
-        let mut parts: Vec<(Vec<usize>, Vec<Op>)> = vec![(Vec::new(), Vec::new()); n];
-        for (i, op) in batch.iter().enumerate() {
-            let s = shard_of(op.key(), n);
-            parts[s].0.push(i);
-            parts[s].1.push(op.clone());
+    // -----------------------------------------------------------------
+    // Live resharding
+    // -----------------------------------------------------------------
+
+    /// Splits `from`: builds a brand-new shard with the retained
+    /// factory (index = current count, so an LSM gets a fresh
+    /// `shard-<n>/` directory) and live-migrates every second slot
+    /// `from` owns onto it. Requires construction via
+    /// [`ShardedStore::from_factory`].
+    pub fn split_shard(&self, from: usize, at_op: u64) -> Result<ReshardEvent, StoreError> {
+        let factory = self.factory.as_ref().ok_or_else(|| {
+            StoreError::Config(
+                "split_shard needs a shard factory; build with from_factory".to_string(),
+            )
+        })?;
+        let new_index = {
+            let mut shards = self.shards.write();
+            Self::check_shard_count(shards.len() + 1)?;
+            let store = factory(shards.len())?;
+            shards.push(store);
+            shards.len() - 1
+        };
+        // The new shard owns no slots until the flip; if the migration
+        // fails it stays as an idle (harmless) spare.
+        self.migrate_half(from, new_index, at_op)
+    }
+
+    /// Reshards `from` toward `to`: with `to == shard_count()` this is
+    /// a [`split`](ShardedStore::split_shard); with `to` an existing
+    /// shard it live-migrates half of `from`'s slots there.
+    pub fn reshard(&self, from: usize, to: usize, at_op: u64) -> Result<ReshardEvent, StoreError> {
+        let count = self.shard_count();
+        if from >= count {
+            return Err(StoreError::InvalidArgument(format!(
+                "source shard {from} out of range (have {count})"
+            )));
         }
-        parts
-            .into_iter()
-            .enumerate()
-            .filter(|(_, (idx, _))| !idx.is_empty())
-            .map(|(s, (idx, ops))| (s, idx, ops))
-            .collect()
+        if to == count {
+            self.split_shard(from, at_op)
+        } else if to < count {
+            if from == to {
+                return Err(StoreError::InvalidArgument(
+                    "reshard source and target are the same shard".to_string(),
+                ));
+            }
+            self.migrate_half(from, to, at_op)
+        } else {
+            Err(StoreError::InvalidArgument(format!(
+                "target shard {to} out of range (have {count}; use {count} to split)"
+            )))
+        }
     }
 
-    /// Re-stitches per-shard results into positional order.
-    fn stitch(
-        batch_len: usize,
-        parts: Vec<(usize, Vec<usize>, Vec<BatchResult>)>,
-    ) -> Vec<BatchResult> {
+    /// Migrates every second slot `from` owns to `to`.
+    fn migrate_half(&self, from: usize, to: usize, at_op: u64) -> Result<ReshardEvent, StoreError> {
+        let table = SlotTable::from_router(self.router.read().as_ref());
+        let owned = table.slots_of(from);
+        if owned.len() < 2 {
+            return Err(StoreError::InvalidArgument(format!(
+                "shard {from} owns {} slot(s); too few to split",
+                owned.len()
+            )));
+        }
+        let moved: Vec<usize> = owned.into_iter().skip(1).step_by(2).collect();
+        self.migrate_slots(&moved, to, at_op)
+    }
+
+    /// Live-migrates `slots` to shard `to` while traffic flows: opens
+    /// the double-apply window, copies the slots' keys in serialized
+    /// chunks, atomically flips the partition map, and cleans the old
+    /// owner. See the module docs for the full protocol.
+    ///
+    /// One migration runs at a time; a second concurrent call fails
+    /// with [`StoreError::InvalidArgument`]. Source shards must
+    /// support scans (the copier enumerates them); FASTER-class
+    /// hash-indexed shards cannot be migration *sources*.
+    pub fn migrate_slots(
+        &self,
+        slots: &[usize],
+        to: usize,
+        at_op: u64,
+    ) -> Result<ReshardEvent, StoreError> {
+        let started = Instant::now();
+        // Validate with short-lived guards (nothing held across the
+        // window install, per the lock order).
+        {
+            let shards = self.shards.read();
+            if to >= shards.len() {
+                return Err(StoreError::InvalidArgument(format!(
+                    "target shard {to} out of range (have {})",
+                    shards.len()
+                )));
+            }
+        }
+        let mut migrating = vec![false; SLOTS];
+        for &slot in slots {
+            if slot >= SLOTS {
+                return Err(StoreError::InvalidArgument(format!(
+                    "slot {slot} out of range (have {SLOTS})"
+                )));
+            }
+            migrating[slot] = true;
+        }
+        // Open the window. Acquiring the write lock waits out every
+        // in-flight op, so writes issued before the window opened are
+        // visible to the copier's snapshot.
+        {
+            let mut window = self.migration.write();
+            if window.is_some() {
+                return Err(StoreError::InvalidArgument(
+                    "a slot migration is already in progress".to_string(),
+                ));
+            }
+            *window = Some(MigrationState { migrating, to });
+        }
+        // From here on every error path must close the window.
+        let result = self.run_migration(slots, to, at_op, started);
+        if result.is_err() {
+            *self.migration.write() = None;
+        }
+        result
+    }
+
+    /// The copy + flip + cleanup body of [`migrate_slots`]; the window
+    /// is already open when this runs.
+    fn run_migration(
+        &self,
+        slots: &[usize],
+        to: usize,
+        at_op: u64,
+        started: Instant,
+    ) -> Result<ReshardEvent, StoreError> {
+        let _reshard = trace::span(trace::Category::Reshard, slots.len() as u64);
+        let router = self.router();
+        let mut in_win = vec![false; SLOTS];
+        for &slot in slots {
+            in_win[slot] = true;
+        }
+        let in_window = |slot: usize| in_win[slot];
+
+        // Per-source key snapshots: keys only — values are re-read at
+        // copy time under the serial lock, so a write that lands after
+        // the snapshot can never be undone by a stale copy.
+        let mut sources: Vec<(usize, Vec<Bytes>)> = Vec::new();
+        for &slot in slots {
+            let owner = router.shard_of_slot(slot);
+            if owner != to && !sources.iter().any(|(s, _)| *s == owner) {
+                sources.push((owner, Vec::new()));
+            }
+        }
+        if sources.is_empty() {
+            return Err(StoreError::InvalidArgument(
+                "no slots to move: every named slot already belongs to the target".to_string(),
+            ));
+        }
+        for (owner, keys) in &mut sources {
+            let shard = self.shard(*owner);
+            if !shard.supports_scan() {
+                return Err(StoreError::Unsupported(
+                    "slot migration requires scannable source shards",
+                ));
+            }
+            let _scope = trace::shard_scope(*owner as u64);
+            for (key, _) in shard.scan(&[], &SCAN_HI)? {
+                let slot = slot_of_key(&key);
+                if in_window(slot) && router.shard_of_slot(slot) == *owner {
+                    keys.push(key);
+                }
+            }
+        }
+
+        // Transfer window: chunked, serialized copy.
+        let target = self.shard(to);
+        let mut keys_copied = 0u64;
+        for (owner, keys) in &sources {
+            let source = self.shard(*owner);
+            for chunk in keys.chunks(COPY_CHUNK) {
+                let _serial = self.serial.lock();
+                let _span = trace::span(trace::Category::SlotMigration, chunk.len() as u64);
+                let _scope = trace::shard_scope(to as u64);
+                for key in chunk {
+                    // Re-read under the lock: a double-applied delete
+                    // since the snapshot means there is nothing to copy.
+                    if let Some(value) = source.get(key)? {
+                        target.put(key, &value)?;
+                        keys_copied += 1;
+                    }
+                }
+            }
+        }
+
+        // Atomic flip: successor map in, window closed. The elapsed
+        // time of this block is the migration's pause — the only
+        // moment the whole store briefly holds out every operation.
+        let pause_started;
+        let map_version;
+        {
+            let _serial = self.serial.lock();
+            pause_started = Instant::now();
+            let next = SlotTable::from_router(self.router.read().as_ref()).reassign(slots, to);
+            map_version = next.version();
+            *self.router.write() = Arc::new(next);
+            *self.migration.write() = None;
+        }
+        let pause_us = pause_started.elapsed().as_micros() as u64;
+
+        // Cleanup: the moved keys (snapshot + anything double-applied
+        // during the window) are stale on their old owners now.
+        for (owner, _) in &sources {
+            let source = self.shard(*owner);
+            let _scope = trace::shard_scope(*owner as u64);
+            for (key, _) in source.scan(&[], &SCAN_HI)? {
+                if in_window(slot_of_key(&key)) {
+                    source.delete(&key)?;
+                }
+            }
+        }
+
+        let event = ReshardEvent {
+            at_op,
+            from: sources[0].0,
+            to,
+            slots: slots.len(),
+            keys: keys_copied,
+            pause_us,
+            copy_us: started.elapsed().as_micros() as u64,
+            map_version,
+        };
+        self.events.lock().push(event.clone());
+        Ok(event)
+    }
+
+    // -----------------------------------------------------------------
+    // Routing plumbing
+    // -----------------------------------------------------------------
+
+    /// Applies one write through the router, double-applying to the
+    /// migration target when `key`'s slot is inside an open transfer
+    /// window.
+    fn write_routed(
+        &self,
+        key: &[u8],
+        apply: impl Fn(&dyn StateStore) -> Result<(), StoreError>,
+    ) -> Result<(), StoreError> {
+        let slot = slot_of_key(key);
+        {
+            // Fast path: pin the window state for the whole apply, so a
+            // migration cannot open (and its copier start) between the
+            // check and the write landing.
+            let window = self.migration.read();
+            match window.as_ref() {
+                Some(m) if m.migrating[slot] => {} // slow path below
+                _ => {
+                    let s = self.router.read().shard_of_slot(slot);
+                    let shards = self.shards.read();
+                    let _scope = trace::shard_scope(s as u64);
+                    return apply(shards[s].as_ref());
+                }
+            }
+        }
+        // Double-apply path. The serial lock is acquired with no other
+        // lock held (lock order), then the window is re-checked: the
+        // flip may have closed it while we waited.
+        let _serial = self.serial.lock();
+        let window = self.migration.read();
+        let s = self.router.read().shard_of_slot(slot);
+        let shards = self.shards.read();
+        let _scope = trace::shard_scope(s as u64);
+        apply(shards[s].as_ref())?;
+        if let Some(m) = window.as_ref() {
+            if m.migrating[slot] && m.to != s {
+                apply(shards[m.to].as_ref())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one op of a batch's migrating-slot group: routed like
+    /// [`write_routed`], returning the positional result.
+    fn apply_one_routed(&self, op: &Op) -> Result<BatchResult, StoreError> {
+        match op {
+            Op::Get { key } => Ok(BatchResult::Value(self.get(key)?)),
+            Op::Put { key, value } => {
+                self.put(key, value)?;
+                Ok(BatchResult::Applied)
+            }
+            Op::Merge { key, operand } => {
+                self.merge(key, operand)?;
+                Ok(BatchResult::Applied)
+            }
+            Op::Delete { key } => {
+                self.delete(key)?;
+                Ok(BatchResult::Applied)
+            }
+        }
+    }
+
+    /// Re-stitches per-group results into positional order.
+    fn stitch(batch_len: usize, parts: Vec<(Vec<usize>, Vec<BatchResult>)>) -> Vec<BatchResult> {
         let mut out: Vec<Option<BatchResult>> = vec![None; batch_len];
-        for (_, indices, results) in parts {
+        for (indices, results) in parts {
             for (i, r) in indices.into_iter().zip(results) {
                 out[i] = Some(r);
             }
         }
         out.into_iter()
-            .map(|r| r.expect("every op belongs to exactly one shard"))
+            .map(|r| r.expect("every op belongs to exactly one group"))
             .collect()
     }
 }
@@ -160,52 +579,62 @@ impl StateStore for ShardedStore {
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StoreError> {
-        let s = self.shard_for_key(key);
+        // Reads go to the current owner alone: it is authoritative
+        // until the flip, and the flip (plus the cleanup behind it)
+        // waits out this pin of the window state.
+        let _window = self.migration.read();
+        let s = self.router.read().route(key);
+        let shards = self.shards.read();
         let _scope = trace::shard_scope(s as u64);
-        self.shards[s].get(key)
+        shards[s].get(key)
     }
 
     fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
-        let s = self.shard_for_key(key);
-        let _scope = trace::shard_scope(s as u64);
-        self.shards[s].put(key, value)
+        self.write_routed(key, |shard| shard.put(key, value))
     }
 
     fn merge(&self, key: &[u8], operand: &[u8]) -> Result<(), StoreError> {
-        let s = self.shard_for_key(key);
-        let _scope = trace::shard_scope(s as u64);
-        self.shards[s].merge(key, operand)
+        self.write_routed(key, |shard| shard.merge(key, operand))
     }
 
     fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
-        let s = self.shard_for_key(key);
-        let _scope = trace::shard_scope(s as u64);
-        self.shards[s].delete(key)
+        self.write_routed(key, |shard| shard.delete(key))
     }
 
     fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>, StoreError> {
         // Hash routing scatters a key range over every shard: scan them
-        // all and merge. Each shard returns sorted output, so a global
-        // sort of the concatenation restores ascending key order.
+        // all and merge. Each entry is kept only if the current map
+        // routes its key to the shard it came from — this drops
+        // in-window duplicates on a migration target and pre-cleanup
+        // leftovers on a source. A global sort of the concatenation
+        // restores ascending key order.
+        let _window = self.migration.read();
+        let router = self.router.read().clone();
+        let shards = self.shards.read();
         let mut out = Vec::new();
-        for (s, shard) in self.shards.iter().enumerate() {
+        for (s, shard) in shards.iter().enumerate() {
             let _scope = trace::shard_scope(s as u64);
-            out.extend(shard.scan(lo, hi)?);
+            for (key, value) in shard.scan(lo, hi)? {
+                if router.route(&key) == s {
+                    out.push((key, value));
+                }
+            }
         }
         out.sort_by(|a, b| a.0.as_ref().cmp(b.0.as_ref()));
         Ok(out)
     }
 
     fn supports_scan(&self) -> bool {
-        self.shards[0].supports_scan()
+        self.shards.read()[0].supports_scan()
     }
 
     fn supports_merge(&self) -> bool {
-        self.shards[0].supports_merge()
+        self.shards.read()[0].supports_merge()
     }
 
     fn flush(&self) -> Result<(), StoreError> {
-        for (s, shard) in self.shards.iter().enumerate() {
+        let shards = self.shards.read();
+        for (s, shard) in shards.iter().enumerate() {
             let _scope = trace::shard_scope(s as u64);
             shard.flush()?;
         }
@@ -215,7 +644,7 @@ impl StateStore for ShardedStore {
     /// Counters summed by name across shards.
     fn internal_counters(&self) -> Vec<(String, u64)> {
         let mut out: Vec<(String, u64)> = Vec::new();
-        for shard in &self.shards {
+        for shard in self.shards.read().iter() {
             for (name, value) in shard.internal_counters() {
                 match out.iter_mut().find(|(n, _)| *n == name) {
                     Some((_, v)) => *v += value,
@@ -231,35 +660,40 @@ impl StateStore for ShardedStore {
     /// occupancies, where the whole-store reading is the total — unlike
     /// `MetricsSnapshot::merge`, which treats `other` as a newer
     /// reading of the same component). A `shards` gauge records the
-    /// shard count.
+    /// shard count and `partition_map_version` the router epoch.
     fn metrics(&self) -> Option<MetricsSnapshot> {
         let mut agg = MetricsSnapshot::new();
         let mut any = false;
-        for shard in &self.shards {
-            let Some(snap) = shard.metrics() else {
-                continue;
-            };
-            any = true;
-            for (name, value) in &snap.counters {
-                agg.push_counter(name, *value);
-            }
-            for (name, value) in &snap.gauges {
-                match agg.gauges.iter_mut().find(|(n, _)| n == name) {
-                    Some((_, v)) => *v += *value,
-                    None => agg.gauges.push((name.clone(), *value)),
+        let (shard_count, map_version) = {
+            let shards = self.shards.read();
+            for shard in shards.iter() {
+                let Some(snap) = shard.metrics() else {
+                    continue;
+                };
+                any = true;
+                for (name, value) in &snap.counters {
+                    agg.push_counter(name, *value);
+                }
+                for (name, value) in &snap.gauges {
+                    match agg.gauges.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, v)) => *v += *value,
+                        None => agg.gauges.push((name.clone(), *value)),
+                    }
+                }
+                for (name, hist) in &snap.histograms {
+                    match agg.histograms.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, h)) => h.merge(hist),
+                        None => agg.histograms.push((name.clone(), hist.clone())),
+                    }
                 }
             }
-            for (name, hist) in &snap.histograms {
-                match agg.histograms.iter_mut().find(|(n, _)| n == name) {
-                    Some((_, h)) => h.merge(hist),
-                    None => agg.histograms.push((name.clone(), hist.clone())),
-                }
-            }
-        }
+            (shards.len(), self.router.read().version())
+        };
         if !any {
             return None;
         }
-        agg.push_gauge("shards", self.shards.len() as i64);
+        agg.push_gauge("shards", shard_count as i64);
+        agg.push_gauge("partition_map_version", map_version as i64);
         agg.gauges.sort_by(|a, b| a.0.cmp(&b.0));
         agg.histograms.sort_by(|a, b| a.0.cmp(&b.0));
         Some(agg)
@@ -270,7 +704,12 @@ impl StateStore for ShardedStore {
     ///
     /// Each shard receives its ops in original relative order, so
     /// per-key semantics match the unsharded store exactly (a key never
-    /// crosses shards). Group-commit savings multiply: N shards fsync
+    /// crosses shards mid-batch: partitioning decisions use one pinned
+    /// map epoch and window snapshot). Ops whose slots sit inside an
+    /// open transfer window are set aside and applied through the
+    /// serialized double-apply path after the fan-out; a key is either
+    /// wholly in the fan-out or wholly in that group, so per-key order
+    /// still holds. Group-commit savings multiply: N shards fsync
     /// their WALs concurrently instead of serializing on one.
     ///
     /// On error the first failing shard's error is returned; sub-batches
@@ -280,58 +719,94 @@ impl StateStore for ShardedStore {
         if batch.is_empty() {
             return Ok(Vec::new());
         }
-        let mut parts = self.partition(batch);
-        if parts.len() == 1 {
-            let (s, indices, ops) = parts.pop().expect("one part");
-            let _scope = trace::shard_scope(s as u64);
-            let results = self.shards[s].apply_batch(&ops)?;
-            return Ok(Self::stitch(batch.len(), vec![(s, indices, results)]));
-        }
-        if batch.len() < PARALLEL_BATCH_MIN {
-            // Tiny batch over several shards: thread spawns would cost
-            // more than the work. Apply sequentially, still batched per
-            // shard.
-            let mut done = Vec::with_capacity(parts.len());
-            for (s, indices, ops) in parts {
-                let _scope = trace::shard_scope(s as u64);
-                let results = self.shards[s].apply_batch(&ops)?;
-                done.push((s, indices, results));
-            }
-            return Ok(Self::stitch(batch.len(), done));
-        }
-        let applied = std::thread::scope(|scope| {
-            let handles: Vec<_> = parts
-                .iter()
-                .map(|(s, _, ops)| {
-                    let shard = &self.shards[*s];
-                    let s = *s;
-                    scope.spawn(move || {
-                        let _scope = trace::shard_scope(s as u64);
-                        shard.apply_batch(ops)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard apply thread panicked"))
-                .collect::<Vec<_>>()
-        });
-        let mut done = Vec::with_capacity(parts.len());
-        let mut first_err = None;
-        for ((s, indices, _), result) in parts.into_iter().zip(applied) {
-            match result {
-                Ok(results) => done.push((s, indices, results)),
-                Err(e) => {
-                    if first_err.is_none() {
-                        first_err = Some(e);
+        // Partition under one pinned window + epoch, and apply the
+        // fan-out before the guards drop, so a migration opening
+        // mid-batch cannot start copying underneath these writes. Ops
+        // whose slots sit inside an open window go to a separate group
+        // applied *after* the guards drop — the double-apply path
+        // re-pins per op, and serial is never acquired under migration
+        // (the lock order).
+        let mut dual: (Vec<usize>, Vec<Op>) = (Vec::new(), Vec::new());
+        let mut done: Vec<(Vec<usize>, Vec<BatchResult>)> = Vec::new();
+        {
+            let window = self.migration.read();
+            let router = self.router.read().clone();
+            let shards = self.shards.read();
+            let mut by_shard: Vec<(Vec<usize>, Vec<Op>)> =
+                vec![(Vec::new(), Vec::new()); shards.len()];
+            for (i, op) in batch.iter().enumerate() {
+                let slot = slot_of_key(op.key());
+                if let Some(m) = window.as_ref() {
+                    if m.migrating[slot] {
+                        dual.0.push(i);
+                        dual.1.push(op.clone());
+                        continue;
                     }
+                }
+                let s = router.shard_of_slot(slot);
+                by_shard[s].0.push(i);
+                by_shard[s].1.push(op.clone());
+            }
+            let parts: Vec<(usize, Vec<usize>, Vec<Op>)> = by_shard
+                .into_iter()
+                .enumerate()
+                .filter(|(_, part)| !part.0.is_empty())
+                .map(|(s, (indices, ops))| (s, indices, ops))
+                .collect();
+
+            if parts.len() <= 1 || batch.len() < PARALLEL_BATCH_MIN {
+                // One shard, or a batch too small to pay for thread
+                // spawns: apply sequentially, still batched per shard.
+                for (s, indices, ops) in parts {
+                    let _scope = trace::shard_scope(s as u64);
+                    let results = shards[s].apply_batch(&ops)?;
+                    done.push((indices, results));
+                }
+            } else {
+                let applied = std::thread::scope(|scope| {
+                    let handles: Vec<_> = parts
+                        .iter()
+                        .map(|(s, _, ops)| {
+                            let shard = shards[*s].clone();
+                            let s = *s;
+                            scope.spawn(move || {
+                                let _scope = trace::shard_scope(s as u64);
+                                shard.apply_batch(ops)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard apply thread panicked"))
+                        .collect::<Vec<_>>()
+                });
+                let mut first_err = None;
+                for ((_, indices, _), result) in parts.into_iter().zip(applied) {
+                    match result {
+                        Ok(results) => done.push((indices, results)),
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
                 }
             }
         }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(Self::stitch(batch.len(), done)),
+        // Migrating-slot group: serialized, in original relative order.
+        // A key is either wholly here or wholly in the fan-out (the
+        // partition used one window snapshot), so per-key order holds.
+        if !dual.0.is_empty() {
+            let mut results = Vec::with_capacity(dual.1.len());
+            for op in &dual.1 {
+                results.push(self.apply_one_routed(op)?);
+            }
+            done.push((dual.0, results));
         }
+        Ok(Self::stitch(batch.len(), done))
     }
 }
 
@@ -346,12 +821,23 @@ mod tests {
     }
 
     #[test]
-    fn zero_shards_is_rejected() {
+    fn zero_shards_is_a_config_error() {
         let err =
             ShardedStore::from_factory(0, |_| Ok(Arc::new(MemStore::new()) as Arc<dyn StateStore>))
                 .unwrap_err();
-        assert!(matches!(err, StoreError::InvalidArgument(_)));
-        assert!(ShardedStore::from_stores(Vec::new()).is_err());
+        assert!(matches!(err, StoreError::Config(_)), "got {err:?}");
+        let err = ShardedStore::from_stores(Vec::new()).unwrap_err();
+        assert!(matches!(err, StoreError::Config(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn mismatched_router_is_a_config_error() {
+        let stores: Vec<Arc<dyn StateStore>> = (0..3)
+            .map(|_| Arc::new(MemStore::new()) as Arc<dyn StateStore>)
+            .collect();
+        let router: Arc<dyn Router> = Arc::new(SlotTable::identity(4));
+        let err = ShardedStore::from_stores_with_router(stores, router).unwrap_err();
+        assert!(matches!(err, StoreError::Config(_)), "got {err:?}");
     }
 
     #[test]
@@ -362,6 +848,8 @@ mod tests {
             let owner = s.shard_for_key(&key);
             assert!(owner < 4);
             assert_eq!(owner, s.shard_for_key(&key), "stable routing");
+            // 4 divides SLOTS, so the identity table *is* the legacy
+            // modulo router.
             assert_eq!(owner, shard_of(&key, 4));
         }
         // Every shard owns some keys (FNV spreads 200 keys well).
@@ -465,6 +953,7 @@ mod tests {
         // Gauges sum across shards: 40 distinct keys in total.
         assert_eq!(snap.gauge("live_keys"), Some(40));
         assert_eq!(snap.gauge("shards"), Some(4));
+        assert_eq!(snap.gauge("partition_map_version"), Some(1));
     }
 
     #[test]
@@ -562,5 +1051,190 @@ mod tests {
                 "shard {idx} saw contexts {seen:?}"
             );
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Live-resharding tests
+    // -----------------------------------------------------------------
+
+    /// Fills a store with `n` keys whose values encode the key.
+    fn fill(s: &ShardedStore, n: u64) {
+        for i in 0..n {
+            s.put(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+        }
+    }
+
+    /// Asserts all `n` keys read back correctly through the router.
+    fn check(s: &ShardedStore, n: u64) {
+        for i in 0..n {
+            assert_eq!(
+                s.get(&i.to_be_bytes()).unwrap().as_deref(),
+                Some(&i.to_le_bytes()[..]),
+                "key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn migrate_slots_moves_keys_and_flips_the_map() {
+        let s = sharded_mem(4);
+        fill(&s, 500);
+        let before = s.partition_digest();
+        let moved = SlotTable::identity(4).slots_of(0);
+        let event = s.migrate_slots(&moved, 2, 123).unwrap();
+        assert_eq!(event.from, 0);
+        assert_eq!(event.to, 2);
+        assert_eq!(event.at_op, 123);
+        assert_eq!(event.slots, moved.len());
+        assert!(event.keys > 0, "shard 0 owned keys to move");
+        assert_eq!(event.map_version, 2);
+        assert_ne!(s.partition_digest(), before);
+        // Every key still reads back; shard 0 is empty now.
+        check(&s, 500);
+        assert!(
+            s.shard(0).scan(&[], &SCAN_HI).unwrap().is_empty(),
+            "old owner cleaned"
+        );
+        // Scans see each key exactly once.
+        let all = s.scan(&[], &SCAN_HI).unwrap();
+        assert_eq!(all.len(), 500);
+        // The event is recorded.
+        assert_eq!(s.reshard_events(), vec![event]);
+    }
+
+    #[test]
+    fn split_shard_grows_topology_via_the_factory() {
+        let s = sharded_mem(4);
+        fill(&s, 400);
+        let event = s.split_shard(1, 0).unwrap();
+        assert_eq!(s.shard_count(), 5);
+        assert_eq!(event.to, 4);
+        assert_eq!(event.from, 1);
+        assert!(event.keys > 0);
+        check(&s, 400);
+        // The new shard actually owns keys now.
+        assert!(!s.shard(4).scan(&[], &SCAN_HI).unwrap().is_empty());
+        // Router routes some keys to the new shard.
+        let router = s.router();
+        assert_eq!(router.shards(), 5);
+        assert_eq!(router.version(), 2);
+    }
+
+    #[test]
+    fn split_without_factory_is_a_config_error() {
+        let stores: Vec<Arc<dyn StateStore>> = (0..2)
+            .map(|_| Arc::new(MemStore::new()) as Arc<dyn StateStore>)
+            .collect();
+        let s = ShardedStore::from_stores(stores).unwrap();
+        let err = s.split_shard(0, 0).unwrap_err();
+        assert!(matches!(err, StoreError::Config(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn reshard_validates_shard_indices() {
+        let s = sharded_mem(2);
+        assert!(matches!(
+            s.reshard(9, 0, 0).unwrap_err(),
+            StoreError::InvalidArgument(_)
+        ));
+        assert!(matches!(
+            s.reshard(0, 0, 0).unwrap_err(),
+            StoreError::InvalidArgument(_)
+        ));
+        assert!(matches!(
+            s.reshard(0, 7, 0).unwrap_err(),
+            StoreError::InvalidArgument(_)
+        ));
+    }
+
+    #[test]
+    fn migration_under_concurrent_writes_loses_nothing() {
+        // Hammer the store from writer threads while a migration moves
+        // shard 0's slots; every op must succeed and every key must
+        // read back with its final value.
+        let s = Arc::new(sharded_mem(4));
+        fill(&s, 1_000);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..3)
+            .map(|w| {
+                let s = s.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut rounds = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        for i in (w * 333)..(w * 333 + 333) {
+                            let i = i as u64;
+                            s.put(&i.to_be_bytes(), &(i + rounds).to_le_bytes())
+                                .unwrap();
+                        }
+                        rounds += 1;
+                    }
+                    rounds
+                })
+            })
+            .collect();
+        // Run two migrations back to back under load.
+        let moved = SlotTable::identity(4).slots_of(0);
+        let e1 = s.migrate_slots(&moved, 1, 0).unwrap();
+        let e2 = s.split_shard(2, 0).unwrap();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let rounds: Vec<u64> = writers.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(e1.keys > 0 && e2.keys > 0);
+        assert_eq!(s.shard_count(), 5);
+        // Final state: every key holds the value its writer last wrote.
+        for (w, &r) in rounds.iter().enumerate() {
+            for i in (w * 333)..(w * 333 + 333) {
+                let i = i as u64;
+                let got = s.get(&i.to_be_bytes()).unwrap().expect("key lost");
+                let got = u64::from_le_bytes(got.as_ref().try_into().unwrap());
+                // The last full round wrote i + (rounds - 1); a partial
+                // final round may have written i + rounds.
+                assert!(
+                    got == i + r || got == i.wrapping_add(r.saturating_sub(1)),
+                    "key {i}: got {got}, rounds {r}"
+                );
+            }
+        }
+        // Keys 999..1000 untouched by writers still read back.
+        assert_eq!(
+            s.get(&999u64.to_be_bytes()).unwrap().as_deref(),
+            Some(&999u64.to_le_bytes()[..])
+        );
+        // No duplicate keys in a full scan.
+        let all = s.scan(&[], &SCAN_HI).unwrap();
+        assert_eq!(all.len(), 1_000);
+        assert_eq!(s.reshard_events().len(), 2);
+    }
+
+    #[test]
+    fn migration_emits_reshard_and_slot_migration_spans() {
+        let session = trace::start_session();
+        let s = sharded_mem(2);
+        fill(&s, 200);
+        let moved = SlotTable::identity(2).slots_of(0);
+        s.migrate_slots(&moved, 1, 0).unwrap();
+        let log = session.finish();
+        assert!(
+            log.spans_of(trace::Category::Reshard).count() >= 1,
+            "whole-migration span missing"
+        );
+        assert!(
+            log.spans_of(trace::Category::SlotMigration).count() >= 1,
+            "copy-chunk spans missing"
+        );
+    }
+
+    #[test]
+    fn concurrent_migrations_are_rejected() {
+        // The second migration must fail while the first's window is
+        // open. Simulate by opening the window directly.
+        let s = sharded_mem(2);
+        *s.migration.write() = Some(MigrationState {
+            migrating: vec![false; SLOTS],
+            to: 1,
+        });
+        let err = s.migrate_slots(&[0], 1, 0).unwrap_err();
+        assert!(matches!(err, StoreError::InvalidArgument(_)), "got {err:?}");
+        *s.migration.write() = None;
     }
 }

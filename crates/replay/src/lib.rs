@@ -22,10 +22,14 @@
 //! * [`run_sweep`] — the service-rate observatory: walks offered load
 //!   up a geometric ladder (plus bisection refinement) and finds the
 //!   knee — the highest offered rate the store sustains.
+//! * [`reshard`] — mid-replay live topology changes: a store wrapper
+//!   that fires a planned shard split/migration at an op-count
+//!   threshold while the replay keeps issuing traffic.
 
 pub mod histogram;
 pub mod openloop;
 pub mod replayer;
+pub mod reshard;
 pub mod sweep;
 
 pub use histogram::LatencyHistogram;
@@ -34,4 +38,5 @@ pub use replayer::{
     run_concurrent, run_online, run_online_observed, run_online_observed_with, run_online_with,
     ConcurrentRunError, Measured, ReplayOptions, RunReport, TraceReplayer, DEFAULT_ARRIVAL_SEED,
 };
+pub use reshard::{ReshardPlan, ReshardingStore};
 pub use sweep::{run_sweep, RateStep, SweepOptions, SweepOutcome};

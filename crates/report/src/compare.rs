@@ -46,6 +46,14 @@ pub struct Tolerance {
     /// A sweep's knee (max sustainable offered rate) may shift down
     /// this many percent before the curve comparison is REGRESSED.
     pub knee_pct: f64,
+    /// Whether a partition-map digest mismatch is tolerated. A store's
+    /// latency profile depends on its slot→shard assignment, so two
+    /// reports over different partition maps are not comparing the same
+    /// system; by default a known-vs-known digest mismatch REGRESSES
+    /// the comparison. Set (the CLI's `--allow-topology-change`) to
+    /// downgrade the mismatch to WARN — e.g. when gating a run that
+    /// deliberately resharded mid-flight against a static baseline.
+    pub allow_topology_change: bool,
 }
 
 impl Tolerance {
@@ -60,6 +68,7 @@ impl Tolerance {
             latency_rel: pct / 100.0,
             alpha: 0.01,
             knee_pct: pct,
+            allow_topology_change: false,
         }
     }
 }
@@ -334,6 +343,48 @@ pub(crate) fn compare_rate(
     }
 }
 
+/// Gates two reports' partition-map digests. Digests that differ while
+/// both are *known* mean the two sides routed keys across different
+/// slot→shard assignments: REGRESSED by default, WARN under
+/// [`Tolerance::allow_topology_change`]. An `"unknown"` digest on
+/// either side (reports predating partition maps, or unsharded runs)
+/// contributes nothing — old baselines must keep gating.
+pub(crate) fn compare_topology(
+    baseline: &crate::schema::RunMeta,
+    candidate: &crate::schema::RunMeta,
+    tol: &Tolerance,
+) -> Option<MetricComparison> {
+    let (b, c) = (&baseline.partition_digest, &candidate.partition_digest);
+    if b == c || b == "unknown" || c == "unknown" {
+        return None;
+    }
+    let (status, note) = if tol.allow_topology_change {
+        (
+            Status::Warn,
+            format!("partition map changed ({b} -> {c}); allowed by override"),
+        )
+    } else {
+        (
+            Status::Regressed,
+            format!(
+                "baseline partition map {b}, candidate {c} \
+                 (pass --allow-topology-change to compare anyway)"
+            ),
+        )
+    };
+    Some(MetricComparison {
+        metric: "topology".to_string(),
+        baseline: baseline.reshard_events.len() as f64,
+        candidate: candidate.reshard_events.len() as f64,
+        delta_pct: 0.0,
+        ks_d: None,
+        ks_p: None,
+        wasserstein: None,
+        status,
+        note,
+    })
+}
+
 /// Compares a directionless counter: drift beyond tolerance is WARN,
 /// never REGRESSED (more compactions may be better or worse — a human
 /// decides).
@@ -406,6 +457,9 @@ pub fn compare_reports(
                 candidate.meta.arrival
             ),
         });
+    }
+    if let Some(topology) = compare_topology(&baseline.meta, &candidate.meta, tol) {
+        metrics.push(topology);
     }
     metrics.push(compare_rate(
         "throughput",
@@ -636,6 +690,44 @@ mod tests {
             "{}",
             cmp.metrics[0].note
         );
+    }
+
+    #[test]
+    fn mismatched_partition_digest_regresses_unless_allowed() {
+        let mut base = report_with_latency(0, 10_000.0);
+        let mut cand = report_with_latency(0, 10_000.0);
+        base.meta.partition_digest = "aaaaaaaaaaaaaaaa".to_string();
+        cand.meta.partition_digest = "bbbbbbbbbbbbbbbb".to_string();
+        let cmp = compare_reports(&base, &cand, "a", "b", &Tolerance::default());
+        assert!(cmp.regressed(), "{}", cmp.to_table());
+        let topo = cmp.metrics.iter().find(|m| m.metric == "topology").unwrap();
+        assert_eq!(topo.status, Status::Regressed);
+        assert!(
+            topo.note.contains("--allow-topology-change"),
+            "{}",
+            topo.note
+        );
+
+        let tol = Tolerance {
+            allow_topology_change: true,
+            ..Tolerance::default()
+        };
+        let cmp = compare_reports(&base, &cand, "a", "b", &tol);
+        assert!(!cmp.regressed(), "{}", cmp.to_table());
+        let topo = cmp.metrics.iter().find(|m| m.metric == "topology").unwrap();
+        assert_eq!(topo.status, Status::Warn);
+    }
+
+    #[test]
+    fn unknown_partition_digest_never_gates() {
+        // Old baselines carry no digest; a resharded candidate must
+        // still be comparable against them without the override.
+        let base = report_with_latency(0, 10_000.0);
+        let mut cand = report_with_latency(0, 10_000.0);
+        cand.meta.partition_digest = "bbbbbbbbbbbbbbbb".to_string();
+        let cmp = compare_reports(&base, &cand, "a", "b", &Tolerance::default());
+        assert!(!cmp.regressed(), "{}", cmp.to_table());
+        assert!(!cmp.metrics.iter().any(|m| m.metric == "topology"));
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub fn capture_in(dir: &Path, config: &str) -> RunMeta {
         transport: "embedded".to_string(),
         arrival: "closed".to_string(),
         offered_rate: 0.0,
+        partition_digest: "unknown".to_string(),
+        reshard_events: Vec::new(),
         created_unix_ms: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_millis() as u64)

@@ -18,6 +18,34 @@ use gadget_obs::{LogHistogram, MetricsSnapshot};
 /// readers reject other versions rather than guessing.
 pub const SCHEMA_VERSION: u32 = 1;
 
+/// One completed live reshard (shard split or slot migration) that
+/// happened during the measured run — the provenance a report needs for
+/// its latency profile to be interpretable: a p99 blip at `at_op` with
+/// a matching record here is elasticity cost, not store regression.
+///
+/// Mirrors `gadget_kv::ReshardEvent` field-for-field; the report crate
+/// keeps its own copy so the schema layer stays free of store
+/// dependencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReshardRecord {
+    /// Op index the reshard was requested at.
+    pub at_op: u64,
+    /// Source shard.
+    pub from: u64,
+    /// Target shard.
+    pub to: u64,
+    /// Slots moved.
+    pub slots: u64,
+    /// Keys copied.
+    pub keys: u64,
+    /// Write-pause duration of the atomic map flip, microseconds.
+    pub pause_us: u64,
+    /// Total copy-phase duration, microseconds.
+    pub copy_us: u64,
+    /// Partition-map version after the flip.
+    pub map_version: u64,
+}
+
 /// Provenance of one measured execution.
 ///
 /// Every field degrades to `"unknown"` / `0` rather than failing:
@@ -57,6 +85,17 @@ pub struct RunMeta {
     /// Offered load in ops/s when the run was paced; `0` for
     /// full-speed runs (and for reports predating the field).
     pub offered_rate: f64,
+    /// Hex digest of the partition map the store ended the run with
+    /// (`gadget_kv::Router::digest`), or `"unknown"` when the producer
+    /// had no sharded store to ask (and for reports predating the
+    /// field). Part of a report's identity once known: comparing runs
+    /// across different slot→shard assignments conflates placement with
+    /// store performance, so `compare` refuses mismatched digests
+    /// unless explicitly overridden.
+    pub partition_digest: String,
+    /// Live reshards completed during the run, oldest first; empty for
+    /// static-topology runs (and for reports predating the field).
+    pub reshard_events: Vec<ReshardRecord>,
     /// Wall-clock creation time, milliseconds since the Unix epoch
     /// (0 if the clock is unavailable).
     pub created_unix_ms: u64,
@@ -75,6 +114,8 @@ impl Default for RunMeta {
             transport: "embedded".to_string(),
             arrival: "closed".to_string(),
             offered_rate: 0.0,
+            partition_digest: "unknown".to_string(),
+            reshard_events: Vec::new(),
             created_unix_ms: 0,
         }
     }
@@ -195,8 +236,59 @@ const META_FIELDS: &[&str] = &[
     "transport",
     "arrival",
     "offered_rate",
+    "partition_digest",
+    "reshard_events",
     "created_unix_ms",
 ];
+
+const RESHARD_FIELDS: &[&str] = &[
+    "at_op",
+    "from",
+    "to",
+    "slots",
+    "keys",
+    "pause_us",
+    "copy_us",
+    "map_version",
+];
+
+impl Serialize for ReshardRecord {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("at_op".to_string(), self.at_op.to_value()),
+            ("from".to_string(), self.from.to_value()),
+            ("to".to_string(), self.to.to_value()),
+            ("slots".to_string(), self.slots.to_value()),
+            ("keys".to_string(), self.keys.to_value()),
+            ("pause_us".to_string(), self.pause_us.to_value()),
+            ("copy_us".to_string(), self.copy_us.to_value()),
+            ("map_version".to_string(), self.map_version.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ReshardRecord {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        const CTX: &str = "ReshardRecord";
+        let members = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value, CTX))?;
+        reject_unknown(members, RESHARD_FIELDS, CTX)?;
+        let field = |name: &str| -> Result<&Value, Error> {
+            serde::find_field(members, name).ok_or_else(|| Error::missing_field(name, CTX))
+        };
+        Ok(ReshardRecord {
+            at_op: u64::from_value(field("at_op")?)?,
+            from: u64::from_value(field("from")?)?,
+            to: u64::from_value(field("to")?)?,
+            slots: u64::from_value(field("slots")?)?,
+            keys: u64::from_value(field("keys")?)?,
+            pause_us: u64::from_value(field("pause_us")?)?,
+            copy_us: u64::from_value(field("copy_us")?)?,
+            map_version: u64::from_value(field("map_version")?)?,
+        })
+    }
+}
 
 impl Serialize for RunMeta {
     fn to_value(&self) -> Value {
@@ -211,6 +303,14 @@ impl Serialize for RunMeta {
             ("transport".to_string(), self.transport.to_value()),
             ("arrival".to_string(), self.arrival.to_value()),
             ("offered_rate".to_string(), self.offered_rate.to_value()),
+            (
+                "partition_digest".to_string(),
+                self.partition_digest.to_value(),
+            ),
+            (
+                "reshard_events".to_string(),
+                Value::Array(self.reshard_events.iter().map(|e| e.to_value()).collect()),
+            ),
             (
                 "created_unix_ms".to_string(),
                 self.created_unix_ms.to_value(),
@@ -253,6 +353,25 @@ impl Deserialize for RunMeta {
             offered_rate: match serde::find_field(members, "offered_rate") {
                 Some(v) => f64::from_value(v)?,
                 None => 0.0,
+            },
+            // Absent in reports predating live topology changes: their
+            // partition map was never recorded, and nothing resharded.
+            partition_digest: match serde::find_field(members, "partition_digest") {
+                Some(v) => String::from_value(v)?,
+                None => "unknown".to_string(),
+            },
+            reshard_events: match serde::find_field(members, "reshard_events") {
+                Some(Value::Array(items)) => {
+                    let mut events = Vec::with_capacity(items.len());
+                    for v in items {
+                        events.push(ReshardRecord::from_value(v)?);
+                    }
+                    events
+                }
+                Some(other) => {
+                    return Err(Error::expected("array", other, "RunMeta.reshard_events"))
+                }
+                None => Vec::new(),
             },
             created_unix_ms: u64::from_value(field("created_unix_ms")?)?,
         })
@@ -409,6 +528,17 @@ mod tests {
                 transport: "embedded".to_string(),
                 arrival: "poisson".to_string(),
                 offered_rate: 5_000.0,
+                partition_digest: "00000000deadbeef".to_string(),
+                reshard_events: vec![ReshardRecord {
+                    at_op: 250,
+                    from: 0,
+                    to: 4,
+                    slots: 315,
+                    keys: 120,
+                    pause_us: 85,
+                    copy_us: 1_900,
+                    map_version: 2,
+                }],
                 created_unix_ms: 1_700_000_000_000,
             },
             operations: 500,
@@ -494,6 +624,37 @@ mod tests {
         assert_eq!(back.meta.arrival, "closed");
         assert_eq!(back.meta.offered_rate, 0.0);
         assert_eq!(back.lag.count(), 0);
+    }
+
+    #[test]
+    fn missing_partition_fields_default_to_static_topology() {
+        // Reports written before live topology changes existed carry
+        // neither a partition digest nor reshard events — they were
+        // static-topology runs and must keep loading as exactly that.
+        let j = sample_report().to_json();
+        let start = j.find("    \"partition_digest\"").unwrap();
+        let end = j[start..].find("\n    \"created_unix_ms\"").unwrap() + start;
+        let json = format!("{}{}", &j[..start], &j[end + 1..]);
+        assert!(!json.contains("partition_digest"), "field removed");
+        assert!(!json.contains("reshard_events"), "field removed");
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back.meta.partition_digest, "unknown");
+        assert!(back.meta.reshard_events.is_empty());
+    }
+
+    #[test]
+    fn reshard_records_round_trip() {
+        let report = sample_report();
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.meta.reshard_events, report.meta.reshard_events);
+        assert_eq!(back.meta.partition_digest, "00000000deadbeef");
+        // Unknown fields inside an event are schema drift, like
+        // everywhere else.
+        let json = report
+            .to_json()
+            .replace("\"at_op\"", "\"surprise\": 1,\n        \"at_op\"");
+        let err = RunReport::from_json(&json).unwrap_err();
+        assert!(err.contains("unknown field `surprise`"), "got: {err}");
     }
 
     #[test]

@@ -20,7 +20,8 @@
 use serde::{Deserialize, Error, Serialize, Value};
 
 use crate::compare::{
-    compare_histograms, compare_rate, ComparisonReport, MetricComparison, Status, Tolerance,
+    compare_histograms, compare_rate, compare_topology, ComparisonReport, MetricComparison, Status,
+    Tolerance,
 };
 use crate::schema::{reject_unknown, RunMeta, RunReport};
 
@@ -356,6 +357,9 @@ pub fn compare_sweeps(
             ),
         ));
     }
+    if let Some(topology) = compare_topology(&baseline.meta, &candidate.meta, tol) {
+        metrics.push(topology);
+    }
 
     let mut paired = 0usize;
     let mut unpaired = 0usize;
@@ -640,6 +644,18 @@ mod tests {
         let cmp = compare_sweeps(&base, &cand, "a", "b", &Tolerance::default());
         assert!(cmp.regressed());
         assert_eq!(cmp.metrics[0].metric, "identity");
+    }
+
+    #[test]
+    fn mismatched_partition_digest_regresses_the_curve() {
+        let mut base = sample_sweep(0, 4_000.0);
+        let mut cand = sample_sweep(0, 4_000.0);
+        base.meta.partition_digest = "aaaaaaaaaaaaaaaa".to_string();
+        cand.meta.partition_digest = "bbbbbbbbbbbbbbbb".to_string();
+        let cmp = compare_sweeps(&base, &cand, "a", "b", &Tolerance::default());
+        assert!(cmp.regressed(), "{}", cmp.to_table());
+        let topo = cmp.metrics.iter().find(|m| m.metric == "topology").unwrap();
+        assert_eq!(topo.status, Status::Regressed);
     }
 
     #[test]

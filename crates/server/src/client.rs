@@ -15,11 +15,32 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use bytes::Bytes;
-use gadget_kv::{BatchResult, OpTimers, StateStore, StoreError};
+use gadget_kv::{BatchResult, OpTimers, ReshardEvent, StateStore, StoreError};
 use gadget_obs::{Counter, MetricsRegistry, MetricsSnapshot};
 use gadget_types::Op;
 
 use crate::wire::{self, Frame};
+
+/// A server's partition topology, as answered to a wire `Topology`
+/// query: what drivers stamp into run reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of shards the served store routes across.
+    pub shards: u32,
+    /// Partition-map version (router epoch).
+    pub map_version: u64,
+    /// Partition-map content digest.
+    pub digest: u64,
+    /// Completed reshard events, oldest first.
+    pub events: Vec<ReshardEvent>,
+}
+
+impl Topology {
+    /// The digest rendered the way reports record it.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest)
+    }
+}
 
 /// One TCP connection's buffered halves.
 struct Conn {
@@ -115,6 +136,62 @@ impl NetStore {
             }
             other => Err(StoreError::Corruption(format!(
                 "expected shutdown ack for {id}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to live-reshard its store: take slots from shard
+    /// `from` and move them to shard `to` (pass the server's current
+    /// shard count as `to` to split a brand-new shard into existence).
+    /// Blocks until the migration completes and returns what it did.
+    ///
+    /// Issue this on a *dedicated control connection*: the request
+    /// occupies this connection's server-side worker for the whole
+    /// migration, while traffic on other connections keeps flowing
+    /// through the transfer window.
+    pub fn reshard(&self, from: u32, to: u32, at_op: u64) -> Result<ReshardEvent, StoreError> {
+        let mut conn = self.conn.lock().unwrap();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Reshard {
+            id,
+            from,
+            to,
+            at_op,
+        };
+        wire::write_frame(&mut conn.writer, &frame)?;
+        conn.writer.flush()?;
+        match wire::read_frame(&mut conn.reader)? {
+            Frame::ReshardDone { id: got, event } if got == id => Ok(event),
+            Frame::Error { code, message, .. } => Err(wire::decode_store_error(code, message)),
+            other => Err(StoreError::Corruption(format!(
+                "expected reshard ack for {id}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Queries the server's current partition topology.
+    pub fn topology(&self) -> Result<Topology, StoreError> {
+        let mut conn = self.conn.lock().unwrap();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Topology { id };
+        wire::write_frame(&mut conn.writer, &frame)?;
+        conn.writer.flush()?;
+        match wire::read_frame(&mut conn.reader)? {
+            Frame::TopologyInfo {
+                id: got,
+                shards,
+                map_version,
+                digest,
+                events,
+            } if got == id => Ok(Topology {
+                shards,
+                map_version,
+                digest,
+                events,
+            }),
+            Frame::Error { code, message, .. } => Err(wire::decode_store_error(code, message)),
+            other => Err(StoreError::Corruption(format!(
+                "expected topology info for {id}, got {other:?}"
             ))),
         }
     }

@@ -12,14 +12,17 @@
 //! summary distribution is the true union of every connection's
 //! samples, not an average of averages.
 
-use gadget_kv::shard_of;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use gadget_kv::{shard_of, ReshardEvent};
 use gadget_obs::trace::{phase, span, Category};
 use gadget_replay::{Measured, ReplayOptions, RunReport, TraceReplayer};
 use gadget_types::{StateAccess, Trace};
 
 use gadget_kv::{StateStore, StoreError};
 
-use crate::client::NetStore;
+use crate::client::{NetStore, Topology};
 
 /// Tunables for [`drive`].
 #[derive(Debug, Clone)]
@@ -40,6 +43,24 @@ pub struct DriveOptions {
     /// Seed for the deterministic churn coin-flips. Same seed, same
     /// trace, same options → same reconnect schedule.
     pub seed: u64,
+    /// Trigger a live reshard mid-drive: once the fleet has executed
+    /// `frac` of the trace's ops, a dedicated control connection asks
+    /// the server to move slots from shard `from` to shard `to` while
+    /// the traffic connections keep replaying. `None` disables.
+    pub reshard_at: Option<ReshardTrigger>,
+}
+
+/// When and what a mid-drive reshard moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReshardTrigger {
+    /// Fraction of total ops executed before the trigger fires,
+    /// clamped to `0.0..=1.0`.
+    pub frac: f64,
+    /// Source shard.
+    pub from: u32,
+    /// Target shard (the server's current shard count to split a new
+    /// shard into existence).
+    pub to: u32,
 }
 
 impl Default for DriveOptions {
@@ -50,6 +71,7 @@ impl Default for DriveOptions {
             segment_ops: 1_000,
             replay: ReplayOptions::default(),
             seed: 0x9ad9e,
+            reshard_at: None,
         }
     }
 }
@@ -69,6 +91,12 @@ pub struct DriveSummary {
     pub bytes_out: u64,
     /// Ops executed per connection, indexed by connection number.
     pub per_connection_ops: Vec<u64>,
+    /// The mid-drive reshard, if one was triggered.
+    pub reshard: Option<ReshardEvent>,
+    /// The server's partition topology after the drive (shard count,
+    /// map digest, full reshard history) — what reports stamp as
+    /// topology provenance. `None` only if the post-drive query failed.
+    pub topology: Option<Topology>,
 }
 
 /// What one connection's worth of the drive produced.
@@ -128,9 +156,33 @@ pub fn drive(
         arrival_seed: options.replay.arrival_seed,
     };
     let segment_ops = options.segment_ops.max(1);
+    let total_ops: u64 = parts.iter().map(|p| p.len() as u64).sum();
+
+    // Fleet-wide progress, bumped per completed segment; the reshard
+    // trigger watches it to fire at the requested op fraction.
+    let progress = AtomicU64::new(0);
+    let drive_done = AtomicBool::new(false);
+    let reshard_outcome: Mutex<Option<Result<ReshardEvent, StoreError>>> = Mutex::new(None);
 
     let started = std::time::Instant::now();
     let outcomes: Vec<Result<ConnOutcome, StoreError>> = std::thread::scope(|s| {
+        let control = options.reshard_at.map(|trigger| {
+            let progress = &progress;
+            let drive_done = &drive_done;
+            let reshard_outcome = &reshard_outcome;
+            s.spawn(move || {
+                let threshold = (trigger.frac.clamp(0.0, 1.0) * total_ops as f64) as u64;
+                while progress.load(Ordering::Relaxed) < threshold
+                    && !drive_done.load(Ordering::Relaxed)
+                {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                let at_op = progress.load(Ordering::Relaxed);
+                let result = NetStore::connect(addr)
+                    .and_then(|control| control.reshard(trigger.from, trigger.to, at_op));
+                *reshard_outcome.lock().unwrap() = Some(result);
+            })
+        });
         let handles: Vec<_> = parts
             .iter()
             .enumerate()
@@ -142,12 +194,21 @@ pub fn drive(
                 per_conn_options.arrival_seed = per_conn_options
                     .arrival_seed
                     .wrapping_add((conn_no as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+                let progress = &progress;
                 s.spawn(move || {
-                    drive_connection(addr, part, conn_no, options, per_conn_options, segment_ops)
+                    drive_connection(
+                        addr,
+                        part,
+                        conn_no,
+                        options,
+                        per_conn_options,
+                        segment_ops,
+                        progress,
+                    )
                 })
             })
             .collect();
-        handles
+        let outcomes = handles
             .into_iter()
             .map(|h| {
                 h.join().unwrap_or_else(|_| {
@@ -156,9 +217,22 @@ pub fn drive(
                     ))
                 })
             })
-            .collect()
+            .collect();
+        drive_done.store(true, Ordering::Relaxed);
+        if let Some(c) = control {
+            let _ = c.join();
+        }
+        outcomes
     });
     let seconds = started.elapsed().as_secs_f64();
+
+    // A requested reshard that failed fails the drive: the measurement
+    // the caller asked for (tail latency under migration) did not
+    // happen.
+    let reshard = match reshard_outcome.into_inner().unwrap() {
+        Some(result) => Some(result?),
+        None => None,
+    };
 
     let mut merged = Measured::new();
     let mut reconnects = 0;
@@ -177,6 +251,9 @@ pub fn drive(
     let mut report = merged.to_report("net", workload, seconds);
     report.arrival = Some(options.replay.arrival.name().to_string());
     report.offered_rate = options.replay.service_rate;
+    let topology = NetStore::connect(addr)
+        .and_then(|control| control.topology())
+        .ok();
     Ok(DriveSummary {
         report,
         connections,
@@ -184,6 +261,8 @@ pub fn drive(
         bytes_in,
         bytes_out,
         per_connection_ops,
+        reshard,
+        topology,
     })
 }
 
@@ -196,6 +275,7 @@ fn drive_connection(
     options: &DriveOptions,
     replay_options: ReplayOptions,
     segment_ops: usize,
+    progress: &AtomicU64,
 ) -> Result<ConnOutcome, StoreError> {
     let store = NetStore::connect(addr)?;
     let replayer = TraceReplayer::new(replay_options);
@@ -212,6 +292,7 @@ fn drive_connection(
             store.reconnect()?;
         }
         measured.absorb(&replayer.replay_accesses_paced(segment, &store, &mut pacer)?);
+        progress.fetch_add(segment.len() as u64, Ordering::Relaxed);
     }
     let snap = store.metrics().unwrap_or_default();
     let ops = measured.executed;
@@ -277,6 +358,77 @@ mod tests {
         assert_eq!(summary.connections, 4);
         assert_eq!(summary.reconnects, 0, "no churn requested");
         assert!(summary.bytes_in > 0 && summary.bytes_out > 0);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn mid_drive_reshard_loses_no_ops_and_stamps_topology() {
+        use gadget_kv::ShardedStore;
+        let sharded = Arc::new(
+            ShardedStore::from_factory(4, |_| {
+                Ok(Arc::new(MemStore::new()) as Arc<dyn gadget_kv::StateStore>)
+            })
+            .unwrap(),
+        );
+        let server =
+            Server::start_sharded("127.0.0.1:0", sharded, ServerConfig::default()).unwrap();
+        let trace = synthetic_trace(4_000, 97);
+        let options = DriveOptions {
+            connections: 3,
+            segment_ops: 50,
+            reshard_at: Some(ReshardTrigger {
+                frac: 0.25,
+                from: 0,
+                to: 4,
+            }),
+            ..DriveOptions::default()
+        };
+        let summary = drive(
+            &server.local_addr().to_string(),
+            &trace,
+            "synthetic",
+            &options,
+        )
+        .unwrap();
+        assert_eq!(summary.report.operations, 4_000, "reshard lost ops");
+        let event = summary.reshard.expect("trigger fired");
+        assert_eq!(event.from, 0);
+        assert_eq!(event.to, 4);
+        let topo = summary.topology.expect("topology query answered");
+        assert_eq!(topo.shards, 5);
+        assert_eq!(topo.map_version, 2);
+        assert_eq!(topo.events, vec![event]);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn reshard_trigger_against_unsharded_server_fails_the_drive() {
+        let server = Server::start(
+            "127.0.0.1:0",
+            Arc::new(MemStore::new()),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let trace = synthetic_trace(200, 11);
+        let options = DriveOptions {
+            reshard_at: Some(ReshardTrigger {
+                frac: 0.5,
+                from: 0,
+                to: 1,
+            }),
+            ..DriveOptions::default()
+        };
+        let err = drive(
+            &server.local_addr().to_string(),
+            &trace,
+            "synthetic",
+            &options,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, StoreError::Config(_)),
+            "expected the server's Config refusal, got {err:?}"
+        );
         server.stop().unwrap();
     }
 

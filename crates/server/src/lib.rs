@@ -33,8 +33,8 @@ pub mod metrics_http;
 pub mod server;
 pub mod wire;
 
-pub use client::NetStore;
-pub use driver::{drive, DriveOptions, DriveSummary};
+pub use client::{NetStore, Topology};
+pub use driver::{drive, DriveOptions, DriveSummary, ReshardTrigger};
 pub use metrics_http::{MetricsServer, SnapshotFn};
 pub use server::{Server, ServerConfig};
 pub use wire::{Frame, WireError};

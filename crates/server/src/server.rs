@@ -25,7 +25,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use gadget_kv::{StateStore, StoreError};
+use gadget_kv::{Router, ShardedStore, SlotTable, StateStore, StoreError};
 use gadget_obs::trace::{span, Category};
 use gadget_obs::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 
@@ -56,6 +56,11 @@ enum ConnEvent {
 /// State shared by the accept loop, connection threads, and the handle.
 struct Shared {
     store: Arc<dyn StateStore>,
+    /// The same store as a [`ShardedStore`], when the server was
+    /// started with [`Server::start_sharded`] — the handle the wire
+    /// `Reshard`/`Topology` control frames operate on. `None` means
+    /// control frames answer with a `Config` error / trivial topology.
+    sharded: Option<Arc<ShardedStore>>,
     addr: SocketAddr,
     queue_depth: usize,
     shutting_down: AtomicBool,
@@ -119,11 +124,32 @@ impl Server {
         store: Arc<dyn StateStore>,
         config: ServerConfig,
     ) -> Result<Server, StoreError> {
+        Self::start_inner(addr, store, None, config)
+    }
+
+    /// Like [`Server::start`], but keeps hold of the store's sharded
+    /// topology so wire `Reshard` frames can trigger live slot
+    /// migrations and `Topology` frames can describe the partition map.
+    pub fn start_sharded(
+        addr: impl ToSocketAddrs,
+        store: Arc<ShardedStore>,
+        config: ServerConfig,
+    ) -> Result<Server, StoreError> {
+        Self::start_inner(addr, store.clone(), Some(store), config)
+    }
+
+    fn start_inner(
+        addr: impl ToSocketAddrs,
+        store: Arc<dyn StateStore>,
+        sharded: Option<Arc<ShardedStore>>,
+        config: ServerConfig,
+    ) -> Result<Server, StoreError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let metrics = MetricsRegistry::new();
         let shared = Arc::new(Shared {
             store,
+            sharded,
             addr,
             queue_depth: config.queue_depth.max(1),
             shutting_down: AtomicBool::new(false),
@@ -312,6 +338,54 @@ fn worker_loop(stream: TcpStream, rx: Receiver<ConnEvent>, conn_id: u64, shared:
                 shared.begin_shutdown();
                 continue;
             }
+            ConnEvent::Frame(Frame::Reshard {
+                id,
+                from,
+                to,
+                at_op,
+            }) => {
+                // Runs on this connection's worker thread: a dedicated
+                // control connection reshards without stalling traffic
+                // connections, whose workers keep applying batches
+                // against the open transfer window.
+                match shared.sharded.as_ref() {
+                    Some(sharded) => match sharded.reshard(from as usize, to as usize, at_op) {
+                        Ok(event) => Frame::ReshardDone { id, event },
+                        Err(e) => {
+                            let (code, message) = wire::encode_store_error(&e);
+                            Frame::Error { id, code, message }
+                        }
+                    },
+                    None => Frame::Error {
+                        id,
+                        code: wire::ErrorCode::Config,
+                        message: "server is not fronting a sharded store".to_string(),
+                    },
+                }
+            }
+            ConnEvent::Frame(Frame::Topology { id }) => match shared.sharded.as_ref() {
+                Some(sharded) => {
+                    let router = sharded.router();
+                    Frame::TopologyInfo {
+                        id,
+                        shards: sharded.shard_count() as u32,
+                        map_version: router.version(),
+                        digest: router.digest(),
+                        events: sharded.reshard_events(),
+                    }
+                }
+                None => {
+                    // An unsharded store is a fixed one-shard topology.
+                    let trivial = SlotTable::identity(1);
+                    Frame::TopologyInfo {
+                        id,
+                        shards: 1,
+                        map_version: trivial.version(),
+                        digest: trivial.digest(),
+                        events: Vec::new(),
+                    }
+                }
+            },
             ConnEvent::Frame(other) => {
                 // Clients must not send server-kind frames.
                 let id = other.id();
@@ -457,6 +531,84 @@ mod tests {
             Ok(s) => s.put(b"b", b"2").is_err(),
         };
         assert!(refused, "server still serving after shutdown");
+    }
+
+    #[test]
+    fn wire_reshard_splits_a_sharded_store_under_traffic() {
+        let sharded = Arc::new(
+            ShardedStore::from_factory(4, |_| Ok(Arc::new(MemStore::new()) as Arc<dyn StateStore>))
+                .unwrap(),
+        );
+        let server =
+            Server::start_sharded("127.0.0.1:0", sharded, ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let control = NetStore::connect(&addr).unwrap();
+        let before = control.topology().unwrap();
+        assert_eq!(before.shards, 4);
+        assert_eq!(before.map_version, 1);
+        assert!(before.events.is_empty());
+
+        // Traffic on a second connection while the control connection
+        // splits shard 0 into a brand-new shard 4.
+        let traffic = NetStore::connect(&addr).unwrap();
+        for i in 0..300u64 {
+            traffic.put(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let stop = stop.clone();
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let conn = NetStore::connect(&addr).unwrap();
+                let mut writes = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for i in 0..300u64 {
+                        conn.put(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+                        writes += 1;
+                    }
+                }
+                writes
+            })
+        };
+        let event = control.reshard(0, 4, 300).unwrap();
+        stop.store(true, Ordering::Relaxed);
+        let writes = writer.join().unwrap();
+        assert!(writes > 0, "writer made progress during the migration");
+        assert_eq!(event.from, 0);
+        assert_eq!(event.to, 4);
+        assert_eq!(event.at_op, 300);
+        assert!(event.keys > 0);
+
+        let after = control.topology().unwrap();
+        assert_eq!(after.shards, 5);
+        assert_eq!(after.map_version, 2);
+        assert_ne!(after.digest, before.digest);
+        assert_eq!(after.events, vec![event]);
+        assert_eq!(after.digest_hex().len(), 16);
+
+        // Zero lost ops: every key reads back through the new topology.
+        for i in 0..300u64 {
+            assert_eq!(
+                traffic.get(&i.to_be_bytes()).unwrap().as_deref(),
+                Some(&i.to_le_bytes()[..]),
+                "key {i} lost in migration"
+            );
+        }
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn wire_reshard_against_unsharded_store_is_a_typed_error() {
+        let server = serve_mem();
+        let store = NetStore::connect(&server.local_addr().to_string()).unwrap();
+        let err = store.reshard(0, 1, 0).unwrap_err();
+        assert!(matches!(err, StoreError::Config(_)), "got {err:?}");
+        // Topology still answers: one shard, no history.
+        let topo = store.topology().unwrap();
+        assert_eq!(topo.shards, 1);
+        assert!(topo.events.is_empty());
+        server.stop().unwrap();
     }
 
     #[test]

@@ -25,25 +25,51 @@
 //! * **Shutdown** — empty payload. Sent by a client to ask the server
 //!   to drain and exit; the server acks with a `Shutdown` frame
 //!   carrying the same id before closing.
+//! * **Reshard** (v2) — control frame: `u32` source shard, `u32` target
+//!   shard, `u64` op index of the trigger. Asks the server to live-split
+//!   (`to == shard count`) or live-migrate half the source's slots. The
+//!   server answers with a `ReshardDone` carrying the completed
+//!   [`ReshardEvent`], or an `Error` frame.
+//! * **ReshardDone** (v2) — one encoded [`ReshardEvent`]: `u64` at_op,
+//!   `u32` from, `u32` to, `u32` slots, `u64` keys, `u64` pause µs,
+//!   `u64` copy µs, `u64` map version.
+//! * **Topology** (v2) — empty payload: ask the server for its current
+//!   partition topology.
+//! * **TopologyInfo** (v2) — `u32` shard count, `u64` partition-map
+//!   version, `u64` partition-map digest, `u32` reshard-event count,
+//!   then each event encoded as in `ReshardDone`. Drivers stamp this
+//!   into run reports so topology provenance survives the wire.
 //!
 //! Integers are little-endian throughout. Decoding is strict: wrong
 //! magic, unknown version/kind/tag, oversized payloads, short buffers,
 //! and trailing bytes are all *typed* [`WireError`]s — a malformed or
 //! hostile peer can never panic the process, only produce an error.
+//! Version 2 added the reshard/topology control frames without touching
+//! any v1 payload layout, so decoders accept both versions; encoders
+//! always stamp the current one.
 
 use std::io::{self, Read, Write};
 
 use bytes::Bytes;
-use gadget_kv::{BatchResult, StoreError};
+use gadget_kv::{BatchResult, ReshardEvent, StoreError};
 use gadget_types::Op;
 
 /// Frame magic: `"SG"` little-endian. Catches cross-protocol traffic
 /// (HTTP, TLS, stray redis-cli) before any length field is trusted.
 pub const MAGIC: u16 = 0x4753;
 
-/// Current protocol version. Bump on any layout change; servers and
-/// clients reject frames from other versions outright.
-pub const VERSION: u8 = 1;
+/// Current protocol version. Bump on any layout change.
+///
+/// v1 → v2 added the reshard/topology control frames; every v1 payload
+/// layout is unchanged, so decoders accept both (see
+/// [`version_supported`]) while encoders always stamp this value.
+pub const VERSION: u8 = 2;
+
+/// Whether a frame from protocol version `v` can be decoded by this
+/// build.
+pub fn version_supported(v: u8) -> bool {
+    v == 1 || v == VERSION
+}
 
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 16;
@@ -58,6 +84,10 @@ const KIND_REQUEST: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
 const KIND_ERROR: u8 = 3;
 const KIND_SHUTDOWN: u8 = 4;
+const KIND_RESHARD: u8 = 5;
+const KIND_RESHARD_DONE: u8 = 6;
+const KIND_TOPOLOGY: u8 = 7;
+const KIND_TOPOLOGY_INFO: u8 = 8;
 
 /// Store-error category carried in an Error frame.
 ///
@@ -76,6 +106,8 @@ pub enum ErrorCode {
     InvalidArgument = 3,
     /// `StoreError::Unsupported`.
     Unsupported = 4,
+    /// `StoreError::Config`.
+    Config = 5,
 }
 
 impl ErrorCode {
@@ -86,6 +118,7 @@ impl ErrorCode {
             2 => Ok(ErrorCode::Closed),
             3 => Ok(ErrorCode::InvalidArgument),
             4 => Ok(ErrorCode::Unsupported),
+            5 => Ok(ErrorCode::Config),
             other => Err(WireError::BadTag(other)),
         }
     }
@@ -99,6 +132,7 @@ pub fn encode_store_error(e: &StoreError) -> (ErrorCode, String) {
         StoreError::Closed => (ErrorCode::Closed, String::new()),
         StoreError::InvalidArgument(m) => (ErrorCode::InvalidArgument, m.clone()),
         StoreError::Unsupported(m) => (ErrorCode::Unsupported, m.to_string()),
+        StoreError::Config(m) => (ErrorCode::Config, m.clone()),
     }
 }
 
@@ -116,6 +150,7 @@ pub fn decode_store_error(code: ErrorCode, message: String) -> StoreError {
         ErrorCode::Unsupported => {
             StoreError::Unsupported("operation not supported by remote store")
         }
+        ErrorCode::Config => StoreError::Config(message),
     }
 }
 
@@ -149,6 +184,45 @@ pub enum Frame {
     Shutdown {
         /// Request id (echoed in the ack).
         id: u64,
+    },
+    /// Client → server: live-reshard the served store (v2).
+    Reshard {
+        /// Request id (echoed in the `ReshardDone` or `Error` reply).
+        id: u64,
+        /// Source shard to take slots from.
+        from: u32,
+        /// Target shard; equal to the current shard count to split a
+        /// brand-new shard into existence.
+        to: u32,
+        /// Driver-side op index at the moment of the trigger (0 when
+        /// the trigger has no op counter in scope).
+        at_op: u64,
+    },
+    /// Server → client: a reshard completed (v2).
+    ReshardDone {
+        /// Echoed request id.
+        id: u64,
+        /// What the migration moved and what it cost.
+        event: ReshardEvent,
+    },
+    /// Client → server: describe your partition topology (v2).
+    Topology {
+        /// Request id (echoed in the `TopologyInfo` reply).
+        id: u64,
+    },
+    /// Server → client: current partition topology (v2).
+    TopologyInfo {
+        /// Echoed request id.
+        id: u64,
+        /// Number of shards the served store routes across (1 for an
+        /// unsharded store).
+        shards: u32,
+        /// Partition-map version (router epoch).
+        map_version: u64,
+        /// Partition-map content digest (see `Router::digest`).
+        digest: u64,
+        /// Completed reshard events, oldest first.
+        events: Vec<ReshardEvent>,
     },
 }
 
@@ -217,9 +291,24 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
 fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     put_u32(out, b.len() as u32);
     out.extend_from_slice(b);
+}
+
+fn put_reshard_event(out: &mut Vec<u8>, e: &ReshardEvent) {
+    put_u64(out, e.at_op);
+    put_u32(out, e.from as u32);
+    put_u32(out, e.to as u32);
+    put_u32(out, e.slots as u32);
+    put_u64(out, e.keys);
+    put_u64(out, e.pause_us);
+    put_u64(out, e.copy_us);
+    put_u64(out, e.map_version);
 }
 
 fn encode_payload(frame: &Frame) -> Vec<u8> {
@@ -268,6 +357,30 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             put_bytes(&mut p, message.as_bytes());
         }
         Frame::Shutdown { .. } => {}
+        Frame::Reshard {
+            from, to, at_op, ..
+        } => {
+            put_u32(&mut p, *from);
+            put_u32(&mut p, *to);
+            put_u64(&mut p, *at_op);
+        }
+        Frame::ReshardDone { event, .. } => put_reshard_event(&mut p, event),
+        Frame::Topology { .. } => {}
+        Frame::TopologyInfo {
+            shards,
+            map_version,
+            digest,
+            events,
+            ..
+        } => {
+            put_u32(&mut p, *shards);
+            put_u64(&mut p, *map_version);
+            put_u64(&mut p, *digest);
+            put_u32(&mut p, events.len() as u32);
+            for event in events {
+                put_reshard_event(&mut p, event);
+            }
+        }
     }
     p
 }
@@ -279,7 +392,11 @@ impl Frame {
             Frame::Request { id, .. }
             | Frame::Response { id, .. }
             | Frame::Error { id, .. }
-            | Frame::Shutdown { id } => *id,
+            | Frame::Shutdown { id }
+            | Frame::Reshard { id, .. }
+            | Frame::ReshardDone { id, .. }
+            | Frame::Topology { id }
+            | Frame::TopologyInfo { id, .. } => *id,
         }
     }
 
@@ -291,6 +408,10 @@ impl Frame {
             Frame::Response { .. } => KIND_RESPONSE,
             Frame::Error { .. } => KIND_ERROR,
             Frame::Shutdown { .. } => KIND_SHUTDOWN,
+            Frame::Reshard { .. } => KIND_RESHARD,
+            Frame::ReshardDone { .. } => KIND_RESHARD_DONE,
+            Frame::Topology { .. } => KIND_TOPOLOGY,
+            Frame::TopologyInfo { .. } => KIND_TOPOLOGY_INFO,
         };
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
         out.extend_from_slice(&MAGIC.to_le_bytes());
@@ -332,6 +453,26 @@ impl<'a> Cursor<'a> {
         let raw = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
         self.pos = end;
         Ok(u32::from_le_bytes(raw.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let end = self.pos.checked_add(8).ok_or(WireError::Truncated)?;
+        let raw = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(raw.try_into().unwrap()))
+    }
+
+    fn reshard_event(&mut self) -> Result<ReshardEvent, WireError> {
+        Ok(ReshardEvent {
+            at_op: self.u64()?,
+            from: self.u32()? as usize,
+            to: self.u32()? as usize,
+            slots: self.u32()? as usize,
+            keys: self.u64()?,
+            pause_us: self.u64()?,
+            copy_us: self.u64()?,
+            map_version: self.u64()?,
+        })
     }
 
     fn bytes(&mut self) -> Result<&'a [u8], WireError> {
@@ -400,6 +541,39 @@ fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Frame, WireError>
             Frame::Error { id, code, message }
         }
         KIND_SHUTDOWN => Frame::Shutdown { id },
+        KIND_RESHARD => Frame::Reshard {
+            id,
+            from: c.u32()?,
+            to: c.u32()?,
+            at_op: c.u64()?,
+        },
+        KIND_RESHARD_DONE => Frame::ReshardDone {
+            id,
+            event: c.reshard_event()?,
+        },
+        KIND_TOPOLOGY => Frame::Topology { id },
+        KIND_TOPOLOGY_INFO => {
+            let shards = c.u32()?;
+            let map_version = c.u64()?;
+            let digest = c.u64()?;
+            let count = c.u32()? as usize;
+            // An encoded event is 44 bytes; reject impossible counts
+            // before reserving capacity for them.
+            if count > payload.len() / 44 + 1 {
+                return Err(WireError::Truncated);
+            }
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                events.push(c.reshard_event()?);
+            }
+            Frame::TopologyInfo {
+                id,
+                shards,
+                map_version,
+                digest,
+                events,
+            }
+        }
         other => return Err(WireError::BadKind(other)),
     };
     if c.remaining() != 0 {
@@ -422,7 +596,7 @@ pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    if buf[2] != VERSION {
+    if !version_supported(buf[2]) {
         return Err(WireError::BadVersion(buf[2]));
     }
     let kind = buf[3];
@@ -450,7 +624,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    if header[2] != VERSION {
+    if !version_supported(header[2]) {
         return Err(WireError::BadVersion(header[2]));
     }
     let kind = header[3];
@@ -499,7 +673,45 @@ mod tests {
                 message: "empty key".to_string(),
             },
             Frame::Shutdown { id: u64::MAX },
+            Frame::Reshard {
+                id: 11,
+                from: 0,
+                to: 4,
+                at_op: 5_000,
+            },
+            Frame::ReshardDone {
+                id: 11,
+                event: sample_event(),
+            },
+            Frame::Topology { id: 12 },
+            Frame::TopologyInfo {
+                id: 12,
+                shards: 5,
+                map_version: 2,
+                digest: 0xDEAD_BEEF_CAFE_F00D,
+                events: vec![sample_event()],
+            },
+            Frame::TopologyInfo {
+                id: 13,
+                shards: 1,
+                map_version: 1,
+                digest: 7,
+                events: Vec::new(),
+            },
         ]
+    }
+
+    fn sample_event() -> ReshardEvent {
+        ReshardEvent {
+            at_op: 5_000,
+            from: 0,
+            to: 4,
+            slots: 315,
+            keys: 12_345,
+            pause_us: 180,
+            copy_us: 22_000,
+            map_version: 2,
+        }
     }
 
     #[test]
@@ -557,6 +769,49 @@ mod tests {
         let mut oversized = good.clone();
         oversized[12..16].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
         assert!(matches!(decode(&oversized), Err(WireError::Oversized(_))));
+
+        // A truncated v2 control payload is typed, not a panic.
+        let reshard = (Frame::Reshard {
+            id: 1,
+            from: 0,
+            to: 1,
+            at_op: 9,
+        })
+        .encode();
+        assert!(matches!(
+            decode(&reshard[..reshard.len() - 4]),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn v1_frames_still_decode_under_v2() {
+        // The v1 payload layouts are unchanged; only the version byte
+        // differs. A v1 peer's frame must decode, and an unknown future
+        // version must not.
+        for frame in sample_frames().into_iter().take(4) {
+            let mut bytes = frame.encode();
+            assert_eq!(bytes[2], VERSION);
+            bytes[2] = 1;
+            assert_eq!(decode(&bytes).expect("v1 frame decodes"), frame);
+            bytes[2] = 3;
+            assert!(matches!(decode(&bytes), Err(WireError::BadVersion(3))));
+        }
+        assert!(version_supported(1));
+        assert!(version_supported(2));
+        assert!(!version_supported(0));
+        assert!(!version_supported(3));
+    }
+
+    #[test]
+    fn v2_control_frames_reject_v1_stamp_gracefully() {
+        // A v2 control frame stamped v1 still decodes (kind bytes are
+        // orthogonal to version here — strictness lives in the payload
+        // decoders), which keeps the decoder total. This pins that
+        // behaviour so a future change is deliberate.
+        let mut bytes = (Frame::Topology { id: 3 }).encode();
+        bytes[2] = 1;
+        assert_eq!(decode(&bytes).unwrap(), Frame::Topology { id: 3 });
     }
 
     #[test]
@@ -565,6 +820,7 @@ mod tests {
             StoreError::Corruption("bad block".to_string()),
             StoreError::Closed,
             StoreError::InvalidArgument("empty key".to_string()),
+            StoreError::Config("no shard factory".to_string()),
         ];
         for e in cases {
             let (code, msg) = encode_store_error(&e);

@@ -24,6 +24,8 @@ fn arg_key(cat: Category) -> &'static str {
         Category::PageWriteback => "page",
         Category::Phase => "phase_id",
         Category::NetRequest => "conn",
+        Category::Reshard => "slots",
+        Category::SlotMigration => "keys",
         _ => "arg",
     }
 }

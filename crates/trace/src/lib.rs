@@ -74,10 +74,20 @@ pub enum Category {
     /// timeline shows which connections were in flight when a client op
     /// went slow.
     NetRequest = 12,
+    /// A whole live reshard: from trigger to post-flip cleanup (arg:
+    /// slots moved). Background, so >p99 attribution can blame a
+    /// migration for the tail it causes.
+    Reshard = 13,
+    /// One serialized slot-copy chunk inside a reshard's transfer
+    /// window (arg: keys in the chunk). These are the spans that
+    /// actually contend with foreground writes, so they — not the
+    /// enclosing [`Category::Reshard`] — localize migration-induced
+    /// stalls on the timeline.
+    SlotMigration = 14,
 }
 
 /// All categories, in discriminant order.
-pub const CATEGORIES: [Category; 13] = [
+pub const CATEGORIES: [Category; 15] = [
     Category::OpGet,
     Category::OpPut,
     Category::OpMerge,
@@ -91,6 +101,8 @@ pub const CATEGORIES: [Category; 13] = [
     Category::PageWriteback,
     Category::Phase,
     Category::NetRequest,
+    Category::Reshard,
+    Category::SlotMigration,
 ];
 
 impl Category {
@@ -110,6 +122,8 @@ impl Category {
             Category::PageWriteback => "page_writeback",
             Category::Phase => "phase",
             Category::NetRequest => "net_request",
+            Category::Reshard => "reshard",
+            Category::SlotMigration => "slot_migration",
         }
     }
 

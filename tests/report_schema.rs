@@ -12,7 +12,7 @@
 
 use std::path::PathBuf;
 
-use gadget::report::{RunMeta, RunReport, SCHEMA_VERSION};
+use gadget::report::{ReshardRecord, RunMeta, RunReport, SCHEMA_VERSION};
 
 /// A fully deterministic report: every field pinned, no clocks, no
 /// environment probes — byte-stable across machines.
@@ -46,6 +46,17 @@ fn golden_report() -> RunReport {
             transport: "embedded".to_string(),
             arrival: "closed".to_string(),
             offered_rate: 0.0,
+            partition_digest: "0011223344556677".to_string(),
+            reshard_events: vec![ReshardRecord {
+                at_op: 500,
+                from: 0,
+                to: 4,
+                slots: 315,
+                keys: 213,
+                pause_us: 92,
+                copy_us: 2_480,
+                map_version: 2,
+            }],
             created_unix_ms: 1_750_000_000_000,
         },
     );

@@ -29,6 +29,8 @@ fn golden_sweep() -> SweepReport {
         transport: "embedded".to_string(),
         arrival: "poisson".to_string(),
         offered_rate: 0.0,
+        partition_digest: "8899aabbccddeeff".to_string(),
+        reshard_events: Vec::new(),
         created_unix_ms: 1_750_000_000_000,
     };
     let mk_step = |rate: f64, sustainable: bool| {
