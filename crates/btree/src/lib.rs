@@ -37,19 +37,29 @@ mod node;
 mod pager;
 mod tree;
 
+use std::path::{Path, PathBuf};
+
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use gadget_kv::{apply_ops_serially, BatchResult, StateStore, StoreCounters, StoreError};
+use gadget_kv::{
+    apply_ops_serially, BatchResult, CheckpointManifest, Durability, StateStore, StoreCounters,
+    StoreError,
+};
 use gadget_obs::{MetricsRegistry, MetricsSnapshot};
 use gadget_types::Op;
 
 pub use tree::BTreeConfig;
 use tree::Tree;
 
+/// The single data-file image inside a checkpoint directory.
+const SNAPSHOT_NAME: &str = "btree.db";
+
 /// A file-backed B+Tree store. See the crate docs for the architecture.
 pub struct BTreeStore {
     tree: Mutex<Tree>,
+    path: PathBuf,
+    config: BTreeConfig,
     counters: StoreCounters,
     metrics: MetricsRegistry,
 }
@@ -61,10 +71,12 @@ impl BTreeStore {
         config: BTreeConfig,
     ) -> Result<Self, StoreError> {
         let metrics = MetricsRegistry::new();
-        let mut tree = Tree::open(path.as_ref(), config)?;
+        let mut tree = Tree::open(path.as_ref(), config.clone())?;
         tree.attach_metrics(&metrics);
         Ok(BTreeStore {
             tree: Mutex::new(tree),
+            path: path.as_ref().to_path_buf(),
+            config,
             counters: StoreCounters::registered(&metrics),
             metrics,
         })
@@ -127,6 +139,67 @@ impl StateStore for BTreeStore {
             .into_iter()
             .map(|(k, v)| (Bytes::from(k), Bytes::from(v)))
             .collect())
+    }
+
+    fn durability(&self) -> Durability {
+        // Pages are written back on eviction/flush/close, but there is
+        // no WAL: only explicit checkpoints bound the loss window.
+        Durability::SnapshotOnly
+    }
+
+    fn checkpoint(&self, dir: &Path) -> Result<CheckpointManifest, StoreError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StoreError::path_io("create", dir.to_path_buf(), e))?;
+        // Hold the tree lock across flush + copy so the copied file is a
+        // quiescent, fully written-back image.
+        let mut tree = self.tree.lock();
+        tree.flush()?;
+        let dst = dir.join(SNAPSHOT_NAME);
+        // A hard link would alias future in-place page writes — the tree
+        // mutates its one data file — so this must be a real copy.
+        let bytes = std::fs::copy(&self.path, &dst)
+            .map_err(|e| StoreError::path_io("copy", dst.clone(), e))?;
+        std::fs::File::open(&dst)
+            .and_then(|f| f.sync_all())
+            .map_err(|e| StoreError::path_io("fsync", dst, e))?;
+        gadget_kv::fsync_dir(dir)?;
+        let mut manifest = CheckpointManifest::new(self.name());
+        manifest.push_file(SNAPSHOT_NAME, bytes);
+        manifest.save(dir)?;
+        Ok(manifest)
+    }
+
+    fn restore(&self, dir: &Path) -> Result<(), StoreError> {
+        let manifest = CheckpointManifest::load(dir)?;
+        if manifest.store != self.name() {
+            return Err(StoreError::Corruption(format!(
+                "checkpoint was taken by store {:?}, not {:?}",
+                manifest.store,
+                self.name()
+            )));
+        }
+        if manifest.shards != 0 {
+            return Err(StoreError::Corruption(format!(
+                "checkpoint is a {}-shard super-checkpoint; restore it through ShardedStore",
+                manifest.shards
+            )));
+        }
+        let src = dir.join(SNAPSHOT_NAME);
+        let mut tree = self.tree.lock();
+        // The pager writes dirty state back when a tree is dropped, so
+        // quiesce the old tree *before* replacing the data file: after
+        // this flush (and under the lock) it has nothing left to write,
+        // and the swap below drops it without touching the new image.
+        tree.flush()?;
+        std::fs::copy(&src, &self.path)
+            .map_err(|e| StoreError::path_io("copy", self.path.clone(), e))?;
+        std::fs::File::open(&self.path)
+            .and_then(|f| f.sync_all())
+            .map_err(|e| StoreError::path_io("fsync", self.path.clone(), e))?;
+        let mut fresh = Tree::open(&self.path, self.config.clone())?;
+        fresh.attach_metrics(&self.metrics);
+        *tree = fresh;
+        Ok(())
     }
 
     fn supports_scan(&self) -> bool {
@@ -363,6 +436,51 @@ mod tests {
         let expect = gadget_kv::apply_ops_serially(&serial, &ops).unwrap();
         assert_eq!(out, expect);
         assert_eq!(batched.len().unwrap(), serial.len().unwrap());
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let s = BTreeStore::open(tmpfile("ckpt.db"), BTreeConfig::small()).unwrap();
+        assert_eq!(s.durability(), Durability::SnapshotOnly);
+        for i in 0..2_000u64 {
+            s.put(&i.to_be_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        let dir = tmpfile("ckpt-dir");
+        let manifest = s.checkpoint(&dir).unwrap();
+        assert_eq!(manifest.store, "btree");
+        assert_eq!(manifest.files.len(), 1);
+        // Diverge after the cut: overwrites, deletes, and new keys.
+        for i in 0..500u64 {
+            s.put(&i.to_be_bytes(), b"overwritten").unwrap();
+        }
+        for i in 500..700u64 {
+            s.delete(&i.to_be_bytes()).unwrap();
+        }
+        s.put(b"post-checkpoint", b"gone-after-restore").unwrap();
+        s.restore(&dir).unwrap();
+        for i in 0..2_000u64 {
+            assert_eq!(
+                s.get(&i.to_be_bytes()).unwrap().as_deref(),
+                Some(format!("v{i}").as_bytes()),
+                "key {i}"
+            );
+        }
+        assert_eq!(s.get(b"post-checkpoint").unwrap(), None);
+        // The restored tree is live: writes after restore stick.
+        s.put(b"after", b"restore").unwrap();
+        assert_eq!(s.get(b"after").unwrap().as_deref(), Some(&b"restore"[..]));
+    }
+
+    #[test]
+    fn restore_rejects_foreign_checkpoints() {
+        let s = BTreeStore::open(tmpfile("foreign.db"), BTreeConfig::small()).unwrap();
+        let dir = tmpfile("foreign-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut manifest = CheckpointManifest::new("lsm");
+        manifest.push_file(SNAPSHOT_NAME, 0);
+        manifest.save(&dir).unwrap();
+        let err = s.restore(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Corruption(_)), "{err}");
     }
 
     #[test]

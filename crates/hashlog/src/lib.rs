@@ -30,11 +30,16 @@
 //! ```
 
 use std::collections::HashMap;
+use std::path::Path;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use gadget_kv::{apply_ops_serially, BatchResult, StateStore, StoreCounters, StoreError};
+use gadget_kv::durability::{read_kv_records, write_snapshot_file};
+use gadget_kv::{
+    apply_ops_serially, BatchResult, CheckpointManifest, Durability, StateStore, StoreCounters,
+    StoreError,
+};
 use gadget_obs::{MetricsRegistry, MetricsSnapshot};
 use gadget_types::Op;
 
@@ -111,9 +116,13 @@ impl HashLogConfig {
     }
 }
 
+/// File name of the hashlog snapshot inside a checkpoint directory.
+const SNAPSHOT_NAME: &str = "hashlog.snap";
+
 /// A FASTER-class concurrent hash/log store. See the crate docs.
 pub struct HashLogStore {
     shards: Vec<Mutex<Shard>>,
+    config: HashLogConfig,
     counters: StoreCounters,
     metrics: MetricsRegistry,
 }
@@ -129,6 +138,7 @@ impl HashLogStore {
         let metrics = MetricsRegistry::new();
         Ok(HashLogStore {
             shards,
+            config,
             counters: StoreCounters::registered(&metrics),
             metrics,
         })
@@ -225,6 +235,55 @@ impl StateStore for HashLogStore {
         }
         out.sort();
         out
+    }
+
+    fn durability(&self) -> Durability {
+        // The log lives in process memory; only explicit checkpoints
+        // survive a crash.
+        Durability::SnapshotOnly
+    }
+
+    fn checkpoint(&self, dir: &Path) -> Result<CheckpointManifest, StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::path_io("open", dir, e))?;
+        // Walk the hash index shard by shard: one live record per key.
+        // Deletes leave no tombstones in the log, so the index walk (not
+        // a raw log copy) is the only faithful snapshot.
+        let mut records: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for shard in &self.shards {
+            shard
+                .lock()
+                .for_each_live(|k, v| records.push((k.to_vec(), v.to_vec())));
+        }
+        let bytes = write_snapshot_file(
+            &dir.join(SNAPSHOT_NAME),
+            records.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+        )?;
+        let mut manifest = CheckpointManifest::new(self.name());
+        manifest.push_file(SNAPSHOT_NAME, bytes);
+        manifest.save(dir)?;
+        Ok(manifest)
+    }
+
+    fn restore(&self, dir: &Path) -> Result<(), StoreError> {
+        let manifest = CheckpointManifest::load(dir)?;
+        if manifest.store != self.name() {
+            return Err(StoreError::Corruption(format!(
+                "checkpoint was taken by store {:?}, not {:?}",
+                manifest.store,
+                self.name()
+            )));
+        }
+        let records = read_kv_records(&dir.join(SNAPSHOT_NAME))?;
+        // Rebuild every shard from scratch, re-hashing each record: the
+        // snapshot is shard-layout-independent, so a store configured
+        // with a different shard count restores the same state.
+        for shard in &self.shards {
+            *shard.lock() = Shard::new(self.config.clone());
+        }
+        for (k, v) in records {
+            self.shard_for(&k).lock().upsert(&k, &v);
+        }
+        Ok(())
     }
 
     fn apply_batch(&self, batch: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
@@ -501,6 +560,49 @@ mod tests {
                 "key {i}"
             );
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip_and_resharding() {
+        let dir = std::env::temp_dir().join(format!("gadget-hl-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = HashLogStore::new(HashLogConfig::small());
+        assert_eq!(s.durability(), Durability::SnapshotOnly);
+        for i in 0..200u64 {
+            s.put(&i.to_be_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        s.delete(&13u64.to_be_bytes()).unwrap();
+        s.merge(b"acc", b"xy").unwrap();
+        s.checkpoint(&dir).unwrap();
+
+        // Diverge, then roll back in place.
+        s.put(&1u64.to_be_bytes(), b"clobbered").unwrap();
+        s.put(b"extra", b"z").unwrap();
+        s.restore(&dir).unwrap();
+        assert_eq!(
+            s.get(&1u64.to_be_bytes()).unwrap().as_deref(),
+            Some(&b"v1"[..])
+        );
+        assert_eq!(s.get(b"extra").unwrap(), None);
+        assert_eq!(s.get(&13u64.to_be_bytes()).unwrap(), None);
+        assert_eq!(s.get(b"acc").unwrap().as_deref(), Some(&b"xy"[..]));
+
+        // The snapshot is shard-layout-independent: a store with a
+        // different shard count restores the same state.
+        let wide = HashLogStore::new(HashLogConfig {
+            shards: 16,
+            ..HashLogConfig::small()
+        });
+        wide.restore(&dir).unwrap();
+        assert_eq!(wide.len(), s.len());
+        for i in (0..200u64).step_by(17) {
+            assert_eq!(
+                wide.get(&i.to_be_bytes()).unwrap(),
+                s.get(&i.to_be_bytes()).unwrap(),
+                "key {i}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -80,6 +80,18 @@ impl Shard {
         addr
     }
 
+    /// Visits every live record (exactly one per key, via the hash
+    /// index) as `(key, value)` slices — the checkpoint walk. The raw
+    /// log is *not* snapshot-restorable on its own: deletes drop index
+    /// entries without writing tombstones, so only the index knows
+    /// which records are alive.
+    pub fn for_each_live(&self, mut f: impl FnMut(&[u8], &[u8])) {
+        for (key, &addr) in &self.index {
+            let (start, end) = self.value_range(addr);
+            f(key, &self.log[start..end]);
+        }
+    }
+
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Option<Bytes> {
         let &addr = self.index.get(key)?;

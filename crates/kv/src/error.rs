@@ -2,12 +2,25 @@
 
 use std::fmt;
 use std::io;
+use std::path::PathBuf;
 
 /// Errors returned by [`StateStore`](crate::StateStore) operations.
 #[derive(Debug)]
 pub enum StoreError {
     /// An underlying I/O operation failed.
     Io(io::Error),
+    /// An I/O operation failed on a known file or directory. Unlike
+    /// [`StoreError::Io`] this names *what* was being attempted
+    /// (`open`/`write`/`fsync`/`rename`/`copy`/`remove`) and *where*, so
+    /// a crash-harness failure is diagnosable from report JSON alone.
+    PathIo {
+        /// The operation that failed.
+        op: &'static str,
+        /// The file or directory it failed on.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
     /// On-disk or in-memory data failed an integrity check.
     Corruption(String),
     /// The store has been closed and can no longer serve requests.
@@ -29,6 +42,9 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::PathIo { op, path, source } => {
+                write!(f, "{op} {}: {source}", path.display())
+            }
             StoreError::Corruption(msg) => write!(f, "corruption: {msg}"),
             StoreError::Closed => write!(f, "store is closed"),
             StoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -42,6 +58,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
+            StoreError::PathIo { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -50,6 +67,17 @@ impl std::error::Error for StoreError {
 impl From<io::Error> for StoreError {
     fn from(e: io::Error) -> Self {
         StoreError::Io(e)
+    }
+}
+
+impl StoreError {
+    /// A [`StoreError::PathIo`] naming the failing operation and path.
+    pub fn path_io(op: &'static str, path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StoreError::PathIo {
+            op,
+            path: path.into(),
+            source,
+        }
     }
 }
 
@@ -80,5 +108,16 @@ mod tests {
         let e = StoreError::from(io::Error::other("inner"));
         assert!(e.source().is_some());
         assert!(StoreError::Closed.source().is_none());
+    }
+
+    #[test]
+    fn path_io_names_operation_and_path() {
+        use std::error::Error;
+        let e = StoreError::path_io("fsync", "/data/wal_3.log", io::Error::other("disk gone"));
+        let msg = e.to_string();
+        assert!(msg.contains("fsync"), "{msg}");
+        assert!(msg.contains("/data/wal_3.log"), "{msg}");
+        assert!(msg.contains("disk gone"), "{msg}");
+        assert!(e.source().is_some());
     }
 }

@@ -124,6 +124,23 @@ impl<S: StateStore> StateStore for InstrumentedStore<S> {
         self.inner.flush()
     }
 
+    fn durability(&self) -> crate::durability::Durability {
+        self.inner.durability()
+    }
+
+    // Lifecycle calls pass through unrecorded: they are not state
+    // accesses, so they must not appear in the trace.
+    fn checkpoint(
+        &self,
+        dir: &std::path::Path,
+    ) -> Result<crate::durability::CheckpointManifest, StoreError> {
+        self.inner.checkpoint(dir)
+    }
+
+    fn restore(&self, dir: &std::path::Path) -> Result<(), StoreError> {
+        self.inner.restore(dir)
+    }
+
     fn internal_counters(&self) -> Vec<(String, u64)> {
         self.inner.internal_counters()
     }

@@ -32,6 +32,7 @@
 //! (compaction traffic, cache hit rates, fsync latencies, …) for the
 //! `--metrics` time-series emitter.
 
+pub mod durability;
 pub mod error;
 pub mod hash;
 pub mod instrument;
@@ -42,6 +43,10 @@ pub mod router;
 pub mod sharded;
 pub mod store;
 
+pub use durability::{
+    dir_fsync_count, fsync_dir, link_or_copy, shard_checkpoint_dir, CheckpointFile,
+    CheckpointManifest, Durability, MANIFEST_NAME,
+};
 pub use error::StoreError;
 pub use hash::fnv1a;
 pub use instrument::InstrumentedStore;

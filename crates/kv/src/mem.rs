@@ -1,6 +1,7 @@
 //! A reference in-memory store.
 
 use std::collections::HashMap;
+use std::path::Path;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -8,8 +9,12 @@ use parking_lot::RwLock;
 use gadget_obs::{MetricsRegistry, MetricsSnapshot};
 use gadget_types::Op;
 
+use crate::durability::{read_kv_records, write_snapshot_file, CheckpointManifest, Durability};
 use crate::error::StoreError;
 use crate::store::{apply_ops_serially, BatchResult, StateStore, StoreCounters};
+
+/// File name of the MemStore snapshot inside a checkpoint directory.
+const SNAPSHOT_NAME: &str = "mem.snap";
 
 /// A trivial in-memory hash-map store.
 ///
@@ -120,6 +125,45 @@ impl StateStore for MemStore {
         let mut snap = self.metrics.snapshot();
         snap.push_gauge("live_keys", self.len() as i64);
         Some(snap)
+    }
+
+    fn durability(&self) -> Durability {
+        // Process death loses everything; only explicit checkpoints survive.
+        Durability::Ephemeral
+    }
+
+    fn checkpoint(&self, dir: &Path) -> Result<CheckpointManifest, StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::path_io("open", dir, e))?;
+        let map = self.map.read();
+        let mut entries: Vec<(&Vec<u8>, &Bytes)> = map.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let bytes = write_snapshot_file(
+            &dir.join(SNAPSHOT_NAME),
+            entries.iter().map(|(k, v)| (k.as_slice(), v.as_ref())),
+        )?;
+        drop(map);
+        let mut manifest = CheckpointManifest::new(self.name());
+        manifest.push_file(SNAPSHOT_NAME, bytes);
+        manifest.save(dir)?;
+        Ok(manifest)
+    }
+
+    fn restore(&self, dir: &Path) -> Result<(), StoreError> {
+        let manifest = CheckpointManifest::load(dir)?;
+        if manifest.store != self.name() {
+            return Err(StoreError::Corruption(format!(
+                "checkpoint was taken by store {:?}, not {:?}",
+                manifest.store,
+                self.name()
+            )));
+        }
+        let records = read_kv_records(&dir.join(SNAPSHOT_NAME))?;
+        let mut map = self.map.write();
+        map.clear();
+        for (k, v) in records {
+            map.insert(k, Bytes::from(v));
+        }
+        Ok(())
     }
 
     fn apply_batch(&self, batch: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
@@ -248,6 +292,41 @@ mod tests {
         assert_eq!(out[2].value().map(|v| v.as_ref()), Some(&b"12"[..]));
         assert!(!out[4].found());
         assert_eq!(batched.internal_counters(), serial.internal_counters());
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("gadget-mem-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = MemStore::new();
+        s.put(b"a", b"1").unwrap();
+        s.merge(b"b", b"22").unwrap();
+        s.delete(b"gone").unwrap();
+        assert_eq!(s.durability(), Durability::Ephemeral);
+        let manifest = s.checkpoint(&dir).unwrap();
+        assert_eq!(manifest.store, "mem");
+        assert_eq!(manifest.files.len(), 1);
+
+        // Mutate past the checkpoint, then restore: state rolls back.
+        s.put(b"a", b"overwritten").unwrap();
+        s.put(b"c", b"3").unwrap();
+        s.restore(&dir).unwrap();
+        assert_eq!(s.get(b"a").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(s.get(b"b").unwrap().as_deref(), Some(&b"22"[..]));
+        assert_eq!(s.get(b"c").unwrap(), None);
+
+        // A different store's checkpoint is refused.
+        let other = MemStore::new();
+        other.put(b"x", b"y").unwrap();
+        let manifest = CheckpointManifest::load(&dir).unwrap();
+        let mut wrong = manifest.clone();
+        wrong.store = "lsm".to_string();
+        wrong.save(&dir).unwrap();
+        assert!(matches!(
+            other.restore(&dir),
+            Err(StoreError::Corruption(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

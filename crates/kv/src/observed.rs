@@ -161,6 +161,21 @@ impl<S: StateStore> StateStore for ObservedStore<S> {
         self.inner.flush()
     }
 
+    fn durability(&self) -> crate::durability::Durability {
+        self.inner.durability()
+    }
+
+    fn checkpoint(
+        &self,
+        dir: &std::path::Path,
+    ) -> Result<crate::durability::CheckpointManifest, StoreError> {
+        self.inner.checkpoint(dir)
+    }
+
+    fn restore(&self, dir: &std::path::Path) -> Result<(), StoreError> {
+        self.inner.restore(dir)
+    }
+
     fn internal_counters(&self) -> Vec<(String, u64)> {
         self.inner.internal_counters()
     }

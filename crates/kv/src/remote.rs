@@ -159,6 +159,23 @@ impl<S: StateStore> StateStore for RemoteStore<S> {
         self.inner.flush()
     }
 
+    // Lifecycle calls pass through without a simulated round-trip: a
+    // checkpoint is an operator-plane action, not a per-op data path.
+    fn durability(&self) -> crate::durability::Durability {
+        self.inner.durability()
+    }
+
+    fn checkpoint(
+        &self,
+        dir: &std::path::Path,
+    ) -> Result<crate::durability::CheckpointManifest, StoreError> {
+        self.inner.checkpoint(dir)
+    }
+
+    fn restore(&self, dir: &std::path::Path) -> Result<(), StoreError> {
+        self.inner.restore(dir)
+    }
+
     fn internal_counters(&self) -> Vec<(String, u64)> {
         self.inner.internal_counters()
     }

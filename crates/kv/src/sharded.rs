@@ -55,6 +55,7 @@
 //! op spans (and WAL fsyncs performed on the calling thread) carry the
 //! shard id and tail-latency attribution can blame a hot shard.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -64,6 +65,7 @@ use gadget_obs::MetricsSnapshot;
 use gadget_types::Op;
 use parking_lot::{Mutex, RwLock};
 
+use crate::durability::{shard_checkpoint_dir, CheckpointManifest, Durability};
 use crate::error::StoreError;
 use crate::hash::fnv1a;
 use crate::router::{slot_of_key, ReshardEvent, Router, SlotTable, SLOTS};
@@ -637,6 +639,101 @@ impl StateStore for ShardedStore {
         for (s, shard) in shards.iter().enumerate() {
             let _scope = trace::shard_scope(s as u64);
             shard.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The weakest durability across shards (they are homogeneous in
+    /// practice, so this is simply shard 0's descriptor).
+    fn durability(&self) -> Durability {
+        self.shards.read()[0].durability()
+    }
+
+    /// Takes a **super-checkpoint**: one sub-checkpoint per shard under
+    /// `shard-<i>/`, plus a topology-stamped super-manifest recording
+    /// the shard count and the partition-map digest. Restore validates
+    /// both, so a checkpoint can never be silently re-routed under a
+    /// different topology.
+    ///
+    /// The serial lock orders the cut against migrations: a map flip
+    /// cannot land between two shards' sub-checkpoints. An *open*
+    /// transfer window is rejected outright — mid-copy both owners hold
+    /// partial slot contents, which no single manifest can describe.
+    fn checkpoint(&self, dir: &Path) -> Result<CheckpointManifest, StoreError> {
+        let _serial = self.serial.lock();
+        if self.migration.read().is_some() {
+            return Err(StoreError::InvalidArgument(
+                "cannot checkpoint while a slot migration window is open".to_string(),
+            ));
+        }
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StoreError::path_io("create", dir.to_path_buf(), e))?;
+        let digest = self.partition_digest();
+        let shards = self.shards.read();
+        let mut manifest = CheckpointManifest::new(self.name());
+        manifest.shards = shards.len() as u32;
+        manifest.partition_digest = Some(digest);
+        for (i, shard) in shards.iter().enumerate() {
+            let _scope = trace::shard_scope(i as u64);
+            let sub = shard.checkpoint(&shard_checkpoint_dir(dir, i))?;
+            // One aggregate entry per shard; the authoritative file list
+            // lives in the sub-manifest.
+            manifest.push_file(format!("shard-{i}"), sub.total_bytes);
+            manifest.reused_files += sub.reused_files;
+        }
+        crate::durability::fsync_dir(dir)?;
+        manifest.save(dir)?;
+        Ok(manifest)
+    }
+
+    /// Restores a super-checkpoint taken by [`checkpoint`]. The shard
+    /// count and partition-map digest must match the current topology
+    /// exactly ([`StoreError::Corruption`] otherwise): the sub-stores
+    /// were cut under that map, and any other routing would scatter
+    /// their keys. A failing shard aborts mid-way; rerun the restore to
+    /// converge (each sub-restore is itself all-or-nothing).
+    ///
+    /// [`checkpoint`]: StateStore::checkpoint
+    fn restore(&self, dir: &Path) -> Result<(), StoreError> {
+        let manifest = CheckpointManifest::load(dir)?;
+        if manifest.store != self.name() {
+            return Err(StoreError::Corruption(format!(
+                "checkpoint was taken by store {:?}, not {:?}",
+                manifest.store,
+                self.name()
+            )));
+        }
+        let _serial = self.serial.lock();
+        if self.migration.read().is_some() {
+            return Err(StoreError::InvalidArgument(
+                "cannot restore while a slot migration window is open".to_string(),
+            ));
+        }
+        let shards = self.shards.read();
+        if manifest.shards as usize != shards.len() {
+            return Err(StoreError::Corruption(format!(
+                "checkpoint spans {} shards but the store has {}",
+                manifest.shards,
+                shards.len()
+            )));
+        }
+        let digest = self.partition_digest();
+        match manifest.partition_digest.as_deref() {
+            Some(d) if d == digest => {}
+            Some(d) => {
+                return Err(StoreError::Corruption(format!(
+                    "checkpoint partition digest {d} does not match the current map {digest}"
+                )));
+            }
+            None => {
+                return Err(StoreError::Corruption(
+                    "sharded checkpoint is missing its partition digest".to_string(),
+                ));
+            }
+        }
+        for (i, shard) in shards.iter().enumerate() {
+            let _scope = trace::shard_scope(i as u64);
+            shard.restore(&shard_checkpoint_dir(dir, i))?;
         }
         Ok(())
     }
@@ -1222,6 +1319,81 @@ mod tests {
             log.spans_of(trace::Category::SlotMigration).count() >= 1,
             "copy-chunk spans missing"
         );
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "gadget-sharded-{}-{name}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn super_checkpoint_roundtrips_with_topology_stamp() {
+        let s = sharded_mem(4);
+        fill(&s, 300);
+        let dir = tmp("super");
+        let manifest = s.checkpoint(&dir).unwrap();
+        assert_eq!(manifest.shards, 4);
+        assert_eq!(manifest.files.len(), 4);
+        assert_eq!(
+            manifest.partition_digest.as_deref(),
+            Some(s.partition_digest().as_str())
+        );
+        // Diverge, then restore to the cut.
+        for i in 0..300u64 {
+            s.put(&i.to_be_bytes(), b"diverged").unwrap();
+        }
+        s.put(b"extra", b"gone").unwrap();
+        s.restore(&dir).unwrap();
+        check(&s, 300);
+        assert_eq!(s.get(b"extra").unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_rejects_a_flipped_partition_map() {
+        let s = sharded_mem(4);
+        fill(&s, 300);
+        let dir = tmp("flip");
+        s.checkpoint(&dir).unwrap();
+        // Flip the map: the digest no longer matches the checkpoint.
+        let moved = SlotTable::identity(4).slots_of(0);
+        s.migrate_slots(&moved, 2, 0).unwrap();
+        let err = s.restore(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Corruption(_)), "got {err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_rejects_a_different_shard_count() {
+        let a = sharded_mem(4);
+        fill(&a, 100);
+        let dir = tmp("count");
+        a.checkpoint(&dir).unwrap();
+        let b = sharded_mem(2);
+        let err = b.restore(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Corruption(_)), "got {err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_is_rejected_inside_a_migration_window() {
+        let s = sharded_mem(2);
+        *s.migration.write() = Some(MigrationState {
+            migrating: vec![false; SLOTS],
+            to: 1,
+        });
+        let dir = tmp("window");
+        let err = s.checkpoint(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::InvalidArgument(_)), "got {err:?}");
+        *s.migration.write() = None;
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use bytes::Bytes;
 use gadget_obs::{Counter, MetricsRegistry, MetricsSnapshot};
 use gadget_types::Op;
+use std::path::Path;
 
+use crate::durability::{CheckpointManifest, Durability};
 use crate::error::StoreError;
 
 /// The per-operation outcome of [`StateStore::apply_batch`].
@@ -148,6 +150,39 @@ pub trait StateStore: Send + Sync {
     /// at call time.
     fn metrics(&self) -> Option<MetricsSnapshot> {
         None
+    }
+
+    /// How this store survives process death. Defaults to
+    /// [`Durability::Ephemeral`]; file-backed stores override.
+    fn durability(&self) -> Durability {
+        Durability::Ephemeral
+    }
+
+    /// Writes a point-in-time snapshot of the store's state into `dir`,
+    /// returning the manifest describing it.
+    ///
+    /// The snapshot is *consistent*: it reflects some prefix of the
+    /// store's serialized operation history, even if writes race the
+    /// checkpoint. Re-checkpointing into the same directory is allowed
+    /// and may reuse unchanged immutable files (incremental mode); the
+    /// manifest's `reused_files` reports how many were skipped. The
+    /// manifest is written last, so a directory with a readable manifest
+    /// is always a complete checkpoint.
+    fn checkpoint(&self, dir: &Path) -> Result<CheckpointManifest, StoreError> {
+        let _ = dir;
+        Err(StoreError::Unsupported("checkpoint"))
+    }
+
+    /// Replaces the store's current state with the checkpoint in `dir`.
+    ///
+    /// After a successful restore the store serves exactly the state
+    /// captured by the checkpoint; all state written since (including
+    /// WAL tails) is discarded. Fails with
+    /// [`StoreError::Corruption`] if the checkpoint is incomplete,
+    /// fails validation, or was taken by an incompatible store.
+    fn restore(&self, dir: &Path) -> Result<(), StoreError> {
+        let _ = dir;
+        Err(StoreError::Unsupported("restore"))
     }
 
     /// Applies a batch of operations in order, returning one

@@ -47,3 +47,4 @@ pub mod wal;
 
 pub use config::{LethePolicy, LsmConfig};
 pub use store::LsmStore;
+pub use wal::{tear_tail, TearMode};

@@ -2,8 +2,11 @@
 //!
 //! Each record is `[len u32][crc u32][payload]` where the payload encodes
 //! one logical operation. On open, the log is replayed into the fresh
-//! memtable; a torn tail (partial final record or CRC mismatch) is treated
-//! as the end of the log, as in RocksDB's default recovery mode.
+//! memtable; a torn tail (partial *final* record or a CRC mismatch on it)
+//! is treated as the end of the log, as in RocksDB's default recovery
+//! mode. A bad record *followed by valid records* is different: the data
+//! after it proves the log continued past that point, so replay
+//! hard-errors instead of silently dropping acknowledged writes.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read, Write};
@@ -75,19 +78,32 @@ pub struct Wal {
 }
 
 impl Wal {
-    /// Creates (truncates) a WAL at `path`.
+    /// Creates (truncates) a WAL at `path`, fsyncing the parent
+    /// directory so the new segment's *name* survives a crash too.
     pub fn create(path: &Path, sync: bool) -> io::Result<Self> {
         let file = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(true)
             .open(path)?;
+        if let Some(parent) = path.parent() {
+            gadget_kv::fsync_dir(parent).map_err(io::Error::other)?;
+        }
         Ok(Wal {
             writer: BufWriter::new(file),
             sync,
             metrics: None,
             pending_bytes: 0,
         })
+    }
+
+    /// Consumes the WAL, dropping any bytes still buffered in user space
+    /// *without* flushing them — exactly what a crash does to the
+    /// non-durable tail. Bytes already handed to the OS stay in the
+    /// file; the descriptor is closed cleanly.
+    pub fn discard(self) {
+        let (file, _buffered) = self.writer.into_parts();
+        drop(file);
     }
 
     /// Attaches durability instruments; subsequent appends and fsyncs
@@ -177,7 +193,11 @@ impl Wal {
     /// Replays a WAL file, stopping cleanly at a torn tail.
     ///
     /// Returns the decoded operations in append order. A missing file
-    /// yields an empty log.
+    /// yields an empty log. A damaged *final* record (truncated or
+    /// CRC-failing) is the crash-mid-append case and ends replay cleanly;
+    /// a damaged record with a valid record after it means bytes beyond
+    /// the damage were durable — that is real corruption and replay
+    /// returns `InvalidData` rather than silently dropping the suffix.
     pub fn replay(path: &Path) -> io::Result<Vec<WalOp>> {
         let mut data = Vec::new();
         match File::open(path) {
@@ -195,21 +215,90 @@ impl Wal {
             let start = pos + 8;
             let end = start + len;
             if end > data.len() {
-                break; // Torn tail.
+                break; // Torn tail: the final append was cut mid-record.
             }
             let payload = &data[start..end];
-            if crc32c(payload) != crc {
-                break; // Torn or corrupt tail.
-            }
-            if let Some(op) = decode_payload(payload) {
-                ops.push(op);
+            let op = if crc32c(payload) == crc {
+                decode_payload(payload)
             } else {
-                break;
+                None
+            };
+            match op {
+                Some(op) => {
+                    ops.push(op);
+                    pos = end;
+                }
+                None if valid_record_at(&data, end) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "corrupt WAL record at byte {pos} followed by valid records \
+                             in {}",
+                            path.display()
+                        ),
+                    ));
+                }
+                None => break, // Damaged final record: clean end of log.
             }
-            pos = end;
         }
         Ok(ops)
     }
+}
+
+/// Whether a complete, CRC-valid, decodable record starts at `pos`.
+fn valid_record_at(data: &[u8], pos: usize) -> bool {
+    if pos + 8 > data.len() {
+        return false;
+    }
+    let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+    let start = pos + 8;
+    let Some(end) = start.checked_add(len) else {
+        return false;
+    };
+    if end > data.len() {
+        return false;
+    }
+    let payload = &data[start..end];
+    crc32c(payload) == crc && decode_payload(payload).is_some()
+}
+
+/// How [`tear_tail`] damages a log, simulating a torn write at the
+/// device level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TearMode {
+    /// Cut the last few bytes off the file (partial sector write).
+    Truncate,
+    /// Flip bits in the final byte (garbled sector).
+    Garble,
+}
+
+/// Damages the tail of the WAL at `path` — the torn-write injection hook
+/// used by the crash harness to prove CRC-bounded recovery. Returns
+/// `false` when the file is missing or empty (nothing to tear).
+pub fn tear_tail(path: &Path, mode: TearMode) -> io::Result<bool> {
+    let len = match std::fs::metadata(path) {
+        Ok(m) => m.len(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e),
+    };
+    if len == 0 {
+        return Ok(false);
+    }
+    match mode {
+        TearMode::Truncate => {
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(len.saturating_sub(3))?;
+            file.sync_all()?;
+        }
+        TearMode::Garble => {
+            let mut data = std::fs::read(path)?;
+            let n = data.len();
+            data[n - 1] ^= 0xFF;
+            std::fs::write(path, &data)?;
+        }
+    }
+    Ok(true)
 }
 
 fn decode_payload(payload: &[u8]) -> Option<WalOp> {
@@ -297,6 +386,104 @@ mod tests {
         std::fs::write(&path, &data).unwrap();
         let ops = Wal::replay(&path).unwrap();
         assert_eq!(ops.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_mid_log_is_a_hard_error() {
+        let path = tmp("midlog.wal");
+        let first_len;
+        {
+            let mut wal = Wal::create(&path, false).unwrap();
+            wal.append(&WalOp::Put(b"a".to_vec(), b"1".to_vec()))
+                .unwrap();
+            wal.flush().unwrap();
+            first_len = std::fs::metadata(&path).unwrap().len() as usize;
+            wal.append(&WalOp::Put(b"b".to_vec(), b"2".to_vec()))
+                .unwrap();
+            wal.append(&WalOp::Put(b"c".to_vec(), b"3".to_vec()))
+                .unwrap();
+            wal.flush().unwrap();
+        }
+        // Corrupt the payload of the SECOND record: valid records follow
+        // it, so this cannot be a torn append and must hard-error.
+        let mut data = std::fs::read(&path).unwrap();
+        data[first_len + 9] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let err = Wal::replay(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_tail_after_bad_record_is_clean_end() {
+        let path = tmp("garbagetail.wal");
+        {
+            let mut wal = Wal::create(&path, false).unwrap();
+            wal.append(&WalOp::Put(b"a".to_vec(), b"1".to_vec()))
+                .unwrap();
+            wal.append(&WalOp::Put(b"b".to_vec(), b"2".to_vec()))
+                .unwrap();
+            wal.flush().unwrap();
+        }
+        // Corrupt the last record AND append garbage that does not parse
+        // as a record: still a torn tail, not mid-log corruption.
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xFF;
+        data.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+        std::fs::write(&path, &data).unwrap();
+        let ops = Wal::replay(&path).unwrap();
+        assert_eq!(ops, vec![WalOp::Put(b"a".to_vec(), b"1".to_vec())]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tear_tail_injection_bounds_recovery() {
+        for (mode, label) in [(TearMode::Truncate, "trunc"), (TearMode::Garble, "garble")] {
+            let path = tmp(&format!("tear-{label}.wal"));
+            {
+                let mut wal = Wal::create(&path, false).unwrap();
+                wal.append(&WalOp::Put(b"a".to_vec(), b"1".to_vec()))
+                    .unwrap();
+                wal.append(&WalOp::Put(b"b".to_vec(), b"2".to_vec()))
+                    .unwrap();
+                wal.flush().unwrap();
+            }
+            assert!(tear_tail(&path, mode).unwrap());
+            // Recovery is CRC-bounded: exactly the undamaged prefix.
+            let ops = Wal::replay(&path).unwrap();
+            assert_eq!(ops, vec![WalOp::Put(b"a".to_vec(), b"1".to_vec())]);
+            std::fs::remove_file(&path).ok();
+        }
+        // Nothing to tear in a missing file.
+        let missing = tmp("tear-missing.wal");
+        std::fs::remove_file(&missing).ok();
+        assert!(!tear_tail(&missing, TearMode::Truncate).unwrap());
+    }
+
+    #[test]
+    fn discard_loses_the_buffered_tail_only() {
+        let path = tmp("discard.wal");
+        let mut wal = Wal::create(&path, false).unwrap();
+        wal.append(&WalOp::Put(b"a".to_vec(), b"1".to_vec()))
+            .unwrap();
+        wal.flush().unwrap(); // First record reaches the OS.
+        wal.append(&WalOp::Put(b"b".to_vec(), b"2".to_vec()))
+            .unwrap(); // Second stays in the BufWriter.
+        wal.discard();
+        let ops = Wal::replay(&path).unwrap();
+        assert_eq!(ops, vec![WalOp::Put(b"a".to_vec(), b"1".to_vec())]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_fsyncs_parent_directory() {
+        let before = gadget_kv::dir_fsync_count();
+        let path = tmp("dirsync.wal");
+        let wal = Wal::create(&path, false).unwrap();
+        assert!(gadget_kv::dir_fsync_count() > before);
+        wal.discard();
         std::fs::remove_file(&path).ok();
     }
 

@@ -429,8 +429,10 @@ impl TraceReplayer {
     }
 
     /// Materializes a trace access into an owned batch op, synthesizing
-    /// the same payload bytes the op-by-op path would issue.
-    fn materialize(&self, access: &StateAccess) -> Op {
+    /// the same payload bytes the op-by-op path would issue. Public so
+    /// the crash harness can re-derive the exact op sequence a crashed
+    /// replay issued and check recovered state against every prefix.
+    pub fn materialize(&self, access: &StateAccess) -> Op {
         let key = Bytes::copy_from_slice(&access.key.encode());
         match access.op {
             OpType::Get => Op::Get { key },

@@ -385,6 +385,87 @@ pub(crate) fn compare_topology(
     })
 }
 
+/// Gates two reports' recovery sections. Contributes nothing unless
+/// *both* sides measured a recovery — ordinary replay reports and
+/// baselines predating the crash harness must keep gating untouched.
+/// The one hard rule: a candidate that lost acknowledged writes where
+/// the baseline lost none is REGRESSED — durability is a contract, not
+/// a tolerance band. Recovery time drifting slower than the counter
+/// tolerance is WARN only: it is a single wall-clock sample, too noisy
+/// to fail a run on its own.
+pub(crate) fn compare_recovery(
+    baseline: &RunReport,
+    candidate: &RunReport,
+    tol: &Tolerance,
+) -> Vec<MetricComparison> {
+    let (Some(b), Some(c)) = (&baseline.recovery, &candidate.recovery) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+
+    let loss_status = if c.loss_window > 0 && b.loss_window == 0 {
+        (
+            Status::Regressed,
+            format!(
+                "candidate lost {} acknowledged writes; baseline lost none",
+                c.loss_window
+            ),
+        )
+    } else if c.loss_window > b.loss_window {
+        (
+            Status::Warn,
+            format!(
+                "loss window grew from {} to {} acknowledged writes",
+                b.loss_window, c.loss_window
+            ),
+        )
+    } else {
+        (Status::Pass, String::new())
+    };
+    out.push(MetricComparison {
+        metric: "recovery/loss_window".to_string(),
+        baseline: b.loss_window as f64,
+        candidate: c.loss_window as f64,
+        delta_pct: 0.0,
+        ks_d: None,
+        ks_p: None,
+        wasserstein: None,
+        status: loss_status.0,
+        note: loss_status.1,
+    });
+
+    let base_us = b.recovery_us as f64;
+    let cand_us = c.recovery_us as f64;
+    let delta_pct = if base_us > 0.0 {
+        (cand_us - base_us) / base_us * 100.0
+    } else {
+        0.0
+    };
+    let (status, note) = if delta_pct > tol.counter_pct {
+        (
+            Status::Warn,
+            format!(
+                "recovery slowed {:.1}% (tolerance {:.0}%)",
+                delta_pct, tol.counter_pct
+            ),
+        )
+    } else {
+        (Status::Pass, String::new())
+    };
+    out.push(MetricComparison {
+        metric: "recovery/recovery_us".to_string(),
+        baseline: base_us,
+        candidate: cand_us,
+        delta_pct,
+        ks_d: None,
+        ks_p: None,
+        wasserstein: None,
+        status,
+        note,
+    });
+    out
+}
+
 /// Compares a directionless counter: drift beyond tolerance is WARN,
 /// never REGRESSED (more compactions may be better or worse — a human
 /// decides).
@@ -461,6 +542,7 @@ pub fn compare_reports(
     if let Some(topology) = compare_topology(&baseline.meta, &candidate.meta, tol) {
         metrics.push(topology);
     }
+    metrics.extend(compare_recovery(baseline, candidate, tol));
     metrics.push(compare_rate(
         "throughput",
         baseline.throughput,
@@ -574,6 +656,7 @@ mod tests {
             lag: LogHistogram::new(),
             metrics,
             attribution: None,
+            recovery: None,
         }
     }
 
@@ -728,6 +811,69 @@ mod tests {
         let cmp = compare_reports(&base, &cand, "a", "b", &Tolerance::default());
         assert!(!cmp.regressed(), "{}", cmp.to_table());
         assert!(!cmp.metrics.iter().any(|m| m.metric == "topology"));
+    }
+
+    fn recovery(loss: u64, us: u64) -> crate::schema::RecoveryReport {
+        crate::schema::RecoveryReport {
+            recovery_us: us,
+            replayed_wal_bytes: 4_096,
+            loss_window: loss,
+            acked_ops: 1_000,
+            kill_at_op: 1_000,
+            checkpoint_restored: false,
+            torn_tail: "none".to_string(),
+            crashes: 1,
+        }
+    }
+
+    #[test]
+    fn acknowledged_write_loss_regresses() {
+        let mut base = report_with_latency(0, 10_000.0);
+        let mut cand = report_with_latency(0, 10_000.0);
+        base.recovery = Some(recovery(0, 15_000));
+        cand.recovery = Some(recovery(3, 15_000));
+        let cmp = compare_reports(&base, &cand, "a", "b", &Tolerance::default());
+        assert!(cmp.regressed(), "{}", cmp.to_table());
+        let loss = cmp
+            .metrics
+            .iter()
+            .find(|m| m.metric == "recovery/loss_window")
+            .unwrap();
+        assert_eq!(loss.status, Status::Regressed);
+        assert!(loss.note.contains("lost 3 acknowledged"), "{}", loss.note);
+        // The reverse direction — candidate loses nothing — passes.
+        let cmp = compare_reports(&cand, &base, "b", "a", &Tolerance::default());
+        assert!(!cmp.regressed(), "{}", cmp.to_table());
+    }
+
+    #[test]
+    fn missing_recovery_section_never_gates() {
+        // A crash-harness candidate gated against an ordinary replay
+        // baseline (or vice versa) contributes no recovery metrics at
+        // all — old baselines keep working.
+        let base = report_with_latency(0, 10_000.0);
+        let mut cand = report_with_latency(0, 10_000.0);
+        cand.recovery = Some(recovery(7, 15_000));
+        let cmp = compare_reports(&base, &cand, "a", "b", &Tolerance::default());
+        assert!(!cmp.regressed(), "{}", cmp.to_table());
+        assert!(!cmp.metrics.iter().any(|m| m.metric.starts_with("recovery")));
+    }
+
+    #[test]
+    fn slower_recovery_warns_but_does_not_fail() {
+        let mut base = report_with_latency(0, 10_000.0);
+        let mut cand = report_with_latency(0, 10_000.0);
+        base.recovery = Some(recovery(0, 10_000));
+        cand.recovery = Some(recovery(0, 30_000));
+        let cmp = compare_reports(&base, &cand, "a", "b", &Tolerance::default());
+        assert!(!cmp.regressed(), "{}", cmp.to_table());
+        let us = cmp
+            .metrics
+            .iter()
+            .find(|m| m.metric == "recovery/recovery_us")
+            .unwrap();
+        assert_eq!(us.status, Status::Warn);
+        assert!(us.note.contains("recovery slowed"), "{}", us.note);
     }
 
     #[test]

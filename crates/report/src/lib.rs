@@ -30,7 +30,7 @@ pub use compare::{
     compare_reports, find_baseline, ComparisonReport, MetricComparison, Status, Tolerance,
 };
 pub use env::{capture, capture_in, fnv1a_hex};
-pub use schema::{ReshardRecord, RunMeta, RunReport, SCHEMA_VERSION};
+pub use schema::{RecoveryReport, ReshardRecord, RunMeta, RunReport, SCHEMA_VERSION};
 pub use sweep::{
     compare_sweeps, find_sweep_baseline, KneePoint, SweepReport, SweepStep, SWEEP_SCHEMA_VERSION,
 };

@@ -46,6 +46,41 @@ pub struct ReshardRecord {
     pub map_version: u64,
 }
 
+/// Outcome of a crash-recovery measurement (`gadget crash`).
+///
+/// Present only on reports produced by the crash harness; ordinary
+/// replay reports carry `None` and reports written before the section
+/// existed deserialize as `None`. The fields answer the three questions
+/// a recovery experiment asks: *how long* did the store take to come
+/// back ([`recovery_us`](Self::recovery_us), driven by
+/// [`replayed_wal_bytes`](Self::replayed_wal_bytes)), *what did it
+/// lose* ([`loss_window`](Self::loss_window) out of
+/// [`acked_ops`](Self::acked_ops)), and *under what failure* was it
+/// measured (kill point, torn tail, checkpoint presence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Wall-clock time from starting the reopened store to its state
+    /// being readable again, microseconds.
+    pub recovery_us: u64,
+    /// WAL bytes re-read during recovery (0 for snapshot-only stores).
+    pub replayed_wal_bytes: u64,
+    /// Acknowledged writes that were missing after recovery. Zero is
+    /// the contract for a sync-WAL store; anything else is data loss.
+    pub loss_window: u64,
+    /// Operations the crashed process had acknowledged before dying.
+    pub acked_ops: u64,
+    /// Op index the crash was injected at.
+    pub kill_at_op: u64,
+    /// Whether recovery started from a checkpoint (plus WAL suffix)
+    /// rather than the WAL alone.
+    pub checkpoint_restored: bool,
+    /// Torn-write injection applied to the WAL tail before recovery:
+    /// `"none"`, `"truncate"`, or `"garble"`.
+    pub torn_tail: String,
+    /// Crash/recover cycles measured (fields above are from the last).
+    pub crashes: u64,
+}
+
 /// Provenance of one measured execution.
 ///
 /// Every field degrades to `"unknown"` / `0` rather than failing:
@@ -156,6 +191,10 @@ pub struct RunReport {
     pub metrics: MetricsSnapshot,
     /// Flattened tail-latency attribution table, when tracing was on.
     pub attribution: Option<MetricsSnapshot>,
+    /// Crash-recovery measurement, when the report came from the crash
+    /// harness; `None` for ordinary runs (and for reports predating the
+    /// section).
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl RunReport {
@@ -191,6 +230,7 @@ impl RunReport {
             lag: run.lag_hist.clone(),
             metrics: MetricsSnapshot::new(),
             attribution: None,
+            recovery: None,
         }
     }
 
@@ -240,6 +280,61 @@ const META_FIELDS: &[&str] = &[
     "reshard_events",
     "created_unix_ms",
 ];
+
+const RECOVERY_FIELDS: &[&str] = &[
+    "recovery_us",
+    "replayed_wal_bytes",
+    "loss_window",
+    "acked_ops",
+    "kill_at_op",
+    "checkpoint_restored",
+    "torn_tail",
+    "crashes",
+];
+
+impl Serialize for RecoveryReport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("recovery_us".to_string(), self.recovery_us.to_value()),
+            (
+                "replayed_wal_bytes".to_string(),
+                self.replayed_wal_bytes.to_value(),
+            ),
+            ("loss_window".to_string(), self.loss_window.to_value()),
+            ("acked_ops".to_string(), self.acked_ops.to_value()),
+            ("kill_at_op".to_string(), self.kill_at_op.to_value()),
+            (
+                "checkpoint_restored".to_string(),
+                self.checkpoint_restored.to_value(),
+            ),
+            ("torn_tail".to_string(), self.torn_tail.to_value()),
+            ("crashes".to_string(), self.crashes.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RecoveryReport {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        const CTX: &str = "RecoveryReport";
+        let members = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value, CTX))?;
+        reject_unknown(members, RECOVERY_FIELDS, CTX)?;
+        let field = |name: &str| -> Result<&Value, Error> {
+            serde::find_field(members, name).ok_or_else(|| Error::missing_field(name, CTX))
+        };
+        Ok(RecoveryReport {
+            recovery_us: u64::from_value(field("recovery_us")?)?,
+            replayed_wal_bytes: u64::from_value(field("replayed_wal_bytes")?)?,
+            loss_window: u64::from_value(field("loss_window")?)?,
+            acked_ops: u64::from_value(field("acked_ops")?)?,
+            kill_at_op: u64::from_value(field("kill_at_op")?)?,
+            checkpoint_restored: bool::from_value(field("checkpoint_restored")?)?,
+            torn_tail: String::from_value(field("torn_tail")?)?,
+            crashes: u64::from_value(field("crashes")?)?,
+        })
+    }
+}
 
 const RESHARD_FIELDS: &[&str] = &[
     "at_op",
@@ -393,6 +488,7 @@ const REPORT_FIELDS: &[&str] = &[
     "lag",
     "metrics",
     "attribution",
+    "recovery",
 ];
 
 impl Serialize for RunReport {
@@ -404,6 +500,10 @@ impl Serialize for RunReport {
             .collect();
         let attribution = match &self.attribution {
             Some(snap) => snap.to_value(),
+            None => Value::Null,
+        };
+        let recovery = match &self.recovery {
+            Some(r) => r.to_value(),
             None => Value::Null,
         };
         Value::Object(vec![
@@ -421,6 +521,7 @@ impl Serialize for RunReport {
             ("lag".to_string(), self.lag.to_value()),
             ("metrics".to_string(), self.metrics.to_value()),
             ("attribution".to_string(), attribution),
+            ("recovery".to_string(), recovery),
         ])
     }
 }
@@ -472,6 +573,12 @@ impl Deserialize for RunReport {
             },
             metrics: MetricsSnapshot::from_value(field("metrics")?)?,
             attribution,
+            // Absent in reports predating the crash harness → the run
+            // measured no recovery.
+            recovery: match serde::find_field(members, "recovery") {
+                Some(Value::Null) | None => None,
+                Some(v) => Some(RecoveryReport::from_value(v)?),
+            },
         })
     }
 }
@@ -557,6 +664,16 @@ mod tests {
             },
             metrics,
             attribution: None,
+            recovery: Some(RecoveryReport {
+                recovery_us: 18_400,
+                replayed_wal_bytes: 65_536,
+                loss_window: 0,
+                acked_ops: 250,
+                kill_at_op: 250,
+                checkpoint_restored: true,
+                torn_tail: "truncate".to_string(),
+                crashes: 1,
+            }),
         }
     }
 
@@ -640,6 +757,39 @@ mod tests {
         let back = RunReport::from_json(&json).unwrap();
         assert_eq!(back.meta.partition_digest, "unknown");
         assert!(back.meta.reshard_events.is_empty());
+    }
+
+    #[test]
+    fn missing_recovery_defaults_to_none() {
+        // Reports written before the crash harness existed carry no
+        // recovery section — they measured no recovery and must keep
+        // loading as exactly that.
+        let mut report = sample_report();
+        report.recovery = None;
+        let json = report.to_json().replace(",\n  \"recovery\": null", "");
+        assert!(!json.contains("\"recovery\""), "field removed");
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back.recovery, None);
+        // Re-serialization writes the field explicitly from then on.
+        assert!(back.to_json().contains("\"recovery\": null"));
+    }
+
+    #[test]
+    fn recovery_section_round_trips() {
+        let report = sample_report();
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        let rec = back.recovery.expect("sample carries a recovery section");
+        assert_eq!(rec.recovery_us, 18_400);
+        assert_eq!(rec.loss_window, 0);
+        assert_eq!(rec.torn_tail, "truncate");
+        assert!(rec.checkpoint_restored);
+        // Unknown fields inside the section are schema drift, like
+        // everywhere else.
+        let json = report
+            .to_json()
+            .replace("\"recovery_us\"", "\"surprise\": 1,\n    \"recovery_us\"");
+        let err = RunReport::from_json(&json).unwrap_err();
+        assert!(err.contains("unknown field `surprise`"), "got: {err}");
     }
 
     #[test]

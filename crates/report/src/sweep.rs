@@ -511,6 +511,7 @@ mod tests {
                     lag,
                     metrics: gadget_obs::MetricsSnapshot::new(),
                     attribution: None,
+                    recovery: None,
                 },
             }
         };

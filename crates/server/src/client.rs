@@ -15,7 +15,9 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use bytes::Bytes;
-use gadget_kv::{BatchResult, OpTimers, ReshardEvent, StateStore, StoreError};
+use gadget_kv::{
+    BatchResult, CheckpointManifest, Durability, OpTimers, ReshardEvent, StateStore, StoreError,
+};
 use gadget_obs::{Counter, MetricsRegistry, MetricsSnapshot};
 use gadget_types::Op;
 
@@ -40,6 +42,18 @@ impl Topology {
     pub fn digest_hex(&self) -> String {
         format!("{:016x}", self.digest)
     }
+}
+
+/// Summary of a server-side checkpoint, as carried by the wire: the
+/// checkpoint bytes themselves stay in the server-local directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteCheckpoint {
+    /// Number of files the server-side manifest records.
+    pub files: u64,
+    /// Total checkpoint payload in bytes.
+    pub total_bytes: u64,
+    /// Files an incremental cut reused from the previous checkpoint.
+    pub reused: u64,
 }
 
 /// One TCP connection's buffered halves.
@@ -196,6 +210,57 @@ impl NetStore {
         }
     }
 
+    /// Asks the server to checkpoint its served store into the
+    /// *server-local* directory `dir`, blocking until the cut lands.
+    /// Like [`NetStore::reshard`], issue this on a dedicated control
+    /// connection so traffic connections keep flowing meanwhile.
+    pub fn checkpoint_server(&self, dir: &str) -> Result<RemoteCheckpoint, StoreError> {
+        let mut conn = self.conn.lock().unwrap();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Checkpoint {
+            id,
+            dir: dir.to_string(),
+        };
+        wire::write_frame(&mut conn.writer, &frame)?;
+        conn.writer.flush()?;
+        match wire::read_frame(&mut conn.reader)? {
+            Frame::CheckpointDone {
+                id: got,
+                files,
+                total_bytes,
+                reused,
+            } if got == id => Ok(RemoteCheckpoint {
+                files,
+                total_bytes,
+                reused,
+            }),
+            Frame::Error { code, message, .. } => Err(wire::decode_store_error(code, message)),
+            other => Err(StoreError::Corruption(format!(
+                "expected checkpoint ack for {id}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to restore its served store from the
+    /// server-local checkpoint directory `dir`.
+    pub fn restore_server(&self, dir: &str) -> Result<(), StoreError> {
+        let mut conn = self.conn.lock().unwrap();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::Restore {
+            id,
+            dir: dir.to_string(),
+        };
+        wire::write_frame(&mut conn.writer, &frame)?;
+        conn.writer.flush()?;
+        match wire::read_frame(&mut conn.reader)? {
+            Frame::RestoreDone { id: got } if got == id => Ok(()),
+            Frame::Error { code, message, .. } => Err(wire::decode_store_error(code, message)),
+            other => Err(StoreError::Corruption(format!(
+                "expected restore ack for {id}, got {other:?}"
+            ))),
+        }
+    }
+
     /// Sends one request batch and awaits its reply.
     fn call(&self, ops: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
         let mut conn = self.conn.lock().unwrap();
@@ -296,6 +361,29 @@ impl StateStore for NetStore {
 
     fn supports_merge(&self) -> bool {
         true
+    }
+
+    /// The wire does not carry the backend's WAL mode; from the
+    /// client's perspective the checkpoint RPC is the durability
+    /// primitive this handle can exercise.
+    fn durability(&self) -> Durability {
+        Durability::SnapshotOnly
+    }
+
+    /// Checkpoints the *server-side* store into a server-local `dir`.
+    /// The returned manifest is the wire summary (one aggregate entry);
+    /// the authoritative manifest lives next to the checkpoint files on
+    /// the server.
+    fn checkpoint(&self, dir: &std::path::Path) -> Result<CheckpointManifest, StoreError> {
+        let summary = self.checkpoint_server(&dir.to_string_lossy())?;
+        let mut manifest = CheckpointManifest::new(self.name());
+        manifest.push_file("remote", summary.total_bytes);
+        manifest.reused_files = summary.reused;
+        Ok(manifest)
+    }
+
+    fn restore(&self, dir: &std::path::Path) -> Result<(), StoreError> {
+        self.restore_server(&dir.to_string_lossy())
     }
 
     fn apply_batch(&self, batch: &[Op]) -> Result<Vec<BatchResult>, StoreError> {

@@ -33,7 +33,7 @@ pub mod metrics_http;
 pub mod server;
 pub mod wire;
 
-pub use client::{NetStore, Topology};
+pub use client::{NetStore, RemoteCheckpoint, Topology};
 pub use driver::{drive, DriveOptions, DriveSummary, ReshardTrigger};
 pub use metrics_http::{MetricsServer, SnapshotFn};
 pub use server::{Server, ServerConfig};

@@ -386,6 +386,35 @@ fn worker_loop(stream: TcpStream, rx: Receiver<ConnEvent>, conn_id: u64, shared:
                     }
                 }
             },
+            ConnEvent::Frame(Frame::Checkpoint { id, dir }) => {
+                // Runs on this connection's worker like a reshard: a
+                // dedicated control connection checkpoints while traffic
+                // connections keep applying batches (each backend's
+                // checkpoint takes its own consistent cut internally).
+                // The directory is server-local by design — checkpoint
+                // bytes never cross the wire, only the manifest summary.
+                match shared.store.checkpoint(std::path::Path::new(&dir)) {
+                    Ok(manifest) => Frame::CheckpointDone {
+                        id,
+                        files: manifest.files.len() as u64,
+                        total_bytes: manifest.total_bytes,
+                        reused: manifest.reused_files,
+                    },
+                    Err(e) => {
+                        let (code, message) = wire::encode_store_error(&e);
+                        Frame::Error { id, code, message }
+                    }
+                }
+            }
+            ConnEvent::Frame(Frame::Restore { id, dir }) => {
+                match shared.store.restore(std::path::Path::new(&dir)) {
+                    Ok(()) => Frame::RestoreDone { id },
+                    Err(e) => {
+                        let (code, message) = wire::encode_store_error(&e);
+                        Frame::Error { id, code, message }
+                    }
+                }
+            }
             ConnEvent::Frame(other) => {
                 // Clients must not send server-kind frames.
                 let id = other.id();
@@ -595,6 +624,41 @@ mod tests {
                 "key {i} lost in migration"
             );
         }
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn wire_checkpoint_and_restore_round_trip_server_side() {
+        let server = serve_mem();
+        let store = NetStore::connect(&server.local_addr().to_string()).unwrap();
+        for i in 0..100u64 {
+            store.put(&i.to_be_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        let dir = std::env::temp_dir().join(format!("gadget-net-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let summary = store
+            .checkpoint_server(&dir.to_string_lossy())
+            .expect("server-side checkpoint");
+        assert!(summary.files > 0);
+        assert!(summary.total_bytes > 0);
+        // Diverge, then restore to the cut — all server-side.
+        for i in 0..100u64 {
+            store.put(&i.to_be_bytes(), b"diverged").unwrap();
+        }
+        store.restore_server(&dir.to_string_lossy()).unwrap();
+        for i in 0..100u64 {
+            assert_eq!(
+                store.get(&i.to_be_bytes()).unwrap().as_deref(),
+                Some(&i.to_le_bytes()[..]),
+                "key {i}"
+            );
+        }
+        // A bad directory surfaces as a typed error, not a dead conn.
+        let err = store.restore_server("/nonexistent/ckpt").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "got {err:?}");
+        assert!(store.get(&1u64.to_be_bytes()).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
         server.stop().unwrap();
     }
 

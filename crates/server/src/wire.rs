@@ -39,6 +39,16 @@
 //!   version, `u64` partition-map digest, `u32` reshard-event count,
 //!   then each event encoded as in `ReshardDone`. Drivers stamp this
 //!   into run reports so topology provenance survives the wire.
+//! * **Checkpoint** (v2) — control frame: `u32` path length plus UTF-8
+//!   path bytes. Asks the server to checkpoint its served store into
+//!   that *server-local* directory. Answered by a `CheckpointDone` or
+//!   an `Error` frame.
+//! * **CheckpointDone** (v2) — `u64` file count, `u64` total bytes,
+//!   `u64` reused (incrementally skipped) files.
+//! * **Restore** (v2) — same payload as `Checkpoint`: restore the
+//!   served store from that server-local checkpoint directory.
+//!   Answered by a `RestoreDone` or an `Error` frame.
+//! * **RestoreDone** (v2) — empty payload.
 //!
 //! Integers are little-endian throughout. Decoding is strict: wrong
 //! magic, unknown version/kind/tag, oversized payloads, short buffers,
@@ -88,6 +98,10 @@ const KIND_RESHARD: u8 = 5;
 const KIND_RESHARD_DONE: u8 = 6;
 const KIND_TOPOLOGY: u8 = 7;
 const KIND_TOPOLOGY_INFO: u8 = 8;
+const KIND_CHECKPOINT: u8 = 9;
+const KIND_CHECKPOINT_DONE: u8 = 10;
+const KIND_RESTORE: u8 = 11;
+const KIND_RESTORE_DONE: u8 = 12;
 
 /// Store-error category carried in an Error frame.
 ///
@@ -128,6 +142,9 @@ impl ErrorCode {
 pub fn encode_store_error(e: &StoreError) -> (ErrorCode, String) {
     match e {
         StoreError::Io(e) => (ErrorCode::Io, e.to_string()),
+        // The path context folds into the message; the client gets the
+        // category plus a human-readable "op path: cause" detail.
+        StoreError::PathIo { .. } => (ErrorCode::Io, e.to_string()),
         StoreError::Corruption(m) => (ErrorCode::Corruption, m.clone()),
         StoreError::Closed => (ErrorCode::Closed, String::new()),
         StoreError::InvalidArgument(m) => (ErrorCode::InvalidArgument, m.clone()),
@@ -223,6 +240,36 @@ pub enum Frame {
         digest: u64,
         /// Completed reshard events, oldest first.
         events: Vec<ReshardEvent>,
+    },
+    /// Client → server: checkpoint the served store (v2).
+    Checkpoint {
+        /// Request id (echoed in the `CheckpointDone` or `Error` reply).
+        id: u64,
+        /// Server-local directory to write the checkpoint into.
+        dir: String,
+    },
+    /// Server → client: a checkpoint completed (v2).
+    CheckpointDone {
+        /// Echoed request id.
+        id: u64,
+        /// Number of files the manifest records.
+        files: u64,
+        /// Total checkpoint payload in bytes.
+        total_bytes: u64,
+        /// Files an incremental cut reused from the previous checkpoint.
+        reused: u64,
+    },
+    /// Client → server: restore the served store (v2).
+    Restore {
+        /// Request id (echoed in the `RestoreDone` or `Error` reply).
+        id: u64,
+        /// Server-local checkpoint directory to restore from.
+        dir: String,
+    },
+    /// Server → client: a restore completed (v2).
+    RestoreDone {
+        /// Echoed request id.
+        id: u64,
     },
 }
 
@@ -381,6 +428,20 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
                 put_reshard_event(&mut p, event);
             }
         }
+        Frame::Checkpoint { dir, .. } | Frame::Restore { dir, .. } => {
+            put_bytes(&mut p, dir.as_bytes());
+        }
+        Frame::CheckpointDone {
+            files,
+            total_bytes,
+            reused,
+            ..
+        } => {
+            put_u64(&mut p, *files);
+            put_u64(&mut p, *total_bytes);
+            put_u64(&mut p, *reused);
+        }
+        Frame::RestoreDone { .. } => {}
     }
     p
 }
@@ -396,7 +457,11 @@ impl Frame {
             | Frame::Reshard { id, .. }
             | Frame::ReshardDone { id, .. }
             | Frame::Topology { id }
-            | Frame::TopologyInfo { id, .. } => *id,
+            | Frame::TopologyInfo { id, .. }
+            | Frame::Checkpoint { id, .. }
+            | Frame::CheckpointDone { id, .. }
+            | Frame::Restore { id, .. }
+            | Frame::RestoreDone { id } => *id,
         }
     }
 
@@ -412,6 +477,10 @@ impl Frame {
             Frame::ReshardDone { .. } => KIND_RESHARD_DONE,
             Frame::Topology { .. } => KIND_TOPOLOGY,
             Frame::TopologyInfo { .. } => KIND_TOPOLOGY_INFO,
+            Frame::Checkpoint { .. } => KIND_CHECKPOINT,
+            Frame::CheckpointDone { .. } => KIND_CHECKPOINT_DONE,
+            Frame::Restore { .. } => KIND_RESTORE,
+            Frame::RestoreDone { .. } => KIND_RESTORE_DONE,
         };
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
         out.extend_from_slice(&MAGIC.to_le_bytes());
@@ -574,6 +643,21 @@ fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Frame, WireError>
                 events,
             }
         }
+        KIND_CHECKPOINT => Frame::Checkpoint {
+            id,
+            dir: String::from_utf8_lossy(c.bytes()?).into_owned(),
+        },
+        KIND_CHECKPOINT_DONE => Frame::CheckpointDone {
+            id,
+            files: c.u64()?,
+            total_bytes: c.u64()?,
+            reused: c.u64()?,
+        },
+        KIND_RESTORE => Frame::Restore {
+            id,
+            dir: String::from_utf8_lossy(c.bytes()?).into_owned(),
+        },
+        KIND_RESTORE_DONE => Frame::RestoreDone { id },
         other => return Err(WireError::BadKind(other)),
     };
     if c.remaining() != 0 {
@@ -698,6 +782,21 @@ mod tests {
                 digest: 7,
                 events: Vec::new(),
             },
+            Frame::Checkpoint {
+                id: 14,
+                dir: "/tmp/ckpt-1".to_string(),
+            },
+            Frame::CheckpointDone {
+                id: 14,
+                files: 9,
+                total_bytes: 123_456,
+                reused: 4,
+            },
+            Frame::Restore {
+                id: 15,
+                dir: "/tmp/ckpt-1".to_string(),
+            },
+            Frame::RestoreDone { id: 15 },
         ]
     }
 
@@ -835,5 +934,17 @@ mod tests {
             decode_store_error(code, msg),
             StoreError::Unsupported(_)
         ));
+        // PathIo maps to the Io category with op + path in the message.
+        let (code, msg) = encode_store_error(&StoreError::path_io(
+            "fsync",
+            "/data/wal_3.log",
+            io::Error::other("short write"),
+        ));
+        assert_eq!(code, ErrorCode::Io);
+        assert!(
+            msg.contains("fsync") && msg.contains("/data/wal_3.log"),
+            "{msg}"
+        );
+        assert!(matches!(decode_store_error(code, msg), StoreError::Io(_)));
     }
 }

@@ -110,6 +110,19 @@ fn other_schema_versions_are_rejected() {
 }
 
 #[test]
+fn pre_recovery_reports_still_parse() {
+    // Committed baselines predate the crash harness and carry no
+    // `recovery` field at all; they must keep loading as "no recovery
+    // was measured".
+    let json = golden_report()
+        .to_json()
+        .replace(",\n  \"recovery\": null", "");
+    assert!(!json.contains("\"recovery\""), "field removed");
+    let parsed = RunReport::from_json(&json).expect("old-shape report parses");
+    assert_eq!(parsed.recovery, None);
+}
+
+#[test]
 fn golden_fixture_guards_schema_drift() {
     let path = fixture_path();
     let current = golden_report().to_json();

@@ -63,6 +63,7 @@ fn golden_sweep() -> SweepReport {
                 lag,
                 metrics: gadget::obs::MetricsSnapshot::new(),
                 attribution: None,
+                recovery: None,
             },
         }
     };
