@@ -110,6 +110,10 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     if cmd == "report" {
         return cmd_report(&args[1..]);
     }
+    // `trace` likewise (`trace merge client.json server.json`).
+    if cmd == "trace" {
+        return cmd_trace(&args[1..]);
+    }
     let flags = Flags::parse(&args[1..])?;
     match cmd.as_str() {
         "generate" => cmd_generate(&flags),
@@ -184,11 +188,17 @@ pub fn usage() -> String {
      \x20 serve    --backend <mem|lsm|hashlog|btree|label>  serve any store over TCP (gadget-server)\n\
      \x20          [--addr <host:port>] [--dir <path>] [--shards <n>] [--queue-depth <n>]\n\
      \x20          [--metrics-addr <host:port>]           Prometheus text scrape endpoint\n\
+     \x20          [--trace-out <json>]                   server-side span timeline, written on drain\n\
      \x20 drive    --addr <host:port> --trace <trace>    fan a trace across many client connections\n\
      \x20          [--connections <n>] [--churn <0..1>] [--segment-ops <n>] [--seed <n>]\n\
      \x20          [--rate <ops/s>] [--arrival constant|poisson] [--arrival-seed <n>]\n\
      \x20          [--ops <n>] [--batch-size <n>] [--report-out <json>]\n\
+     \x20          [--trace-out <json>]                   client span timeline + wire trace contexts\n\
+     \x20                                                 (latency decomposition lands in the report)\n\
      \x20          [--reshard-at <frac>:<from>:<to>]      live reshard on the server mid-drive\n\
+     \x20 trace    merge <client.json> <server.json>     clock-align + join the two span timelines\n\
+     \x20          [--out <merged.json>] [--check]        one Perfetto file; --check gates nesting and\n\
+     \x20                                                 segment-sum consistency (CI smoke)\n\
      \x20 reshard  --addr <host:port> --from <n> --to <n>  fire one live shard split/migration now\n\
      \x20          [--at-op <n>]                          op index recorded on the event\n\
      \x20 crash    --store <lsm|hashlog|btree|mem>       crash-recovery harness: re-exec a replay as a\n\
@@ -517,6 +527,26 @@ fn print_report(report: &gadget_replay::RunReport) {
         println!(
             "  {op:>6}: mean={:.0}ns p50={} p99.9={}",
             lat.mean_ns, lat.p50_ns, lat.p999_ns
+        );
+    }
+    print_decomposition(&report.decomposition);
+}
+
+/// Renders the request-latency decomposition (client-traced TCP runs):
+/// one line per wire segment, telescoping to the end-to-end row.
+fn print_decomposition(segments: &[(String, gadget_obs::LogHistogram)]) {
+    if segments.is_empty() {
+        return;
+    }
+    println!("decomposition (ns, per traced request):");
+    for (name, hist) in segments {
+        println!(
+            "  {name:>12}: n={} mean={:.0} p50={} p99={} max={}",
+            hist.count(),
+            hist.mean(),
+            hist.percentile(50.0),
+            hist.percentile(99.0),
+            hist.max()
         );
     }
 }
@@ -1349,6 +1379,75 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `gadget trace merge`: join a client and a server span timeline into
+/// one clock-aligned Perfetto file. Positional dispatch, like `report`.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: gadget trace merge <client.json> <server.json> [--out <merged.json>] [--check]";
+    let Some(action) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    if action != "merge" {
+        return Err(format!("unknown trace action {action}\n{USAGE}"));
+    }
+    // `--check` is valueless (a gate switch), peeled off before the
+    // strict `--key value` parser sees the rest.
+    let mut rest: Vec<String> = args[1..].to_vec();
+    let check = match rest.iter().position(|a| a == "--check") {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    };
+    let split = rest
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(rest.len());
+    let (positional, flag_args) = rest.split_at(split);
+    let flags = Flags::parse(flag_args)?;
+    let [client_path, server_path] = positional else {
+        return Err(USAGE.to_string());
+    };
+    let client = std::fs::read_to_string(client_path)
+        .map_err(|e| format!("cannot read {client_path}: {e}"))?;
+    let server = std::fs::read_to_string(server_path)
+        .map_err(|e| format!("cannot read {server_path}: {e}"))?;
+    let outcome = gadget_obs::trace::merge_traces(&client, &server)?;
+    if let Some(out) = flags.optional("out") {
+        std::fs::write(out, &outcome.merged_json)
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote merged timeline to {out}; load it at https://ui.perfetto.dev");
+    }
+    print!("{}", outcome.summary());
+    if check {
+        // CI gate: every matched server span must nest inside its
+        // client op after the offset shift, and the four decomposition
+        // segments must telescope back to the end-to-end time.
+        if outcome.matched == 0 {
+            return Err("trace check FAILED: no requests matched across the two traces".into());
+        }
+        // 99%, not 100%: the offset estimate carries up to ~RTT/2 of
+        // error, and a request whose wire legs are shorter than that
+        // error cannot nest no matter how good the alignment is.
+        if (outcome.nested as f64) < 0.99 * outcome.matched as f64 {
+            return Err(format!(
+                "trace check FAILED: only {}/{} server request spans nest inside \
+                 their client op after offset correction (>= 99% required)",
+                outcome.nested, outcome.matched
+            ));
+        }
+        if outcome.max_sum_dev_frac > 0.05 {
+            return Err(format!(
+                "trace check FAILED: worst segment-sum deviation {:.2}% exceeds 5%",
+                outcome.max_sum_dev_frac * 100.0
+            ));
+        }
+        println!("trace check passed");
+    }
+    Ok(())
+}
+
 /// A report file of either kind: one measured run, or a whole
 /// latency–throughput sweep. Boxed: both payloads are hundreds of
 /// bytes and only ever live briefly on the compare path.
@@ -1453,6 +1552,7 @@ fn print_run_report_summary(path: &str, report: &gadget_report::RunReport) {
             hist.percentile(99.9)
         );
     }
+    print_decomposition(&report.decomposition);
     print_topology_meta(m);
     if let Some(r) = &report.recovery {
         println!(
@@ -1668,6 +1768,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         config.queue_depth = depth;
     }
     let queue_depth = config.queue_depth;
+    // Server-side tracing: the session must be live *before* worker
+    // threads spawn so their per-thread rings register with it. The
+    // timeline is written once the server drains.
+    let trace_out = flags.optional("trace-out");
+    let session = trace_out.map(|_| gadget_obs::trace::start_session());
     // A sharded store is served through the reshard-aware front so wire
     // `reshard`/`topology` control frames reach it.
     let server = match &sharded {
@@ -1694,11 +1799,20 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         }
         None => None,
     };
+    if let Some(out) = trace_out {
+        println!("server tracing on; will write spans to {out} on drain");
+    }
     println!("send `gadget stop --addr <addr>` to drain and exit");
     // Blocks until a wire Shutdown frame triggers the drain.
     server.join().map_err(|e| e.to_string())?;
     if let Some(endpoint) = metrics {
         endpoint.stop();
+    }
+    if let Some(out) = trace_out {
+        let log = session
+            .expect("session exists when --trace-out set")
+            .finish();
+        export_trace(out, &log, None)?;
     }
     println!("gadget-server drained and stopped");
     Ok(())
@@ -1744,6 +1858,11 @@ fn cmd_drive(flags: &Flags) -> Result<(), String> {
         }
         None => None,
     };
+    // `--trace-out` implies client tracing: every request carries a
+    // wire-v3 trace context, replies echo server timestamps, and the
+    // latency decomposition lands in the run report.
+    let trace_out = flags.optional("trace-out");
+    let session = trace_out.map(|_| gadget_obs::trace::start_session());
     let options = gadget_server::DriveOptions {
         connections,
         churn,
@@ -1751,9 +1870,19 @@ fn cmd_drive(flags: &Flags) -> Result<(), String> {
         replay: replay_options(flags)?,
         seed: flags.optional_parse("seed")?.unwrap_or(0x9ad9e),
         reshard_at,
+        client_trace: trace_out.is_some(),
     };
     let summary =
         gadget_server::drive(addr, &trace, trace_path, &options).map_err(|e| e.to_string())?;
+    let attribution = match trace_out {
+        Some(out) => {
+            let log = session
+                .expect("session exists when --trace-out set")
+                .finish();
+            Some(export_trace(out, &log, None)?)
+        }
+        None => None,
+    };
     println!(
         "drove {} ops over {} connections ({} reconnects, {} B out, {} B in)",
         summary.report.operations,
@@ -1776,9 +1905,28 @@ fn cmd_drive(flags: &Flags) -> Result<(), String> {
             event.map_version
         );
     }
+    if !summary.clock_offsets_ns.is_empty() {
+        let offsets: Vec<String> = summary
+            .clock_offsets_ns
+            .iter()
+            .map(|(conn, off)| format!("c{conn}:{off}"))
+            .collect();
+        println!(
+            "clock offsets (server - client, ns, min-RTT estimate): {}",
+            offsets.join(" ")
+        );
+    }
     if let Some(path) = flags.optional("report-out") {
         let topology = summary.topology.as_ref().map(TopologyStamp::of_topology);
-        write_run_report(path, flags, &summary.report, None, None, "tcp", topology)?;
+        write_run_report(
+            path,
+            flags,
+            &summary.report,
+            None,
+            attribution.as_ref(),
+            "tcp",
+            topology,
+        )?;
     }
     print_report(&summary.report);
     Ok(())
@@ -2351,6 +2499,7 @@ fn cmd_crash(flags: &Flags) -> Result<(), String> {
             metrics: last_metrics.unwrap_or_default(),
             attribution: None,
             recovery: Some(recovery),
+            decomposition: Vec::new(),
         };
         report
             .save(std::path::Path::new(path))
@@ -3028,6 +3177,119 @@ mod tests {
         dispatch(&strs(&["stop", "--addr", &addr])).unwrap();
         server.join().unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traced_drive_decomposes_latency_and_merges_timelines() {
+        let _serial = timing_lock();
+        let dir = std::env::temp_dir().join(format!("gadget-cli-trc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("ycsb.gdt");
+        dispatch(&strs(&[
+            "ycsb",
+            "--workload",
+            "B",
+            "--records",
+            "100",
+            "--ops",
+            "2000",
+            "--out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let server = gadget_server::Server::start(
+            "127.0.0.1:0",
+            std::sync::Arc::new(gadget_kv::MemStore::new()),
+            gadget_server::ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        let combined_path = dir.join("combined.json");
+        let report_path = dir.join("report.json");
+        dispatch(&strs(&[
+            "drive",
+            "--addr",
+            &addr,
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--connections",
+            "4",
+            "--trace-out",
+            combined_path.to_str().unwrap(),
+            "--report-out",
+            report_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // The run report carries the wire-latency decomposition: all
+        // five segments, equally populated, end_to_end last.
+        let report = gadget_report::RunReport::load(&report_path).unwrap();
+        let names: Vec<&str> = report
+            .decomposition
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "client_queue",
+                "outbound",
+                "service",
+                "return_path",
+                "end_to_end"
+            ]
+        );
+        let counts: Vec<u64> = report
+            .decomposition
+            .iter()
+            .map(|(_, h)| h.count())
+            .collect();
+        assert!(counts[0] > 0, "traced requests were sampled");
+        assert!(
+            counts.iter().all(|&c| c == counts[0]),
+            "segments sample the same requests: {counts:?}"
+        );
+        assert!(report.attribution.is_some(), "trace attribution attached");
+
+        // In-process, client and server share one ring session, so the
+        // exported file holds both sides of the wire; `trace merge`
+        // accepts it as either side and joins requests by sequence.
+        let merged_path = dir.join("merged.json");
+        dispatch(&strs(&[
+            "trace",
+            "merge",
+            combined_path.to_str().unwrap(),
+            combined_path.to_str().unwrap(),
+            "--out",
+            merged_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let merged = std::fs::read_to_string(&merged_path).unwrap();
+        assert!(merged.contains("net_op"), "client spans in merged file");
+        assert!(merged.contains("net_request"), "server spans too");
+
+        dispatch(&strs(&["stop", "--addr", &addr])).unwrap();
+        server.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_subcommand_rejects_bad_shapes() {
+        assert!(dispatch(&strs(&["trace"])).is_err());
+        assert!(dispatch(&strs(&["trace", "explode"])).is_err());
+        // merge needs exactly two positional files
+        assert!(dispatch(&strs(&["trace", "merge"])).is_err());
+        assert!(dispatch(&strs(&["trace", "merge", "only-one.json"])).is_err());
+        // unreadable inputs fail loudly
+        let err = dispatch(&strs(&[
+            "trace",
+            "merge",
+            "/nonexistent/c.json",
+            "/nonexistent/s.json",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot read"), "got: {err}");
     }
 
     #[test]

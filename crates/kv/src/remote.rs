@@ -17,9 +17,15 @@
 //! thousands of concurrent client connections — use `gadget-server`'s
 //! `NetStore`/`Server` pair instead, which speaks a length-prefixed
 //! binary protocol over loopback or a real network and reports measured
-//! (not modelled) latencies. The two are complementary: `RemoteStore`
-//! answers "what if the network were exactly like this", `gadget-server`
-//! answers "what does the network actually do".
+//! (not modelled) latencies. The real wire is no longer a black box,
+//! either: with tracing on, requests carry a wire-level trace context,
+//! the drive's run report decomposes each round-trip into measured
+//! client-queue / outbound / store-apply / return-path segments, and
+//! `gadget trace merge` joins the client and server span files into one
+//! clock-aligned timeline (DESIGN.md §19). The two remain complementary:
+//! `RemoteStore` answers "what if the network were exactly like this",
+//! `gadget-server` answers "what does the network actually do — and
+//! where the time went".
 
 use std::time::{Duration, Instant};
 

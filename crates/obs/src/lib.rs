@@ -78,3 +78,38 @@ pub fn attribution_snapshot(report: &trace::AttributionReport) -> MetricsSnapsho
     snap.sort();
     snap
 }
+
+/// Trace ring-buffer pressure as a [`MetricsSnapshot`], suitable for
+/// merging into a server's scrape output: the rings silently overwrite
+/// the oldest spans when a session outruns their capacity, and without
+/// these counters that loss is invisible.
+///
+/// Counters: `trace_spans_recorded` / `trace_spans_dropped` aggregate
+/// over every registered thread, plus one
+/// `trace_spans_dropped_t<tid>_<thread name>` per thread that has
+/// actually lost spans (bounded cardinality: threads with zero drops
+/// are omitted).
+pub fn trace_pressure_snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    let stats = trace::ring_stats();
+    snap.push_counter(
+        "trace_spans_recorded",
+        stats.iter().map(|s| s.recorded).sum(),
+    );
+    snap.push_counter("trace_spans_dropped", stats.iter().map(|s| s.dropped).sum());
+    for s in &stats {
+        if s.dropped > 0 {
+            let name: String = s
+                .thread_name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            snap.push_counter(
+                &format!("trace_spans_dropped_t{}_{}", s.tid, name),
+                s.dropped,
+            );
+        }
+    }
+    snap.sort();
+    snap
+}

@@ -41,7 +41,9 @@ fn metric_name(name: &str) -> String {
 /// Renders `snap` as Prometheus text exposition format 0.0.4.
 ///
 /// The output is deterministic for a given snapshot (sections are
-/// already name-sorted), ends with a trailing newline, and is directly
+/// already name-sorted), ends with the `# EOF` terminator the
+/// OpenMetrics spec requires (strict parsers treat a scrape without it
+/// as truncated) followed by a trailing newline, and is directly
 /// servable as the body of a `/metrics` response with content type
 /// `text/plain; version=0.0.4`.
 pub fn render(snap: &MetricsSnapshot) -> String {
@@ -68,6 +70,7 @@ pub fn render(snap: &MetricsSnapshot) -> String {
         out.push_str(&format!("{name}_sum {sum}\n"));
         out.push_str(&format!("{name}_count {}\n", hist.count()));
     }
+    out.push_str("# EOF\n");
     out
 }
 
@@ -87,6 +90,24 @@ mod tests {
         assert!(text.contains("# TYPE gadget_memtable_bytes gauge\n"));
         assert!(text.contains("gadget_memtable_bytes -7\n"));
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn exposition_terminates_with_eof_marker() {
+        // The OpenMetrics spec requires `# EOF` as the last line; a
+        // strict parser rejects a scrape without it as truncated.
+        let empty = render(&MetricsSnapshot::new());
+        assert_eq!(empty, "# EOF\n");
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("reqs", 1);
+        snap.push_gauge("depth", 2);
+        let text = render(&snap);
+        assert!(text.ends_with("# EOF\n"), "got:\n{text}");
+        assert_eq!(
+            text.matches("# EOF").count(),
+            1,
+            "exactly one terminator: {text}"
+        );
     }
 
     #[test]

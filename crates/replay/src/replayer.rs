@@ -248,6 +248,13 @@ pub struct RunReport {
     /// reports from before arrival modes existed.
     #[serde(default)]
     pub arrival: Option<String>,
+    /// Cross-process latency decomposition, keyed by segment name in
+    /// pipeline order (`client_queue`, `outbound`, `service`,
+    /// `return_path`, `end_to_end`). Populated only by network drives
+    /// with client tracing enabled; empty everywhere else and on
+    /// reports from before distributed tracing existed.
+    #[serde(default)]
+    pub decomposition: Vec<(String, LatencyHistogram)>,
 }
 
 /// Percentile summary extracted from a histogram.
@@ -304,6 +311,10 @@ pub struct Measured {
     /// Pure service time per op (send → completion). Only populated by
     /// open-loop pacing (closed-loop runs record it as `overall`).
     pub service: LatencyHistogram,
+    /// Cross-process latency decomposition segments, keyed by name.
+    /// Populated only when a traced network client feeds its segment
+    /// histograms in (see `gadget-server`'s driver); empty otherwise.
+    pub decomposition: Vec<(String, LatencyHistogram)>,
 }
 
 impl Default for Measured {
@@ -328,6 +339,7 @@ impl Measured {
             executed: 0,
             lag: LatencyHistogram::new(),
             service: LatencyHistogram::new(),
+            decomposition: Vec::new(),
         }
     }
 
@@ -342,6 +354,19 @@ impl Measured {
         self.executed += other.executed;
         self.lag.merge(&other.lag);
         self.service.merge(&other.service);
+        self.absorb_decomposition(&other.decomposition);
+    }
+
+    /// Merges decomposition segments by name — the exact-merge property
+    /// latency histograms already have, extended to the named-segment
+    /// list. Unseen names append in the order they first arrive.
+    pub fn absorb_decomposition(&mut self, segments: &[(String, LatencyHistogram)]) {
+        for (name, hist) in segments {
+            match self.decomposition.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(hist),
+                None => self.decomposition.push((name.clone(), hist.clone())),
+            }
+        }
     }
 
     /// Renders the measurements as a [`RunReport`], carrying both the
@@ -377,6 +402,7 @@ impl Measured {
             service_hist: self.service.clone(),
             offered_rate: None,
             arrival: None,
+            decomposition: self.decomposition.clone(),
         }
     }
 }

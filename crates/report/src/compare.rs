@@ -466,6 +466,34 @@ pub(crate) fn compare_recovery(
     out
 }
 
+/// Gates two reports' decomposition sections. Contributes one entry
+/// per segment present on both sides; nothing when either side was
+/// untraced — embedded baselines keep gating traced drives untouched.
+/// Always WARN at worst: the segments split the same wall-clock the
+/// overall latency histogram already gates, so a shifted segment is
+/// diagnostic signal (*where* a regression lives — wire, queue, or
+/// store), never an independent failure.
+pub(crate) fn compare_decomposition(
+    baseline: &RunReport,
+    candidate: &RunReport,
+    tol: &Tolerance,
+) -> Vec<MetricComparison> {
+    let mut out = Vec::new();
+    for (name, base_hist) in &baseline.decomposition {
+        if let Some((_, cand_hist)) = candidate.decomposition.iter().find(|(n, _)| n == name) {
+            let mut cmp =
+                compare_histograms(&format!("decomposition/{name}"), base_hist, cand_hist, tol);
+            if cmp.status == Status::Regressed {
+                cmp.status = Status::Warn;
+                cmp.note
+                    .push_str("; segment shifts diagnose, the overall latency gate decides");
+            }
+            out.push(cmp);
+        }
+    }
+    out
+}
+
 /// Compares a directionless counter: drift beyond tolerance is WARN,
 /// never REGRESSED (more compactions may be better or worse — a human
 /// decides).
@@ -565,6 +593,7 @@ pub fn compare_reports(
             ));
         }
     }
+    metrics.extend(compare_decomposition(baseline, candidate, tol));
     for (name, base_val) in &baseline.metrics.counters {
         if let Some(cand_val) = candidate.metrics.counter(name) {
             metrics.push(compare_counter(
@@ -657,7 +686,55 @@ mod tests {
             metrics,
             attribution: None,
             recovery: None,
+            decomposition: Vec::new(),
         }
+    }
+
+    #[test]
+    fn decomposition_drift_warns_but_never_regresses() {
+        // A segment blowing up 40x would regress as a latency metric;
+        // as a decomposition entry it must cap at WARN — the overall
+        // latency gate owns the verdict, the segments say *where*.
+        let mut base = report_with_latency(0, 10_000.0);
+        let mut cand = report_with_latency(0, 10_000.0);
+        let seg = |shift: u64| {
+            let mut h = LogHistogram::new();
+            for i in 0..2_000u64 {
+                h.record(500 + (i % 83) * 9 + shift);
+            }
+            h
+        };
+        base.decomposition = vec![
+            ("outbound".to_string(), seg(0)),
+            ("service".to_string(), seg(0)),
+        ];
+        cand.decomposition = vec![
+            ("outbound".to_string(), seg(0)),
+            ("service".to_string(), seg(40_000)),
+        ];
+        let cmp = compare_reports(&base, &cand, "a", "b", &Tolerance::default());
+        let service = cmp
+            .metrics
+            .iter()
+            .find(|m| m.metric == "decomposition/service")
+            .expect("segment compared");
+        assert_eq!(service.status, Status::Warn);
+        assert!(service.note.contains("diagnose"), "{}", service.note);
+        let outbound = cmp
+            .metrics
+            .iter()
+            .find(|m| m.metric == "decomposition/outbound")
+            .expect("segment compared");
+        assert_eq!(outbound.status, Status::Pass);
+        assert!(!cmp.regressed(), "WARN does not fail the gate");
+
+        // Untraced candidate: the section contributes nothing.
+        cand.decomposition.clear();
+        let cmp = compare_reports(&base, &cand, "a", "b", &Tolerance::default());
+        assert!(!cmp
+            .metrics
+            .iter()
+            .any(|m| m.metric.starts_with("decomposition/")));
     }
 
     #[test]

@@ -195,6 +195,14 @@ pub struct RunReport {
     /// harness; `None` for ordinary runs (and for reports predating the
     /// section).
     pub recovery: Option<RecoveryReport>,
+    /// Cross-process latency decomposition from a traced network drive:
+    /// per-segment histograms keyed by name, in pipeline order
+    /// (`client_queue`, `outbound`, `service`, `return_path`,
+    /// `end_to_end`). Segments telescope — for every sample the first
+    /// four sum to the fifth — so the section answers "where did the
+    /// wall-clock go" without a second run. Empty for embedded runs,
+    /// untraced drives, and reports predating distributed tracing.
+    pub decomposition: Vec<(String, LogHistogram)>,
 }
 
 impl RunReport {
@@ -231,6 +239,7 @@ impl RunReport {
             metrics: MetricsSnapshot::new(),
             attribution: None,
             recovery: None,
+            decomposition: run.decomposition.clone(),
         }
     }
 
@@ -489,6 +498,7 @@ const REPORT_FIELDS: &[&str] = &[
     "metrics",
     "attribution",
     "recovery",
+    "decomposition",
 ];
 
 impl Serialize for RunReport {
@@ -506,6 +516,11 @@ impl Serialize for RunReport {
             Some(r) => r.to_value(),
             None => Value::Null,
         };
+        let decomposition = self
+            .decomposition
+            .iter()
+            .map(|(name, h)| (name.clone(), h.to_value()))
+            .collect();
         Value::Object(vec![
             ("version".to_string(), self.version.to_value()),
             ("store".to_string(), self.store.to_value()),
@@ -522,6 +537,7 @@ impl Serialize for RunReport {
             ("metrics".to_string(), self.metrics.to_value()),
             ("attribution".to_string(), attribution),
             ("recovery".to_string(), recovery),
+            ("decomposition".to_string(), Value::Object(decomposition)),
         ])
     }
 }
@@ -578,6 +594,21 @@ impl Deserialize for RunReport {
             recovery: match serde::find_field(members, "recovery") {
                 Some(Value::Null) | None => None,
                 Some(v) => Some(RecoveryReport::from_value(v)?),
+            },
+            // Absent in reports predating distributed tracing → the
+            // run recorded no decomposition.
+            decomposition: match serde::find_field(members, "decomposition") {
+                Some(Value::Object(segments)) => {
+                    let mut out = Vec::with_capacity(segments.len());
+                    for (name, v) in segments {
+                        out.push((name.clone(), LogHistogram::from_value(v)?));
+                    }
+                    out
+                }
+                Some(Value::Null) | None => Vec::new(),
+                Some(other) => {
+                    return Err(Error::expected("object", other, "RunReport.decomposition"))
+                }
             },
         })
     }
@@ -674,6 +705,17 @@ mod tests {
                 torn_tail: "truncate".to_string(),
                 crashes: 1,
             }),
+            decomposition: ["client_queue", "outbound", "service", "return_path"]
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let mut h = LogHistogram::new();
+                    for j in 0..500u64 {
+                        h.record(100 * (i as u64 + 1) + j);
+                    }
+                    (name.to_string(), h)
+                })
+                .collect(),
         }
     }
 
@@ -790,6 +832,37 @@ mod tests {
             .replace("\"recovery_us\"", "\"surprise\": 1,\n    \"recovery_us\"");
         let err = RunReport::from_json(&json).unwrap_err();
         assert!(err.contains("unknown field `surprise`"), "got: {err}");
+    }
+
+    #[test]
+    fn missing_decomposition_defaults_to_empty() {
+        // Reports written before distributed tracing existed carry no
+        // decomposition section — they recorded none and must keep
+        // loading as exactly that.
+        let j = sample_report().to_json();
+        let start = j.find(",\n  \"decomposition\"").unwrap();
+        let end = j.rfind('}').unwrap();
+        let json = format!("{}\n{}", &j[..start], &j[end..]);
+        assert!(!json.contains("decomposition"), "field removed");
+        let back = RunReport::from_json(&json).unwrap();
+        assert!(back.decomposition.is_empty());
+        // Re-serialization writes the (empty) section from then on.
+        assert!(back.to_json().contains("\"decomposition\": {}"));
+    }
+
+    #[test]
+    fn decomposition_round_trips_in_order() {
+        let report = sample_report();
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.decomposition, report.decomposition);
+        let names: Vec<&str> = back.decomposition.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["client_queue", "outbound", "service", "return_path"]
+        );
+        for (_, h) in &back.decomposition {
+            assert_eq!(h.count(), 500);
+        }
     }
 
     #[test]

@@ -512,6 +512,7 @@ mod tests {
                     metrics: gadget_obs::MetricsSnapshot::new(),
                     attribution: None,
                     recovery: None,
+                    decomposition: Vec::new(),
                 },
             }
         };

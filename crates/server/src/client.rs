@@ -11,17 +11,23 @@
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown as SockShutdown, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use bytes::Bytes;
 use gadget_kv::{
     BatchResult, CheckpointManifest, Durability, OpTimers, ReshardEvent, StateStore, StoreError,
 };
-use gadget_obs::{Counter, MetricsRegistry, MetricsSnapshot};
+use gadget_obs::trace::{self, record_complete2, Category, ClockSample, OffsetEstimator};
+use gadget_obs::{Counter, LogHistogram, MetricsRegistry, MetricsSnapshot};
 use gadget_types::Op;
 
-use crate::wire::{self, Frame};
+use crate::wire::{self, Frame, ReplyTrace, TraceContext};
+
+/// Process-global trace sequence counter: every traced request in this
+/// process gets a distinct `seq`, no matter which connection carries
+/// it, so merged client/server timelines can join purely on `seq`.
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
 
 /// A server's partition topology, as answered to a wire `Topology`
 /// query: what drivers stamp into run reports.
@@ -56,6 +62,104 @@ pub struct RemoteCheckpoint {
     pub reused: u64,
 }
 
+/// Client-side latency decomposition for one traced connection: where
+/// a request's end-to-end time went, split along the wire boundary.
+///
+/// Segments telescope — for every sample they sum to exactly the
+/// end-to-end latency, whatever the clock-offset estimate, because the
+/// offset cancels between the outbound and return legs:
+///
+/// * `client_queue` — call entry to request stamped for the wire
+///   (lock wait plus batch assembly);
+/// * `outbound` — wire stamp to server dequeue, on the client clock
+///   (socket write, network, server socket read, server queue);
+/// * `service` — the store's `apply_batch`, as measured by the server;
+/// * `return_path` — apply end to reply decoded (reply encode, network,
+///   client read and decode);
+/// * `end_to_end` — the whole request, for cross-checking the sum.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Client-side connection ordinal (as passed to
+    /// [`NetStore::enable_tracing`]), not the server's connection id.
+    pub conn: u64,
+    /// Requests that completed a full trace exchange.
+    pub samples: u64,
+    /// Estimated server-minus-client clock offset, nanoseconds.
+    pub offset_ns: Option<i64>,
+    /// Round-trip wire floor behind the offset estimate, nanoseconds.
+    pub min_rtt_ns: Option<u64>,
+    /// Per-segment latency histograms, in pipeline order.
+    pub segments: Vec<(String, LogHistogram)>,
+}
+
+/// The five segment names, in pipeline order — shared by the report
+/// layer so merged decompositions stay consistently keyed.
+pub const SEGMENT_NAMES: [&str; 5] = [
+    "client_queue",
+    "outbound",
+    "service",
+    "return_path",
+    "end_to_end",
+];
+
+/// Per-connection tracing state, armed by [`NetStore::enable_tracing`].
+struct ClientTracing {
+    conn_no: u64,
+    stats: Mutex<TraceStats>,
+}
+
+#[derive(Default)]
+struct TraceStats {
+    samples: u64,
+    estimator: OffsetEstimator,
+    client_queue: LogHistogram,
+    outbound: LogHistogram,
+    service: LogHistogram,
+    return_path: LogHistogram,
+    end_to_end: LogHistogram,
+}
+
+impl ClientTracing {
+    /// Folds one completed exchange into the estimator, the segment
+    /// histograms, and — when a trace session is live — the span rings.
+    fn absorb(&self, t0: u64, seq: u64, rt: ReplyTrace, t4: u64) {
+        let t1 = rt.client_send_ns;
+        let mut stats = self.stats.lock().unwrap();
+        stats.estimator.record(ClockSample {
+            t1,
+            t2: rt.recv_ns,
+            t3: rt.send_ns,
+            t4,
+        });
+        let theta = stats.estimator.offset_ns().unwrap_or(0) as i128;
+        // Dequeue mapped onto the client clock; clamping negatives (an
+        // offset estimate worse than the one-way delay) costs at most
+        // the clamp amount against the telescoping identity.
+        let dequeue = rt.dequeue_ns as i128 - theta;
+        let client_queue = t1.saturating_sub(t0);
+        let outbound = (dequeue - t1 as i128).max(0) as u64;
+        let service = rt.apply_dur_ns;
+        let return_path = (t4 as i128 - (dequeue + service as i128)).max(0) as u64;
+        let end_to_end = t4.saturating_sub(t0);
+        stats.samples += 1;
+        stats.client_queue.record(client_queue);
+        stats.outbound.record(outbound);
+        stats.service.record(service);
+        stats.return_path.record(return_path);
+        stats.end_to_end.record(end_to_end);
+        drop(stats);
+        record_complete2(Category::NetSend, self.conn_no, seq, t0, client_queue);
+        record_complete2(
+            Category::NetWait,
+            self.conn_no,
+            seq,
+            t1,
+            t4.saturating_sub(t1),
+        );
+        record_complete2(Category::NetOp, self.conn_no, seq, t0, end_to_end);
+    }
+}
+
 /// One TCP connection's buffered halves.
 struct Conn {
     reader: BufReader<TcpStream>,
@@ -85,6 +189,7 @@ pub struct NetStore {
     bytes_out: Counter,
     requests: Counter,
     reconnects: Counter,
+    tracing: OnceLock<ClientTracing>,
 }
 
 impl NetStore {
@@ -106,7 +211,43 @@ impl NetStore {
             bytes_out: metrics.counter("net_bytes_out"),
             requests: metrics.counter("net_requests"),
             reconnects: metrics.counter("net_reconnects"),
+            tracing: OnceLock::new(),
             metrics,
+        })
+    }
+
+    /// Arms per-request tracing on this connection: every subsequent
+    /// request carries a wire-v3 trace context (frames grow by 16
+    /// bytes), replies are harvested into a clock-offset estimator and
+    /// segment histograms, and `NetOp`/`NetSend`/`NetWait` spans are
+    /// recorded when a trace session is live. `conn_no` is the caller's
+    /// connection ordinal, stamped into spans for timeline grouping.
+    /// Idempotent; tracing cannot be disarmed once enabled.
+    pub fn enable_tracing(&self, conn_no: u64) {
+        let _ = self.tracing.set(ClientTracing {
+            conn_no,
+            stats: Mutex::new(TraceStats::default()),
+        });
+    }
+
+    /// The latency decomposition gathered so far, or `None` when
+    /// tracing was never enabled. Callable mid-run; histograms are
+    /// copied out under the stats lock.
+    pub fn decomposition(&self) -> Option<Decomposition> {
+        let tr = self.tracing.get()?;
+        let stats = tr.stats.lock().unwrap();
+        Some(Decomposition {
+            conn: tr.conn_no,
+            samples: stats.samples,
+            offset_ns: stats.estimator.offset_ns(),
+            min_rtt_ns: stats.estimator.min_rtt_ns(),
+            segments: vec![
+                (SEGMENT_NAMES[0].to_string(), stats.client_queue.clone()),
+                (SEGMENT_NAMES[1].to_string(), stats.outbound.clone()),
+                (SEGMENT_NAMES[2].to_string(), stats.service.clone()),
+                (SEGMENT_NAMES[3].to_string(), stats.return_path.clone()),
+                (SEGMENT_NAMES[4].to_string(), stats.end_to_end.clone()),
+            ],
         })
     }
 
@@ -263,11 +404,22 @@ impl NetStore {
 
     /// Sends one request batch and awaits its reply.
     fn call(&self, ops: &[Op]) -> Result<Vec<BatchResult>, StoreError> {
+        let tracing = self.tracing.get();
+        let t0 = tracing.map(|_| trace::now_ns());
         let mut conn = self.conn.lock().unwrap();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // The send stamp (`t1`) is taken as late as the borrow rules
+        // allow — immediately before the frame is assembled for the
+        // encoder — so `client_queue` covers the lock wait while the
+        // batch copy and encode land on the outbound leg.
+        let trace_ctx = tracing.map(|_| TraceContext {
+            seq: NEXT_SEQ.fetch_add(1, Ordering::Relaxed),
+            send_ns: trace::now_ns(),
+        });
         let request = Frame::Request {
             id,
             ops: ops.to_vec(),
+            trace: trace_ctx,
         };
         wire::write_frame(&mut conn.writer, &request)?;
         conn.writer.flush().map_err(StoreError::Io)?;
@@ -276,7 +428,11 @@ impl NetStore {
         let reply = wire::read_frame(&mut conn.reader)?;
         self.bytes_in.add(reply.encoded_len() as u64);
         match reply {
-            Frame::Response { id: got, results } => {
+            Frame::Response {
+                id: got,
+                results,
+                trace: reply_trace,
+            } => {
                 if got != id {
                     return Err(StoreError::Corruption(format!(
                         "response id {got} does not match request id {id}"
@@ -288,6 +444,13 @@ impl NetStore {
                         results.len(),
                         ops.len()
                     )));
+                }
+                if let (Some(tr), Some(ctx), Some(t0), Some(rt)) =
+                    (tracing, trace_ctx, t0, reply_trace)
+                {
+                    if rt.seq == ctx.seq {
+                        tr.absorb(t0, ctx.seq, rt, trace::now_ns());
+                    }
                 }
                 Ok(results)
             }

@@ -48,6 +48,12 @@ pub struct DriveOptions {
     /// the server to move slots from shard `from` to shard `to` while
     /// the traffic connections keep replaying. `None` disables.
     pub reshard_at: Option<ReshardTrigger>,
+    /// Arm client-side tracing on every connection: requests carry the
+    /// wire-v3 trace context, each connection estimates its clock
+    /// offset to the server, and the merged report gains the
+    /// end-to-end latency decomposition
+    /// ([`RunReport::decomposition`](gadget_replay::RunReport)).
+    pub client_trace: bool,
 }
 
 /// When and what a mid-drive reshard moves.
@@ -72,6 +78,7 @@ impl Default for DriveOptions {
             replay: ReplayOptions::default(),
             seed: 0x9ad9e,
             reshard_at: None,
+            client_trace: false,
         }
     }
 }
@@ -97,6 +104,11 @@ pub struct DriveSummary {
     /// map digest, full reshard history) — what reports stamp as
     /// topology provenance. `None` only if the post-drive query failed.
     pub topology: Option<Topology>,
+    /// Per-connection server-minus-client clock-offset estimates in
+    /// nanoseconds, `(connection number, offset)`. Empty unless
+    /// [`DriveOptions::client_trace`] was set; on loopback every entry
+    /// should sit within a round trip of zero.
+    pub clock_offsets_ns: Vec<(u64, i64)>,
 }
 
 /// What one connection's worth of the drive produced.
@@ -106,6 +118,7 @@ struct ConnOutcome {
     bytes_in: u64,
     bytes_out: u64,
     ops: u64,
+    decomposition: Option<crate::client::Decomposition>,
 }
 
 /// splitmix64 step — the standard 64-bit mixer; deterministic churn
@@ -239,6 +252,7 @@ pub fn drive(
     let mut bytes_in = 0;
     let mut bytes_out = 0;
     let mut per_connection_ops = Vec::with_capacity(connections);
+    let mut clock_offsets_ns = Vec::new();
     for outcome in outcomes {
         let conn = outcome?;
         merged.absorb(&conn.measured);
@@ -246,7 +260,14 @@ pub fn drive(
         bytes_in += conn.bytes_in;
         bytes_out += conn.bytes_out;
         per_connection_ops.push(conn.ops);
+        if let Some(decomp) = conn.decomposition {
+            merged.absorb_decomposition(&decomp.segments);
+            if let Some(offset) = decomp.offset_ns {
+                clock_offsets_ns.push((decomp.conn, offset));
+            }
+        }
     }
+    clock_offsets_ns.sort_unstable();
 
     let mut report = merged.to_report("net", workload, seconds);
     report.arrival = Some(options.replay.arrival.name().to_string());
@@ -263,6 +284,7 @@ pub fn drive(
         per_connection_ops,
         reshard,
         topology,
+        clock_offsets_ns,
     })
 }
 
@@ -278,6 +300,9 @@ fn drive_connection(
     progress: &AtomicU64,
 ) -> Result<ConnOutcome, StoreError> {
     let store = NetStore::connect(addr)?;
+    if options.client_trace {
+        store.enable_tracing(conn_no as u64);
+    }
     let replayer = TraceReplayer::new(replay_options);
     let mut rng = options.seed ^ (conn_no as u64).wrapping_mul(0xA076_1D64_78BD_642F);
     let mut measured = Measured::new();
@@ -302,6 +327,7 @@ fn drive_connection(
         bytes_in: snap.counter("net_bytes_in").unwrap_or(0),
         bytes_out: snap.counter("net_bytes_out").unwrap_or(0),
         ops,
+        decomposition: store.decomposition(),
     })
 }
 
@@ -358,6 +384,62 @@ mod tests {
         assert_eq!(summary.connections, 4);
         assert_eq!(summary.reconnects, 0, "no churn requested");
         assert!(summary.bytes_in > 0 && summary.bytes_out > 0);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn traced_drive_merges_decomposition_across_connections() {
+        let server = Server::start(
+            "127.0.0.1:0",
+            Arc::new(MemStore::new()),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let trace = synthetic_trace(900, 53);
+        let options = DriveOptions {
+            connections: 3,
+            client_trace: true,
+            ..DriveOptions::default()
+        };
+        let summary = drive(
+            &server.local_addr().to_string(),
+            &trace,
+            "synthetic",
+            &options,
+        )
+        .unwrap();
+        assert_eq!(summary.report.operations, 900);
+        // Every connection contributed an offset estimate...
+        assert_eq!(summary.clock_offsets_ns.len(), 3);
+        let conns: Vec<u64> = summary.clock_offsets_ns.iter().map(|(c, _)| *c).collect();
+        assert_eq!(conns, vec![0, 1, 2]);
+        // ...and the merged decomposition covers every traced request:
+        // each segment histogram holds exactly `operations` samples.
+        let decomp = &summary.report.decomposition;
+        let names: Vec<&str> = decomp.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "client_queue",
+                "outbound",
+                "service",
+                "return_path",
+                "end_to_end"
+            ]
+        );
+        for (name, hist) in decomp {
+            assert_eq!(hist.count(), 900, "segment {name} is missing samples");
+        }
+        // An untraced drive leaves the section empty.
+        let plain = drive(
+            &server.local_addr().to_string(),
+            &trace,
+            "synthetic",
+            &DriveOptions::default(),
+        )
+        .unwrap();
+        assert!(plain.report.decomposition.is_empty());
+        assert!(plain.clock_offsets_ns.is_empty());
         server.stop().unwrap();
     }
 

@@ -33,7 +33,7 @@ pub mod metrics_http;
 pub mod server;
 pub mod wire;
 
-pub use client::{NetStore, RemoteCheckpoint, Topology};
+pub use client::{Decomposition, NetStore, RemoteCheckpoint, Topology, SEGMENT_NAMES};
 pub use driver::{drive, DriveOptions, DriveSummary, ReshardTrigger};
 pub use metrics_http::{MetricsServer, SnapshotFn};
 pub use server::{Server, ServerConfig};

@@ -155,6 +155,10 @@ mod tests {
             Some("3")
         );
         assert!(body.contains("# TYPE gadget_net_requests counter"));
+        assert!(
+            body.ends_with("# EOF\n"),
+            "scrape must carry the OpenMetrics terminator"
+        );
 
         // Scrapes are repeatable (fresh connection each time).
         let (status, _) = scrape(server.local_addr());

@@ -26,10 +26,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use gadget_kv::{Router, ShardedStore, SlotTable, StateStore, StoreError};
-use gadget_obs::trace::{span, Category};
+use gadget_obs::trace::{self, record_complete2, span, Category};
 use gadget_obs::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 
-use crate::wire::{self, Frame, WireError};
+use crate::wire::{self, Frame, ReplyTrace, WireError};
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -46,10 +46,13 @@ impl Default for ServerConfig {
     }
 }
 
-/// What a reader hands its worker: a decoded frame, or proof that the
-/// peer is speaking garbage (answered once, then the connection dies).
+/// What a reader hands its worker: a decoded frame (plus the
+/// monotonic-ns instant it came off the socket, 0 when untraced — the
+/// queue-enter timestamp of the per-request server timeline), or proof
+/// that the peer is speaking garbage (answered once, then the
+/// connection dies).
 enum ConnEvent {
-    Frame(Frame),
+    Frame(Frame, u64),
     Malformed(WireError),
 }
 
@@ -81,7 +84,9 @@ struct Shared {
 }
 
 impl Shared {
-    /// Server-side metrics merged with the fronted store's own.
+    /// Server-side metrics merged with the fronted store's own, plus
+    /// trace ring-buffer pressure so span loss is visible on the
+    /// Prometheus endpoint.
     fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.metrics.snapshot();
         if let Some(store) = self.store.metrics() {
@@ -90,6 +95,7 @@ impl Shared {
         for (name, value) in self.store.internal_counters() {
             snap.push_counter(&name, value);
         }
+        snap.merge(&gadget_obs::trace_pressure_snapshot());
         snap
     }
 
@@ -290,7 +296,13 @@ fn reader_loop(stream: TcpStream, tx: SyncSender<ConnEvent>, shared: Arc<Shared>
             Ok(frame) => {
                 shared.bytes_in.add(frame.encoded_len() as u64);
                 shared.inflight.add(1);
-                if tx.send(ConnEvent::Frame(frame)).is_err() {
+                // Queue-enter stamp for traced requests only; the
+                // untraced hot path pays no clock read here.
+                let recv_ns = match &frame {
+                    Frame::Request { trace: Some(_), .. } => trace::now_ns(),
+                    _ => 0,
+                };
+                if tx.send(ConnEvent::Frame(frame, recv_ns)).is_err() {
                     shared.inflight.add(-1);
                     break;
                 }
@@ -310,8 +322,15 @@ fn reader_loop(stream: TcpStream, tx: SyncSender<ConnEvent>, shared: Arc<Shared>
 fn worker_loop(stream: TcpStream, rx: Receiver<ConnEvent>, conn_id: u64, shared: Arc<Shared>) {
     let mut writer = BufWriter::new(stream);
     while let Ok(event) = rx.recv() {
-        let reply = match event {
-            ConnEvent::Frame(Frame::Request { id, ops }) => {
+        let mut reply = match event {
+            ConnEvent::Frame(
+                Frame::Request {
+                    id,
+                    ops,
+                    trace: None,
+                },
+                _,
+            ) => {
                 shared.requests.inc();
                 shared.ops.add(ops.len() as u64);
                 let result = {
@@ -319,14 +338,55 @@ fn worker_loop(stream: TcpStream, rx: Receiver<ConnEvent>, conn_id: u64, shared:
                     shared.store.apply_batch(&ops)
                 };
                 match result {
-                    Ok(results) => Frame::Response { id, results },
+                    Ok(results) => Frame::Response {
+                        id,
+                        results,
+                        trace: None,
+                    },
                     Err(e) => {
                         let (code, message) = wire::encode_store_error(&e);
                         Frame::Error { id, code, message }
                     }
                 }
             }
-            ConnEvent::Frame(Frame::Shutdown { id }) => {
+            ConnEvent::Frame(
+                Frame::Request {
+                    id,
+                    ops,
+                    trace: Some(ctx),
+                },
+                recv_ns,
+            ) => {
+                // Traced request: stamp the server-side timeline and
+                // echo it in the reply. `send_ns` is stamped at the
+                // last moment before the frame hits the wire (below),
+                // and the spans are recorded after the flush so the
+                // response-write segment is complete.
+                shared.requests.inc();
+                shared.ops.add(ops.len() as u64);
+                let dequeue_ns = trace::now_ns();
+                let result = shared.store.apply_batch(&ops);
+                let apply_dur_ns = trace::now_ns().saturating_sub(dequeue_ns);
+                match result {
+                    Ok(results) => Frame::Response {
+                        id,
+                        results,
+                        trace: Some(ReplyTrace {
+                            seq: ctx.seq,
+                            client_send_ns: ctx.send_ns,
+                            recv_ns,
+                            dequeue_ns,
+                            apply_dur_ns,
+                            send_ns: 0, // stamped just before the write
+                        }),
+                    },
+                    Err(e) => {
+                        let (code, message) = wire::encode_store_error(&e);
+                        Frame::Error { id, code, message }
+                    }
+                }
+            }
+            ConnEvent::Frame(Frame::Shutdown { id }, _) => {
                 // Ack first so the requester sees the drain begin, then
                 // trigger it (which EOFs our own reader too).
                 let ack = Frame::Shutdown { id };
@@ -338,12 +398,15 @@ fn worker_loop(stream: TcpStream, rx: Receiver<ConnEvent>, conn_id: u64, shared:
                 shared.begin_shutdown();
                 continue;
             }
-            ConnEvent::Frame(Frame::Reshard {
-                id,
-                from,
-                to,
-                at_op,
-            }) => {
+            ConnEvent::Frame(
+                Frame::Reshard {
+                    id,
+                    from,
+                    to,
+                    at_op,
+                },
+                _,
+            ) => {
                 // Runs on this connection's worker thread: a dedicated
                 // control connection reshards without stalling traffic
                 // connections, whose workers keep applying batches
@@ -363,7 +426,7 @@ fn worker_loop(stream: TcpStream, rx: Receiver<ConnEvent>, conn_id: u64, shared:
                     },
                 }
             }
-            ConnEvent::Frame(Frame::Topology { id }) => match shared.sharded.as_ref() {
+            ConnEvent::Frame(Frame::Topology { id }, _) => match shared.sharded.as_ref() {
                 Some(sharded) => {
                     let router = sharded.router();
                     Frame::TopologyInfo {
@@ -386,7 +449,7 @@ fn worker_loop(stream: TcpStream, rx: Receiver<ConnEvent>, conn_id: u64, shared:
                     }
                 }
             },
-            ConnEvent::Frame(Frame::Checkpoint { id, dir }) => {
+            ConnEvent::Frame(Frame::Checkpoint { id, dir }, _) => {
                 // Runs on this connection's worker like a reshard: a
                 // dedicated control connection checkpoints while traffic
                 // connections keep applying batches (each backend's
@@ -406,7 +469,7 @@ fn worker_loop(stream: TcpStream, rx: Receiver<ConnEvent>, conn_id: u64, shared:
                     }
                 }
             }
-            ConnEvent::Frame(Frame::Restore { id, dir }) => {
+            ConnEvent::Frame(Frame::Restore { id, dir }, _) => {
                 match shared.store.restore(std::path::Path::new(&dir)) {
                     Ok(()) => Frame::RestoreDone { id },
                     Err(e) => {
@@ -415,7 +478,7 @@ fn worker_loop(stream: TcpStream, rx: Receiver<ConnEvent>, conn_id: u64, shared:
                     }
                 }
             }
-            ConnEvent::Frame(other) => {
+            ConnEvent::Frame(other, _) => {
                 // Clients must not send server-kind frames.
                 let id = other.id();
                 Frame::Error {
@@ -438,12 +501,56 @@ fn worker_loop(stream: TcpStream, rx: Receiver<ConnEvent>, conn_id: u64, shared:
             }
         };
         shared.inflight.add(-1);
+        // Traced replies get their send timestamp at the last moment
+        // before the bytes leave, so the client's return-path segment
+        // excludes none of the write.
+        let traced = match &mut reply {
+            Frame::Response { trace: Some(t), .. } => {
+                t.send_ns = trace::now_ns();
+                Some(*t)
+            }
+            _ => None,
+        };
         if wire::write_frame(&mut writer, &reply).is_err() {
             break;
         }
         shared.bytes_out.add(reply.encoded_len() as u64);
         if writer.flush().is_err() {
             break;
+        }
+        if let Some(t) = traced {
+            // Child spans of the request, keyed (conn, seq): queue
+            // wait, store apply, response write, and the whole-request
+            // envelope. Recorded only while a trace session runs.
+            let write_end = trace::now_ns();
+            record_complete2(
+                Category::NetQueue,
+                conn_id,
+                t.seq,
+                t.recv_ns,
+                t.dequeue_ns.saturating_sub(t.recv_ns),
+            );
+            record_complete2(
+                Category::NetApply,
+                conn_id,
+                t.seq,
+                t.dequeue_ns,
+                t.apply_dur_ns,
+            );
+            record_complete2(
+                Category::NetWrite,
+                conn_id,
+                t.seq,
+                t.send_ns,
+                write_end.saturating_sub(t.send_ns),
+            );
+            record_complete2(
+                Category::NetRequest,
+                conn_id,
+                t.seq,
+                t.recv_ns,
+                write_end.saturating_sub(t.recv_ns),
+            );
         }
     }
     shared.active.add(-1);
@@ -476,6 +583,56 @@ mod tests {
         assert_eq!(store.get(b"k").unwrap().as_deref(), Some(&b"vw"[..]));
         store.delete(b"k").unwrap();
         assert_eq!(store.get(b"k").unwrap(), None);
+        server.stop().unwrap();
+    }
+
+    /// The tentpole's loopback acceptance check at unit scale: with
+    /// client tracing armed, the four decomposition segments must sum
+    /// to (nearly) the measured end-to-end latency — the telescoping
+    /// identity holds sample-by-sample up to negative-clamp slack, so
+    /// the *means* must agree within the 5% budget, and the offset
+    /// estimate between two threads of one process must be small
+    /// relative to the observed round trips.
+    #[test]
+    fn traced_loopback_decomposition_sums_to_end_to_end() {
+        let server = serve_mem();
+        let store = NetStore::connect(&server.local_addr().to_string()).unwrap();
+        store.enable_tracing(7);
+        for i in 0u32..400 {
+            let key = i.to_le_bytes().to_vec();
+            store.put(&key, b"value").unwrap();
+            store.get(&key).unwrap();
+        }
+        let decomp = store.decomposition().expect("tracing was enabled");
+        assert_eq!(decomp.conn, 7);
+        assert_eq!(decomp.samples, 800);
+        let mean = |name: &str| {
+            decomp
+                .segments
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.mean())
+                .expect("segment present")
+        };
+        let sum: f64 = ["client_queue", "outbound", "service", "return_path"]
+            .iter()
+            .map(|n| mean(n))
+            .sum();
+        let e2e = mean("end_to_end");
+        assert!(e2e > 0.0, "loopback round trips take nonzero time");
+        let dev = (sum - e2e).abs() / e2e;
+        assert!(
+            dev < 0.05,
+            "segment means sum to {sum:.0}ns vs end-to-end {e2e:.0}ns ({dev:.3} off)"
+        );
+        // Same process, same monotonic clock: the estimated offset is
+        // bounded by the wire floor, not by epoch skew.
+        let offset = decomp.offset_ns.expect("samples were recorded");
+        let floor = decomp.min_rtt_ns.expect("samples were recorded");
+        assert!(
+            offset.unsigned_abs() <= floor.max(1),
+            "offset {offset}ns exceeds min RTT {floor}ns"
+        );
         server.stop().unwrap();
     }
 

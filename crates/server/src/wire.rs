@@ -57,6 +57,24 @@
 //! Version 2 added the reshard/topology control frames without touching
 //! any v1 payload layout, so decoders accept both versions; encoders
 //! always stamp the current one.
+//!
+//! Version 3 adds an *optional* trace-context extension to the two hot
+//! frames, enabling cross-process tracing (see `gadget-trace`):
+//!
+//! * **Request** (v3) — after the ops, 16 extra bytes: `u64` trace
+//!   sequence + `u64` client send timestamp (monotonic ns on the
+//!   client's clock).
+//! * **Response** (v3) — after the results, 48 extra bytes echoing the
+//!   request's sequence and send timestamp plus the server-side
+//!   request timeline: `u64` receive, `u64` dequeue, `u64` apply
+//!   duration, `u64` reply-send — all monotonic ns on the *server's*
+//!   clock, which is exactly what NTP-style offset estimation needs.
+//!
+//! The extension is present only when the frame is stamped v3 **and**
+//! the payload carries it; encoders stamp v3 only for frames that do
+//! ([`VERSION_UNTRACED`] otherwise), so with tracing off the bytes on
+//! the wire are identical to a v2 build's and v1/v2 peers interoperate
+//! unchanged.
 
 use std::io::{self, Read, Write};
 
@@ -70,15 +88,23 @@ pub const MAGIC: u16 = 0x4753;
 
 /// Current protocol version. Bump on any layout change.
 ///
-/// v1 → v2 added the reshard/topology control frames; every v1 payload
-/// layout is unchanged, so decoders accept both (see
-/// [`version_supported`]) while encoders always stamp this value.
-pub const VERSION: u8 = 2;
+/// v1 → v2 added the reshard/topology control frames; v2 → v3 added
+/// the optional request/response trace-context extension. Every older
+/// payload layout is unchanged, so decoders accept all three (see
+/// [`version_supported`]). Encoders stamp this value only on frames
+/// that actually carry a trace extension; everything else is stamped
+/// [`VERSION_UNTRACED`] so untraced traffic is byte-for-byte what a v2
+/// build would emit.
+pub const VERSION: u8 = 3;
+
+/// What encoders stamp on frames without a trace extension — the
+/// highest version whose layout they use.
+pub const VERSION_UNTRACED: u8 = 2;
 
 /// Whether a frame from protocol version `v` can be decoded by this
 /// build.
 pub fn version_supported(v: u8) -> bool {
-    v == 1 || v == VERSION
+    (1..=VERSION).contains(&v)
 }
 
 /// Fixed header size in bytes.
@@ -171,6 +197,42 @@ pub fn decode_store_error(code: ErrorCode, message: String) -> StoreError {
     }
 }
 
+/// The v3 request trace extension: how a client marks a request for
+/// cross-process tracing. 16 bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Client-assigned trace sequence, unique across the client
+    /// process — the join key between client and server trace files.
+    pub seq: u64,
+    /// Monotonic ns (client clock) when the frame was stamped for the
+    /// wire; echoed back so the client need not remember it.
+    pub send_ns: u64,
+}
+
+/// The v3 response trace extension: the server's per-request timeline,
+/// echoed alongside the request's context. 48 bytes on the wire.
+///
+/// All server timestamps are monotonic ns on the *server's* clock —
+/// the client combines them with its own send/receive instants for the
+/// NTP-style offset estimate (`gadget_trace::clock`) and the latency
+/// decomposition (client queue / outbound / service / return).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyTrace {
+    /// Echoed request trace sequence.
+    pub seq: u64,
+    /// Echoed client send timestamp (client clock).
+    pub client_send_ns: u64,
+    /// Server: request frame decoded off the socket.
+    pub recv_ns: u64,
+    /// Server: request dequeued by the connection worker (= store
+    /// apply start).
+    pub dequeue_ns: u64,
+    /// Server: how long `apply_batch` ran, in ns.
+    pub apply_dur_ns: u64,
+    /// Server: reply frame stamped for the wire.
+    pub send_ns: u64,
+}
+
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
@@ -180,6 +242,9 @@ pub enum Frame {
         id: u64,
         /// Operations to apply, in order.
         ops: Vec<Op>,
+        /// v3 trace extension; `None` on untraced requests (the frame
+        /// is then stamped and laid out exactly as v2).
+        trace: Option<TraceContext>,
     },
     /// Server → client: per-op results for the request with this id.
     Response {
@@ -187,6 +252,8 @@ pub enum Frame {
         id: u64,
         /// One result per op, positionally.
         results: Vec<BatchResult>,
+        /// v3 trace extension; `None` unless the request carried one.
+        trace: Option<ReplyTrace>,
     },
     /// Server → client: the whole batch failed.
     Error {
@@ -361,7 +428,7 @@ fn put_reshard_event(out: &mut Vec<u8>, e: &ReshardEvent) {
 fn encode_payload(frame: &Frame) -> Vec<u8> {
     let mut p = Vec::new();
     match frame {
-        Frame::Request { ops, .. } => {
+        Frame::Request { ops, trace, .. } => {
             put_u32(&mut p, ops.len() as u32);
             for op in ops {
                 match op {
@@ -385,8 +452,12 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
                     }
                 }
             }
+            if let Some(t) = trace {
+                put_u64(&mut p, t.seq);
+                put_u64(&mut p, t.send_ns);
+            }
         }
-        Frame::Response { results, .. } => {
+        Frame::Response { results, trace, .. } => {
             put_u32(&mut p, results.len() as u32);
             for r in results {
                 match r {
@@ -397,6 +468,14 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
                         put_bytes(&mut p, v);
                     }
                 }
+            }
+            if let Some(t) = trace {
+                put_u64(&mut p, t.seq);
+                put_u64(&mut p, t.client_send_ns);
+                put_u64(&mut p, t.recv_ns);
+                put_u64(&mut p, t.dequeue_ns);
+                put_u64(&mut p, t.apply_dur_ns);
+                put_u64(&mut p, t.send_ns);
             }
         }
         Frame::Error { code, message, .. } => {
@@ -465,6 +544,19 @@ impl Frame {
         }
     }
 
+    /// The version byte this frame's canonical encoding carries: v3
+    /// only when a trace extension is present, [`VERSION_UNTRACED`]
+    /// otherwise — so a tracing-capable build emits byte-for-byte v2
+    /// traffic until tracing is switched on.
+    pub fn wire_version(&self) -> u8 {
+        match self {
+            Frame::Request { trace: Some(_), .. } | Frame::Response { trace: Some(_), .. } => {
+                VERSION
+            }
+            _ => VERSION_UNTRACED,
+        }
+    }
+
     /// Canonical byte encoding: header plus payload.
     pub fn encode(&self) -> Vec<u8> {
         let payload = encode_payload(self);
@@ -484,7 +576,7 @@ impl Frame {
         };
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
         out.extend_from_slice(&MAGIC.to_le_bytes());
-        out.push(VERSION);
+        out.push(self.wire_version());
         out.push(kind);
         out.extend_from_slice(&self.id().to_le_bytes());
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -557,7 +649,12 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Frame, WireError> {
+/// Size of the encoded request trace extension (v3).
+pub const REQUEST_TRACE_LEN: usize = 16;
+/// Size of the encoded response trace extension (v3).
+pub const REPLY_TRACE_LEN: usize = 48;
+
+fn decode_payload(version: u8, kind: u8, id: u64, payload: &[u8]) -> Result<Frame, WireError> {
     let mut c = Cursor::new(payload);
     let frame = match kind {
         KIND_REQUEST => {
@@ -586,7 +683,18 @@ fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Frame, WireError>
                     other => return Err(WireError::BadTag(other)),
                 });
             }
-            Frame::Request { id, ops }
+            // The trace extension exists only in v3 frames, and even
+            // there it is optional: exactly-absent and exactly-present
+            // both decode, anything in between is trailing garbage.
+            let trace = if version >= 3 && c.remaining() == REQUEST_TRACE_LEN {
+                Some(TraceContext {
+                    seq: c.u64()?,
+                    send_ns: c.u64()?,
+                })
+            } else {
+                None
+            };
+            Frame::Request { id, ops, trace }
         }
         KIND_RESPONSE => {
             let count = c.u32()? as usize;
@@ -602,7 +710,19 @@ fn decode_payload(kind: u8, id: u64, payload: &[u8]) -> Result<Frame, WireError>
                     other => return Err(WireError::BadTag(other)),
                 });
             }
-            Frame::Response { id, results }
+            let trace = if version >= 3 && c.remaining() == REPLY_TRACE_LEN {
+                Some(ReplyTrace {
+                    seq: c.u64()?,
+                    client_send_ns: c.u64()?,
+                    recv_ns: c.u64()?,
+                    dequeue_ns: c.u64()?,
+                    apply_dur_ns: c.u64()?,
+                    send_ns: c.u64()?,
+                })
+            } else {
+                None
+            };
+            Frame::Response { id, results, trace }
         }
         KIND_ERROR => {
             let code = ErrorCode::from_wire(c.u8()?)?;
@@ -693,7 +813,7 @@ pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
     match body.len().cmp(&(len as usize)) {
         std::cmp::Ordering::Less => Err(WireError::Truncated),
         std::cmp::Ordering::Greater => Err(WireError::Trailing(body.len() - len as usize)),
-        std::cmp::Ordering::Equal => decode_payload(kind, id, body),
+        std::cmp::Ordering::Equal => decode_payload(buf[2], kind, id, body),
     }
 }
 
@@ -719,7 +839,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    decode_payload(kind, id, &payload)
+    decode_payload(header[2], kind, id, &payload)
 }
 
 /// Writes a frame's canonical encoding to a stream (no flush).
@@ -742,6 +862,7 @@ mod tests {
                     Op::merge(b"k3".to_vec(), vec![0u8; 100]),
                     Op::delete(b"".to_vec()),
                 ],
+                trace: None,
             },
             Frame::Response {
                 id: 7,
@@ -750,6 +871,7 @@ mod tests {
                     BatchResult::Applied,
                     BatchResult::Value(Some(Bytes::copy_from_slice(b"abc"))),
                 ],
+                trace: None,
             },
             Frame::Error {
                 id: 9,
@@ -797,6 +919,26 @@ mod tests {
                 dir: "/tmp/ckpt-1".to_string(),
             },
             Frame::RestoreDone { id: 15 },
+            Frame::Request {
+                id: 16,
+                ops: vec![Op::get(b"traced".to_vec())],
+                trace: Some(TraceContext {
+                    seq: 42,
+                    send_ns: 1_000_000,
+                }),
+            },
+            Frame::Response {
+                id: 16,
+                results: vec![BatchResult::Value(None)],
+                trace: Some(ReplyTrace {
+                    seq: 42,
+                    client_send_ns: 1_000_000,
+                    recv_ns: 2_000_000,
+                    dequeue_ns: 2_100_000,
+                    apply_dur_ns: 30_000,
+                    send_ns: 2_140_000,
+                }),
+            },
         ]
     }
 
@@ -884,22 +1026,100 @@ mod tests {
     }
 
     #[test]
-    fn v1_frames_still_decode_under_v2() {
+    fn v1_frames_still_decode_under_v3() {
         // The v1 payload layouts are unchanged; only the version byte
         // differs. A v1 peer's frame must decode, and an unknown future
         // version must not.
         for frame in sample_frames().into_iter().take(4) {
             let mut bytes = frame.encode();
-            assert_eq!(bytes[2], VERSION);
+            assert_eq!(bytes[2], VERSION_UNTRACED, "untraced frames stamp v2");
             bytes[2] = 1;
             assert_eq!(decode(&bytes).expect("v1 frame decodes"), frame);
-            bytes[2] = 3;
-            assert!(matches!(decode(&bytes), Err(WireError::BadVersion(3))));
+            bytes[2] = 4;
+            assert!(matches!(decode(&bytes), Err(WireError::BadVersion(4))));
         }
         assert!(version_supported(1));
         assert!(version_supported(2));
+        assert!(version_supported(3));
         assert!(!version_supported(0));
-        assert!(!version_supported(3));
+        assert!(!version_supported(4));
+    }
+
+    #[test]
+    fn trace_extension_rides_only_on_v3_frames() {
+        let traced = Frame::Request {
+            id: 1,
+            ops: vec![Op::get(b"k".to_vec())],
+            trace: Some(TraceContext {
+                seq: 9,
+                send_ns: 777,
+            }),
+        };
+        let untraced = Frame::Request {
+            id: 1,
+            ops: vec![Op::get(b"k".to_vec())],
+            trace: None,
+        };
+        let traced_bytes = traced.encode();
+        let untraced_bytes = untraced.encode();
+        // Tracing on: v3 stamp, 16 extension bytes; off: byte-identical
+        // to a v2 build's encoding.
+        assert_eq!(traced_bytes[2], 3);
+        assert_eq!(untraced_bytes[2], 2);
+        assert_eq!(traced_bytes.len(), untraced_bytes.len() + 16);
+        assert_eq!(decode(&traced_bytes).unwrap(), traced);
+        assert_eq!(decode(&untraced_bytes).unwrap(), untraced);
+
+        // The same payload stamped v2 must NOT grow a trace context —
+        // a v2 peer's 16 trailing bytes are garbage, not an extension.
+        let mut downgraded = traced_bytes.clone();
+        downgraded[2] = 2;
+        assert!(
+            matches!(decode(&downgraded), Err(WireError::Trailing(16))),
+            "v2 frames cannot smuggle a v3 extension"
+        );
+
+        // A v3 request without the extension is a valid traced-capable
+        // frame that simply was not traced.
+        let mut upgraded = untraced_bytes.clone();
+        upgraded[2] = 3;
+        assert_eq!(decode(&upgraded).unwrap(), untraced);
+
+        // Partial extensions are trailing garbage even under v3.
+        let mut partial = traced_bytes.clone();
+        partial.truncate(partial.len() - 8);
+        let fixed_len = ((partial.len() - HEADER_LEN) as u32).to_le_bytes();
+        partial[12..16].copy_from_slice(&fixed_len);
+        assert!(matches!(decode(&partial), Err(WireError::Trailing(8))));
+    }
+
+    #[test]
+    fn reply_trace_round_trips_all_six_words() {
+        let trace = ReplyTrace {
+            seq: u64::MAX,
+            client_send_ns: 1,
+            recv_ns: 2,
+            dequeue_ns: 3,
+            apply_dur_ns: 4,
+            send_ns: 5,
+        };
+        let frame = Frame::Response {
+            id: 3,
+            results: vec![BatchResult::Applied],
+            trace: Some(trace),
+        };
+        let bytes = frame.encode();
+        assert_eq!(bytes[2], 3);
+        match decode(&bytes).unwrap() {
+            Frame::Response {
+                trace: Some(back), ..
+            } => assert_eq!(back, trace),
+            other => panic!("decoded {other:?}"),
+        }
+        // And stripping the version stamp back to v2 rejects it.
+        let mut downgraded = bytes.clone();
+        downgraded[2] = 2;
+        assert!(matches!(decode(&downgraded), Err(WireError::Trailing(48))));
     }
 
     #[test]

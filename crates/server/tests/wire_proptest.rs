@@ -14,7 +14,9 @@
 
 use bytes::Bytes;
 use gadget_kv::BatchResult;
-use gadget_server::wire::{self, ErrorCode, Frame, WireError, MAX_PAYLOAD};
+use gadget_server::wire::{
+    self, ErrorCode, Frame, ReplyTrace, TraceContext, WireError, MAX_PAYLOAD,
+};
 use gadget_types::Op;
 use proptest::prelude::*;
 
@@ -52,12 +54,22 @@ fn results() -> impl Strategy<Value = Vec<BatchResult>> {
     })
 }
 
-/// One frame of any kind, with ids across the u64 range.
+/// One frame of any kind, with ids across the u64 range. Kinds 4 and 5
+/// are the v3-traced twins of Request and Response, with trace words
+/// derived from `id` so the strategy stays cheap.
 fn frames() -> impl Strategy<Value = Frame> {
-    (0u8..4, any::<u64>(), ops(), results(), 0u8..5, 0u8..40).prop_map(
+    (0u8..6, any::<u64>(), ops(), results(), 0u8..5, 0u8..40).prop_map(
         |(kind, id, ops, results, code, msg_len)| match kind {
-            0 => Frame::Request { id, ops },
-            1 => Frame::Response { id, results },
+            0 => Frame::Request {
+                id,
+                ops,
+                trace: None,
+            },
+            1 => Frame::Response {
+                id,
+                results,
+                trace: None,
+            },
             2 => Frame::Error {
                 id,
                 code: match code {
@@ -69,7 +81,27 @@ fn frames() -> impl Strategy<Value = Frame> {
                 },
                 message: "e".repeat(msg_len as usize),
             },
-            _ => Frame::Shutdown { id },
+            3 => Frame::Shutdown { id },
+            4 => Frame::Request {
+                id,
+                ops,
+                trace: Some(TraceContext {
+                    seq: id ^ 0x9E37_79B9_7F4A_7C15,
+                    send_ns: id.wrapping_mul(31),
+                }),
+            },
+            _ => Frame::Response {
+                id,
+                results,
+                trace: Some(ReplyTrace {
+                    seq: id,
+                    client_send_ns: id.wrapping_add(1),
+                    recv_ns: id.wrapping_add(2),
+                    dequeue_ns: id.wrapping_add(3),
+                    apply_dur_ns: id % 1_000_000,
+                    send_ns: id.wrapping_add(5),
+                }),
+            },
         },
     )
 }
@@ -106,13 +138,47 @@ proptest! {
 
     #[test]
     fn wrong_version_is_rejected(frame in frames(), version in 0u8..255) {
-        if version == wire::VERSION {
+        // Skip every version the decoder accepts (1..=VERSION), not
+        // just the current one: stamping a *supported* older version
+        // on these bytes is an interop case, not a rejection case.
+        if wire::version_supported(version) {
             continue;
         }
         let mut bytes = frame.encode();
         bytes[2] = version;
         let err = wire::decode(&bytes).unwrap_err();
         prop_assert!(matches!(err, WireError::BadVersion(v) if v == version), "{err:?}");
+    }
+
+    #[test]
+    fn trace_extension_strips_to_the_untraced_v2_encoding(frame in frames()) {
+        // Interop: a traced frame minus its extension, re-stamped with
+        // the untraced version and a fixed-up length, must be
+        // byte-identical to encoding the same frame with no trace —
+        // v2 and v3 peers agree on every untraced byte, and untraced
+        // frames never stamp v3.
+        let (untraced, ext_len) = match frame.clone() {
+            Frame::Request { id, ops, trace: Some(_) } => (
+                Frame::Request { id, ops, trace: None },
+                wire::REQUEST_TRACE_LEN,
+            ),
+            Frame::Response { id, results, trace: Some(_) } => (
+                Frame::Response { id, results, trace: None },
+                wire::REPLY_TRACE_LEN,
+            ),
+            other => {
+                prop_assert_eq!(other.encode()[2], wire::VERSION_UNTRACED);
+                continue;
+            }
+        };
+        let mut bytes = frame.encode();
+        prop_assert_eq!(bytes[2], wire::VERSION);
+        bytes.truncate(bytes.len() - ext_len);
+        bytes[2] = wire::VERSION_UNTRACED;
+        let len = (bytes.len() - 16) as u32;
+        bytes[12..16].copy_from_slice(&len.to_le_bytes());
+        prop_assert_eq!(&bytes, &untraced.encode());
+        prop_assert_eq!(wire::decode(&bytes).expect("stripped frame decodes"), untraced);
     }
 
     #[test]

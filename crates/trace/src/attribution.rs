@@ -127,15 +127,34 @@ fn p99(mut durs: Vec<u64>) -> u64 {
 
 /// Builds the attribution report for `log`. See the module docs.
 pub fn attribute(log: &TraceLog) -> AttributionReport {
-    let ops: Vec<&Span> = log.events.iter().filter(|e| e.cat.is_op()).collect();
+    attribute_with(log, Category::is_op, Category::is_background)
+}
+
+/// Cross-process attribution for a *merged* client+server trace: the
+/// "ops" are traced client requests ([`Category::NetOp`]) and the
+/// causes are server background spans — compaction, WAL fsync, reshard
+/// migration — after offset correction. [`Category::NetRequest`] is
+/// excluded from the causes because a slow client op always overlaps
+/// its own server-side request span; counting it would tell you
+/// nothing ("your slow request overlapped itself").
+pub fn attribute_net(log: &TraceLog) -> AttributionReport {
+    attribute_with(
+        log,
+        |cat| cat == Category::NetOp,
+        |cat| cat.is_background() && cat != Category::NetRequest,
+    )
+}
+
+fn attribute_with(
+    log: &TraceLog,
+    op_cat: impl Fn(Category) -> bool,
+    bg_cat: impl Fn(Category) -> bool,
+) -> AttributionReport {
+    let ops: Vec<&Span> = log.events.iter().filter(|e| op_cat(e.cat)).collect();
     let p99_ns = p99(ops.iter().map(|o| o.dur_ns).collect());
     let tail: Vec<&&Span> = ops.iter().filter(|o| o.dur_ns > p99_ns).collect();
 
-    let background: Vec<&Span> = log
-        .events
-        .iter()
-        .filter(|e| e.cat.is_background())
-        .collect();
+    let background: Vec<&Span> = log.events.iter().filter(|e| bg_cat(e.cat)).collect();
 
     let mut shares: Vec<CategoryShare> = Vec::new();
     let mut unattributed = 0usize;
@@ -220,6 +239,7 @@ mod tests {
         Span {
             cat: Category::OpGet,
             arg: 0,
+            arg2: 0,
             start_ns: start,
             dur_ns: dur,
             tid: 1,
@@ -238,6 +258,7 @@ mod tests {
         Span {
             cat,
             arg: 0,
+            arg2: 0,
             start_ns: start,
             dur_ns: dur,
             tid: 2,
@@ -361,6 +382,40 @@ mod tests {
         assert_eq!(report.tail_ops, 1);
         assert!(report.shard_shares.is_empty());
         assert!(!report.to_table().contains("hot shards"));
+    }
+
+    #[test]
+    fn net_attribution_blames_server_background_not_the_request_itself() {
+        // 99 fast traced requests, one slow one. The slow request
+        // overlaps its own server-side net_request span AND an L0
+        // compaction; only the compaction may be blamed.
+        let net_op = |start: u64, dur: u64, seq: u64| Span {
+            cat: Category::NetOp,
+            arg: 1,
+            arg2: seq,
+            start_ns: start,
+            dur_ns: dur,
+            tid: 1,
+            shard: NO_SHARD,
+        };
+        let mut events: Vec<Span> = (0..99).map(|i| net_op(i * 1_000, 100, i + 1)).collect();
+        events.push(net_op(500_000, 9_000, 100));
+        events.push(bg(Category::NetRequest, 500_100, 8_000));
+        events.push(bg(Category::Compaction, 499_000, 20_000));
+        // Plain store ops must not be counted as "ops" here.
+        events.push(op(500_000, 50_000));
+        let report = attribute_net(&log(events));
+        assert_eq!(report.total_ops, 100);
+        assert_eq!(report.tail_ops, 1);
+        assert_eq!(report.share(Category::Compaction).unwrap().overlapping, 1);
+        assert!(report.share(Category::NetRequest).is_none());
+        assert_eq!(report.unattributed, 0);
+        // The classic report still sees only store ops.
+        assert_eq!(attribute(&log_for_classic()).total_ops, 1);
+    }
+
+    fn log_for_classic() -> TraceLog {
+        log(vec![op(0, 100)])
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn arg_key(cat: Category) -> &'static str {
         Category::NetRequest => "conn",
         Category::Reshard => "slots",
         Category::SlotMigration => "keys",
+        cat if cat.is_net() => "conn",
         _ => "arg",
     }
 }
@@ -37,12 +38,17 @@ fn span_event(span: &Span) -> Value {
     };
     let kind = if span.cat.is_op() {
         "op"
+    } else if span.cat.is_net() {
+        "net"
     } else if span.cat.is_background() {
         "background"
     } else {
         "phase"
     };
     let mut args = vec![(arg_key(span.cat).to_string(), Value::UInt(span.arg as u128))];
+    if span.arg2 != 0 {
+        args.push(("seq".to_string(), Value::UInt(span.arg2 as u128)));
+    }
     if span.shard != NO_SHARD {
         args.push(("shard".to_string(), Value::UInt(span.shard as u128)));
     }
@@ -96,6 +102,7 @@ mod tests {
                 Span {
                     cat: Category::OpGet,
                     arg: 0,
+                    arg2: 0,
                     start_ns: 1_000,
                     dur_ns: 500,
                     tid: 1,
@@ -104,6 +111,7 @@ mod tests {
                 Span {
                     cat: Category::Compaction,
                     arg: 2,
+                    arg2: 0,
                     start_ns: 1_200,
                     dur_ns: 4_000,
                     tid: 2,
@@ -112,6 +120,7 @@ mod tests {
                 Span {
                     cat: Category::Phase,
                     arg: phase::REPLAY,
+                    arg2: 0,
                     start_ns: 0,
                     dur_ns: 10_000,
                     tid: 1,
@@ -181,6 +190,38 @@ mod tests {
                 .and_then(Value::as_u64),
             Some(2)
         );
+    }
+
+    #[test]
+    fn net_spans_carry_conn_seq_and_net_kind() {
+        let log = TraceLog {
+            events: vec![Span {
+                cat: Category::NetOp,
+                arg: 4,
+                arg2: 1234,
+                start_ns: 2_000,
+                dur_ns: 900,
+                tid: 1,
+                shard: NO_SHARD,
+            }],
+            threads: vec![(1, "conn-4".to_string())],
+            dropped: 0,
+            session_start_ns: 0,
+            session_end_ns: 10_000,
+        };
+        let json = to_chrome_json(&log);
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let Value::Array(events) = doc.get("traceEvents").unwrap() else {
+            panic!("traceEvents not an array");
+        };
+        let op = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("net_op"))
+            .unwrap();
+        assert_eq!(op.get("cat").and_then(Value::as_str), Some("net"));
+        let args = op.get("args").unwrap();
+        assert_eq!(args.get("conn").and_then(Value::as_u64), Some(4));
+        assert_eq!(args.get("seq").and_then(Value::as_u64), Some(1234));
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! NTP-style clock-offset estimation between a client and a server
+//! that each timestamp with their own monotonic clock.
+//!
+//! Every traced request carries four timestamps: the client stamps the
+//! frame just before writing it (`t1`) and notes when the reply is
+//! decoded (`t4`); the server echoes when it pulled the frame off the
+//! socket (`t2`) and when it stamped the reply for the wire (`t3`).
+//! With `theta = server_clock - client_clock`, the classic estimate is
+//!
+//! ```text
+//! theta = ((t2 - t1) + (t3 - t4)) / 2
+//! ```
+//!
+//! which is exact when the outbound and return wire delays are equal
+//! and off by at most half the asymmetry otherwise. Queueing makes
+//! individual samples noisy in one direction only (delays add, they
+//! never subtract), so the estimator keeps the sample with the
+//! *minimum* round-trip wire time — the exchange least polluted by
+//! queueing — rather than averaging: this is the standard NTP/Cristian
+//! refinement and is what makes the estimate robust under load.
+//!
+//! Offsets are per-connection (one TCP connection, one socket path),
+//! and the merge layer medians across connections for a process-wide
+//! shift.
+
+/// One request/response timestamp exchange. All values are
+/// monotonic-clock nanoseconds; `t1`/`t4` are on the client clock,
+/// `t2`/`t3` on the server clock. The two clocks share no epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockSample {
+    /// Client: request frame stamped for the wire.
+    pub t1: u64,
+    /// Server: request frame decoded off the socket.
+    pub t2: u64,
+    /// Server: reply frame stamped for the wire.
+    pub t3: u64,
+    /// Client: reply frame decoded.
+    pub t4: u64,
+}
+
+impl ClockSample {
+    /// Round-trip wire time: total client wait minus server residence.
+    /// Offset-free (both subtractions are within one clock), which is
+    /// why samples can be ranked by it before any offset is known.
+    pub fn rtt_ns(&self) -> u64 {
+        let client_wait = self.t4.saturating_sub(self.t1);
+        let residence = self.t3.saturating_sub(self.t2);
+        client_wait.saturating_sub(residence)
+    }
+
+    /// This sample's offset estimate `theta = server - client`, i.e.
+    /// `server_ts - theta` maps a server timestamp onto the client
+    /// clock. Computed in `i128` so two unrelated monotonic epochs
+    /// cannot overflow.
+    pub fn offset_ns(&self) -> i64 {
+        let outbound = self.t2 as i128 - self.t1 as i128;
+        let inbound = self.t3 as i128 - self.t4 as i128;
+        ((outbound + inbound) / 2) as i64
+    }
+}
+
+/// Streaming minimum-RTT offset estimator for one connection.
+#[derive(Debug, Clone, Default)]
+pub struct OffsetEstimator {
+    best: Option<ClockSample>,
+    samples: usize,
+}
+
+impl OffsetEstimator {
+    /// An estimator with no samples yet.
+    pub fn new() -> OffsetEstimator {
+        OffsetEstimator::default()
+    }
+
+    /// Feeds one exchange. Keeps it if its round-trip wire time is the
+    /// smallest seen so far.
+    pub fn record(&mut self, sample: ClockSample) {
+        self.samples += 1;
+        let better = match &self.best {
+            None => true,
+            Some(best) => sample.rtt_ns() < best.rtt_ns(),
+        };
+        if better {
+            self.best = Some(sample);
+        }
+    }
+
+    /// The offset at the minimum-RTT sample, or `None` before any
+    /// sample arrives.
+    pub fn offset_ns(&self) -> Option<i64> {
+        self.best.map(|s| s.offset_ns())
+    }
+
+    /// The smallest round-trip wire time observed.
+    pub fn min_rtt_ns(&self) -> Option<u64> {
+        self.best.map(|s| s.rtt_ns())
+    }
+
+    /// How many exchanges have been fed in.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic two-clock fixture: the server clock runs a fixed
+    /// `skew` nanoseconds ahead of the client clock, and each exchange
+    /// sees asymmetric one-way delays (outbound != return, varying per
+    /// sample). Generates the four timestamps the wire would carry.
+    struct TwoClocks {
+        skew: i64,
+    }
+
+    impl TwoClocks {
+        fn exchange(
+            &self,
+            t1: u64,
+            outbound_ns: u64,
+            residence_ns: u64,
+            return_ns: u64,
+        ) -> ClockSample {
+            let server = |client_ns: u64| (client_ns as i64 + self.skew) as u64;
+            let t2 = server(t1 + outbound_ns);
+            let t3 = t2 + residence_ns;
+            let t4 = t1 + outbound_ns + residence_ns + return_ns;
+            ClockSample { t1, t2, t3, t4 }
+        }
+    }
+
+    #[test]
+    fn symmetric_delays_recover_the_exact_skew() {
+        let clocks = TwoClocks { skew: 5_000_000 };
+        let mut est = OffsetEstimator::new();
+        est.record(clocks.exchange(1_000, 40_000, 10_000, 40_000));
+        assert_eq!(est.offset_ns(), Some(5_000_000));
+        assert_eq!(est.min_rtt_ns(), Some(80_000));
+    }
+
+    #[test]
+    fn negative_skew_and_large_epoch_gap_recover_too() {
+        // Server's monotonic epoch is hours "behind" the client's.
+        let clocks = TwoClocks {
+            skew: -3_600_000_000_000,
+        };
+        let mut est = OffsetEstimator::new();
+        est.record(clocks.exchange(7_200_000_000_000, 25_000, 5_000, 25_000));
+        assert_eq!(est.offset_ns(), Some(-3_600_000_000_000));
+    }
+
+    /// The satellite fixture: known skew, asymmetric per-sample RTT
+    /// jitter. Min-RTT selection must land within half the asymmetry
+    /// of the *cleanest* sample, far better than a naive average.
+    #[test]
+    fn asymmetric_jitter_recovers_offset_within_tolerance() {
+        let skew = 12_345_678;
+        let clocks = TwoClocks { skew };
+        let mut est = OffsetEstimator::new();
+        // Deterministic "jitter": mostly queue-polluted exchanges with
+        // wildly asymmetric delays, plus a handful of clean ones.
+        let mut t1 = 1_000u64;
+        for i in 0u64..200 {
+            let (out, back) = match i % 7 {
+                0 => (30_000, 31_000),    // near-clean, 1us asymmetry
+                1 => (500_000, 40_000),   // outbound queueing
+                2 => (35_000, 900_000),   // return queueing
+                3 => (200_000, 200_000),  // loaded but symmetric
+                4 => (32_000, 30_500),    // near-clean again
+                5 => (1_500_000, 60_000), // badly polluted
+                _ => (45_000, 650_000),   // badly polluted
+            };
+            est.record(clocks.exchange(t1, out, 8_000, back));
+            t1 += 2_000_000;
+        }
+        assert_eq!(est.samples(), 200);
+        let recovered = est.offset_ns().unwrap();
+        // Cleanest sample has 1.5us asymmetry -> error bound 750ns.
+        let err = (recovered - skew).abs();
+        assert!(err <= 750, "offset error {err}ns exceeds tolerance");
+        // And the winning RTT is one of the clean exchanges.
+        assert!(est.min_rtt_ns().unwrap() <= 62_500);
+    }
+
+    /// After offset correction, each request's merged timeline must be
+    /// monotonic: t1 <= t2' <= t3' <= t4 on the client clock.
+    #[test]
+    fn corrected_timestamps_are_monotonic_per_request() {
+        let clocks = TwoClocks { skew: 987_654_321 };
+        let mut est = OffsetEstimator::new();
+        let mut samples = Vec::new();
+        let mut t1 = 5_000u64;
+        for i in 0u64..50 {
+            let out = 20_000 + (i % 5) * 7_000;
+            let back = 20_000 + ((i + 3) % 5) * 9_000;
+            let s = clocks.exchange(t1, out, 4_000, back);
+            est.record(s);
+            samples.push(s);
+            t1 += 500_000;
+        }
+        let theta = est.offset_ns().unwrap();
+        for s in samples {
+            let t2c = s.t2 as i128 - theta as i128;
+            let t3c = s.t3 as i128 - theta as i128;
+            assert!((s.t1 as i128) <= t2c, "send precedes server receive");
+            assert!(t2c <= t3c, "server receive precedes server send");
+            assert!(t3c <= s.t4 as i128, "server send precedes reply receipt");
+        }
+    }
+
+    #[test]
+    fn empty_estimator_has_no_opinion() {
+        let est = OffsetEstimator::new();
+        assert_eq!(est.offset_ns(), None);
+        assert_eq!(est.min_rtt_ns(), None);
+        assert_eq!(est.samples(), 0);
+    }
+}

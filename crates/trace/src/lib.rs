@@ -34,8 +34,12 @@ use std::time::Instant;
 
 pub mod attribution;
 pub mod chrome;
+pub mod clock;
+pub mod merge;
 
 pub use attribution::AttributionReport;
+pub use clock::{ClockSample, OffsetEstimator};
+pub use merge::{merge_traces, MergeOutcome};
 
 // ---------------------------------------------------------------------------
 // Categories
@@ -84,10 +88,34 @@ pub enum Category {
     /// enclosing [`Category::Reshard`] — localize migration-induced
     /// stalls on the timeline.
     SlotMigration = 14,
+    /// One traced client-side remote request, end to end: from call
+    /// entry to reply decoded (arg: client connection number, arg2:
+    /// wire trace sequence). The parent span the decomposition
+    /// segments hang under on a merged timeline.
+    NetOp = 15,
+    /// Client-side request preparation: call entry to the moment the
+    /// request frame is stamped for the wire (lock wait + encode).
+    /// The `client_queue` decomposition segment (arg2: sequence).
+    NetSend = 16,
+    /// Client-side wire wait: request stamped to reply received — the
+    /// round trip including server residence (arg2: sequence).
+    NetWait = 17,
+    /// Server-side queue wait for one traced request: frame decoded
+    /// off the socket to dequeued by the connection worker (arg:
+    /// server connection id, arg2: sequence).
+    NetQueue = 18,
+    /// Server-side store service for one traced request: the
+    /// `apply_batch` call itself (arg: server connection id, arg2:
+    /// sequence). The `service` decomposition segment.
+    NetApply = 19,
+    /// Server-side response write for one traced request: reply
+    /// stamped to flushed into the kernel (arg: server connection id,
+    /// arg2: sequence).
+    NetWrite = 20,
 }
 
 /// All categories, in discriminant order.
-pub const CATEGORIES: [Category; 15] = [
+pub const CATEGORIES: [Category; 21] = [
     Category::OpGet,
     Category::OpPut,
     Category::OpMerge,
@@ -103,6 +131,12 @@ pub const CATEGORIES: [Category; 15] = [
     Category::NetRequest,
     Category::Reshard,
     Category::SlotMigration,
+    Category::NetOp,
+    Category::NetSend,
+    Category::NetWait,
+    Category::NetQueue,
+    Category::NetApply,
+    Category::NetWrite,
 ];
 
 impl Category {
@@ -124,6 +158,12 @@ impl Category {
             Category::NetRequest => "net_request",
             Category::Reshard => "reshard",
             Category::SlotMigration => "slot_migration",
+            Category::NetOp => "net_op",
+            Category::NetSend => "net_send",
+            Category::NetWait => "net_wait",
+            Category::NetQueue => "net_queue",
+            Category::NetApply => "net_apply",
+            Category::NetWrite => "net_write",
         }
     }
 
@@ -139,9 +179,32 @@ impl Category {
         )
     }
 
+    /// Whether this is a per-request network span (a traced client op
+    /// or one of its decomposition segments). These are timeline
+    /// detail, not background work: a slow op trivially overlaps its
+    /// own segments, so attribution must never count them as causes.
+    pub fn is_net(self) -> bool {
+        matches!(
+            self,
+            Category::NetOp
+                | Category::NetSend
+                | Category::NetWait
+                | Category::NetQueue
+                | Category::NetApply
+                | Category::NetWrite
+        )
+    }
+
     /// Whether this is an always-on background-work span.
     pub fn is_background(self) -> bool {
-        !self.is_op() && self != Category::Phase
+        !self.is_op() && !self.is_net() && self != Category::Phase
+    }
+
+    /// The category whose stable snake-case name is `name`, if any.
+    /// Inverse of [`Category::name`]; what trace-file consumers (the
+    /// merge subcommand) use to rebuild spans from exported JSON.
+    pub fn from_name(name: &str) -> Option<Category> {
+        CATEGORIES.into_iter().find(|c| c.name() == name)
     }
 
     fn from_u64(raw: u64) -> Option<Category> {
@@ -183,6 +246,7 @@ struct Slot {
     start_ns: AtomicU64,
     dur_ns: AtomicU64,
     arg: AtomicU64,
+    arg2: AtomicU64,
     cat: AtomicU64,
     shard: AtomicU64,
 }
@@ -193,6 +257,7 @@ impl Slot {
             start_ns: AtomicU64::new(0),
             dur_ns: AtomicU64::new(0),
             arg: AtomicU64::new(0),
+            arg2: AtomicU64::new(0),
             cat: AtomicU64::new(u64::MAX),
             shard: AtomicU64::new(NO_SHARD),
         }
@@ -206,6 +271,10 @@ impl Slot {
 struct Ring {
     slots: Box<[Slot]>,
     head: AtomicU64,
+    /// Cumulative spans overwritten before a session drain could read
+    /// them, across every session this ring participated in. Surfaced
+    /// by [`ring_stats`] so span loss is visible on metrics endpoints.
+    dropped: AtomicU64,
 }
 
 impl Ring {
@@ -213,15 +282,17 @@ impl Ring {
         Ring {
             slots: (0..RING_CAPACITY).map(|_| Slot::empty()).collect(),
             head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
-    fn push(&self, cat: Category, arg: u64, start_ns: u64, dur_ns: u64) {
+    fn push(&self, cat: Category, arg: u64, arg2: u64, start_ns: u64, dur_ns: u64) {
         let head = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(head as usize) & (RING_CAPACITY - 1)];
         slot.start_ns.store(start_ns, Ordering::Relaxed);
         slot.dur_ns.store(dur_ns, Ordering::Relaxed);
         slot.arg.store(arg, Ordering::Relaxed);
+        slot.arg2.store(arg2, Ordering::Relaxed);
         slot.shard.store(current_shard(), Ordering::Relaxed);
         slot.cat.store(cat as u64, Ordering::Relaxed);
         self.head.store(head + 1, Ordering::Release);
@@ -233,6 +304,7 @@ impl Ring {
         let head = self.head.load(Ordering::Acquire);
         let oldest = from_head.max(head.saturating_sub(RING_CAPACITY as u64));
         let dropped = oldest - from_head.min(oldest);
+        self.dropped.fetch_add(dropped, Ordering::Relaxed);
         let mut out = Vec::with_capacity((head - oldest) as usize);
         for i in oldest..head {
             let slot = &self.slots[(i as usize) & (RING_CAPACITY - 1)];
@@ -242,6 +314,7 @@ impl Ring {
             out.push(RawSpan {
                 cat,
                 arg: slot.arg.load(Ordering::Relaxed),
+                arg2: slot.arg2.load(Ordering::Relaxed),
                 start_ns: slot.start_ns.load(Ordering::Relaxed),
                 dur_ns: slot.dur_ns.load(Ordering::Relaxed),
                 shard: slot.shard.load(Ordering::Relaxed),
@@ -254,6 +327,7 @@ impl Ring {
 struct RawSpan {
     cat: Category,
     arg: u64,
+    arg2: u64,
     start_ns: u64,
     dur_ns: u64,
     shard: u64,
@@ -367,10 +441,18 @@ pub fn now_ns() -> u64 {
 /// Records an already-measured span. No-op while tracing is disabled.
 #[inline]
 pub fn record_complete(cat: Category, arg: u64, start_ns: u64, dur_ns: u64) {
+    record_complete2(cat, arg, 0, start_ns, dur_ns);
+}
+
+/// Like [`record_complete`] but with a second argument — the wire
+/// trace sequence for per-request network spans, so client and server
+/// sides of one request can be joined across trace files.
+#[inline]
+pub fn record_complete2(cat: Category, arg: u64, arg2: u64, start_ns: u64, dur_ns: u64) {
     if !enabled() {
         return;
     }
-    RING.with(|ring| ring.push(cat, arg, start_ns, dur_ns));
+    RING.with(|ring| ring.push(cat, arg, arg2, start_ns, dur_ns));
 }
 
 /// Records a span of `dur_ns` that ends now — for callers that already
@@ -381,7 +463,7 @@ pub fn record_ending_now(cat: Category, arg: u64, dur_ns: u64) {
         return;
     }
     let end = now_ns();
-    RING.with(|ring| ring.push(cat, arg, end.saturating_sub(dur_ns), dur_ns));
+    RING.with(|ring| ring.push(cat, arg, 0, end.saturating_sub(dur_ns), dur_ns));
 }
 
 /// Starts a span that is recorded when the guard drops. Cheap no-op
@@ -427,9 +509,43 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if self.armed {
             let dur = now_ns().saturating_sub(self.start_ns);
-            RING.with(|ring| ring.push(self.cat, self.arg, self.start_ns, dur));
+            RING.with(|ring| ring.push(self.cat, self.arg, 0, self.start_ns, dur));
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Ring pressure stats
+// ---------------------------------------------------------------------------
+
+/// Per-thread ring-buffer pressure counters, for metrics export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingStats {
+    /// Trace-local id of the ring's owning thread.
+    pub tid: u64,
+    /// Name of the ring's owning thread.
+    pub thread_name: String,
+    /// Spans recorded into this ring since thread registration.
+    pub recorded: u64,
+    /// Spans overwritten before a session drain could read them,
+    /// cumulative across sessions. Non-zero means the ring wrapped
+    /// under pressure and the trace silently lost spans.
+    pub dropped: u64,
+}
+
+/// Snapshot of every registered ring's pressure counters. Cheap (two
+/// relaxed loads per ring); callable while a session is recording, so
+/// a metrics endpoint can surface span loss live.
+pub fn ring_stats() -> Vec<RingStats> {
+    lock(&REGISTRY)
+        .iter()
+        .map(|h| RingStats {
+            tid: h.tid,
+            thread_name: h.thread_name.clone(),
+            recorded: h.ring.head.load(Ordering::Relaxed),
+            dropped: h.ring.dropped.load(Ordering::Relaxed),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -484,6 +600,7 @@ impl TraceSession {
             events.extend(raw.into_iter().map(|s| Span {
                 cat: s.cat,
                 arg: s.arg,
+                arg2: s.arg2,
                 start_ns: s.start_ns,
                 dur_ns: s.dur_ns,
                 tid: handle.tid,
@@ -514,6 +631,9 @@ pub struct Span {
     pub cat: Category,
     /// Category-specific argument (level, bytes, shard, page, phase).
     pub arg: u64,
+    /// Second argument: the wire trace sequence for per-request
+    /// network spans (see [`Category::is_net`]), `0` elsewhere.
+    pub arg2: u64,
     /// Start, nanoseconds since the trace epoch.
     pub start_ns: u64,
     /// Duration in nanoseconds.
@@ -670,6 +790,7 @@ mod tests {
         let mk = |start, dur| Span {
             cat: Category::OpGet,
             arg: 0,
+            arg2: 0,
             start_ns: start,
             dur_ns: dur,
             tid: 1,
@@ -729,6 +850,7 @@ mod tests {
     fn category_names_are_stable() {
         for cat in CATEGORIES {
             assert_eq!(Category::from_u64(cat as u64), Some(cat));
+            assert_eq!(Category::from_name(cat.name()), Some(cat));
             assert!(!cat.name().is_empty());
         }
         assert!(Category::OpScan.is_op());
@@ -736,5 +858,74 @@ mod tests {
         assert!(Category::CacheFill.is_background());
         assert!(!Category::Phase.is_background());
         assert!(!Category::Phase.is_op());
+        // Per-request network spans are timeline detail, never
+        // background: a slow op always overlaps its own segments, so
+        // counting them as causes would make attribution circular.
+        for cat in [
+            Category::NetOp,
+            Category::NetSend,
+            Category::NetWait,
+            Category::NetQueue,
+            Category::NetApply,
+            Category::NetWrite,
+        ] {
+            assert!(cat.is_net());
+            assert!(!cat.is_background(), "{cat:?} must not be background");
+            assert!(!cat.is_op());
+        }
+        // The server's whole-request span stays background, as it has
+        // been since it was introduced.
+        assert!(Category::NetRequest.is_background());
+        assert!(!Category::NetRequest.is_net());
+        assert_eq!(Category::from_name("no_such_category"), None);
+    }
+
+    #[test]
+    fn arg2_survives_the_ring() {
+        let session = start_session();
+        record_complete2(Category::NetQueue, 3, 77, now_ns(), 40);
+        record_complete(Category::Flush, 5, now_ns(), 10);
+        let log = session.finish();
+        let q = log.spans_of(Category::NetQueue).next().unwrap();
+        assert_eq!((q.arg, q.arg2), (3, 77));
+        let f = log.spans_of(Category::Flush).next().unwrap();
+        assert_eq!(f.arg2, 0, "single-arg records leave arg2 at 0");
+    }
+
+    #[test]
+    fn ring_stats_surface_per_thread_drops() {
+        let before: u64 = ring_stats()
+            .iter()
+            .filter(|s| s.tid == current_tid())
+            .map(|s| s.dropped)
+            .sum();
+        let session = start_session();
+        let n = RING_CAPACITY as u64 + 250;
+        for i in 0..n {
+            record_complete(Category::OpGet, i, i, 1);
+        }
+        let log = session.finish();
+        assert_eq!(log.dropped, 250);
+        let stats = ring_stats();
+        let mine = stats
+            .iter()
+            .find(|s| s.tid == current_tid())
+            .expect("this thread's ring is registered");
+        assert_eq!(mine.dropped - before, 250, "drain accumulated the loss");
+        assert!(mine.recorded >= n);
+        assert!(!mine.thread_name.is_empty());
+    }
+
+    /// The trace-local tid of the calling thread (test helper; rings
+    /// register lazily on first record).
+    fn current_tid() -> u64 {
+        RING.with(|ring| {
+            let target = Arc::as_ptr(ring) as usize;
+            lock(&REGISTRY)
+                .iter()
+                .find(|h| Arc::as_ptr(&h.ring) as usize == target)
+                .map(|h| h.tid)
+                .expect("calling thread is registered")
+        })
     }
 }

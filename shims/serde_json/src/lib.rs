@@ -321,13 +321,29 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 code point.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(Error::new)?;
-                    let ch = s.chars().next().unwrap();
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 code point. Validate
+                    // only its own bytes — running `from_utf8` over the
+                    // whole remaining input here made parsing quadratic
+                    // in document size.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.error("invalid UTF-8 in string")),
+                    };
+                    let end = self.pos + len;
+                    if end > self.bytes.len() {
+                        return Err(self.error("invalid UTF-8 in string"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    out.push(s.chars().next().unwrap());
+                    self.pos = end;
                 }
             }
         }

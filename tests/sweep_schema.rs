@@ -64,6 +64,7 @@ fn golden_sweep() -> SweepReport {
                 metrics: gadget::obs::MetricsSnapshot::new(),
                 attribution: None,
                 recovery: None,
+                decomposition: Vec::new(),
             },
         }
     };
